@@ -1,0 +1,150 @@
+// Experiment T6 (Theorem 5.2 and the grade lattice): across a generated
+// family of fault classes on a reference program, the checker's three
+// verdicts must populate only the combinations the theory allows —
+// masking = fail-safe AND nonmasking (for invariant-convergent systems) —
+// and checking masking directly costs about as much as checking the two
+// halves.
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "verify/tolerance_checker.hpp"
+
+using namespace dcft;
+using namespace dcft::bench;
+
+namespace {
+
+struct Family {
+    std::shared_ptr<const StateSpace> space;
+    Program program;
+    ProblemSpec spec;
+    Predicate invariant;
+};
+
+/// Reference program: climb 0 -> goal over `size` rungs, one forbidden
+/// state above the goal.
+Family make_family(Value size) {
+    auto space = make_space({Variable{"v", size + 2, {}}});
+    const Value goal = size;
+    const Value forbidden = size + 1;
+    Program p(space, "climb");
+    p.add_action(Action::assign(
+        *space, "inc",
+        Predicate("v<goal",
+                  [goal](const StateSpace& sp, StateIndex s) {
+                      return sp.get(s, 0) < goal;
+                  }),
+        "v",
+        [](const StateSpace& sp, StateIndex s) {
+            return sp.get(s, 0) + 1;
+        }));
+    LivenessSpec live;
+    live.add_eventually(Predicate::var_eq(*space, "v", goal));
+    ProblemSpec spec("climb-spec",
+                     SafetySpec::never(
+                         Predicate::var_eq(*space, "v", forbidden)),
+                     std::move(live));
+    Predicate inv("v<=goal", [goal](const StateSpace&, StateIndex s) {
+        return static_cast<Value>(s) <= goal;
+    });
+    return Family{space, std::move(p), std::move(spec), std::move(inv)};
+}
+
+void report() {
+    header("T6: the grade lattice and Theorem 5.2, empirically");
+
+    Family fam = make_family(6);
+    const Value goal = 6, forbidden = 7;
+
+    // Fault family: every single-transition perturbation v==a -> v:=b.
+    int combos[2][2][2] = {};
+    int violations = 0, total = 0;
+    for (Value a = 0; a <= goal; ++a) {
+        for (Value b = 0; b <= forbidden; ++b) {
+            if (a == b) continue;
+            FaultClass f(fam.space, "jump");
+            f.add_action(Action::assign_const(
+                *fam.space, "jump", Predicate::var_eq(*fam.space, "v", a),
+                "v", b));
+            const bool fs =
+                check_failsafe(fam.program, f, fam.spec, fam.invariant).ok();
+            const bool nm =
+                check_nonmasking(fam.program, f, fam.spec, fam.invariant)
+                    .ok();
+            const bool mk =
+                check_masking(fam.program, f, fam.spec, fam.invariant).ok();
+            ++combos[fs][nm][mk];
+            ++total;
+            if ((fs && nm) != mk) ++violations;
+            if (mk && (!fs || !nm)) ++violations;
+        }
+    }
+    section("verdict combinations over all single-jump fault classes");
+    std::printf("  fault classes examined: %d\n", total);
+    std::printf("  (fail-safe, nonmasking, masking) populations:\n");
+    const char* names[2] = {"no ", "yes"};
+    for (int fs = 1; fs >= 0; --fs)
+        for (int nm = 1; nm >= 0; --nm)
+            for (int mk = 1; mk >= 0; --mk)
+                if (combos[fs][nm][mk])
+                    std::printf("    (%s, %s, %s): %d\n", names[fs],
+                                names[nm], names[mk], combos[fs][nm][mk]);
+    std::printf("  Theorem 5.2 violations (must be 0): %d\n", violations);
+
+    section("masking-direct vs fail-safe+nonmasking check cost");
+    {
+        FaultClass f(fam.space, "jump");
+        f.add_action(Action::assign_const(
+            *fam.space, "jump", Predicate::var_eq(*fam.space, "v", 3), "v",
+            0));
+        const auto time = [&](auto&& fn) {
+            const auto start = std::chrono::steady_clock::now();
+            for (int i = 0; i < 2000; ++i) fn();
+            return std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count() /
+                   2000;
+        };
+        const double direct = time([&] {
+            benchmark::DoNotOptimize(
+                check_masking(fam.program, f, fam.spec, fam.invariant));
+        });
+        const double halves = time([&] {
+            benchmark::DoNotOptimize(
+                check_failsafe(fam.program, f, fam.spec, fam.invariant));
+            benchmark::DoNotOptimize(
+                check_nonmasking(fam.program, f, fam.spec, fam.invariant));
+        });
+        std::printf("  direct masking check : %.4f ms\n", direct);
+        std::printf("  fail-safe+nonmasking : %.4f ms (%.2fx)\n", halves,
+                    halves / direct);
+    }
+}
+
+void BM_CheckFailsafe(benchmark::State& state) {
+    Family fam = make_family(static_cast<Value>(state.range(0)));
+    FaultClass f(fam.space, "jump");
+    f.add_action(Action::assign_const(
+        *fam.space, "jump", Predicate::var_eq(*fam.space, "v", 1), "v", 0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            check_failsafe(fam.program, f, fam.spec, fam.invariant));
+    }
+}
+BENCHMARK(BM_CheckFailsafe)->Arg(6)->Arg(60)->Arg(600);
+
+void BM_CheckMasking(benchmark::State& state) {
+    Family fam = make_family(static_cast<Value>(state.range(0)));
+    FaultClass f(fam.space, "jump");
+    f.add_action(Action::assign_const(
+        *fam.space, "jump", Predicate::var_eq(*fam.space, "v", 1), "v", 0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            check_masking(fam.program, f, fam.spec, fam.invariant));
+    }
+}
+BENCHMARK(BM_CheckMasking)->Arg(6)->Arg(60)->Arg(600);
+
+}  // namespace
+
+DCFT_BENCH_MAIN(report)

@@ -1,0 +1,98 @@
+// Experiment R1 (paper Section 7, the SIEFAST sketch): the simulation
+// engine itself — raw stepping throughput, the cost of online monitors,
+// and fault-injection overhead. This quantifies the "hybrid simulation"
+// workflow the paper describes.
+#include <chrono>
+
+#include "apps/token_ring.hpp"
+#include "bench_util.hpp"
+#include "runtime/simulator.hpp"
+
+using namespace dcft;
+using namespace dcft::bench;
+
+namespace {
+
+double steps_per_second(const Program& p, StateIndex from,
+                        std::vector<Monitor*> monitors,
+                        FaultInjector* injector) {
+    RoundRobinScheduler scheduler;
+    Simulator sim(p, scheduler, 123);
+    for (Monitor* m : monitors) sim.add_monitor(m);
+    sim.set_fault_injector(injector);
+    RunOptions options;
+    options.max_steps = 400000;
+    const auto start = std::chrono::steady_clock::now();
+    const RunResult run = sim.run(from, options);
+    const auto elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    return static_cast<double>(run.steps) / elapsed;
+}
+
+void report() {
+    header("R1: simulation engine (the SIEFAST analogue)");
+
+    auto sys = apps::make_token_ring(10, 10);
+    const StateIndex from = sys.initial_state();
+
+    section("engine throughput and monitor overhead (token ring n=10)");
+    const double bare = steps_per_second(sys.ring, from, {}, nullptr);
+    SafetyMonitor safety(sys.spec.safety());
+    const double with_safety =
+        steps_per_second(sys.ring, from, {&safety}, nullptr);
+    CorrectorMonitor corrector(sys.legitimate);
+    DetectorMonitor detector(sys.privilege(0), sys.legitimate);
+    SafetyMonitor safety2(sys.spec.safety());
+    const double with_three = steps_per_second(
+        sys.ring, from, {&safety2, &corrector, &detector}, nullptr);
+    FaultInjector injector(sys.corrupt_any, 0.01, 1000000);
+    const double with_faults =
+        steps_per_second(sys.ring, from, {}, &injector);
+
+    std::printf("  bare engine           : %12.0f steps/s\n", bare);
+    std::printf("  + safety monitor      : %12.0f steps/s (%.2fx)\n",
+                with_safety, bare / with_safety);
+    std::printf("  + 3 monitors          : %12.0f steps/s (%.2fx)\n",
+                with_three, bare / with_three);
+    std::printf("  + fault injector p=.01: %12.0f steps/s (%.2fx)\n",
+                with_faults, bare / with_faults);
+}
+
+void BM_SimulatorStep(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    auto sys = apps::make_token_ring(n, n);
+    RoundRobinScheduler scheduler;
+    Simulator sim(sys.ring, scheduler, 1);
+    RunOptions options;
+    options.max_steps = 10000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim.run(sys.initial_state(), options));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 10000);
+    state.SetLabel("ring n=" + std::to_string(n));
+}
+BENCHMARK(BM_SimulatorStep)->Arg(4)->Arg(10)->Arg(15);
+
+void BM_SimulatorWithMonitors(benchmark::State& state) {
+    auto sys = apps::make_token_ring(10, 10);
+    RoundRobinScheduler scheduler;
+    Simulator sim(sys.ring, scheduler, 1);
+    SafetyMonitor safety(sys.spec.safety());
+    CorrectorMonitor corrector(sys.legitimate);
+    sim.add_monitor(&safety);
+    sim.add_monitor(&corrector);
+    RunOptions options;
+    options.max_steps = 10000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim.run(sys.initial_state(), options));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SimulatorWithMonitors);
+
+}  // namespace
+
+DCFT_BENCH_MAIN(report)

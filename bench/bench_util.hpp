@@ -1,0 +1,40 @@
+// Shared helpers for the benchmark binaries.
+//
+// Every bench binary prints a paper-shaped report first (the tables and
+// series EXPERIMENTS.md records), then runs its google-benchmark timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace dcft::bench {
+
+inline void header(const std::string& title) {
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void section(const std::string& name) {
+    std::printf("\n-- %s --\n", name.c_str());
+}
+
+inline const char* yn(bool b) { return b ? "yes" : "no"; }
+
+/// Runs the report, then google-benchmark, from a bench binary's main().
+inline int run_bench_main(int argc, char** argv, void (*report)()) {
+    report();
+    std::printf("\n-- timings (google-benchmark) --\n");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+}  // namespace dcft::bench
+
+#define DCFT_BENCH_MAIN(report_fn)                                           \
+    int main(int argc, char** argv) {                                        \
+        return ::dcft::bench::run_bench_main(argc, argv, &(report_fn));      \
+    }

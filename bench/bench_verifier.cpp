@@ -1,0 +1,97 @@
+// Verifier scaling: how the explicit-state checker behaves as the state
+// space grows — transition-system construction, fair-convergence checking,
+// and full masking verdicts. The substrate measurement for every other
+// experiment (the paper itself proves by hand; this is our substitute's
+// cost profile).
+#include "apps/byzantine.hpp"
+#include "apps/token_ring.hpp"
+#include "bench_util.hpp"
+#include "verify/reachability.hpp"
+#include "verify/refinement.hpp"
+#include "verify/tolerance_checker.hpp"
+#include "verify/transition_system.hpp"
+
+using namespace dcft;
+using namespace dcft::bench;
+
+namespace {
+
+void report() {
+    header("verifier scaling (substrate for all experiments)");
+
+    section("explicit transition systems (token ring, K=n)");
+    std::printf("  %-6s %-12s %-10s %-12s\n", "n", "states", "nodes",
+                "prog-edges");
+    for (int n = 3; n <= 7; ++n) {
+        auto sys = apps::make_token_ring(n, n);
+        const TransitionSystem ts(sys.ring, nullptr, Predicate::top());
+        std::printf("  %-6d %-12llu %-10zu %-12zu\n", n,
+                    static_cast<unsigned long long>(
+                        sys.space->num_states()),
+                    ts.num_nodes(), ts.num_program_edges());
+    }
+
+    section("Byzantine agreement verification sizes");
+    for (int n : {3, 4, 5}) {
+        auto sys = apps::make_byzantine(n, 1);
+        const TransitionSystem ts(sys.masking, &sys.byzantine_fault,
+                                  Predicate::top());
+        std::printf("  n=%d: states=%llu, reachable nodes=%zu\n", n,
+                    static_cast<unsigned long long>(
+                        sys.space->num_states()),
+                    ts.num_nodes());
+    }
+}
+
+void BM_BuildTransitionSystem(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    auto sys = apps::make_token_ring(n, n);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            TransitionSystem(sys.ring, nullptr, Predicate::top()));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(sys.space->num_states()));
+    state.SetLabel("states=" + std::to_string(sys.space->num_states()));
+}
+BENCHMARK(BM_BuildTransitionSystem)->Arg(4)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_FairConvergenceCheck(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    auto sys = apps::make_token_ring(n, n);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(converges(sys.ring, nullptr,
+                                           Predicate::top(),
+                                           sys.legitimate));
+    }
+    state.SetLabel("states=" + std::to_string(sys.space->num_states()));
+}
+BENCHMARK(BM_FairConvergenceCheck)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_MaskingVerdictByzantine(benchmark::State& state) {
+    auto sys = apps::make_byzantine(static_cast<int>(state.range(0)), 1);
+    // Invariant: fault-free reachable set, computed once outside the loop.
+    const Predicate init("init", [&sys](const StateSpace& sp, StateIndex s) {
+        if (sp.get(s, sys.b_g) != 0) return false;
+        for (std::size_t i = 0; i < sys.d.size(); ++i) {
+            if (sp.get(s, sys.b[i]) != 0) return false;
+            if (sp.get(s, sys.d[i]) != 2) return false;
+            if (sp.get(s, sys.out[i]) != 2) return false;
+        }
+        return true;
+    });
+    auto reach = std::make_shared<StateSet>(
+        reachable_states(sys.masking, nullptr, init));
+    const Predicate inv = predicate_of(std::move(reach), "inv");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(check_masking(
+            sys.masking, sys.byzantine_fault, sys.spec, inv));
+    }
+    state.SetLabel("n=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_MaskingVerdictByzantine)->Arg(3)->Arg(4);
+
+}  // namespace
+
+DCFT_BENCH_MAIN(report)

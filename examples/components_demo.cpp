@@ -1,0 +1,107 @@
+// The component framework (the paper's Section 7 roadmap): reusable
+// detector and corrector builders, composed with an application program,
+// verified individually, for interference freedom, and end to end — plus
+// offline trace checking of a simulated run.
+#include <cstdio>
+
+#include "components/corrector.hpp"
+#include "components/detector.hpp"
+#include "runtime/trace_checker.hpp"
+#include "verify/component_checker.hpp"
+#include "verify/tolerance_checker.hpp"
+
+using namespace dcft;
+
+int main() {
+    std::printf("== the component framework (Section 7) ==\n\n");
+
+    // An unreliable sensor feed: `reading` should mirror `source`, but a
+    // glitch can corrupt it. We assemble fault tolerance from stock parts.
+    auto space = make_space({
+        Variable{"source", 3, {}},   // the ground truth
+        Variable{"reading", 3, {}},  // the mirrored value
+        Variable{"ok", 2, {}},       // witness: reading trusted
+    });
+    const Predicate in_sync(
+        "reading==source", [](const StateSpace& sp, StateIndex s) {
+            return sp.get(s, sp.find("reading")) ==
+                   sp.get(s, sp.find("source"));
+        });
+
+    // 1. A corrector from the library: re-copy the source when out of
+    //    sync (a constraint satisfier), with a separate witness bit.
+    Corrector mirror = add_witness(
+        make_constraint_satisfier(
+            space, in_sync,
+            [](const StateSpace& sp, StateIndex s) {
+                return sp.set(s, sp.find("reading"),
+                              sp.get(s, sp.find("source")));
+            },
+            "mirror"),
+        space, "ok");
+    std::printf("corrector claim: '%s corrects %s' ... %s\n",
+                mirror.claim.witness.name().c_str(),
+                mirror.claim.correction.name().c_str(),
+                mirror.verify().ok ? "verified" : "FAILED");
+
+    // 2. A consumer that acts only on trusted readings: gate it with the
+    //    witness (the detector-gating composition).
+    Program consumer(space, space->varset({"source"}), "consumer");
+    consumer.add_action(Action::skip(
+        "consume", Predicate::var_eq(*space, "ok", 1)));
+    const Program system =
+        mirror.attach(consumer).renamed("sensor-system");
+
+    // 3. Interference freedom: the consumer does not invalidate the
+    //    corrector's claim inside the composition.
+    std::printf("interference freedom within the composition ... %s\n",
+                mirror.verify_within(system).ok ? "verified" : "FAILED");
+
+    // 4. Faults corrupt the reading (and may leave the stale witness!).
+    FaultClass glitch(space, "glitch");
+    glitch.add_action(Action::nondet(
+        "corrupt-reading", Predicate::top(),
+        [](const StateSpace& sp, StateIndex s,
+           std::vector<StateIndex>& out) {
+            const VarId reading = sp.find("reading");
+            for (Value c = 0; c < 3; ++c)
+                if (c != sp.get(s, reading))
+                    out.push_back(sp.set(s, reading, c));
+        }));
+
+    std::printf("nonmasking glitch-tolerance of the corrector ... %s\n",
+                check_tolerant_corrector(system, glitch, mirror.claim,
+                                         Tolerance::Nonmasking,
+                                         Predicate::top())
+                        .ok
+                    ? "verified"
+                    : "FAILED");
+
+    // 5. Hybrid validation: simulate with injected glitches and check the
+    //    recorded trace offline against the same claims.
+    RoundRobinScheduler scheduler;
+    Simulator sim(system, scheduler, 99);
+    FaultInjector injector(glitch, 0.2, 4);
+    sim.set_fault_injector(&injector);
+    RunOptions options;
+    options.record_trace = true;
+    options.max_steps = 120;
+    const RunResult run = sim.run(space->encode({{1, 1, 0}}), options);
+
+    const TraceReport trace_report =
+        check_trace_corrector(*space, run, mirror.claim);
+    std::printf(
+        "trace check of a %zu-step run (%zu glitches injected): %zu "
+        "transient witness violations\n",
+        run.steps, run.fault_steps, trace_report.violations.size());
+    for (const TraceViolation& violation : trace_report.violations)
+        std::printf("    step %zu: %s\n", violation.step,
+                    violation.what.c_str());
+    std::printf(
+        "\nreading: each glitch leaves a momentarily *stale* witness —\n"
+        "visible in the trace — which the corrector then repairs. That\n"
+        "lag is exactly why the component is nonmasking rather than\n"
+        "masking tolerant (Theorem 5.5's asymmetry), and why the gated\n"
+        "consumer should re-check at its final commit point.\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+// The paper's running example (Sections 3.3, 4.3, 5.1; Figures 1-3),
+// reproduced as a walkthrough: the intolerant read p, the fail-safe pf,
+// the nonmasking pn, and the masking pm are verified against SPEC_mem
+// under page faults, then simulated to show the behavioural differences
+// the grades describe.
+#include <cstdio>
+
+#include "apps/memory_access.hpp"
+#include "runtime/simulator.hpp"
+#include "verify/tolerance_checker.hpp"
+
+using namespace dcft;
+
+namespace {
+
+const char* yn(bool b) { return b ? "yes" : " no"; }
+
+void verdict_row(const apps::MemoryAccessSystem& sys, const Program& p,
+                 const char* label) {
+    const bool fs = check_failsafe(p, sys.page_fault, sys.spec, sys.S).ok();
+    const bool nm =
+        check_nonmasking(p, sys.page_fault, sys.spec, sys.S).ok();
+    const bool mk = check_masking(p, sys.page_fault, sys.spec, sys.S).ok();
+    std::printf("  %-14s | %9s | %10s | %7s\n", label, yn(fs), yn(nm),
+                yn(mk));
+}
+
+void simulate(const apps::MemoryAccessSystem& sys, const Program& p,
+              const char* label) {
+    RandomScheduler scheduler;
+    Simulator sim(p, scheduler, /*seed=*/7);
+    FaultInjector injector(sys.page_fault, 0.25, 2);
+    sim.set_fault_injector(&injector);
+    SafetyMonitor safety(sys.spec.safety());
+    const Predicate data_ok =
+        Predicate::var_eq(*sys.space, "data", sys.correct_value);
+    CorrectorMonitor corrector(data_ok);
+    sim.add_monitor(&safety);
+    sim.add_monitor(&corrector);
+
+    RunOptions options;
+    options.max_steps = 60;
+    const RunResult run = sim.run(sys.initial_state(), options);
+
+    std::printf(
+        "  %-14s | steps %3zu | faults %zu | wrong-writes %zu | %s\n", label,
+        run.steps, run.fault_steps, safety.program_violations(),
+        run.deadlocked
+            ? "deadlocked (fail-safe stop)"
+            : (data_ok.eval(*sys.space, run.final_state)
+                   ? "data correct at end"
+                   : "data not yet correct"));
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== memory access under page faults (paper Figs. 1-3) ==\n");
+    auto sys = apps::make_memory_access();
+
+    std::printf("\nmechanical verdicts (from invariant S = U1 /\\ X1):\n");
+    std::printf("  program        | fail-safe | nonmasking | masking\n");
+    std::printf("  ---------------+-----------+------------+--------\n");
+    verdict_row(sys, sys.intolerant, "p (intolerant)");
+    verdict_row(sys, sys.failsafe, "pf (Figure 1)");
+    verdict_row(sys, sys.nonmasking, "pn (Figure 2)");
+    verdict_row(sys, sys.masking, "pm (Figure 3)");
+
+    std::printf("\nsimulated runs (random scheduler, page faults p=0.25):\n");
+    simulate(sys, sys.intolerant, "p");
+    simulate(sys, sys.failsafe, "pf");
+    simulate(sys, sys.nonmasking, "pn");
+    simulate(sys, sys.masking, "pm");
+
+    std::printf(
+        "\nreading: pf never writes a wrong value but may stop; pn keeps\n"
+        "going and converges but can write wrong values while recovering;\n"
+        "pm does neither — detector (pf1/pm2) + corrector (pn1/pm1)\n"
+        "compose into masking tolerance, exactly the paper's thesis.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+// Question 2 of the paper, live: starting from a fault-intolerant program,
+// dcft calculates the detectors (weakest detection predicates), gates the
+// actions, synthesizes a corrector over the fault span, and verifies each
+// tolerance grade of the result.
+#include <cstdio>
+
+#include "apps/tmr.hpp"
+#include "synth/add_masking.hpp"
+#include "verify/detection_predicate.hpp"
+#include "verify/tolerance_checker.hpp"
+
+using namespace dcft;
+
+int main() {
+    std::printf("== tolerance synthesis (the paper's Question 2) ==\n");
+    auto sys = apps::make_tmr(2);
+
+    std::printf("\nstep 1 — calculate each action's weakest detection "
+                "predicate (Theorem 3.3):\n");
+    for (const auto& ac : sys.intolerant.actions()) {
+        const auto wdp =
+            weakest_detection_set(*sys.space, ac, sys.spec.safety());
+        std::printf("  action %-6s safe in %llu / %llu states\n",
+                    ac.name().c_str(),
+                    static_cast<unsigned long long>(wdp->count()),
+                    static_cast<unsigned long long>(
+                        sys.space->num_states()));
+    }
+
+    std::printf("\nstep 2 — gate every action (add_failsafe):\n");
+    const FailsafeSynthesis fs =
+        add_failsafe(sys.intolerant, sys.spec.safety());
+    const ToleranceReport fs_report = check_failsafe(
+        fs.program, sys.corrupt_one_input, sys.spec, sys.invariant);
+    std::printf("  %s is fail-safe tolerant: %s\n",
+                fs.program.name().c_str(), fs_report.ok() ? "yes" : "NO");
+    std::printf("  fault span: %llu states (invariant: %llu)\n",
+                static_cast<unsigned long long>(fs_report.span_size),
+                static_cast<unsigned long long>(fs_report.invariant_size));
+
+    std::printf("\nstep 3 — synthesize a goal corrector for 'out = "
+                "uncorrupted value' (add_nonmasking):\n");
+    NonmaskingOptions opts;
+    opts.safety = &sys.spec.safety();
+    opts.writable = {"out"};
+    opts.span_from = sys.invariant;
+    const NonmaskingSynthesis nm = add_nonmasking(
+        fs.program, sys.corrupt_one_input, sys.output_correct, opts);
+    std::printf("  corrector synthesized, covers every span state: %s\n",
+                nm.complete ? "yes" : "NO");
+
+    const ToleranceReport mk = check_masking(
+        nm.program, sys.corrupt_one_input, sys.spec, sys.invariant);
+    std::printf("  composed program is masking tolerant: %s\n",
+                mk.ok() ? "yes" : "NO");
+
+    std::printf("\nstep 4 — compare with the paper's hand construction "
+                "(DR;IR || CR):\n");
+    const ToleranceReport hand = check_masking(
+        sys.masking, sys.corrupt_one_input, sys.spec, sys.invariant);
+    std::printf("  hand-built masking TMR verdict: %s — same as "
+                "synthesized: %s\n",
+                hand.ok() ? "yes" : "NO",
+                (hand.ok() == mk.ok()) ? "agreed" : "DISAGREED");
+
+    std::printf(
+        "\nreading: the machinery that the paper proves must exist inside\n"
+        "every fault-tolerant program (detectors, correctors) can also be\n"
+        "calculated mechanically and composed to *build* one.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+// Triple modular redundancy (paper Section 6.1): the classic voter
+// recovered by composing a detector and a corrector with a single-input
+// copy program, then exercised under input-corruption faults.
+#include <cstdio>
+
+#include "apps/tmr.hpp"
+#include "runtime/simulator.hpp"
+#include "verify/tolerance_checker.hpp"
+
+using namespace dcft;
+
+namespace {
+
+struct SimOutcome {
+    std::size_t correct = 0;
+    std::size_t wrong = 0;
+    std::size_t stuck = 0;
+};
+
+SimOutcome simulate_many(const apps::TmrSystem& sys, const Program& p,
+                         int runs, double fault_p) {
+    SimOutcome outcome;
+    RandomScheduler scheduler;
+    for (int i = 0; i < runs; ++i) {
+        Simulator sim(p, scheduler, 1000 + static_cast<std::uint64_t>(i));
+        FaultInjector injector(sys.corrupt_one_input, fault_p, 1);
+        sim.set_fault_injector(&injector);
+        RunOptions options;
+        options.max_steps = 30;
+        const RunResult run =
+            sim.run(sys.initial_state(static_cast<Value>(i % 2)), options);
+        if (sys.output_correct.eval(*sys.space, run.final_state))
+            ++outcome.correct;
+        else if (sys.output_unassigned.eval(*sys.space, run.final_state))
+            ++outcome.stuck;
+        else
+            ++outcome.wrong;
+    }
+    return outcome;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== triple modular redundancy (paper Section 6.1) ==\n");
+    auto sys = apps::make_tmr(2);
+
+    std::printf("\nmechanical verdicts under one-input corruption:\n");
+    const auto row = [&](const Program& p, const char* label) {
+        std::printf("  %-14s fail-safe:%s  masking:%s\n", label,
+                    check_failsafe(p, sys.corrupt_one_input, sys.spec,
+                                   sys.invariant)
+                            .ok()
+                        ? "yes"
+                        : "no ",
+                    check_masking(p, sys.corrupt_one_input, sys.spec,
+                                  sys.invariant)
+                            .ok()
+                        ? "yes"
+                        : "no ");
+    };
+    row(sys.intolerant, "IR");
+    row(sys.failsafe, "DR;IR");
+    row(sys.masking, "DR;IR || CR");
+
+    std::printf("\n1000 simulated runs each, one corruption per run:\n");
+    std::printf("  program        | correct | wrong | no output\n");
+    std::printf("  ---------------+---------+-------+----------\n");
+    for (const auto& [p, label] :
+         std::vector<std::pair<const Program*, const char*>>{
+             {&sys.intolerant, "IR"},
+             {&sys.failsafe, "DR;IR"},
+             {&sys.masking, "DR;IR || CR"}}) {
+        const SimOutcome o = simulate_many(sys, *p, 1000, 0.4);
+        std::printf("  %-14s | %7zu | %5zu | %9zu\n", label, o.correct,
+                    o.wrong, o.stuck);
+    }
+
+    std::printf(
+        "\nreading: IR can output the corrupted value; DR;IR never outputs\n"
+        "wrongly but deadlocks when x is hit (the paper notes exactly\n"
+        "this); adding CR yields the voter — classic TMR, derived from\n"
+        "detector + corrector components.\n");
+    return 0;
+}

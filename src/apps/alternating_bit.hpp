@@ -1,0 +1,61 @@
+// The alternating-bit protocol over lossy bounded channels — the textbook
+// corrector for message loss (retransmission = rollforward recovery), and
+// a crisp instance of the paper's fault taxonomy on a message-passing
+// system: ABP is masking tolerant to loss and duplication, and provably
+// *not* tolerant to corruption (it needs checksums for that — i.e. a
+// detector).
+//
+// Model. A sender and a receiver connected by two bounded FIFO channels
+// (data D: sender->receiver carrying the alternating bit; acks A: the
+// reverse). Progress is tracked mod M so the spec is finite-state:
+//   sbit, rbit in {0,1}; sent, delivered in {0..M-1}; D, A channels.
+//
+//   transmit :: !D.full          --> D.push(sbit)        (re-send anytime)
+//   get_ack  :: !A.empty         --> a := A.pop;
+//                                    if a == sbit { sbit ^= 1; sent++ }
+//   deliver  :: !D.empty /\ !A.full
+//                                --> b := D.pop; A.push(b);
+//                                    if b == rbit { delivered++; rbit ^= 1 }
+//
+// SPEC_abp safety (exactly-once, in-order, mod M): `delivered` only ever
+// increments when a message is outstanding (sent != delivered ... phases
+// tracked by the bits), and `sent` only increments on a matching ack.
+// Liveness: the stream keeps flowing — sent==c ~~> sent==c+1 for every c.
+//
+// Fault classes: lose / duplicate a message on either channel (tolerated),
+// corrupt a message's bit (breaks safety — the negative result).
+#pragma once
+
+#include <memory>
+
+#include "gc/channel.hpp"
+#include "gc/program.hpp"
+#include "spec/problem_spec.hpp"
+
+namespace dcft::apps {
+
+struct AlternatingBitSystem {
+    std::shared_ptr<const StateSpace> space;
+    int window_mod;  ///< M
+
+    Program protocol;
+    FaultClass loss;         ///< drop a message on D or A
+    FaultClass duplication;  ///< duplicate a message on D or A
+    FaultClass corruption;   ///< flip a bit in flight on D or A
+
+    ProblemSpec spec;
+
+    Predicate in_sync;  ///< the protocol's phase invariant (see .cpp)
+
+    Channel data;  ///< D
+    Channel acks;  ///< A
+    VarId sbit, rbit, sent, delivered;
+
+    StateIndex initial_state() const;  ///< everything 0, channels empty
+};
+
+/// channel_capacity >= 1; window_mod >= 2 (the counters' modulus).
+AlternatingBitSystem make_alternating_bit(int channel_capacity = 2,
+                                          int window_mod = 4);
+
+}  // namespace dcft::apps

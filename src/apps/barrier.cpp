@@ -1,0 +1,159 @@
+#include "apps/barrier.hpp"
+
+#include "common/check.hpp"
+#include "gc/composition.hpp"
+
+namespace dcft::apps {
+namespace {
+
+bool is_power_of_two(int n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+StateIndex BarrierSystem::initial_state() const { return 0; }
+
+BarrierSystem make_barrier(int n) {
+    DCFT_EXPECTS(n >= 2 && is_power_of_two(n),
+                 "barrier needs a power-of-two worker count");
+
+    auto builder = std::make_shared<StateSpace>();
+    std::vector<VarId> arrived;
+    for (int i = 0; i < n; ++i)
+        arrived.push_back(
+            builder->add_variable("arrived." + std::to_string(i), 2));
+    // Heap-indexed witness tree over the leaves: nodes 1..n-1 are internal
+    // (node k has children 2k, 2k+1; nodes n..2n-1 are the leaves
+    // arrived.(k-n)). w[0] is a placeholder.
+    std::vector<VarId> w(static_cast<std::size_t>(n), VarId{0});
+    for (int k = 1; k < n; ++k)
+        w[static_cast<std::size_t>(k)] =
+            builder->add_variable("w." + std::to_string(k), 2);
+    const VarId round = builder->add_variable("round", 2);
+    builder->freeze();
+    std::shared_ptr<const StateSpace> space = builder;
+
+    // child-value: witness bit for internal children, arrived bit for
+    // leaf children.
+    auto child_value = [n, arrived, w](const StateSpace& sp, StateIndex s,
+                                       int node) -> Value {
+        if (node >= n)
+            return sp.get(s, arrived[static_cast<std::size_t>(node - n)]);
+        return sp.get(s, w[static_cast<std::size_t>(node)]);
+    };
+
+    Program workers(space, "workers");
+    for (int i = 0; i < n; ++i) {
+        const std::string is = std::to_string(i);
+        workers.add_action(Action::assign_const(
+            *space, "work." + is,
+            Predicate::var_eq(*space, "arrived." + is, 0), "arrived." + is,
+            1));
+    }
+
+    Program detectors(space, "witness-tree");
+    for (int k = 1; k < n; ++k) {
+        const std::string ks = std::to_string(k);
+        const Predicate children_true(
+            "children-true." + ks,
+            [child_value, k](const StateSpace& sp, StateIndex s) {
+                return child_value(sp, s, 2 * k) == 1 &&
+                       child_value(sp, s, 2 * k + 1) == 1;
+            });
+        detectors.add_action(Action::assign_const(
+            *space, "watch." + ks,
+            children_true && Predicate::var_eq(*space, "w." + ks, 0),
+            "w." + ks, 1));
+    }
+
+    Predicate all_arrived("all-arrived",
+                          [arrived](const StateSpace& sp, StateIndex s) {
+                              for (VarId a : arrived)
+                                  if (sp.get(s, a) == 0) return false;
+                              return true;
+                          });
+    const Predicate root_witness =
+        Predicate::var_eq(*space, "w.1", 1).renamed("w.root");
+
+    // Release: flip the round and clear every flag and witness, in one
+    // atomic statement (releasing a barrier is a synchronization point).
+    auto release_effect = [arrived, w, round, n](const StateSpace& sp,
+                                                 StateIndex s) {
+        StateIndex t = sp.set(s, round, 1 - sp.get(s, round));
+        for (VarId a : arrived) t = sp.set(t, a, 0);
+        for (int k = 1; k < n; ++k)
+            t = sp.set(t, w[static_cast<std::size_t>(k)], 0);
+        return t;
+    };
+
+    Program trusting = parallel(workers, detectors).renamed("trusting");
+    trusting.add_action(Action("release", root_witness, release_effect));
+
+    Program rechecking =
+        parallel(workers, detectors).renamed("rechecking");
+    rechecking.add_action(Action("release",
+                                 root_witness && all_arrived,
+                                 release_effect));
+
+    FaultClass fault(space, "corrupt-witness");
+    const Predicate some_witness_clear(
+        "some-witness-clear", [w, n](const StateSpace& sp, StateIndex s) {
+            for (int k = 1; k < n; ++k)
+                if (sp.get(s, w[static_cast<std::size_t>(k)]) == 0)
+                    return true;
+            return false;
+        });
+    fault.add_action(Action::nondet(
+        "flip-witness", some_witness_clear,
+        [w, n](const StateSpace& sp, StateIndex s,
+               std::vector<StateIndex>& out) {
+            for (int k = 1; k < n; ++k) {
+                const VarId v = w[static_cast<std::size_t>(k)];
+                if (sp.get(s, v) == 0) out.push_back(sp.set(s, v, 1));
+            }
+        }));
+
+    // Safety: a release (round change) only from an all-arrived state.
+    SafetySpec safety(
+        "no-early-release", Predicate::bottom(),
+        [round, arrived](const StateSpace& sp, StateIndex from,
+                         StateIndex to) {
+            if (sp.get(from, round) == sp.get(to, round)) return false;
+            for (VarId a : arrived)
+                if (sp.get(from, a) == 0) return true;
+            return false;
+        });
+    LivenessSpec live;
+    // The barrier keeps cycling: each round parity recurs.
+    live.add(LeadsTo{Predicate::var_eq(*space, "round", 0),
+                     Predicate::var_eq(*space, "round", 1)});
+    live.add(LeadsTo{Predicate::var_eq(*space, "round", 1),
+                     Predicate::var_eq(*space, "round", 0)});
+    ProblemSpec spec("SPEC_barrier", std::move(safety), std::move(live));
+
+    Predicate truthful(
+        "witnesses-truthful",
+        [child_value, w, n](const StateSpace& sp, StateIndex s) {
+            for (int k = n - 1; k >= 1; --k) {
+                if (sp.get(s, w[static_cast<std::size_t>(k)]) == 1 &&
+                    (child_value(sp, s, 2 * k) == 0 ||
+                     child_value(sp, s, 2 * k + 1) == 0))
+                    return false;
+            }
+            return true;
+        });
+
+    return BarrierSystem{space,
+                         n,
+                         std::move(trusting),
+                         std::move(rechecking),
+                         std::move(fault),
+                         std::move(spec),
+                         std::move(all_arrived),
+                         root_witness,
+                         std::move(truthful),
+                         std::move(arrived),
+                         std::move(w),
+                         round};
+}
+
+}  // namespace dcft::apps

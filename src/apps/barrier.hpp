@@ -1,0 +1,61 @@
+// Barrier computation — the first application on the paper's list
+// (Section 1), and the showcase for *hierarchical detector construction*:
+// the global condition "everyone reached the barrier" is detected by a
+// binary tree of watchdog witnesses, each watching the conjunction of its
+// children. The release action fires on the root witness.
+//
+// Model. n worker processes (n a power of two for a clean tree):
+//   arrived.i in {0,1}  — worker i reached the barrier this round
+//   w.k       in {0,1}  — witness of tree node k (heap indexing, root 1)
+//   round     in {0,1}  — parity of the current barrier round
+//
+//   work.i  :: !arrived.i --> arrived.i := 1           (the computation)
+//   watch.k :: children-true /\ !w.k --> w.k := 1      (the detectors)
+//   release :: w.1 [ /\ recheck ] --> round := 1-round ;
+//              all arrived, w := 0
+//
+// SPEC_barrier safety: the round never advances while some worker has not
+// arrived. Liveness: the round keeps advancing.
+//
+// The fault corrupts one witness bit to true. Three designs are built:
+//   trusting   — release fires on w.1 alone (NOT fail-safe: a corrupted
+//                witness releases early);
+//   rechecking — release re-evaluates the leaves atomically with the
+//                witness (fail-safe and masking: the hierarchical
+//                detector is advisory, the final gate is sound).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gc/program.hpp"
+#include "spec/problem_spec.hpp"
+
+namespace dcft::apps {
+
+struct BarrierSystem {
+    std::shared_ptr<const StateSpace> space;
+    int n;  ///< number of workers (power of two)
+
+    Program trusting;    ///< release gated on the root witness only
+    Program rechecking;  ///< release also re-verifies all leaves
+    FaultClass corrupt_witness;
+
+    ProblemSpec spec;
+
+    Predicate all_arrived;   ///< X of the root detector
+    Predicate root_witness;  ///< Z of the root detector
+    /// U: every witness in the tree is truthful (w.k => subtree arrived).
+    Predicate witnesses_truthful;
+
+    StateIndex initial_state() const;  ///< nobody arrived, round 0
+
+    std::vector<VarId> arrived;  ///< per worker
+    std::vector<VarId> w;        ///< heap-indexed, w[0] unused, root w[1]
+    VarId round_var;
+};
+
+/// n must be a power of two, n >= 2.
+BarrierSystem make_barrier(int n);
+
+}  // namespace dcft::apps

@@ -1,0 +1,284 @@
+#include "apps/byzantine.hpp"
+
+#include "common/check.hpp"
+
+namespace dcft::apps {
+namespace {
+
+constexpr Value kBot = 2;  // d/out domain: {0, 1, bot}
+
+/// Strict majority among the non-general d values (bot counts as an
+/// abstention); returns bot if no value has > (n-1)/2 votes.
+Value majority_of(const StateSpace& sp, StateIndex s,
+                  const std::vector<VarId>& d) {
+    int votes[2] = {0, 0};
+    for (VarId v : d) {
+        const Value val = sp.get(s, v);
+        if (val == 0 || val == 1) ++votes[val];
+    }
+    const int threshold = static_cast<int>(d.size()) / 2;  // need > threshold
+    if (votes[0] > threshold) return 0;
+    if (votes[1] > threshold) return 1;
+    return kBot;
+}
+
+/// Majority with the classic OM-style deterministic default: when the
+/// non-general votes tie (possible only for an even number of voters, with
+/// a Byzantine general and f = 1 — in which case every voter is stable and
+/// every process sees the same tie), all processes fall back to 0.
+Value majority_or_default(const StateSpace& sp, StateIndex s,
+                          const std::vector<VarId>& d) {
+    const Value maj = majority_of(sp, s, d);
+    return maj == kBot ? 0 : maj;
+}
+
+Predicate witness_pred(const std::vector<VarId>& dvars, VarId dj, int j) {
+    return Predicate("W." + std::to_string(j),
+                     [dvars, dj](const StateSpace& sp, StateIndex s) {
+                         for (VarId v : dvars)
+                             if (sp.get(s, v) == kBot) return false;
+                         return sp.get(s, dj) ==
+                                majority_or_default(sp, s, dvars);
+                     });
+}
+
+}  // namespace
+
+Predicate ByzantineSystem::witness(int j) const {
+    DCFT_EXPECTS(j >= 1 && j < num_processes, "witness: bad process index");
+    return witness_pred(d, d[static_cast<std::size_t>(j - 1)], j);
+}
+
+Predicate ByzantineSystem::detection(int j) const {
+    DCFT_EXPECTS(j >= 1 && j < num_processes, "detection: bad process index");
+    const auto dvars = d;
+    const VarId dj = d[static_cast<std::size_t>(j - 1)];
+    const VarId dg = d_g, bg = b_g;
+    // corrdecn = d.g if !b.g, else (majority k != g : d.k).
+    return Predicate("X." + std::to_string(j) + "(d.j==corrdecn)",
+                     [dvars, dj, dg, bg](const StateSpace& sp, StateIndex s) {
+                         const Value corr =
+                             (sp.get(s, bg) == 0)
+                                 ? sp.get(s, dg)
+                                 : majority_or_default(sp, s, dvars);
+                         return sp.get(s, dj) == corr;
+                     });
+}
+
+StateIndex ByzantineSystem::initial_state(Value general_decision) const {
+    DCFT_EXPECTS(general_decision == 0 || general_decision == 1,
+                 "general decision must be binary");
+    StateIndex s = 0;
+    s = space->set(s, d_g, general_decision);
+    for (VarId v : d) s = space->set(s, v, kBot);
+    for (VarId v : out) s = space->set(s, v, kBot);
+    return s;  // all b flags are 0 by construction
+}
+
+ByzantineSystem make_byzantine(int n, int f) {
+    DCFT_EXPECTS(n >= 2, "need a general and at least one non-general");
+    DCFT_EXPECTS(f >= 0, "f must be nonnegative");
+
+    auto builder = std::make_shared<StateSpace>();
+    const VarId d_g = builder->add_variable("d.g", 2);
+    const VarId b_g = builder->add_variable("b.g", 2);
+    std::vector<VarId> d, out, b;
+    for (int j = 1; j < n; ++j) {
+        d.push_back(builder->add_variable("d." + std::to_string(j), 3));
+        out.push_back(builder->add_variable("out." + std::to_string(j), 3));
+        b.push_back(builder->add_variable("b." + std::to_string(j), 2));
+    }
+    builder->freeze();
+    std::shared_ptr<const StateSpace> space = builder;
+
+    auto honest = [](VarId bvar, const std::string& who) {
+        return Predicate("!b." + who,
+                         [bvar](const StateSpace& sp, StateIndex s) {
+                             return sp.get(s, bvar) == 0;
+                         });
+    };
+
+    // --- BYZ: arbitrary behaviour of processes whose b flag is set. ---
+    // Modeled as program actions (the paper composes BYZ.j in parallel); a
+    // Byzantine process rewrites its decision to 0/1 (a decision — never
+    // back to bot) and its output to anything, including revoking it.
+    Program byz(space, "BYZ");
+    byz.add_action(Action::nondet(
+        "BYZ.g:d", !honest(b_g, "g"),
+        [d_g](const StateSpace& sp, StateIndex s,
+              std::vector<StateIndex>& sv) {
+            sv.push_back(sp.set(s, d_g, 0));
+            sv.push_back(sp.set(s, d_g, 1));
+        }));
+    for (int j = 1; j < n; ++j) {
+        const VarId dj = d[static_cast<std::size_t>(j - 1)];
+        const VarId oj = out[static_cast<std::size_t>(j - 1)];
+        const VarId bj = b[static_cast<std::size_t>(j - 1)];
+        const std::string js = std::to_string(j);
+        byz.add_action(Action::nondet(
+            "BYZ." + js + ":d", !honest(bj, js),
+            [dj](const StateSpace& sp, StateIndex s,
+                 std::vector<StateIndex>& sv) {
+                sv.push_back(sp.set(s, dj, 0));
+                sv.push_back(sp.set(s, dj, 1));
+            }));
+        byz.add_action(Action::nondet(
+            "BYZ." + js + ":out", !honest(bj, js),
+            [oj](const StateSpace& sp, StateIndex s,
+                 std::vector<StateIndex>& sv) {
+                sv.push_back(sp.set(s, oj, 0));
+                sv.push_back(sp.set(s, oj, 1));
+                sv.push_back(sp.set(s, oj, kBot));
+            }));
+    }
+
+    // --- IB: the intolerant agreement program. ---
+    Program ib(space, "IB");
+    std::vector<Action> ib2_actions;  // kept for gating below
+    for (int j = 1; j < n; ++j) {
+        const VarId dj = d[static_cast<std::size_t>(j - 1)];
+        const VarId bj = b[static_cast<std::size_t>(j - 1)];
+        const std::string js = std::to_string(j);
+        Predicate hon = honest(bj, js);
+        ib.add_action(Action::assign(
+            *space, "IB1." + js,
+            hon && Predicate::var_eq(*space, "d." + js, kBot), "d." + js,
+            [d_g](const StateSpace& sp, StateIndex s) {
+                return sp.get(s, d_g);
+            }));
+        Action ib2 = Action::assign(
+            *space, "IB2." + js,
+            hon && Predicate::var_ne(*space, "d." + js, kBot) &&
+                Predicate::var_eq(*space, "out." + js, kBot),
+            "out." + js,
+            [dj](const StateSpace& sp, StateIndex s) {
+                return sp.get(s, dj);
+            });
+        ib.add_action(ib2);
+        ib2_actions.push_back(std::move(ib2));
+    }
+
+    // --- Fail-safe: gate each IB2.j with the witness of DB.j; masking
+    // additionally adds the corrector actions CB1.j. ---
+    Program failsafe_core(space, "IB+DB");
+    Program masking_core(space, "IB+DB+CB");
+    for (int j = 1; j < n; ++j) {
+        const VarId dj = d[static_cast<std::size_t>(j - 1)];
+        const VarId bj = b[static_cast<std::size_t>(j - 1)];
+        const std::string js = std::to_string(j);
+        Predicate hon = honest(bj, js);
+        Predicate w = witness_pred(d, dj, j);
+
+        // IB1.j is part of DB.j's implementation (it establishes
+        // d.k != bot at the neighbours); it stays as-is.
+        failsafe_core.add_action(ib.action_named("IB1." + js));
+        masking_core.add_action(ib.action_named("IB1." + js));
+
+        Action gated =
+            ib2_actions[static_cast<std::size_t>(j - 1)].restricted(w);
+        failsafe_core.add_action(gated);
+        masking_core.add_action(gated);
+
+        // CB1.j :: all d non-bot /\ d.j != majority --> d.j := majority.
+        const auto dvars = d;
+        Predicate cb_guard(
+            "cb-guard." + js,
+            [dvars, dj](const StateSpace& sp, StateIndex s) {
+                for (VarId v : dvars)
+                    if (sp.get(s, v) == kBot) return false;
+                return sp.get(s, dj) != majority_or_default(sp, s, dvars);
+            });
+        masking_core.add_action(Action::assign(
+            *space, "CB1." + js, hon && cb_guard, "d." + js,
+            [dvars](const StateSpace& sp, StateIndex s) {
+                return majority_or_default(sp, s, dvars);
+            }));
+    }
+
+    Program intolerant = parallel(ib, byz).renamed("IB||BYZ");
+    Program failsafe = parallel(failsafe_core, byz).renamed("DB;IB||BYZ");
+    Program masking = parallel(masking_core, byz).renamed("DB;IB||CB||BYZ");
+
+    // --- Fault: flip some b flag, at most f flips in total. ---
+    std::vector<VarId> all_b = b;
+    all_b.push_back(b_g);
+    Predicate under_budget(
+        "byz-count<" + std::to_string(f),
+        [all_b, f](const StateSpace& sp, StateIndex s) {
+            int count = 0;
+            for (VarId v : all_b) count += static_cast<int>(sp.get(s, v));
+            return count < f;
+        });
+    FaultClass fault(space, "byzantine-fault(f=" + std::to_string(f) + ")");
+    fault.add_action(Action::assign_const(
+        *space, "BYZ-flip.g", under_budget && honest(b_g, "g"), "b.g", 1));
+    for (int j = 1; j < n; ++j) {
+        const std::string js = std::to_string(j);
+        fault.add_action(Action::assign_const(
+            *space, "BYZ-flip." + js,
+            under_budget && honest(b[static_cast<std::size_t>(j - 1)], js),
+            "b." + js, 1));
+    }
+
+    // --- SPEC_byz. ---
+    Predicate no_byzantine(
+        "no-byzantine", [all_b](const StateSpace& sp, StateIndex s) {
+            for (VarId v : all_b)
+                if (sp.get(s, v) != 0) return false;
+            return true;
+        });
+    const auto outv = out;
+    const auto bv = b;
+    Predicate all_honest_output(
+        "all-honest-output", [outv, bv](const StateSpace& sp, StateIndex s) {
+            for (std::size_t i = 0; i < outv.size(); ++i)
+                if (sp.get(s, bv[i]) == 0 && sp.get(s, outv[i]) == kBot)
+                    return false;
+            return true;
+        });
+
+    SafetySpec safety(
+        "byz-safety(validity&&agreement&&finality)", Predicate::bottom(),
+        [outv, bv, d_g, b_g](const StateSpace& sp, StateIndex from,
+                             StateIndex to) {
+            for (std::size_t i = 0; i < outv.size(); ++i) {
+                if (sp.get(from, bv[i]) != 0) continue;  // Byzantine: exempt
+                const Value before = sp.get(from, outv[i]);
+                const Value after = sp.get(to, outv[i]);
+                if (after == before) continue;
+                // finality: a non-Byzantine output, once set, never changes.
+                if (before != kBot) return true;
+                // validity: with an honest general, only d.g may be output.
+                if (sp.get(from, b_g) == 0 && after != sp.get(from, d_g))
+                    return true;
+                // agreement: never differ from another honest output.
+                for (std::size_t k = 0; k < outv.size(); ++k) {
+                    if (k == i || sp.get(from, bv[k]) != 0) continue;
+                    const Value other = sp.get(from, outv[k]);
+                    if (other != kBot && other != after) return true;
+                }
+            }
+            return false;
+        });
+    LivenessSpec live;
+    live.add_eventually(all_honest_output);
+    ProblemSpec spec("SPEC_byz", std::move(safety), std::move(live));
+
+    return ByzantineSystem{space,
+                           n,
+                           f,
+                           std::move(intolerant),
+                           std::move(failsafe),
+                           std::move(masking),
+                           std::move(fault),
+                           std::move(spec),
+                           std::move(no_byzantine),
+                           std::move(all_honest_output),
+                           d_g,
+                           b_g,
+                           std::move(d),
+                           std::move(out),
+                           std::move(b)};
+}
+
+}  // namespace dcft::apps

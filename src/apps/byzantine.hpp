@@ -1,0 +1,72 @@
+// Byzantine agreement (Section 6.2 of the paper), for n processes (one
+// general g plus n-1 non-generals) of which at most f may become
+// Byzantine. The paper works out n=4, f=1; the construction generalizes to
+// n = 3f+1 as the paper notes (citing its companion FSTTCS'97 paper).
+//
+// Per non-general j:
+//   d.j   in {bot,0,1} — j's copy of the general's decision
+//   out.j in {bot,0,1} — j's output (bot = not yet output)
+//   b.j   in {0,1}     — j is Byzantine (auxiliary, undetectable)
+// General: d.g in {0,1}, b.g in {0,1}.
+//
+// Programs (all actions of process j are guarded by !b.j):
+//   IB1.j :: d.j = bot --> d.j := d.g
+//   IB2.j :: d.j != bot /\ out.j = bot --> out.j := d.j      (intolerant)
+//   DB.j ; IB2.j — IB2.j gated by the detector witness
+//     W.j = (forall k != g : d.k != bot) /\ d.j = (majority k != g : d.k)
+//                                                            (fail-safe)
+//   CB1.j :: (forall k != g : d.k != bot) /\ d.j != majority
+//            --> d.j := majority                              (masking)
+//
+// Byzantine *behaviour* is part of the composition (the paper's BYZ.j):
+// when b.j holds, j may arbitrarily rewrite d.j (to 0/1 — a decision,
+// never back to bot) and out.j (to anything). The Byzantine *fault* is the
+// action that flips b.j from false to true; at most f such flips.
+//
+// SPEC_byz:
+//   validity  — if !b.g, a non-Byzantine j only outputs d.g;
+//   agreement — two non-Byzantine processes never output differently;
+//   finality  — a non-Byzantine output is never revoked or changed;
+//   liveness  — eventually every non-Byzantine non-general has output.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gc/composition.hpp"
+#include "gc/program.hpp"
+#include "spec/problem_spec.hpp"
+
+namespace dcft::apps {
+
+struct ByzantineSystem {
+    std::shared_ptr<const StateSpace> space;
+    int num_processes;  ///< n, including the general
+    int max_byzantine;  ///< f
+
+    Program intolerant;  ///< IB || BYZ
+    Program failsafe;    ///< with DB.j gating IB2.j
+    Program masking;     ///< plus CB.j
+    FaultClass byzantine_fault;
+
+    ProblemSpec spec;
+
+    /// Witness predicate W.j of process j's detector (1-based non-general).
+    Predicate witness(int j) const;
+    /// Detection predicate of process j: d.j = corrdecn (Section 6.2).
+    Predicate detection(int j) const;
+
+    Predicate no_byzantine;       ///< forall p: !b.p
+    Predicate all_honest_output;  ///< forall j != g: b.j \/ out.j != bot
+
+    VarId d_g, b_g;
+    std::vector<VarId> d, out, b;  ///< per non-general, index 0 = process 1
+
+    /// Initial state: d.g = decision, everything else bot/false.
+    StateIndex initial_state(Value general_decision) const;
+};
+
+/// Builds the system; n = total processes (>= 3f+1 for masking to hold).
+ByzantineSystem make_byzantine(int n = 4, int f = 1);
+
+}  // namespace dcft::apps

@@ -1,0 +1,59 @@
+// Distributed reset — on the paper's application list (Sections 1 and 7;
+// the authors' own multitolerant reset is reference [10]). A reset wave
+// propagates a fresh session number down a tree; a completion detector at
+// the root witnesses "the wave has reached everyone" before the next wave
+// may start. The detection predicate ("all sessions equal") is *not*
+// closed — starting the next wave falsifies it — which is precisely the
+// generalized detector shape the Remark in Section 3.1 introduces.
+//
+// Model. A tree rooted at 0 (parent[i] < i), sessions mod 3:
+//   sn.i in {0,1,2} — process i's session number
+//   wc   in {0,1}   — the root's completion witness
+//   req  in {0,1}   — a reset has been requested
+//
+//   request   :: !req                  --> req := 1      (environment)
+//   start.0   :: req /\ wc             --> sn.0 := sn.0+1 mod 3 ;
+//                                          wc := 0 ; req := 0
+//   adopt.i   :: sn.i != sn.parent(i)  --> sn.i := sn.parent(i)
+//   complete.0:: all-equal /\ !wc      --> wc := 1
+//
+// SPEC_reset safety: a new wave never starts before the previous wave
+// completed, and the witness never lies (wc => all sessions equal).
+// Liveness: every request is eventually followed by a completed wave.
+//
+// Transient faults corrupt session numbers arbitrarily; the wave machinery
+// doubles as a nonmasking corrector that re-converges to agreement.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gc/program.hpp"
+#include "spec/problem_spec.hpp"
+
+namespace dcft::apps {
+
+struct DistributedResetSystem {
+    std::shared_ptr<const StateSpace> space;
+    std::vector<int> parent;
+
+    Program system;
+    FaultClass corrupt_sessions;
+
+    ProblemSpec spec;
+
+    Predicate all_equal;       ///< X of the completion detector
+    Predicate witness;         ///< Z: wc
+    Predicate wave_complete;   ///< wc /\ !req (a served request)
+    Predicate legitimate;      ///< all_equal /\ (wc => all_equal)
+
+    StateIndex initial_state() const;  ///< all sessions 0, wc 1, req 0
+
+    std::vector<VarId> sn;
+    VarId wc_var, req_var;
+};
+
+/// parent[0] must be 0, parent[i] < i.
+DistributedResetSystem make_distributed_reset(std::vector<int> parent);
+
+}  // namespace dcft::apps

@@ -1,0 +1,179 @@
+#include "apps/leader_election.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace dcft::apps {
+namespace {
+
+std::vector<std::vector<int>> children_of(const std::vector<int>& parent) {
+    std::vector<std::vector<int>> children(parent.size());
+    for (std::size_t i = 1; i < parent.size(); ++i)
+        children[static_cast<std::size_t>(parent[i])].push_back(
+            static_cast<int>(i));
+    return children;
+}
+
+/// The value node i's aggregation rule assigns right now.
+Value agg_target(const StateSpace& sp, StateIndex s,
+                 const std::vector<VarId>& agg,
+                 const std::vector<int>& children, Value own_id) {
+    Value best = own_id;
+    for (int c : children)
+        best = std::max(best, sp.get(s, agg[static_cast<std::size_t>(c)]));
+    return best;
+}
+
+/// True subtree maxima. Because parent[i] < i, a single reverse sweep
+/// folds every node into its parent after its own subtree is complete.
+std::vector<Value> subtree_maxima(const std::vector<int>& parent,
+                                  const std::vector<Value>& id) {
+    std::vector<Value> maxima = id;
+    for (std::size_t i = parent.size(); i-- > 1;)
+        maxima[static_cast<std::size_t>(parent[i])] = std::max(
+            maxima[static_cast<std::size_t>(parent[i])], maxima[i]);
+    return maxima;
+}
+
+}  // namespace
+
+StateIndex LeaderElectionSystem::legitimate_state() const {
+    const std::vector<Value> maxima = subtree_maxima(parent, id);
+    StateIndex s = 0;
+    for (std::size_t i = 0; i < agg.size(); ++i) {
+        s = space->set(s, agg[i], maxima[i]);
+        s = space->set(s, ldr[i], true_leader);
+    }
+    return s;
+}
+
+LeaderElectionSystem make_leader_election(std::vector<int> parent,
+                                          std::vector<Value> id) {
+    const int n = static_cast<int>(parent.size());
+    DCFT_EXPECTS(n >= 2, "need at least 2 nodes");
+    DCFT_EXPECTS(parent[0] == 0, "node 0 must be the root");
+    for (int i = 1; i < n; ++i)
+        DCFT_EXPECTS(parent[static_cast<std::size_t>(i)] >= 0 &&
+                         parent[static_cast<std::size_t>(i)] < i,
+                     "parent[] must define a tree (parent[i] < i)");
+    if (id.empty()) {
+        id.resize(static_cast<std::size_t>(n));
+        std::iota(id.begin(), id.end(), Value{0});
+    }
+    DCFT_EXPECTS(static_cast<int>(id.size()) == n, "one id per node");
+
+    auto builder = std::make_shared<StateSpace>();
+    std::vector<VarId> agg, ldr;
+    for (int i = 0; i < n; ++i)
+        agg.push_back(builder->add_variable("agg." + std::to_string(i), n));
+    for (int i = 0; i < n; ++i)
+        ldr.push_back(builder->add_variable("ldr." + std::to_string(i), n));
+    builder->freeze();
+    std::shared_ptr<const StateSpace> space = builder;
+
+    const auto children = children_of(parent);
+    const std::vector<Value> maxima = subtree_maxima(parent, id);
+    const Value leader = maxima[0];
+
+    Program program(space, "leader-election(n=" + std::to_string(n) + ")");
+    for (int i = 0; i < n; ++i) {
+        const auto kids = children[static_cast<std::size_t>(i)];
+        const VarId ai = agg[static_cast<std::size_t>(i)];
+        const Value own = id[static_cast<std::size_t>(i)];
+        const auto aggv = agg;
+        program.add_action(Action::assign(
+            *space, "agg." + std::to_string(i),
+            Predicate("agg-stale." + std::to_string(i),
+                      [aggv, kids, ai, own](const StateSpace& sp,
+                                            StateIndex s) {
+                          return sp.get(s, ai) !=
+                                 agg_target(sp, s, aggv, kids, own);
+                      }),
+            "agg." + std::to_string(i),
+            [aggv, kids, own](const StateSpace& sp, StateIndex s) {
+                return agg_target(sp, s, aggv, kids, own);
+            }));
+    }
+    {
+        const VarId l0 = ldr[0], a0 = agg[0];
+        program.add_action(Action::assign(
+            *space, "ldr.0",
+            Predicate("ldr-stale.0",
+                      [l0, a0](const StateSpace& sp, StateIndex s) {
+                          return sp.get(s, l0) != sp.get(s, a0);
+                      }),
+            "ldr.0",
+            [a0](const StateSpace& sp, StateIndex s) {
+                return sp.get(s, a0);
+            }));
+    }
+    for (int i = 1; i < n; ++i) {
+        const VarId li = ldr[static_cast<std::size_t>(i)];
+        const VarId lp = ldr[static_cast<std::size_t>(
+            parent[static_cast<std::size_t>(i)])];
+        program.add_action(Action::assign(
+            *space, "ldr." + std::to_string(i),
+            Predicate("ldr-stale." + std::to_string(i),
+                      [li, lp](const StateSpace& sp, StateIndex s) {
+                          return sp.get(s, li) != sp.get(s, lp);
+                      }),
+            "ldr." + std::to_string(i),
+            [lp](const StateSpace& sp, StateIndex s) {
+                return sp.get(s, lp);
+            }));
+    }
+
+    FaultClass fault(space, "corrupt-election-state");
+    {
+        std::vector<VarId> all = agg;
+        all.insert(all.end(), ldr.begin(), ldr.end());
+        fault.add_action(Action::nondet(
+            "corrupt", Predicate::top(),
+            [all, n](const StateSpace& sp, StateIndex s,
+                     std::vector<StateIndex>& out) {
+                for (VarId v : all) {
+                    const Value cur = sp.get(s, v);
+                    for (Value c = 0; c < n; ++c)
+                        if (c != cur) out.push_back(sp.set(s, v, c));
+                }
+            }));
+    }
+
+    Predicate aggregation_correct(
+        "aggregation-correct",
+        [agg, maxima](const StateSpace& sp, StateIndex s) {
+            for (std::size_t i = 0; i < agg.size(); ++i)
+                if (sp.get(s, agg[i]) != maxima[i]) return false;
+            return true;
+        });
+    Predicate leader_agreed(
+        "leader-agreed", [ldr, leader](const StateSpace& sp, StateIndex s) {
+            for (VarId v : ldr)
+                if (sp.get(s, v) != leader) return false;
+            return true;
+        });
+    Predicate legitimate =
+        (aggregation_correct && leader_agreed).renamed("election-legitimate");
+
+    SafetySpec safety = SafetySpec::closure(legitimate);
+    LivenessSpec live;
+    live.add_eventually(legitimate);
+    ProblemSpec spec("SPEC_election", std::move(safety), std::move(live));
+
+    return LeaderElectionSystem{space,
+                                std::move(parent),
+                                std::move(id),
+                                std::move(program),
+                                std::move(fault),
+                                std::move(spec),
+                                std::move(legitimate),
+                                std::move(aggregation_correct),
+                                std::move(leader_agreed),
+                                leader,
+                                std::move(agg),
+                                std::move(ldr)};
+}
+
+}  // namespace dcft::apps

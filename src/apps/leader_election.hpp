@@ -1,0 +1,54 @@
+// Self-stabilizing leader election on a rooted tree — another application
+// from the paper's list (Sections 1 and 7), built compositionally from two
+// correctors layered the way the paper's hierarchical constructions work:
+// an aggregation corrector that computes the maximum id bottom-up, and a
+// broadcast corrector that propagates the elected id top-down. The second
+// corrector's correction predicate depends on the first one's — the
+// "corrector hierarchy" shape.
+//
+// Model. A tree on n nodes (parent[0] == 0 marks the root); node i has a
+// distinct id (a permutation of 0..n-1).
+//   agg.i in {0..n-1} : max id seen in i's subtree
+//   ldr.i in {0..n-1} : i's view of the leader
+//   agg.i :: agg.i != max(id.i, max agg.c : c child of i) --> fix it
+//   ldr.0 :: ldr.0 != agg.0                               --> ldr.0 := agg.0
+//   ldr.i :: ldr.i != ldr.parent(i)                       --> copy parent
+//
+// Legitimate: every agg.i is the true subtree maximum and every ldr.i is
+// the global maximum id.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gc/program.hpp"
+#include "spec/problem_spec.hpp"
+
+namespace dcft::apps {
+
+struct LeaderElectionSystem {
+    std::shared_ptr<const StateSpace> space;
+    std::vector<int> parent;  ///< parent[i]; parent[0] == 0 (root)
+    std::vector<Value> id;    ///< distinct ids, a permutation of 0..n-1
+
+    Program program;
+    FaultClass corrupt_any;  ///< corrupts any agg.i / ldr.i
+
+    ProblemSpec spec;
+    Predicate legitimate;
+    Predicate aggregation_correct;  ///< X of the first corrector
+    Predicate leader_agreed;        ///< X of the second corrector
+
+    Value true_leader;  ///< max id
+
+    StateIndex legitimate_state() const;
+
+    std::vector<VarId> agg, ldr;
+};
+
+/// Builds the system. `parent` must describe a tree rooted at 0; `id` must
+/// be a permutation of 0..n-1 (empty = identity).
+LeaderElectionSystem make_leader_election(std::vector<int> parent,
+                                          std::vector<Value> id = {});
+
+}  // namespace dcft::apps

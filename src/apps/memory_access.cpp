@@ -1,0 +1,115 @@
+#include "apps/memory_access.hpp"
+
+#include "common/check.hpp"
+
+namespace dcft::apps {
+
+StateIndex MemoryAccessSystem::initial_state() const {
+    StateIndex s = 0;
+    s = space->set(s, present_var, 1);
+    s = space->set(s, data_var, bottom);
+    s = space->set(s, z1_var, 0);
+    return s;
+}
+
+MemoryAccessSystem make_memory_access(Value data_domain, Value correct_value) {
+    DCFT_EXPECTS(data_domain >= 2, "need at least two data values");
+    DCFT_EXPECTS(correct_value >= 0 && correct_value < data_domain,
+                 "correct value out of domain");
+
+    auto space_builder = std::make_shared<StateSpace>();
+    const VarId present = space_builder->add_variable("present", 2);
+    const VarId data = space_builder->add_variable("data", data_domain + 1);
+    const VarId z1 = space_builder->add_variable("z1", 2);
+    space_builder->freeze();
+    std::shared_ptr<const StateSpace> space = space_builder;
+
+    const Value bottom = data_domain;  // last value of `data` is bot
+    const Value v = correct_value;
+
+    const Predicate x1 =
+        Predicate::var_eq(*space, "present", 1).renamed("X1(present)");
+    const Predicate z1_pred =
+        Predicate::var_eq(*space, "z1", 1).renamed("Z1");
+    const Predicate u1 = (implies(z1_pred, x1)).renamed("U1(z1=>present)");
+    const Predicate s_inv = (u1 && x1).renamed("S(U1&&X1)");
+
+    // read :: true --> data := (present ? V : arbitrary)
+    Action read = Action::nondet(
+        "read", Predicate::top(),
+        [present, data, v, data_domain](const StateSpace& sp, StateIndex st,
+                                        std::vector<StateIndex>& out) {
+            if (sp.get(st, present) == 1) {
+                out.push_back(sp.set(st, data, v));
+            } else {
+                for (Value c = 0; c < data_domain; ++c)
+                    out.push_back(sp.set(st, data, c));
+            }
+        });
+
+    Program p(space, space->varset({"present", "data"}), "p");
+    p.add_action(read);
+
+    // Detector D1: pf1 :: present /\ !z1 --> z1 := true.
+    Program detector(space, space->varset({"present", "z1"}), "D1");
+    detector.add_action(Action::assign_const(
+        *space, "pf1", x1 && !z1_pred, "z1", 1));
+
+    // pf = D1 ;_Z1 p  (Figure 1).
+    Program pf = sequence(detector, z1_pred, p).renamed("pf");
+
+    // Corrector C1: pn1 :: !present --> present := true (re-fetch <addr,->).
+    Program corrector(space, space->varset({"present"}), "C1");
+    corrector.add_action(Action::assign_const(
+        *space, "pn1", !x1, "present", 1));
+
+    // pn = C1 || p  (Figure 2).
+    Program pn = parallel(corrector, p).renamed("pn");
+
+    // pm = C1 || (D1 ;_Z1 p)  (Figure 3): pm1 = pn1, pm2 = pf1, pm3 = pf2.
+    Program pm = parallel(corrector, pf).renamed("pm");
+
+    // Page fault: removes <addr, val>, but only "initially" — before the
+    // detector has witnessed presence (see header comment).
+    FaultClass fault(space, "page-fault");
+    fault.add_action(Action::assign_const(*space, "page-fault",
+                                          x1 && !z1_pred, "present", 0));
+
+    FaultClass unrestricted(space, "unrestricted-page-fault");
+    unrestricted.add_action(
+        Action::assign_const(*space, "page-fault-any", x1, "present", 0));
+
+    // SPEC_mem: never set data to a value other than V; eventually data = V.
+    const Predicate data_correct =
+        Predicate::var_eq(*space, "data", v).renamed("data==V");
+    SafetySpec never_wrong(
+        "never-set-data-incorrectly", Predicate::bottom(),
+        [data, v](const StateSpace& sp, StateIndex from, StateIndex to) {
+            const Value before = sp.get(from, data);
+            const Value after = sp.get(to, data);
+            return after != before && after != v;
+        });
+    LivenessSpec live;
+    live.add_eventually(data_correct);
+    ProblemSpec spec("SPEC_mem", std::move(never_wrong), std::move(live));
+
+    return MemoryAccessSystem{space,
+                              std::move(p),
+                              std::move(pf),
+                              std::move(pn),
+                              std::move(pm),
+                              std::move(fault),
+                              std::move(unrestricted),
+                              std::move(spec),
+                              x1,
+                              z1_pred,
+                              u1,
+                              s_inv,
+                              v,
+                              bottom,
+                              present,
+                              data,
+                              z1};
+}
+
+}  // namespace dcft::apps

@@ -1,0 +1,85 @@
+// The paper's running example (Sections 3.3, 4.3, 5.1; Figures 1-3):
+// memory access under page faults.
+//
+// Model. One address `addr` is read. MEM either contains <addr, val> or
+// not; since faults only remove the pair (and recovery re-fetches the
+// correct value from "disk"), the stored value is always the distinguished
+// correct value V, so the state needs only:
+//
+//   present in {false,true} — <addr, .> in MEM;
+//   data    in {bot, 0..D-1} — the output; bot = "not yet assigned";
+//   z1      in {false,true} — the detector's witness (Z1 in the paper).
+//
+// The intolerant read returns V when present, an arbitrary value when not
+// (the paper: "returns an arbitrary value").
+//
+// SPEC_mem: data is never set to an incorrect value (safety), and data is
+// eventually set to V (liveness).
+//
+// Fault: a page fault removes <addr, val>. The paper says the pair is
+// "initially removed"; we model "initially" as "before the detector has
+// witnessed presence" (guard present /\ !z1). This is the weakest guard
+// under which the paper's fail-safe claim for pf holds — with an
+// unrestricted page fault, the fault can strike between detection (Z1) and
+// the gated read, and pf then violates safety; the test suite demonstrates
+// exactly that failure.
+//
+// Programs:
+//   p  (intolerant)  read :: true -> data := (present ? V : arbitrary)
+//   pf (fail-safe)   pf1  :: present /\ !z1 -> z1 := true
+//                    pf2  :: z1 /\ read                       (Figure 1)
+//   pn (nonmasking)  pn1  :: !present -> present := true
+//                    pn2  :: read                             (Figure 2)
+//   pm (masking)     pm1  :: !present -> present := true
+//                    pm2  :: present /\ !z1 -> z1 := true
+//                    pm3  :: z1 /\ read                       (Figure 3)
+//
+// Named predicates: X1 = present (detection predicate), Z1 = z1 (witness),
+// U1 = (z1 => present) ("Z1 truthified only when X1 holds"), S = U1 /\ X1.
+#pragma once
+
+#include <memory>
+
+#include "gc/composition.hpp"
+#include "gc/program.hpp"
+#include "spec/problem_spec.hpp"
+
+namespace dcft::apps {
+
+struct MemoryAccessSystem {
+    std::shared_ptr<const StateSpace> space;
+
+    Program intolerant;  ///< p
+    Program failsafe;    ///< pf
+    Program nonmasking;  ///< pn
+    Program masking;     ///< pm
+    FaultClass page_fault;
+
+    /// An unrestricted page fault (can strike even after detection);
+    /// pf is *not* fail-safe tolerant to it — used by negative tests.
+    FaultClass unrestricted_page_fault;
+
+    ProblemSpec spec;  ///< SPEC_mem
+
+    Predicate X1;  ///< detection predicate: present
+    Predicate Z1;  ///< witness: z1
+    Predicate U1;  ///< z1 => present
+    Predicate S;   ///< invariant: U1 /\ X1
+
+    Value correct_value;  ///< V
+    Value bottom;         ///< the "data unassigned" value
+
+    VarId present_var;
+    VarId data_var;
+    VarId z1_var;
+
+    /// The canonical initial state: present, data = bot, z1 = false.
+    StateIndex initial_state() const;
+};
+
+/// Builds the system with data values {0..data_domain-1}; the correct value
+/// V must be one of them.
+MemoryAccessSystem make_memory_access(Value data_domain = 3,
+                                      Value correct_value = 1);
+
+}  // namespace dcft::apps

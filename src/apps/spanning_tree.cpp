@@ -1,0 +1,178 @@
+#include "apps/spanning_tree.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.hpp"
+
+namespace dcft::apps {
+namespace {
+
+std::vector<Value> bfs_distances(const Graph& g) {
+    std::vector<Value> dist(g.size(), -1);
+    std::deque<int> queue{0};
+    dist[0] = 0;
+    while (!queue.empty()) {
+        const int u = queue.front();
+        queue.pop_front();
+        for (int v : g[static_cast<std::size_t>(u)]) {
+            if (dist[static_cast<std::size_t>(v)] == -1) {
+                dist[static_cast<std::size_t>(v)] =
+                    dist[static_cast<std::size_t>(u)] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    return dist;
+}
+
+/// The value node i's rule assigns: min over neighbours + 1, capped.
+Value local_target(const StateSpace& sp, StateIndex s,
+                   const std::vector<VarId>& dist,
+                   const std::vector<int>& neighbours, Value cap) {
+    Value best = cap;
+    for (int j : neighbours)
+        best = std::min(best, sp.get(s, dist[static_cast<std::size_t>(j)]));
+    return std::min<Value>(best + 1, cap);
+}
+
+}  // namespace
+
+Graph path_graph(int n) {
+    Graph g(static_cast<std::size_t>(n));
+    for (int i = 0; i + 1 < n; ++i) {
+        g[static_cast<std::size_t>(i)].push_back(i + 1);
+        g[static_cast<std::size_t>(i + 1)].push_back(i);
+    }
+    return g;
+}
+
+Graph cycle_graph(int n) {
+    Graph g = path_graph(n);
+    if (n >= 3) {
+        g[0].push_back(n - 1);
+        g[static_cast<std::size_t>(n - 1)].push_back(0);
+    }
+    return g;
+}
+
+Graph star_graph(int n) {
+    Graph g(static_cast<std::size_t>(n));
+    for (int i = 1; i < n; ++i) {
+        g[0].push_back(i);
+        g[static_cast<std::size_t>(i)].push_back(0);
+    }
+    return g;
+}
+
+Predicate SpanningTreeSystem::locally_consistent(int i) const {
+    DCFT_EXPECTS(i >= 0 && i < static_cast<int>(graph.size()),
+                 "locally_consistent: bad node");
+    const auto distv = dist;
+    const Value cap = static_cast<Value>(graph.size());
+    if (i == 0) {
+        const VarId d0 = dist[0];
+        return Predicate("consistent.0",
+                         [d0](const StateSpace& sp, StateIndex s) {
+                             return sp.get(s, d0) == 0;
+                         });
+    }
+    const auto neighbours = graph[static_cast<std::size_t>(i)];
+    const VarId di = dist[static_cast<std::size_t>(i)];
+    return Predicate(
+        "consistent." + std::to_string(i),
+        [distv, neighbours, di, cap](const StateSpace& sp, StateIndex s) {
+            return sp.get(s, di) ==
+                   local_target(sp, s, distv, neighbours, cap);
+        });
+}
+
+StateIndex SpanningTreeSystem::legitimate_state() const {
+    StateIndex s = 0;
+    for (std::size_t i = 0; i < dist.size(); ++i)
+        s = space->set(s, dist[i], true_distances[i]);
+    return s;
+}
+
+SpanningTreeSystem make_spanning_tree(Graph graph) {
+    const int n = static_cast<int>(graph.size());
+    DCFT_EXPECTS(n >= 2, "need at least 2 nodes");
+    const std::vector<Value> truth = bfs_distances(graph);
+    for (Value d : truth)
+        DCFT_EXPECTS(d >= 0, "graph must be connected");
+
+    auto builder = std::make_shared<StateSpace>();
+    std::vector<VarId> dist;
+    for (int i = 0; i < n; ++i)
+        dist.push_back(builder->add_variable("dist." + std::to_string(i),
+                                             static_cast<Value>(n) + 1));
+    builder->freeze();
+    std::shared_ptr<const StateSpace> space = builder;
+    const Value cap = static_cast<Value>(n);
+
+    Program program(space, "bfs-tree(n=" + std::to_string(n) + ")");
+    {
+        const VarId d0 = dist[0];
+        program.add_action(Action::assign_const(
+            *space, "fix.0",
+            Predicate("dist.0!=0",
+                      [d0](const StateSpace& sp, StateIndex s) {
+                          return sp.get(s, d0) != 0;
+                      }),
+            "dist.0", 0));
+    }
+    for (int i = 1; i < n; ++i) {
+        const auto neighbours = graph[static_cast<std::size_t>(i)];
+        const VarId di = dist[static_cast<std::size_t>(i)];
+        const auto distv = dist;
+        program.add_action(Action::assign(
+            *space, "fix." + std::to_string(i),
+            Predicate("inconsistent." + std::to_string(i),
+                      [distv, neighbours, di, cap](const StateSpace& sp,
+                                                   StateIndex s) {
+                          return sp.get(s, di) !=
+                                 local_target(sp, s, distv, neighbours, cap);
+                      }),
+            "dist." + std::to_string(i),
+            [distv, neighbours, cap](const StateSpace& sp, StateIndex s) {
+                return local_target(sp, s, distv, neighbours, cap);
+            }));
+    }
+
+    FaultClass fault(space, "corrupt-distance");
+    fault.add_action(Action::nondet(
+        "corrupt", Predicate::top(),
+        [dist, n](const StateSpace& sp, StateIndex s,
+                  std::vector<StateIndex>& out) {
+            for (VarId v : dist) {
+                const Value cur = sp.get(s, v);
+                for (Value c = 0; c <= n; ++c)
+                    if (c != cur) out.push_back(sp.set(s, v, c));
+            }
+        }));
+
+    Predicate legitimate(
+        "distances-correct",
+        [dist, truth](const StateSpace& sp, StateIndex s) {
+            for (std::size_t i = 0; i < dist.size(); ++i)
+                if (sp.get(s, dist[i]) != truth[i]) return false;
+            return true;
+        });
+
+    // SPEC: once legitimate, stay legitimate; from anywhere, converge.
+    SafetySpec safety = SafetySpec::closure(legitimate);
+    LivenessSpec live;
+    live.add_eventually(legitimate);
+    ProblemSpec spec("SPEC_tree", std::move(safety), std::move(live));
+
+    return SpanningTreeSystem{space,
+                              std::move(graph),
+                              std::move(program),
+                              std::move(fault),
+                              std::move(spec),
+                              std::move(legitimate),
+                              truth,
+                              std::move(dist)};
+}
+
+}  // namespace dcft::apps

@@ -1,0 +1,58 @@
+// Self-stabilizing BFS spanning-tree maintenance — one of the applications
+// the paper lists for its design method ("tree maintenance", Sections 1
+// and 7). Built here as a pure corrector system: each process maintains a
+// distance estimate; local correction actions drive the estimates to the
+// true BFS distances from the root, from any transiently corrupted state.
+//
+// Model. An undirected connected graph on n nodes, root 0.
+//   dist.i in {0..n} (n doubles as "unreachable/overflow").
+//   root   :: dist.0 != 0 --> dist.0 := 0
+//   node i :: dist.i != min(dist.j : j in nbr(i)) + 1
+//             --> dist.i := min(...) + 1   (capped at n)
+//
+// Legitimate states: dist.i equals the BFS distance of i. The local
+// consistency predicate of node i is the *detection predicate* a detector
+// on i would watch; the whole program is a corrector with
+// Z = X = "all distances correct".
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gc/program.hpp"
+#include "spec/problem_spec.hpp"
+
+namespace dcft::apps {
+
+/// Undirected graph as adjacency lists; must be connected.
+using Graph = std::vector<std::vector<int>>;
+
+/// Convenience constructors for common topologies.
+Graph path_graph(int n);
+Graph cycle_graph(int n);
+Graph star_graph(int n);
+
+struct SpanningTreeSystem {
+    std::shared_ptr<const StateSpace> space;
+    Graph graph;
+
+    Program program;
+    FaultClass corrupt_any;  ///< sets any dist.i to any value
+
+    ProblemSpec spec;      ///< cl(legitimate) + convergence to it
+    Predicate legitimate;  ///< all dist.i equal the true BFS distance
+
+    /// Node i is locally consistent (its action is disabled).
+    Predicate locally_consistent(int i) const;
+
+    /// The true BFS distances the system must converge to.
+    std::vector<Value> true_distances;
+
+    StateIndex legitimate_state() const;
+
+    std::vector<VarId> dist;
+};
+
+SpanningTreeSystem make_spanning_tree(Graph graph);
+
+}  // namespace dcft::apps

@@ -1,0 +1,179 @@
+#include "apps/termination_detection.hpp"
+
+#include "common/check.hpp"
+
+namespace dcft::apps {
+namespace {
+
+constexpr Value kWhite = 0;
+constexpr Value kBlack = 1;
+
+}  // namespace
+
+StateIndex TerminationDetectionSystem::initial_state(
+    std::vector<bool> active) const {
+    DCFT_EXPECTS(static_cast<int>(active.size()) == n,
+                 "one activity flag per process");
+    StateIndex s = 0;
+    for (int i = 0; i < n; ++i) {
+        s = space->set(s, active_var[static_cast<std::size_t>(i)],
+                       active[static_cast<std::size_t>(i)] ? 1 : 0);
+        s = space->set(s, colour_var[static_cast<std::size_t>(i)], kBlack);
+    }
+    s = space->set(s, token_var, 0);
+    s = space->set(s, tcolour_var, kBlack);
+    s = space->set(s, done_var, 0);
+    return s;
+}
+
+TerminationDetectionSystem make_termination_detection(int n) {
+    DCFT_EXPECTS(n >= 2, "need at least two processes");
+
+    auto builder = std::make_shared<StateSpace>();
+    std::vector<VarId> active, colour;
+    for (int i = 0; i < n; ++i)
+        active.push_back(
+            builder->add_variable("active." + std::to_string(i), 2));
+    for (int i = 0; i < n; ++i)
+        colour.push_back(builder->add_variable(
+            "colour." + std::to_string(i), {"white", "black"}));
+    const VarId token = builder->add_variable("token", n);
+    const VarId tcolour =
+        builder->add_variable("tcolour", {"white", "black"});
+    const VarId done = builder->add_variable("done", 2);
+    builder->freeze();
+    std::shared_ptr<const StateSpace> space = builder;
+
+    Program system(space, "termination-detection(n=" + std::to_string(n) +
+                              ")");
+
+    // --- The underlying diffusing computation. ---
+    for (int i = 0; i < n; ++i) {
+        const VarId ai = active[static_cast<std::size_t>(i)];
+        const VarId ci = colour[static_cast<std::size_t>(i)];
+        const std::string is = std::to_string(i);
+        const Predicate is_active(
+            "active." + is, [ai](const StateSpace& sp, StateIndex s) {
+                return sp.get(s, ai) == 1;
+            });
+        system.add_action(
+            Action::assign_const(*space, "passify." + is, is_active,
+                                 "active." + is, 0));
+        // Activate any other process; the sender turns black.
+        const auto others = [n, i] {
+            std::vector<int> out;
+            for (int j = 0; j < n; ++j)
+                if (j != i) out.push_back(j);
+            return out;
+        }();
+        const auto activev = active;
+        system.add_action(Action::nondet(
+            "activate." + is, is_active,
+            [activev, ci, others](const StateSpace& sp, StateIndex s,
+                                  std::vector<StateIndex>& out) {
+                for (int j : others) {
+                    StateIndex t = sp.set(
+                        s, activev[static_cast<std::size_t>(j)], 1);
+                    out.push_back(sp.set(t, ci, kBlack));
+                }
+            }));
+    }
+
+    // --- The DFG probe. ---
+    for (int i = 1; i < n; ++i) {
+        const VarId ai = active[static_cast<std::size_t>(i)];
+        const VarId ci = colour[static_cast<std::size_t>(i)];
+        const std::string is = std::to_string(i);
+        const Predicate holds_token_passive(
+            "token@" + is + "&&passive",
+            [token, ai, i](const StateSpace& sp, StateIndex s) {
+                return sp.get(s, token) == i && sp.get(s, ai) == 0;
+            });
+        system.add_action(Action(
+            "pass." + is, holds_token_passive,
+            [token, tcolour, ci, i](const StateSpace& sp, StateIndex s) {
+                StateIndex t = sp.set(s, token, i - 1);
+                if (sp.get(s, ci) == kBlack) t = sp.set(t, tcolour, kBlack);
+                return sp.set(t, ci, kWhite);
+            }));
+    }
+    {
+        const VarId a0 = active[0];
+        const VarId c0 = colour[0];
+        const Predicate at_initiator(
+            "token@0&&passive",
+            [token, a0](const StateSpace& sp, StateIndex s) {
+                return sp.get(s, token) == 0 && sp.get(s, a0) == 0;
+            });
+        const Predicate probe_white(
+            "probe-white", [tcolour, c0](const StateSpace& sp, StateIndex s) {
+                return sp.get(s, tcolour) == kWhite &&
+                       sp.get(s, c0) == kWhite;
+            });
+        const Predicate not_done(
+            "!done", [done](const StateSpace& sp, StateIndex s) {
+                return sp.get(s, done) == 0;
+            });
+        system.add_action(Action::assign_const(
+            *space, "judge.0", at_initiator && probe_white && not_done,
+            "done", 1));
+        system.add_action(Action(
+            "retry.0", at_initiator && !probe_white,
+            [token, tcolour, c0, n](const StateSpace& sp, StateIndex s) {
+                StateIndex t = sp.set(s, token, n - 1);
+                t = sp.set(t, tcolour, kWhite);
+                return sp.set(t, c0, kWhite);
+            }));
+    }
+
+    // --- Fault: the environment re-activates a passive process. ---
+    FaultClass fault(space, "spurious-activation");
+    const Predicate some_passive(
+        "some-passive", [active](const StateSpace& sp, StateIndex s) {
+            for (VarId a : active)
+                if (sp.get(s, a) == 0) return true;
+            return false;
+        });
+    fault.add_action(Action::nondet(
+        "spuriously-activate", some_passive,
+        [active](const StateSpace& sp, StateIndex s,
+                 std::vector<StateIndex>& out) {
+            for (VarId a : active)
+                if (sp.get(s, a) == 0) out.push_back(sp.set(s, a, 1));
+        }));
+
+    Predicate all_passive("all-passive",
+                          [active](const StateSpace& sp, StateIndex s) {
+                              for (VarId a : active)
+                                  if (sp.get(s, a) == 1) return false;
+                              return true;
+                          });
+    Predicate done_pred =
+        Predicate::var_eq(*space, "done", 1).renamed("done");
+
+    Predicate initial(
+        "initial", [token, tcolour, done, colour](const StateSpace& sp,
+                                                  StateIndex s) {
+            if (sp.get(s, token) != 0) return false;
+            if (sp.get(s, tcolour) != kBlack) return false;
+            if (sp.get(s, done) != 0) return false;
+            for (VarId c : colour)
+                if (sp.get(s, c) != kBlack) return false;
+            return true;  // any activity pattern
+        });
+
+    return TerminationDetectionSystem{space,
+                                      n,
+                                      std::move(system),
+                                      std::move(fault),
+                                      std::move(all_passive),
+                                      std::move(done_pred),
+                                      std::move(initial),
+                                      std::move(active),
+                                      std::move(colour),
+                                      token,
+                                      tcolour,
+                                      done};
+}
+
+}  // namespace dcft::apps

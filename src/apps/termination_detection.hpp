@@ -1,0 +1,70 @@
+// Distributed termination detection — on the paper's application list
+// (Sections 1 and 7) and the quintessential *detector*: the detection
+// predicate is "the underlying computation has terminated" (all processes
+// passive — a closed predicate), the witness is the initiator's `done`
+// flag, and the component is the Dijkstra-Feijen-van Gasteren probe ring.
+//
+// Model. n processes on a ring; process 0 is the initiator.
+//   active.i in {0,1}   — the underlying computation's activity
+//   colour.i in {white,black}
+//   token    in {0..n-1} — who holds the probe token
+//   tcolour  in {white,black}
+//   done     in {0,1}    — the witness
+//
+// Underlying computation (any active process may):
+//   passify.i  :: active.i --> active.i := 0
+//   activate.i :: active.i --> active.j := 1 ; colour.i := black  (any j)
+//
+// Probe (conservative DFG variant: any activation blackens the sender):
+//   pass.i (i>0) :: token=i /\ !active.i
+//                   --> token := i-1 ; tcolour |= colour.i ;
+//                       colour.i := white
+//   judge.0      :: token=0 /\ !active.0 /\ tcolour=white AND
+//                   colour.0=white /\ !done --> done := 1
+//   retry.0      :: token=0 /\ !active.0 /\ (tcolour=black \/
+//                   colour.0=black) --> token := n-1 ; tcolour := white ;
+//                       colour.0 := white
+//
+// Detector claim: `done detects all-passive` from the reachable states of
+// the canonical start (token at 0, everything black-free... see
+// initial_state). Safeness is the DFG soundness theorem; Progress is its
+// eventual-detection theorem — both discharged by the model checker here.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gc/program.hpp"
+#include "spec/detects.hpp"
+#include "spec/problem_spec.hpp"
+
+namespace dcft::apps {
+
+struct TerminationDetectionSystem {
+    std::shared_ptr<const StateSpace> space;
+    int n;
+
+    Program system;  ///< computation || probe
+
+    /// A fault that spuriously re-activates a passive process — the
+    /// environment violating the diffusing-computation contract. The
+    /// detector is *not* tolerant to it once `done` is raised (negative
+    /// tests document this).
+    FaultClass spurious_activation;
+
+    Predicate all_passive;  ///< X: the detection predicate
+    Predicate done;         ///< Z: the witness
+
+    /// The canonical initial states: token at 0, token black (forces a
+    /// fresh probe), done false, colours black (no stale trust).
+    Predicate initial;
+
+    StateIndex initial_state(std::vector<bool> active) const;
+
+    std::vector<VarId> active_var, colour_var;
+    VarId token_var, tcolour_var, done_var;
+};
+
+TerminationDetectionSystem make_termination_detection(int n);
+
+}  // namespace dcft::apps

@@ -1,0 +1,58 @@
+// Triple modular redundancy (Section 6.1 of the paper).
+//
+// Inputs x, y, z over a value domain; output `out` (bot = unassigned). In
+// the absence of faults all inputs are identical; a fault corrupts at most
+// one input (guarded on "all inputs still agree", which is how "faults may
+// corrupt any one of the three inputs" bounds itself without an auxiliary
+// counter). SPEC_io: the output is only ever assigned the value of an
+// uncorrupted input (= the majority value), and is eventually assigned.
+//
+// Programs, exactly as constructed in the paper:
+//   IR        :: out = bot --> out := x                      (intolerant)
+//   DR ; IR   — IR gated by DR's witness (x=y \/ x=z)        (fail-safe)
+//   DR ; IR || CR — plus the corrector actions
+//     CR1 :: out = bot /\ (y=z \/ y=x) --> out := y
+//     CR2 :: out = bot /\ (z=x \/ z=y) --> out := z          (masking)
+//
+// The masking program is the classic TMR voter, recovered by composing a
+// detector and a corrector with the intolerant program.
+#pragma once
+
+#include <memory>
+
+#include "gc/composition.hpp"
+#include "gc/program.hpp"
+#include "spec/problem_spec.hpp"
+
+namespace dcft::apps {
+
+struct TmrSystem {
+    std::shared_ptr<const StateSpace> space;
+
+    Program intolerant;  ///< IR
+    Program failsafe;    ///< DR ; IR
+    Program masking;     ///< DR ; IR || CR
+    Program corrector;   ///< CR alone
+    FaultClass corrupt_one_input;
+
+    ProblemSpec spec;  ///< SPEC_io
+
+    Predicate dr_witness;           ///< Z of DR: x=y \/ x=z
+    Predicate x_uncorrupted;        ///< X of DR: x equals the majority value
+    Predicate all_inputs_agree;     ///< x=y=z
+    Predicate output_unassigned;    ///< out = bot
+    Predicate output_correct;       ///< out = majority value
+    Predicate invariant;            ///< S: x=y=z /\ (out=bot \/ out=x)
+
+    Value bottom;
+
+    VarId x_var, y_var, z_var, out_var;
+
+    /// Initial state: all inputs = value, out = bot.
+    StateIndex initial_state(Value value) const;
+};
+
+/// Builds TMR with input values {0..domain-1} (domain >= 2).
+TmrSystem make_tmr(Value domain = 2);
+
+}  // namespace dcft::apps

@@ -1,0 +1,128 @@
+#include "apps/token_ring.hpp"
+
+#include "common/check.hpp"
+
+namespace dcft::apps {
+namespace {
+
+/// Whether process i's action is enabled at s.
+bool privileged(const StateSpace& sp, StateIndex s,
+                const std::vector<VarId>& x, int i) {
+    const int n = static_cast<int>(x.size());
+    if (i == 0)
+        return sp.get(s, x[0]) == sp.get(s, x[static_cast<std::size_t>(n - 1)]);
+    return sp.get(s, x[static_cast<std::size_t>(i)]) !=
+           sp.get(s, x[static_cast<std::size_t>(i - 1)]);
+}
+
+int count_privileges(const StateSpace& sp, StateIndex s,
+                     const std::vector<VarId>& x) {
+    int count = 0;
+    for (int i = 0; i < static_cast<int>(x.size()); ++i)
+        if (privileged(sp, s, x, i)) ++count;
+    return count;
+}
+
+}  // namespace
+
+Predicate TokenRingSystem::privilege(int i) const {
+    DCFT_EXPECTS(i >= 0 && i < n, "privilege: bad process index");
+    const auto xv = x;
+    return Predicate("privilege." + std::to_string(i),
+                     [xv, i](const StateSpace& sp, StateIndex s) {
+                         return privileged(sp, s, xv, i);
+                     });
+}
+
+StateIndex TokenRingSystem::initial_state() const {
+    return 0;  // all counters 0: only the bottom process is privileged
+}
+
+TokenRingSystem make_token_ring(int n, Value k) {
+    DCFT_EXPECTS(n >= 2, "token ring needs >= 2 processes");
+    DCFT_EXPECTS(k >= 2, "token ring needs K >= 2");
+
+    auto builder = std::make_shared<StateSpace>();
+    std::vector<VarId> x;
+    for (int i = 0; i < n; ++i)
+        x.push_back(builder->add_variable("x." + std::to_string(i), k));
+    builder->freeze();
+    std::shared_ptr<const StateSpace> space = builder;
+
+    Program ring(space, "token-ring(n=" + std::to_string(n) +
+                            ",K=" + std::to_string(k) + ")");
+    {
+        const VarId x0 = x[0], xl = x[static_cast<std::size_t>(n - 1)];
+        ring.add_action(Action::assign(
+            *space, "move.0",
+            Predicate("x.0==x.last",
+                      [x0, xl](const StateSpace& sp, StateIndex s) {
+                          return sp.get(s, x0) == sp.get(s, xl);
+                      }),
+            "x.0",
+            [x0, k](const StateSpace& sp, StateIndex s) {
+                return (sp.get(s, x0) + 1) % k;
+            }));
+    }
+    for (int i = 1; i < n; ++i) {
+        const VarId xi = x[static_cast<std::size_t>(i)];
+        const VarId xp = x[static_cast<std::size_t>(i - 1)];
+        ring.add_action(Action::assign(
+            *space, "move." + std::to_string(i),
+            Predicate("x." + std::to_string(i) + "!=pred",
+                      [xi, xp](const StateSpace& sp, StateIndex s) {
+                          return sp.get(s, xi) != sp.get(s, xp);
+                      }),
+            "x." + std::to_string(i),
+            [xp](const StateSpace& sp, StateIndex s) {
+                return sp.get(s, xp);
+            }));
+    }
+
+    // Transient faults: any counter is corrupted to any value.
+    FaultClass fault(space, "corrupt-counter");
+    fault.add_action(Action::nondet(
+        "corrupt", Predicate::top(),
+        [x, k](const StateSpace& sp, StateIndex s,
+               std::vector<StateIndex>& out) {
+            for (VarId v : x) {
+                const Value cur = sp.get(s, v);
+                for (Value c = 0; c < k; ++c)
+                    if (c != cur) out.push_back(sp.set(s, v, c));
+            }
+        }));
+
+    Predicate legitimate("one-privilege",
+                         [x](const StateSpace& sp, StateIndex s) {
+                             return count_privileges(sp, s, x) == 1;
+                         });
+
+    SafetySpec safety = SafetySpec::never(
+        Predicate("not-one-privilege",
+                  [x](const StateSpace& sp, StateIndex s) {
+                      return count_privileges(sp, s, x) != 1;
+                  }));
+    LivenessSpec live;
+    for (int i = 0; i < n; ++i) {
+        const auto xv = x;
+        live.add(LeadsTo{Predicate::top(),
+                         Predicate("privilege." + std::to_string(i),
+                                   [xv, i](const StateSpace& sp,
+                                           StateIndex s) {
+                                       return privileged(sp, s, xv, i);
+                                   })});
+    }
+    ProblemSpec spec("SPEC_token(mutual-exclusion)", std::move(safety),
+                     std::move(live));
+
+    return TokenRingSystem{space,
+                           n,
+                           k,
+                           std::move(ring),
+                           std::move(fault),
+                           std::move(spec),
+                           std::move(legitimate),
+                           std::move(x)};
+}
+
+}  // namespace dcft::apps

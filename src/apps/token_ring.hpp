@@ -1,0 +1,50 @@
+// Dijkstra's K-state token ring (Dijkstra, CACM 1974) — the program whose
+// correctness the paper reports proving compositionally with its PVS
+// encoding of this theory (Section 7). It is the canonical *corrector*:
+// with Z = X = "exactly one privilege", the ring refines 'Z corrects X'
+// from true — the Arora-Gouda closure-and-convergence special case the
+// Remark in Section 4.1 identifies.
+//
+// Model. n processes in a ring, x.i in {0..K-1}.
+//   bottom (i = 0) :: x.0 = x.{n-1}  --> x.0 := x.0 + 1 mod K
+//   other  (i > 0) :: x.i != x.{i-1} --> x.i := x.{i-1}
+// A process is privileged iff its action is enabled. The legitimate states
+// S have exactly one privilege; transient faults corrupt any x.i
+// arbitrarily; the ring converges back to S when K >= n.
+//
+// SPEC_token: safety — always exactly one privilege; liveness — every
+// process is privileged again and again (token circulation).
+#pragma once
+
+#include <memory>
+
+#include "gc/program.hpp"
+#include "spec/problem_spec.hpp"
+
+namespace dcft::apps {
+
+struct TokenRingSystem {
+    std::shared_ptr<const StateSpace> space;
+    int n;    ///< number of processes
+    Value k;  ///< counter modulus K
+
+    Program ring;
+    FaultClass corrupt_any;  ///< sets any x.i to any value
+
+    ProblemSpec spec;      ///< SPEC_token
+    Predicate legitimate;  ///< S: exactly one privilege
+
+    /// Process i holds the privilege (its action is enabled).
+    Predicate privilege(int i) const;
+
+    /// A legitimate start: all counters equal (bottom is privileged).
+    StateIndex initial_state() const;
+
+    std::vector<VarId> x;
+};
+
+/// Builds the ring; K >= n is Dijkstra's stabilization requirement (the
+/// verifier demonstrates failure for K < n — see the tests).
+TokenRingSystem make_token_ring(int n, Value k);
+
+}  // namespace dcft::apps

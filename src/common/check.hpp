@@ -1,0 +1,43 @@
+// Lightweight contract checking for the dcft library.
+//
+// All public API entry points validate their preconditions with
+// DCFT_EXPECTS; internal consistency conditions use DCFT_ASSERT. Violations
+// throw dcft::ContractError so that misuse is caught early (P.6/P.7 of the
+// C++ Core Guidelines) and is testable.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dcft {
+
+/// Thrown when a precondition or internal invariant of the library is
+/// violated. Carries the failing expression and a human-readable message.
+class ContractError : public std::logic_error {
+public:
+    explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& msg) {
+    throw ContractError(std::string(kind) + " failed: (" + expr + ") at " +
+                        file + ":" + std::to_string(line) +
+                        (msg.empty() ? "" : ": " + msg));
+}
+
+}  // namespace dcft
+
+#define DCFT_EXPECTS(cond, msg)                                               \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            ::dcft::contract_failure("precondition", #cond, __FILE__,         \
+                                     __LINE__, (msg));                        \
+    } while (0)
+
+#define DCFT_ASSERT(cond, msg)                                                \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            ::dcft::contract_failure("invariant", #cond, __FILE__, __LINE__,  \
+                                     (msg));                                  \
+    } while (0)

@@ -1,0 +1,73 @@
+#include "common/rng.hpp"
+
+#include "common/check.hpp"
+
+namespace dcft {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : s_) word = splitmix64(x);
+    // A xoshiro state of all zeros is a fixed point; SplitMix64 cannot
+    // produce four zero outputs from any seed, but keep the guard explicit.
+    if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+    DCFT_EXPECTS(bound > 0, "Rng::below requires a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = (*this)();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) {
+    DCFT_EXPECTS(lo <= hi, "Rng::between requires lo <= hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform01() {
+    // 53 random bits into the mantissa.
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+}
+
+Rng Rng::split() { return Rng((*this)() ^ 0xA5A5A5A55A5A5A5AULL); }
+
+}  // namespace dcft

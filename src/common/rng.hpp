@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation for simulation and tests.
+//
+// A small, fast, splittable generator (SplitMix64 seeding a xoshiro256**
+// core) so that every experiment in the benchmark harness is reproducible
+// from a printed seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dcft {
+
+/// Deterministic 64-bit PRNG (xoshiro256**), seeded via SplitMix64.
+///
+/// Satisfies the UniformRandomBitGenerator requirements so it can be used
+/// with <random> distributions, but the helpers below are preferred inside
+/// the library to keep streams identical across standard libraries.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+    result_type operator()();
+
+    /// Uniform integer in [0, bound). Precondition: bound > 0.
+    std::uint64_t below(std::uint64_t bound);
+
+    /// Uniform integer in [lo, hi]. Precondition: lo <= hi.
+    std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform double in [0, 1).
+    double uniform01();
+
+    /// Bernoulli trial with success probability p (clamped to [0,1]).
+    bool chance(double p);
+
+    /// A statistically independent child generator (for parallel streams).
+    Rng split();
+
+private:
+    std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace dcft

@@ -1,0 +1,74 @@
+#include "components/corrector.hpp"
+
+#include "common/check.hpp"
+#include "verify/component_checker.hpp"
+
+namespace dcft {
+
+CheckResult Corrector::verify() const { return check_corrector(program, claim); }
+
+CheckResult Corrector::verify_within(const Program& composition) const {
+    return check_corrector(composition, claim);
+}
+
+Corrector make_reset(std::shared_ptr<const StateSpace> space,
+                     Predicate correction,
+                     std::vector<std::pair<std::string, Value>> reset_values,
+                     std::string name) {
+    DCFT_EXPECTS(!reset_values.empty(), "reset needs target values");
+    std::vector<std::pair<VarId, Value>> assignments;
+    VarSet written(space->num_vars());
+    for (const auto& [var, value] : reset_values) {
+        const VarId id = space->find(var);
+        DCFT_EXPECTS(value >= 0 && value < space->variable(id).domain_size,
+                     "reset value out of domain for " + var);
+        assignments.emplace_back(id, value);
+        written.add(id);
+    }
+    Program p(space, written, name);
+    p.add_action(Action(
+        name + ":reset", !correction,
+        [assignments](const StateSpace& sp, StateIndex s) {
+            StateIndex t = s;
+            for (const auto& [id, value] : assignments)
+                t = sp.set(t, id, value);
+            return t;
+        }));
+    return Corrector{std::move(p),
+                     CorrectorClaim{correction, correction,
+                                    Predicate::top()}};
+}
+
+Corrector make_constraint_satisfier(
+    std::shared_ptr<const StateSpace> space, Predicate correction,
+    std::function<StateIndex(const StateSpace&, StateIndex)> repair,
+    std::string name) {
+    DCFT_EXPECTS(repair != nullptr, "satisfier needs a repair statement");
+    Program p(space, name);
+    p.add_action(Action(name + ":repair", !correction, std::move(repair)));
+    return Corrector{std::move(p),
+                     CorrectorClaim{correction, correction,
+                                    Predicate::top()}};
+}
+
+Corrector add_witness(Corrector base,
+                      std::shared_ptr<const StateSpace> space,
+                      std::string_view witness_var) {
+    DCFT_EXPECTS(space->variable(space->find(witness_var)).domain_size == 2,
+                 "witness variable must be boolean (domain 2)");
+    const Predicate z = Predicate::var_eq(*space, witness_var, 1)
+                            .renamed("Z(" + std::string(witness_var) + ")");
+    const Predicate x = base.claim.correction;
+    base.program.add_action(Action::assign_const(
+        *space, base.program.name() + ":witness", x && !z, witness_var, 1));
+    base.program.add_action(Action::assign_const(
+        *space, base.program.name() + ":unwitness", !x && z, witness_var,
+        0));
+    base.claim.witness = z;
+    // The context must rule out a lying witness.
+    base.claim.context =
+        implies(z, x).renamed("U(" + z.name() + "=>" + x.name() + ")");
+    return base;
+}
+
+}  // namespace dcft

@@ -1,0 +1,64 @@
+// Reusable corrector components (the framework counterpart of
+// components/detector.hpp; see Section 7 of the paper).
+//
+// Each builder returns a Corrector: a program fragment plus the claim
+// ('Z corrects X' from U) it is built to satisfy, composable with a base
+// program via `attach` (plain parallel composition — correctors run
+// alongside, they do not gate).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "gc/composition.hpp"
+#include "gc/program.hpp"
+#include "spec/corrects.hpp"
+#include "verify/check_result.hpp"
+
+namespace dcft {
+
+/// A corrector component.
+struct Corrector {
+    Program program;
+    CorrectorClaim claim;
+
+    /// Compose alongside a base program (the CR / pn1 shape).
+    Program attach(const Program& base) const {
+        return parallel(base, program);
+    }
+
+    /// Verifies the claim against this component alone.
+    CheckResult verify() const;
+
+    /// Interference freedom (Section 7): verifies the claim against a
+    /// larger composition this component is part of.
+    CheckResult verify_within(const Program& composition) const;
+};
+
+/// A *reset procedure*: whenever the correction predicate is false, one
+/// atomic action rewrites the given variables to fixed reset values that
+/// satisfy it. The canonical corrector (the paper lists "reset procedures"
+/// first among corrector examples).
+Corrector make_reset(std::shared_ptr<const StateSpace> space,
+                     Predicate correction,
+                     std::vector<std::pair<std::string, Value>> reset_values,
+                     std::string name = "reset");
+
+/// A *constraint satisfier*: while the correction predicate is false,
+/// repeatedly applies a caller-supplied repair statement (one step at a
+/// time — the rollforward-recovery shape). The caller is responsible for
+/// the statement actually converging; check_corrector verifies it.
+Corrector make_constraint_satisfier(
+    std::shared_ptr<const StateSpace> space, Predicate correction,
+    std::function<StateIndex(const StateSpace&, StateIndex)> repair,
+    std::string name = "satisfy");
+
+/// A *witnessed corrector*: wraps any corrector with a separate boolean
+/// witness variable that is raised once the correction predicate holds
+/// (and lowered if it is falsified again) — the general Z != X shape the
+/// Remark in Section 4.1 motivates for masking designs.
+Corrector add_witness(Corrector base,
+                      std::shared_ptr<const StateSpace> space,
+                      std::string_view witness_var);
+
+}  // namespace dcft

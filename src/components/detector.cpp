@@ -1,0 +1,87 @@
+#include "components/detector.hpp"
+
+#include "common/check.hpp"
+#include "verify/component_checker.hpp"
+
+namespace dcft {
+
+CheckResult Detector::verify() const { return check_detector(program, claim); }
+
+CheckResult Detector::verify_within(const Program& composition) const {
+    return check_detector(composition, claim);
+}
+
+namespace {
+
+Predicate witness_of(const StateSpace& space, std::string_view var) {
+    DCFT_EXPECTS(space.variable(space.find(var)).domain_size == 2,
+                 "witness variable must be boolean (domain 2)");
+    return Predicate::var_eq(space, var, 1).renamed("Z(" +
+                                                    std::string(var) + ")");
+}
+
+}  // namespace
+
+Detector make_watchdog(std::shared_ptr<const StateSpace> space,
+                       std::string_view witness_var, Predicate detection,
+                       std::string name) {
+    const Predicate z = witness_of(*space, witness_var);
+    Program p(space, space->varset({witness_var}), name);
+    p.add_action(Action::assign_const(*space, name + ":raise",
+                                      detection && !z, witness_var, 1));
+    const Predicate context =
+        implies(z, detection).renamed("U(" + z.name() + "=>" +
+                                      detection.name() + ")");
+    return Detector{std::move(p),
+                    DetectorClaim{z, std::move(detection), context}};
+}
+
+Detector make_resetting_watchdog(std::shared_ptr<const StateSpace> space,
+                                 std::string_view witness_var,
+                                 Predicate detection, std::string name) {
+    Detector d = make_watchdog(space, witness_var, detection, name);
+    d.program.add_action(Action::assign_const(
+        *space, name + ":lower", !d.claim.detection && d.claim.witness,
+        witness_var, 0));
+    return d;
+}
+
+Detector make_comparator(std::shared_ptr<const StateSpace> space,
+                         std::string_view var_a, std::string_view var_b,
+                         Predicate detection, Predicate context,
+                         std::string name) {
+    const VarId a = space->find(var_a);
+    const VarId b = space->find(var_b);
+    Predicate z("Z(" + std::string(var_a) + "==" + std::string(var_b) + ")",
+                [a, b](const StateSpace& sp, StateIndex s) {
+                    return sp.get(s, a) == sp.get(s, b);
+                });
+    Program p(space, space->empty_varset(), std::move(name));
+    return Detector{std::move(p),
+                    DetectorClaim{std::move(z), std::move(detection),
+                                  std::move(context)}};
+}
+
+Detector make_threshold(std::shared_ptr<const StateSpace> space,
+                        std::vector<Predicate> conditions, int threshold,
+                        Predicate detection, Predicate context,
+                        std::string name) {
+    DCFT_EXPECTS(!conditions.empty(), "threshold needs conditions");
+    DCFT_EXPECTS(threshold >= 1 &&
+                     threshold <= static_cast<int>(conditions.size()),
+                 "threshold out of range");
+    Predicate z("Z(>=" + std::to_string(threshold) + "-of-" +
+                    std::to_string(conditions.size()) + ")",
+                [conditions, threshold](const StateSpace& sp, StateIndex s) {
+                    int hits = 0;
+                    for (const auto& c : conditions)
+                        if (c.eval(sp, s)) ++hits;
+                    return hits >= threshold;
+                });
+    Program p(space, space->empty_varset(), std::move(name));
+    return Detector{std::move(p),
+                    DetectorClaim{std::move(z), std::move(detection),
+                                  std::move(context)}};
+}
+
+}  // namespace dcft

@@ -1,0 +1,82 @@
+// Reusable detector components (the "framework of such components" the
+// paper announces in Section 7: detectors required in one program and
+// across programs are often similar, so dcft ships the recurring shapes
+// as builders).
+//
+// Every builder returns a Detector: a program fragment plus the claim
+// ('Z detects X' from U) it is built to satisfy, ready to be composed with
+// a base program via `gate` (the paper's ;_Z composition) and verified
+// with check_detector.
+#pragma once
+
+#include <string>
+
+#include "gc/composition.hpp"
+#include "gc/program.hpp"
+#include "spec/detects.hpp"
+#include "verify/check_result.hpp"
+
+namespace dcft {
+
+/// A detector component: its actions, its claim, and how to compose it.
+struct Detector {
+    Program program;     ///< the detector's own actions
+    DetectorClaim claim; ///< Z detects X from U
+
+    /// The paper's detector-gating composition: this ;_Z base — the base
+    /// program runs only once the witness holds.
+    Program gate(const Program& base) const {
+        return sequence(program, claim.witness, base);
+    }
+
+    /// Verifies the claim against this component alone.
+    CheckResult verify() const;
+
+    /// Interference freedom (Section 7): verifies the claim against a
+    /// larger composition this component is part of — the other
+    /// components must not invalidate it.
+    CheckResult verify_within(const Program& composition) const;
+};
+
+/// A *watchdog*: raises a fresh boolean witness variable once the
+/// detection predicate holds, and holds it as long as X does. The witness
+/// variable `witness_var` must exist in the space (domain 2) and be
+/// written by nothing else.
+///
+///   raise :: X /\ !z --> z := true
+///
+/// Claim: z detects X from (z => X).
+Detector make_watchdog(std::shared_ptr<const StateSpace> space,
+                       std::string_view witness_var, Predicate detection,
+                       std::string name = "watchdog");
+
+/// A *snapshot detector* with explicit reset: like the watchdog, but also
+/// lowers the witness when the detection predicate has been falsified —
+/// the shape needed when X is a transient condition (the paper's Remark in
+/// Section 3.1 on non-closed detection predicates).
+///
+///   raise :: X /\ !z --> z := true
+///   lower :: !X /\ z --> z := false
+Detector make_resetting_watchdog(std::shared_ptr<const StateSpace> space,
+                                 std::string_view witness_var,
+                                 Predicate detection,
+                                 std::string name = "resetting-watchdog");
+
+/// A *comparator*: stateless detector whose witness IS the predicate
+/// "replica a equals replica b" — no actions, pure gating (the DR shape of
+/// Section 6.1). The claim's detection predicate is supplied by the
+/// caller (e.g. "a is uncorrupted").
+Detector make_comparator(std::shared_ptr<const StateSpace> space,
+                         std::string_view var_a, std::string_view var_b,
+                         Predicate detection, Predicate context,
+                         std::string name = "comparator");
+
+/// A *threshold detector* over a family of boolean-ish conditions: the
+/// witness holds when at least `threshold` of the conditions hold (the
+/// majority-voting DB shape of Section 6.2). Stateless.
+Detector make_threshold(std::shared_ptr<const StateSpace> space,
+                        std::vector<Predicate> conditions, int threshold,
+                        Predicate detection, Predicate context,
+                        std::string name = "threshold");
+
+}  // namespace dcft

@@ -1,0 +1,140 @@
+#include "gc/action.hpp"
+
+#include "common/check.hpp"
+
+namespace dcft {
+
+struct Action::Impl {
+    std::string name;
+    Predicate guard;
+    NondetEffect effect;
+    std::shared_ptr<const Impl> base;  // provenance chain
+};
+
+namespace {
+
+Action::NondetEffect lift(Action::DetEffect det) {
+    return [det = std::move(det)](const StateSpace& sp, StateIndex s,
+                                  std::vector<StateIndex>& out) {
+        out.push_back(det(sp, s));
+    };
+}
+
+}  // namespace
+
+Action::Action(std::string name, Predicate guard, DetEffect effect) {
+    DCFT_EXPECTS(effect != nullptr, "Action requires a statement");
+    impl_ = std::make_shared<Impl>(Impl{std::move(name), std::move(guard),
+                                        lift(std::move(effect)), nullptr});
+}
+
+Action Action::nondet(std::string name, Predicate guard, NondetEffect effect) {
+    DCFT_EXPECTS(effect != nullptr, "Action requires a statement");
+    return Action(std::make_shared<Impl>(Impl{
+        std::move(name), std::move(guard), std::move(effect), nullptr}));
+}
+
+Action Action::assign(
+    const StateSpace& space, std::string name, Predicate guard,
+    std::string_view var,
+    std::function<Value(const StateSpace&, StateIndex)> value_of) {
+    DCFT_EXPECTS(value_of != nullptr, "assign requires a value function");
+    const VarId id = space.find(var);
+    return Action(std::move(name), std::move(guard),
+                  [id, value_of = std::move(value_of)](const StateSpace& sp,
+                                                       StateIndex s) {
+                      return sp.set(s, id, value_of(sp, s));
+                  });
+}
+
+Action Action::assign_const(const StateSpace& space, std::string name,
+                            Predicate guard, std::string_view var,
+                            Value value) {
+    const VarId id = space.find(var);
+    DCFT_EXPECTS(value >= 0 && value < space.variable(id).domain_size,
+                 "assign_const: value out of domain");
+    return Action(std::move(name), std::move(guard),
+                  [id, value](const StateSpace& sp, StateIndex s) {
+                      return sp.set(s, id, value);
+                  });
+}
+
+Action Action::skip(std::string name, Predicate guard) {
+    return Action(std::move(name), std::move(guard),
+                  [](const StateSpace&, StateIndex s) { return s; });
+}
+
+const std::string& Action::name() const { return impl_->name; }
+const Predicate& Action::guard() const { return impl_->guard; }
+
+bool Action::enabled(const StateSpace& space, StateIndex s) const {
+    return impl_->guard.eval(space, s);
+}
+
+void Action::successors(const StateSpace& space, StateIndex s,
+                        std::vector<StateIndex>& out) const {
+    if (!enabled(space, s)) return;
+    const std::size_t before = out.size();
+    impl_->effect(space, s, out);
+    DCFT_ASSERT(out.size() > before,
+                "enabled action '" + impl_->name + "' produced no successor");
+}
+
+StateIndex Action::apply(const StateSpace& space, StateIndex s) const {
+    DCFT_EXPECTS(enabled(space, s), "Action::apply on a disabled action");
+    std::vector<StateIndex> succ;
+    impl_->effect(space, s, succ);
+    DCFT_EXPECTS(succ.size() == 1,
+                 "Action::apply on a nondeterministic action");
+    return succ[0];
+}
+
+Action Action::restricted(const Predicate& z) const {
+    auto impl = std::make_shared<Impl>(*impl_);
+    impl->name = "(" + z.name() + " /\\ " + impl_->name + ")";
+    impl->guard = z && impl_->guard;
+    impl->base = impl_;
+    return Action(std::move(impl));
+}
+
+Action Action::encapsulated(std::string name, const Predicate& extra_guard,
+                            ExtraEffect extra_effect) const {
+    DCFT_EXPECTS(extra_effect != nullptr,
+                 "encapsulated requires an extra statement");
+    auto base = impl_;
+    auto impl = std::make_shared<Impl>();
+    impl->name = std::move(name);
+    impl->guard = base->guard && extra_guard;
+    impl->effect = [base, extra = std::move(extra_effect)](
+                       const StateSpace& sp, StateIndex s,
+                       std::vector<StateIndex>& out) {
+        std::vector<StateIndex> mid;
+        base->effect(sp, s, mid);
+        for (StateIndex m : mid) out.push_back(extra(sp, s, m));
+    };
+    impl->base = base;
+    return Action(std::move(impl));
+}
+
+Action Action::renamed(std::string name) const {
+    auto impl = std::make_shared<Impl>(*impl_);
+    impl->name = std::move(name);
+    return Action(std::move(impl));
+}
+
+bool Action::has_base() const { return impl_->base != nullptr; }
+
+Action Action::base() const {
+    DCFT_EXPECTS(has_base(), "Action::base on an action without provenance");
+    return Action(impl_->base);
+}
+
+Action Action::root_base() const {
+    auto cur = impl_;
+    while (cur->base) cur = cur->base;
+    return Action(std::move(cur));
+}
+
+const void* Action::id() const { return impl_.get(); }
+
+}  // namespace dcft

@@ -1,0 +1,116 @@
+// Guarded-command actions (Section 2.1 of the paper).
+//
+// An action is `name :: guard --> statement`; executing the statement
+// atomically updates zero or more variables. We allow the statement to be
+// nondeterministic (a set of successor states) because the paper's fault
+// actions — e.g. a Byzantine process "executing arbitrarily
+// nondeterministic actions" — need it; program actions are usually
+// deterministic.
+//
+// Actions carry provenance: `base()` records the action of an underlying
+// program that this action encapsulates or restricts. Provenance is what
+// lets the verifier check the paper's *encapsulates* relation and identify,
+// per Theorem 3.4, which detector corresponds to which base action.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gc/predicate.hpp"
+#include "gc/state_space.hpp"
+
+namespace dcft {
+
+/// One guarded-command action.
+///
+/// Value-semantic (shared immutable implementation). The successor set of
+/// an enabled action must be nonempty and must not depend on anything but
+/// the state.
+class Action {
+public:
+    /// Deterministic statement: maps the current state to the next state.
+    using DetEffect = std::function<StateIndex(const StateSpace&, StateIndex)>;
+
+    /// Nondeterministic statement: appends every possible next state.
+    using NondetEffect = std::function<void(const StateSpace&, StateIndex,
+                                            std::vector<StateIndex>&)>;
+
+    /// Extra statement st' of an encapsulating action g/\g' --> st||st'.
+    /// Receives the state *before* st (the paper: st' may read the initial
+    /// values of variables used by st) and the state after st, and returns
+    /// the final state. Must not change variables st changed.
+    using ExtraEffect = std::function<StateIndex(
+        const StateSpace&, StateIndex before, StateIndex after)>;
+
+    /// Deterministic action.
+    Action(std::string name, Predicate guard, DetEffect effect);
+
+    /// Nondeterministic action.
+    static Action nondet(std::string name, Predicate guard,
+                         NondetEffect effect);
+
+    /// `name :: guard --> var := value_of(state)`.
+    static Action assign(const StateSpace& space, std::string name,
+                         Predicate guard, std::string_view var,
+                         std::function<Value(const StateSpace&, StateIndex)>
+                             value_of);
+
+    /// `name :: guard --> var := constant`.
+    static Action assign_const(const StateSpace& space, std::string name,
+                               Predicate guard, std::string_view var,
+                               Value value);
+
+    /// Skip action (self-loop); useful for stutter modelling in tests.
+    static Action skip(std::string name, Predicate guard);
+
+    const std::string& name() const;
+    const Predicate& guard() const;
+
+    bool enabled(const StateSpace& space, StateIndex s) const;
+
+    /// Appends the successors of s under this action. Appends nothing when
+    /// the action is disabled at s. Postcondition: an enabled action
+    /// appends at least one successor.
+    void successors(const StateSpace& space, StateIndex s,
+                    std::vector<StateIndex>& out) const;
+
+    /// Convenience for the common deterministic case: the unique successor.
+    /// Precondition: enabled(s) and the action is deterministic at s.
+    StateIndex apply(const StateSpace& space, StateIndex s) const;
+
+    /// The paper's /\-composition for actions: Z /\ (g --> st) is
+    /// (Z /\ g --> st). The result records this action as its base.
+    Action restricted(const Predicate& z) const;
+
+    /// The paper's encapsulation shape: from base action g --> st, builds
+    /// g /\ g' --> st || st'. The result records `*this` as its base.
+    Action encapsulated(std::string name, const Predicate& extra_guard,
+                        ExtraEffect extra_effect) const;
+
+    /// Returns a copy with a different name (provenance preserved).
+    Action renamed(std::string name) const;
+
+    /// Whether this action was built by restricted()/encapsulated().
+    bool has_base() const;
+
+    /// The base action this one restricts/encapsulates (one level).
+    /// Precondition: has_base().
+    Action base() const;
+
+    /// The deepest base in the provenance chain (this action if none).
+    Action root_base() const;
+
+    /// Identity of the shared implementation; two Action values denote the
+    /// same action iff their ids are equal. Used to relate components back
+    /// to base-program actions (Theorems 3.4/3.6).
+    const void* id() const;
+
+private:
+    struct Impl;
+    explicit Action(std::shared_ptr<const Impl> impl) : impl_(std::move(impl)) {}
+    std::shared_ptr<const Impl> impl_;
+};
+
+}  // namespace dcft

@@ -1,0 +1,40 @@
+#include "gc/composition.hpp"
+
+#include "common/check.hpp"
+
+namespace dcft {
+
+Program parallel(const Program& p, const Program& q) {
+    DCFT_EXPECTS(p.space_ptr() == q.space_ptr(),
+                 "parallel: programs must share a state space");
+    Program out(p.space_ptr(), p.vars().unioned(q.vars()),
+                "(" + p.name() + " || " + q.name() + ")");
+    for (const auto& ac : p.actions()) out.add_action(ac);
+    for (const auto& ac : q.actions()) out.add_action(ac);
+    return out;
+}
+
+Program restrict_program(const Predicate& z, const Program& p) {
+    Program out(p.space_ptr(), p.vars(),
+                "(" + z.name() + " /\\ " + p.name() + ")");
+    for (const auto& ac : p.actions()) out.add_action(ac.restricted(z));
+    return out;
+}
+
+Program sequence(const Program& p, const Predicate& z, const Program& q) {
+    Program out = parallel(p, restrict_program(z, q));
+    return out.renamed("(" + p.name() + " ;_" + z.name() + " " + q.name() +
+                       ")");
+}
+
+Program with_faults(const Program& p, const FaultClass& f) {
+    DCFT_EXPECTS(p.space_ptr().get() == &f.space(),
+                 "with_faults: program and faults must share a state space");
+    Program out(p.space_ptr(), p.vars(),
+                "(" + p.name() + " [] " + f.name() + ")");
+    for (const auto& ac : p.actions()) out.add_action(ac);
+    for (const auto& ac : f.actions()) out.add_action(ac);
+    return out;
+}
+
+}  // namespace dcft

@@ -1,0 +1,34 @@
+// The paper's program compositions (Section 2.1.1).
+//
+//   parallel(p, q)        — p || q : union of actions.
+//   restrict(Z, p)        — Z /\ p : every action g --> st becomes
+//                           Z /\ g --> st.
+//   sequence(p, Z, q)     — p ;_Z q  =  p || (Z /\ q): q runs only once Z
+//                           holds. This is how a detector gates the action
+//                           it protects (Sections 3.3 and 6).
+//
+// All compositions require the operands to share one StateSpace; the
+// result's variable set is the union of the operands'.
+#pragma once
+
+#include "gc/program.hpp"
+
+namespace dcft {
+
+/// p || q — parallel composition (union of the actions).
+Program parallel(const Program& p, const Program& q);
+
+/// Z /\ p — restriction of p by state predicate Z.
+Program restrict_program(const Predicate& z, const Program& p);
+
+/// p ;_Z q — sequential composition with respect to Z: p || (Z /\ q).
+Program sequence(const Program& p, const Predicate& z, const Program& q);
+
+/// Union of a program's and a fault class's actions as a plain program;
+/// used where the paper writes p [] F. Note: tolerance *checking* treats
+/// fault actions specially (no fairness, finitely many occurrences) — use
+/// the verifier's TransitionSystem for that; this helper exists for
+/// simulation and exploration.
+Program with_faults(const Program& p, const FaultClass& f);
+
+}  // namespace dcft

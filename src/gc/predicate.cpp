@@ -1,0 +1,106 @@
+#include "gc/predicate.hpp"
+
+#include "common/check.hpp"
+
+namespace dcft {
+
+struct Predicate::Impl {
+    std::string name;
+    Fn fn;
+};
+
+Predicate::Predicate()
+    : impl_(std::make_shared<Impl>(
+          Impl{"true", [](const StateSpace&, StateIndex) { return true; }})) {}
+
+Predicate::Predicate(std::string name, Fn fn) {
+    DCFT_EXPECTS(fn != nullptr, "Predicate requires an evaluation function");
+    impl_ = std::make_shared<Impl>(Impl{std::move(name), std::move(fn)});
+}
+
+Predicate Predicate::top() { return Predicate(); }
+
+Predicate Predicate::bottom() {
+    return Predicate("false",
+                     [](const StateSpace&, StateIndex) { return false; });
+}
+
+Predicate Predicate::var_eq(const StateSpace& space, std::string_view var,
+                            Value value) {
+    const VarId id = space.find(var);
+    DCFT_EXPECTS(value >= 0 && value < space.variable(id).domain_size,
+                 "var_eq: value out of domain");
+    return Predicate(std::string(var) + "==" + std::to_string(value),
+                     [id, value](const StateSpace& sp, StateIndex s) {
+                         return sp.get(s, id) == value;
+                     });
+}
+
+Predicate Predicate::var_ne(const StateSpace& space, std::string_view var,
+                            Value value) {
+    return (!var_eq(space, var, value))
+        .renamed(std::string(var) + "!=" + std::to_string(value));
+}
+
+bool Predicate::eval(const StateSpace& space, StateIndex s) const {
+    return impl_->fn(space, s);
+}
+
+const std::string& Predicate::name() const { return impl_->name; }
+
+Predicate Predicate::renamed(std::string name) const {
+    Predicate out = *this;
+    out.impl_ = std::make_shared<Impl>(Impl{std::move(name), impl_->fn});
+    return out;
+}
+
+Predicate operator&&(const Predicate& a, const Predicate& b) {
+    return Predicate("(" + a.name() + " && " + b.name() + ")",
+                     [a, b](const StateSpace& sp, StateIndex s) {
+                         return a.eval(sp, s) && b.eval(sp, s);
+                     });
+}
+
+Predicate operator||(const Predicate& a, const Predicate& b) {
+    return Predicate("(" + a.name() + " || " + b.name() + ")",
+                     [a, b](const StateSpace& sp, StateIndex s) {
+                         return a.eval(sp, s) || b.eval(sp, s);
+                     });
+}
+
+Predicate operator!(const Predicate& a) {
+    return Predicate("!" + a.name(),
+                     [a](const StateSpace& sp, StateIndex s) {
+                         return !a.eval(sp, s);
+                     });
+}
+
+Predicate implies(const Predicate& a, const Predicate& b) {
+    return Predicate("(" + a.name() + " => " + b.name() + ")",
+                     [a, b](const StateSpace& sp, StateIndex s) {
+                         return !a.eval(sp, s) || b.eval(sp, s);
+                     });
+}
+
+bool implies_everywhere(const StateSpace& space, const Predicate& a,
+                        const Predicate& b) {
+    for (StateIndex s = 0; s < space.num_states(); ++s)
+        if (a.eval(space, s) && !b.eval(space, s)) return false;
+    return true;
+}
+
+bool equivalent(const StateSpace& space, const Predicate& a,
+                const Predicate& b) {
+    for (StateIndex s = 0; s < space.num_states(); ++s)
+        if (a.eval(space, s) != b.eval(space, s)) return false;
+    return true;
+}
+
+StateIndex count_satisfying(const StateSpace& space, const Predicate& p) {
+    StateIndex n = 0;
+    for (StateIndex s = 0; s < space.num_states(); ++s)
+        if (p.eval(space, s)) ++n;
+    return n;
+}
+
+}  // namespace dcft

@@ -1,0 +1,77 @@
+// State predicates (Section 2.1 of the paper).
+//
+// A state predicate is a boolean expression over the variables of a
+// program; the paper uses predicates and the sets of states they
+// characterize interchangeably. Predicate wraps an evaluation function plus
+// a printable name, and provides the boolean algebra (&&, ||, !, implies)
+// the paper's constructions use.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "gc/state_space.hpp"
+
+namespace dcft {
+
+/// A state predicate over a StateSpace.
+///
+/// Value-semantic and cheap to copy (shared immutable implementation).
+/// Predicates are pure: evaluation must not depend on anything but the
+/// state. A default-constructed Predicate is `top()` (true everywhere).
+class Predicate {
+public:
+    using Fn = std::function<bool(const StateSpace&, StateIndex)>;
+
+    /// The predicate `true`.
+    Predicate();
+
+    /// Named predicate from an evaluation function.
+    Predicate(std::string name, Fn fn);
+
+    /// The constant predicates.
+    static Predicate top();
+    static Predicate bottom();
+
+    /// var == value, var resolved now against `space`.
+    static Predicate var_eq(const StateSpace& space, std::string_view var,
+                            Value value);
+    /// var != value.
+    static Predicate var_ne(const StateSpace& space, std::string_view var,
+                            Value value);
+
+    bool eval(const StateSpace& space, StateIndex s) const;
+    bool operator()(const StateSpace& space, StateIndex s) const {
+        return eval(space, s);
+    }
+
+    const std::string& name() const;
+
+    /// Returns a copy carrying a different display name.
+    Predicate renamed(std::string name) const;
+
+    friend Predicate operator&&(const Predicate& a, const Predicate& b);
+    friend Predicate operator||(const Predicate& a, const Predicate& b);
+    friend Predicate operator!(const Predicate& a);
+
+private:
+    struct Impl;
+    std::shared_ptr<const Impl> impl_;
+};
+
+/// a => b (pointwise).
+Predicate implies(const Predicate& a, const Predicate& b);
+
+/// True iff a => b holds at every state of the space (exhaustive check).
+bool implies_everywhere(const StateSpace& space, const Predicate& a,
+                        const Predicate& b);
+
+/// True iff a and b hold at exactly the same states (exhaustive check).
+bool equivalent(const StateSpace& space, const Predicate& a,
+                const Predicate& b);
+
+/// Number of states satisfying p (exhaustive count).
+StateIndex count_satisfying(const StateSpace& space, const Predicate& p);
+
+}  // namespace dcft

@@ -1,0 +1,90 @@
+#include "gc/program.hpp"
+
+#include "common/check.hpp"
+
+namespace dcft {
+
+Program::Program(std::shared_ptr<const StateSpace> space, std::string name)
+    : space_(std::move(space)), name_(std::move(name)) {
+    DCFT_EXPECTS(space_ != nullptr, "Program requires a state space");
+    DCFT_EXPECTS(space_->frozen(), "Program requires a frozen state space");
+    vars_ = space_->full_varset();
+}
+
+Program::Program(std::shared_ptr<const StateSpace> space, VarSet vars,
+                 std::string name)
+    : space_(std::move(space)), vars_(std::move(vars)),
+      name_(std::move(name)) {
+    DCFT_EXPECTS(space_ != nullptr, "Program requires a state space");
+    DCFT_EXPECTS(space_->frozen(), "Program requires a frozen state space");
+    DCFT_EXPECTS(vars_.universe_size() == space_->num_vars(),
+                 "Program vars must come from its own space");
+}
+
+void Program::add_action(Action action) {
+    actions_.push_back(std::move(action));
+}
+
+const Action& Program::action(std::size_t i) const {
+    DCFT_EXPECTS(i < actions_.size(), "action index out of range");
+    return actions_[i];
+}
+
+const Action& Program::action_named(std::string_view name) const {
+    const Action* found = nullptr;
+    for (const auto& ac : actions_) {
+        if (ac.name() == name) {
+            DCFT_EXPECTS(found == nullptr,
+                         "ambiguous action name: " + std::string(name));
+            found = &ac;
+        }
+    }
+    DCFT_EXPECTS(found != nullptr, "no action named " + std::string(name) +
+                                       " in program " + name_);
+    return *found;
+}
+
+bool Program::writes(VarId v) const {
+    std::vector<StateIndex> succ;
+    for (StateIndex s = 0; s < space_->num_states(); ++s) {
+        succ.clear();
+        successors(s, succ);
+        for (StateIndex t : succ)
+            if (space_->get(t, v) != space_->get(s, v)) return true;
+    }
+    return false;
+}
+
+void Program::successors(StateIndex s, std::vector<StateIndex>& out) const {
+    for (const auto& ac : actions_) ac.successors(*space_, s, out);
+}
+
+bool Program::is_terminal(StateIndex s) const {
+    for (const auto& ac : actions_)
+        if (ac.enabled(*space_, s)) return false;
+    return true;
+}
+
+Program Program::renamed(std::string name) const {
+    Program out = *this;
+    out.name_ = std::move(name);
+    return out;
+}
+
+FaultClass::FaultClass(std::shared_ptr<const StateSpace> space,
+                       std::string name)
+    : space_(std::move(space)), name_(std::move(name)) {
+    DCFT_EXPECTS(space_ != nullptr, "FaultClass requires a state space");
+    DCFT_EXPECTS(space_->frozen(), "FaultClass requires a frozen state space");
+}
+
+void FaultClass::add_action(Action action) {
+    actions_.push_back(std::move(action));
+}
+
+void FaultClass::successors(StateIndex s,
+                            std::vector<StateIndex>& out) const {
+    for (const auto& ac : actions_) ac.successors(*space_, s, out);
+}
+
+}  // namespace dcft

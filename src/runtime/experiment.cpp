@@ -1,0 +1,111 @@
+#include "runtime/experiment.hpp"
+
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace dcft {
+namespace {
+
+/// Runs the slice [begin, end) of the experiment's runs and merges into
+/// `total` under `mutex`.
+void run_slice(const Experiment& ex, std::size_t begin, std::size_t end,
+               BatchResult& total, std::mutex& mutex) {
+    std::unique_ptr<Scheduler> scheduler =
+        ex.make_scheduler ? ex.make_scheduler()
+                          : std::make_unique<RandomScheduler>();
+    BatchResult local;
+    for (std::size_t i = begin; i < end; ++i) {
+        Simulator sim(*ex.program, *scheduler, ex.base_seed + i);
+        std::optional<FaultInjector> injector;
+        if (ex.faults != nullptr) {
+            injector.emplace(*ex.faults, ex.fault_probability,
+                             ex.max_faults);
+            sim.set_fault_injector(&*injector);
+        }
+        std::optional<SafetyMonitor> safety;
+        if (ex.safety) {
+            safety.emplace(*ex.safety);
+            sim.add_monitor(&*safety);
+        }
+        std::optional<DetectorMonitor> detector;
+        if (ex.detector) {
+            detector.emplace(ex.detector->first, ex.detector->second);
+            sim.add_monitor(&*detector);
+        }
+        std::optional<CorrectorMonitor> corrector;
+        if (ex.corrector) {
+            corrector.emplace(*ex.corrector);
+            sim.add_monitor(&*corrector);
+        }
+
+        const RunResult run = sim.run(ex.initial, ex.options);
+        ++local.runs;
+        if (run.deadlocked) ++local.deadlocked;
+        if (run.stopped_early) ++local.stopped_early;
+        local.steps.add(static_cast<double>(run.steps));
+        local.fault_steps.add(static_cast<double>(run.fault_steps));
+        if (safety) local.safety_violations += safety->program_violations();
+        if (detector) {
+            for (double sample : detector->detection_latency().samples())
+                local.detection_latency.add(sample);
+        }
+        if (corrector) {
+            for (double sample :
+                 corrector->correction_latency().samples())
+                local.correction_latency.add(sample);
+            local.availability.add(corrector->availability());
+        }
+    }
+
+    const std::lock_guard<std::mutex> lock(mutex);
+    total.runs += local.runs;
+    total.deadlocked += local.deadlocked;
+    total.stopped_early += local.stopped_early;
+    total.safety_violations += local.safety_violations;
+    for (double x : local.steps.samples()) total.steps.add(x);
+    for (double x : local.fault_steps.samples()) total.fault_steps.add(x);
+    for (double x : local.detection_latency.samples())
+        total.detection_latency.add(x);
+    for (double x : local.correction_latency.samples())
+        total.correction_latency.add(x);
+    for (double x : local.availability.samples())
+        total.availability.add(x);
+}
+
+}  // namespace
+
+BatchResult run_experiment(const Experiment& ex) {
+    DCFT_EXPECTS(ex.program != nullptr, "Experiment requires a program");
+    DCFT_EXPECTS(ex.runs > 0, "Experiment requires at least one run");
+
+    unsigned threads = ex.threads == 0
+                           ? std::max(1u, std::thread::hardware_concurrency())
+                           : ex.threads;
+    threads = std::min<unsigned>(
+        threads, static_cast<unsigned>(ex.runs));
+
+    BatchResult total;
+    std::mutex mutex;
+    if (threads <= 1) {
+        run_slice(ex, 0, ex.runs, total, mutex);
+        return total;
+    }
+
+    std::vector<std::thread> pool;
+    const std::size_t chunk = (ex.runs + threads - 1) / threads;
+    for (unsigned t = 0; t < threads; ++t) {
+        const std::size_t begin = t * chunk;
+        const std::size_t end = std::min(ex.runs, begin + chunk);
+        if (begin >= end) break;
+        pool.emplace_back([&ex, begin, end, &total, &mutex] {
+            run_slice(ex, begin, end, total, mutex);
+        });
+    }
+    for (auto& worker : pool) worker.join();
+    return total;
+}
+
+}  // namespace dcft

@@ -1,0 +1,60 @@
+// Batch experiment runner: many seeded simulation runs, aggregated.
+//
+// The benchmark harness and downstream users all need the same loop —
+// N runs with distinct seeds, per-run monitors, aggregate statistics.
+// Experiment packages it once, with optional multi-threading (each thread
+// gets its own Simulator/monitors; programs and predicates are immutable
+// and safely shared).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "runtime/simulator.hpp"
+
+namespace dcft {
+
+/// Aggregated outcome of a batch of runs.
+struct BatchResult {
+    std::size_t runs = 0;
+    std::size_t deadlocked = 0;
+    std::size_t stopped_early = 0;  ///< stop_when fired
+    SummaryStats steps;             ///< total steps per run
+    SummaryStats fault_steps;       ///< fault steps per run
+
+    // Aggregates from per-run monitors (present when the experiment
+    // configured the corresponding monitor):
+    std::size_t safety_violations = 0;     ///< program-step violations
+    SummaryStats detection_latency;        ///< pooled across runs
+    SummaryStats correction_latency;       ///< pooled across runs
+    SummaryStats availability;             ///< one sample per run
+};
+
+/// Configuration for a batch of simulation runs.
+struct Experiment {
+    const Program* program = nullptr;  ///< required
+    StateIndex initial = 0;
+    RunOptions options;
+    std::uint64_t base_seed = 1;
+    std::size_t runs = 100;
+    unsigned threads = 1;  ///< 0 = hardware concurrency
+
+    /// Optional fault model (copied per thread).
+    const FaultClass* faults = nullptr;
+    double fault_probability = 0.0;
+    std::size_t max_faults = 0;
+
+    /// Optional monitored conditions.
+    std::optional<SafetySpec> safety;
+    std::optional<std::pair<Predicate, Predicate>> detector;  ///< (Z, X)
+    std::optional<Predicate> corrector;                       ///< X
+
+    /// Scheduler factory (defaults to RandomScheduler). Called once per
+    /// thread.
+    std::function<std::unique_ptr<Scheduler>()> make_scheduler;
+};
+
+/// Runs the experiment and aggregates the results.
+BatchResult run_experiment(const Experiment& experiment);
+
+}  // namespace dcft

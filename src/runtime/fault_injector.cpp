@@ -1,0 +1,47 @@
+#include "runtime/fault_injector.hpp"
+
+#include "common/check.hpp"
+
+namespace dcft {
+
+FaultInjector::FaultInjector(const FaultClass& faults, double per_step_p,
+                             std::size_t max_faults)
+    : faults_(&faults), per_step_p_(per_step_p), max_faults_(max_faults) {}
+
+void FaultInjector::schedule(std::size_t step, std::size_t fault_action) {
+    DCFT_EXPECTS(fault_action < faults_->actions().size(),
+                 "scheduled fault action out of range");
+    scripted_.emplace_back(step, fault_action);
+}
+
+std::optional<StateIndex> FaultInjector::maybe_inject(const StateSpace& space,
+                                                      StateIndex s,
+                                                      std::size_t step,
+                                                      Rng& rng) {
+    if (injected_ >= max_faults_) return std::nullopt;
+
+    std::vector<StateIndex> succ;
+    for (const auto& [at, action] : scripted_) {
+        if (at != step) continue;
+        const Action& fac = faults_->actions()[action];
+        if (!fac.enabled(space, s)) continue;
+        fac.successors(space, s, succ);
+        ++injected_;
+        return succ[rng.below(succ.size())];
+    }
+
+    if (per_step_p_ <= 0 || !rng.chance(per_step_p_)) return std::nullopt;
+
+    // Pick uniformly among enabled fault actions, then among that action's
+    // successors (demonic nondeterminism resolved randomly).
+    std::vector<std::size_t> enabled;
+    for (std::size_t a = 0; a < faults_->actions().size(); ++a)
+        if (faults_->actions()[a].enabled(space, s)) enabled.push_back(a);
+    if (enabled.empty()) return std::nullopt;
+    const auto& fac = faults_->actions()[enabled[rng.below(enabled.size())]];
+    fac.successors(space, s, succ);
+    ++injected_;
+    return succ[rng.below(succ.size())];
+}
+
+}  // namespace dcft

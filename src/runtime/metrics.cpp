@@ -1,0 +1,50 @@
+#include "runtime/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dcft {
+
+void SummaryStats::add(double sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+}
+
+void SummaryStats::ensure_sorted() const {
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double SummaryStats::mean() const {
+    DCFT_EXPECTS(!samples_.empty(), "mean of empty stats");
+    double total = 0;
+    for (double x : samples_) total += x;
+    return total / static_cast<double>(samples_.size());
+}
+
+double SummaryStats::min() const {
+    DCFT_EXPECTS(!samples_.empty(), "min of empty stats");
+    ensure_sorted();
+    return samples_.front();
+}
+
+double SummaryStats::max() const {
+    DCFT_EXPECTS(!samples_.empty(), "max of empty stats");
+    ensure_sorted();
+    return samples_.back();
+}
+
+double SummaryStats::percentile(double q) const {
+    DCFT_EXPECTS(!samples_.empty(), "percentile of empty stats");
+    DCFT_EXPECTS(q >= 0.0 && q <= 1.0, "percentile requires q in [0,1]");
+    ensure_sorted();
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples_.size())));
+    return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace dcft

@@ -1,0 +1,30 @@
+// Small statistics helpers for monitors and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dcft {
+
+/// Accumulates samples; reports count/mean/min/max/percentiles.
+class SummaryStats {
+public:
+    void add(double sample);
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+    double mean() const;
+    double min() const;
+    double max() const;
+    /// q in [0,1]; nearest-rank percentile. Precondition: not empty.
+    double percentile(double q) const;
+
+    const std::vector<double>& samples() const { return samples_; }
+
+private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+    void ensure_sorted() const;
+};
+
+}  // namespace dcft

@@ -1,0 +1,100 @@
+#include "runtime/monitor.hpp"
+
+namespace dcft {
+
+void Monitor::on_start(const StateSpace&, StateIndex) {}
+void Monitor::on_step(const StateSpace&, StateIndex, StateIndex, bool,
+                      std::size_t) {}
+void Monitor::on_finish(const StateSpace&, StateIndex, std::size_t) {}
+
+SafetyMonitor::SafetyMonitor(SafetySpec spec) : spec_(std::move(spec)) {}
+
+void SafetyMonitor::on_start(const StateSpace& space, StateIndex initial) {
+    if (!spec_.state_allowed(space, initial)) ++bad_states_;
+}
+
+void SafetyMonitor::on_step(const StateSpace& space, StateIndex from,
+                            StateIndex to, bool fault, std::size_t) {
+    const bool bad_transition = !spec_.transition_allowed(space, from, to);
+    const bool bad_state = !spec_.state_allowed(space, to);
+    if (bad_state) ++bad_states_;
+    if (bad_transition || bad_state) {
+        if (fault)
+            ++fault_violations_;
+        else
+            ++program_violations_;
+    }
+}
+
+DetectorMonitor::DetectorMonitor(Predicate witness, Predicate detection)
+    : z_(std::move(witness)), x_(std::move(detection)) {}
+
+void DetectorMonitor::on_start(const StateSpace& space, StateIndex initial) {
+    observe(space, initial, 0, /*entering=*/true);
+}
+
+void DetectorMonitor::on_step(const StateSpace& space, StateIndex from,
+                              StateIndex to, bool, std::size_t step) {
+    (void)from;
+    observe(space, to, step, /*entering=*/false);
+}
+
+void DetectorMonitor::observe(const StateSpace& space, StateIndex s,
+                              std::size_t step, bool entering) {
+    const bool z = z_.eval(space, s);
+    const bool x = x_.eval(space, s);
+
+    if (z && !x) ++safeness_violations_;
+    if (!entering && z_prev_ && !z && x) ++stability_violations_;
+
+    if (x) {
+        if (!x_since_) x_since_ = step;
+        if (z && x_since_) {
+            latency_.add(static_cast<double>(step - *x_since_));
+            // Witnessed; a later !X resets the episode.
+            x_since_.reset();
+        }
+    } else {
+        if (x_since_) x_since_.reset();
+    }
+    z_prev_ = z;
+}
+
+CorrectorMonitor::CorrectorMonitor(Predicate correction)
+    : x_(std::move(correction)) {}
+
+void CorrectorMonitor::on_start(const StateSpace& space, StateIndex initial) {
+    ++steps_total_;
+    if (x_.eval(space, initial)) {
+        ++steps_true_;
+    } else {
+        broken_since_ = 0;
+        ++disruptions_;
+    }
+}
+
+void CorrectorMonitor::on_step(const StateSpace& space, StateIndex,
+                               StateIndex to, bool, std::size_t step) {
+    ++steps_total_;
+    const bool x = x_.eval(space, to);
+    if (x) {
+        ++steps_true_;
+        if (broken_since_) {
+            latency_.add(static_cast<double>(step - *broken_since_));
+            broken_since_.reset();
+        }
+    } else if (!broken_since_) {
+        broken_since_ = step;
+        ++disruptions_;
+    }
+}
+
+void CorrectorMonitor::on_finish(const StateSpace&, StateIndex, std::size_t) {}
+
+double CorrectorMonitor::availability() const {
+    if (steps_total_ == 0) return 1.0;
+    return static_cast<double>(steps_true_) /
+           static_cast<double>(steps_total_);
+}
+
+}  // namespace dcft

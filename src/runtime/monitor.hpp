@@ -1,0 +1,110 @@
+// Online monitors: detectors and correctors observed at runtime.
+//
+// The verifier (src/verify) proves detector/corrector judgments over whole
+// state spaces; monitors measure the same components on individual
+// simulation runs — detection latency, correction latency, availability,
+// and safety-violation counts. This is the hybrid-validation role the
+// paper sketches for SIEFAST in Section 7.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "gc/predicate.hpp"
+#include "runtime/metrics.hpp"
+#include "spec/safety_spec.hpp"
+
+namespace dcft {
+
+/// Observer interface; the simulator invokes the hooks in order.
+class Monitor {
+public:
+    virtual ~Monitor() = default;
+    virtual void on_start(const StateSpace& space, StateIndex initial);
+    /// One executed step; `fault` marks fault-injector steps.
+    virtual void on_step(const StateSpace& space, StateIndex from,
+                         StateIndex to, bool fault, std::size_t step);
+    virtual void on_finish(const StateSpace& space, StateIndex last,
+                           std::size_t steps);
+};
+
+/// Counts violations of a safety specification along the run, separately
+/// for program steps and fault steps.
+class SafetyMonitor final : public Monitor {
+public:
+    explicit SafetyMonitor(SafetySpec spec);
+
+    void on_start(const StateSpace& space, StateIndex initial) override;
+    void on_step(const StateSpace& space, StateIndex from, StateIndex to,
+                 bool fault, std::size_t step) override;
+
+    std::size_t program_violations() const { return program_violations_; }
+    std::size_t fault_violations() const { return fault_violations_; }
+    std::size_t bad_states() const { return bad_states_; }
+
+private:
+    SafetySpec spec_;
+    std::size_t program_violations_ = 0;
+    std::size_t fault_violations_ = 0;
+    std::size_t bad_states_ = 0;
+};
+
+/// Measures a detector 'Z detects X': detection latency (steps from X
+/// becoming true until Z witnesses it) and Safeness/Stability violations.
+class DetectorMonitor final : public Monitor {
+public:
+    DetectorMonitor(Predicate witness, Predicate detection);
+
+    void on_start(const StateSpace& space, StateIndex initial) override;
+    void on_step(const StateSpace& space, StateIndex from, StateIndex to,
+                 bool fault, std::size_t step) override;
+
+    const SummaryStats& detection_latency() const { return latency_; }
+    std::size_t safeness_violations() const { return safeness_violations_; }
+    std::size_t stability_violations() const { return stability_violations_; }
+    /// X held at the end of the run but Z never witnessed it.
+    std::size_t pending_detections() const { return pending_; }
+
+private:
+    void observe(const StateSpace& space, StateIndex s, std::size_t step,
+                 bool entering);
+
+    Predicate z_, x_;
+    std::optional<std::size_t> x_since_;  ///< step X became (and stayed) true
+    bool z_prev_ = false;
+    SummaryStats latency_;
+    std::size_t safeness_violations_ = 0;
+    std::size_t stability_violations_ = 0;
+    std::size_t pending_ = 0;
+};
+
+/// Measures a corrector 'Z corrects X': availability (fraction of steps
+/// where X holds), correction latency per disruption episode, and the
+/// number of disruptions.
+class CorrectorMonitor final : public Monitor {
+public:
+    explicit CorrectorMonitor(Predicate correction);
+
+    void on_start(const StateSpace& space, StateIndex initial) override;
+    void on_step(const StateSpace& space, StateIndex from, StateIndex to,
+                 bool fault, std::size_t step) override;
+    void on_finish(const StateSpace& space, StateIndex last,
+                   std::size_t steps) override;
+
+    const SummaryStats& correction_latency() const { return latency_; }
+    std::size_t disruptions() const { return disruptions_; }
+    /// Fraction of observed states satisfying X.
+    double availability() const;
+    /// The run ended while X was still false.
+    bool unrecovered_at_end() const { return broken_since_.has_value(); }
+
+private:
+    Predicate x_;
+    std::optional<std::size_t> broken_since_;
+    SummaryStats latency_;
+    std::size_t disruptions_ = 0;
+    std::size_t steps_true_ = 0;
+    std::size_t steps_total_ = 0;
+};
+
+}  // namespace dcft

@@ -1,0 +1,62 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dcft {
+
+std::size_t RandomScheduler::pick(std::span<const std::size_t> enabled,
+                                  Rng& rng) {
+    DCFT_EXPECTS(!enabled.empty(), "pick on empty enabled set");
+    return enabled[rng.below(enabled.size())];
+}
+
+std::size_t RoundRobinScheduler::pick(std::span<const std::size_t> enabled,
+                                      Rng&) {
+    DCFT_EXPECTS(!enabled.empty(), "pick on empty enabled set");
+    // First enabled action with index >= cursor, else wrap around.
+    auto it = std::lower_bound(enabled.begin(), enabled.end(), cursor_);
+    const std::size_t chosen = (it != enabled.end()) ? *it : enabled.front();
+    cursor_ = chosen + 1;
+    return chosen;
+}
+
+AdversarialScheduler::AdversarialScheduler(std::vector<std::size_t> starved)
+    : starved_(std::move(starved)) {
+    std::sort(starved_.begin(), starved_.end());
+}
+
+std::size_t AdversarialScheduler::pick(std::span<const std::size_t> enabled,
+                                       Rng& rng) {
+    DCFT_EXPECTS(!enabled.empty(), "pick on empty enabled set");
+    std::vector<std::size_t> preferred;
+    preferred.reserve(enabled.size());
+    for (std::size_t a : enabled)
+        if (!std::binary_search(starved_.begin(), starved_.end(), a))
+            preferred.push_back(a);
+    const auto& pool = preferred.empty() ? std::vector<std::size_t>(
+                                               enabled.begin(), enabled.end())
+                                         : preferred;
+    return pool[rng.below(pool.size())];
+}
+
+WeightedScheduler::WeightedScheduler(std::vector<double> weights)
+    : weights_(std::move(weights)) {}
+
+std::size_t WeightedScheduler::pick(std::span<const std::size_t> enabled,
+                                    Rng& rng) {
+    DCFT_EXPECTS(!enabled.empty(), "pick on empty enabled set");
+    double total = 0;
+    for (std::size_t a : enabled)
+        total += (a < weights_.size()) ? weights_[a] : 1.0;
+    if (total <= 0) return enabled[rng.below(enabled.size())];
+    double roll = rng.uniform01() * total;
+    for (std::size_t a : enabled) {
+        roll -= (a < weights_.size()) ? weights_[a] : 1.0;
+        if (roll <= 0) return a;
+    }
+    return enabled.back();
+}
+
+}  // namespace dcft

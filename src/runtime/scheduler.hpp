@@ -1,0 +1,77 @@
+// Schedulers: which enabled action executes next.
+//
+// The paper's computations are fair — every continuously enabled action is
+// eventually executed. RoundRobinScheduler realizes that guarantee
+// deterministically; RandomScheduler realizes it with probability 1;
+// AdversarialScheduler deliberately starves chosen actions for as long as
+// possible, which is useful for stress-testing detector/corrector latency
+// bounds in benches.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dcft {
+
+/// Strategy interface for picking the next action to execute.
+class Scheduler {
+public:
+    virtual ~Scheduler() = default;
+
+    /// Picks one element of `enabled` (indices of enabled actions, strictly
+    /// increasing). Precondition: enabled is nonempty.
+    virtual std::size_t pick(std::span<const std::size_t> enabled,
+                             Rng& rng) = 0;
+
+    /// Resets internal state between runs.
+    virtual void reset() {}
+
+    virtual std::string name() const = 0;
+};
+
+/// Uniformly random among the enabled actions (fair with probability 1).
+class RandomScheduler final : public Scheduler {
+public:
+    std::size_t pick(std::span<const std::size_t> enabled, Rng& rng) override;
+    std::string name() const override { return "random"; }
+};
+
+/// Cycles through action indices; picks the first enabled action at or
+/// after the cursor. Deterministically weakly fair.
+class RoundRobinScheduler final : public Scheduler {
+public:
+    std::size_t pick(std::span<const std::size_t> enabled, Rng& rng) override;
+    void reset() override { cursor_ = 0; }
+    std::string name() const override { return "round-robin"; }
+
+private:
+    std::size_t cursor_ = 0;
+};
+
+/// Avoids the actions in `starved` whenever any other action is enabled.
+/// Useful to measure worst-case detection/correction latency.
+class AdversarialScheduler final : public Scheduler {
+public:
+    explicit AdversarialScheduler(std::vector<std::size_t> starved);
+    std::size_t pick(std::span<const std::size_t> enabled, Rng& rng) override;
+    std::string name() const override { return "adversarial"; }
+
+private:
+    std::vector<std::size_t> starved_;
+};
+
+/// Picks proportionally to per-action weights (default weight 1).
+class WeightedScheduler final : public Scheduler {
+public:
+    explicit WeightedScheduler(std::vector<double> weights);
+    std::size_t pick(std::span<const std::size_t> enabled, Rng& rng) override;
+    std::string name() const override { return "weighted"; }
+
+private:
+    std::vector<double> weights_;
+};
+
+}  // namespace dcft

@@ -1,0 +1,81 @@
+#include "runtime/simulator.hpp"
+
+#include "common/check.hpp"
+
+namespace dcft {
+
+Simulator::Simulator(const Program& program, Scheduler& scheduler,
+                     std::uint64_t seed)
+    : program_(&program), scheduler_(&scheduler), rng_(seed) {}
+
+void Simulator::add_monitor(Monitor* monitor) {
+    DCFT_EXPECTS(monitor != nullptr, "add_monitor(nullptr)");
+    monitors_.push_back(monitor);
+}
+
+void Simulator::set_fault_injector(FaultInjector* injector) {
+    injector_ = injector;
+}
+
+RunResult Simulator::run(StateIndex initial, const RunOptions& options) {
+    const StateSpace& space = program_->space();
+    DCFT_EXPECTS(initial < space.num_states(), "initial state out of range");
+
+    scheduler_->reset();
+    if (injector_ != nullptr) injector_->reset();
+
+    RunResult result;
+    result.initial = initial;
+    StateIndex s = initial;
+    for (Monitor* m : monitors_) m->on_start(space, s);
+
+    std::vector<std::size_t> enabled;
+    std::vector<StateIndex> succ;
+    while (result.steps < options.max_steps) {
+        if (options.stop_when && options.stop_when->eval(space, s)) {
+            result.stopped_early = true;
+            break;
+        }
+
+        // Fault steps interleave with program steps; the injector bounds
+        // their number (Assumption 2).
+        if (injector_ != nullptr) {
+            if (auto t = injector_->maybe_inject(space, s, result.steps,
+                                                 rng_)) {
+                for (Monitor* m : monitors_)
+                    m->on_step(space, s, *t, /*fault=*/true, result.steps);
+                if (options.record_trace)
+                    result.trace.push_back(
+                        TraceStep{*t, TraceStep::kFaultStep});
+                s = *t;
+                ++result.steps;
+                ++result.fault_steps;
+                continue;
+            }
+        }
+
+        enabled.clear();
+        for (std::size_t a = 0; a < program_->num_actions(); ++a)
+            if (program_->action(a).enabled(space, s)) enabled.push_back(a);
+        if (enabled.empty()) {
+            result.deadlocked = true;
+            break;
+        }
+        const std::size_t a = scheduler_->pick(enabled, rng_);
+        succ.clear();
+        program_->action(a).successors(space, s, succ);
+        const StateIndex t = succ[rng_.below(succ.size())];
+        for (Monitor* m : monitors_)
+            m->on_step(space, s, t, /*fault=*/false, result.steps);
+        if (options.record_trace) result.trace.push_back(TraceStep{t, a});
+        s = t;
+        ++result.steps;
+        ++result.program_steps;
+    }
+
+    result.final_state = s;
+    for (Monitor* m : monitors_) m->on_finish(space, s, result.steps);
+    return result;
+}
+
+}  // namespace dcft

@@ -1,0 +1,70 @@
+// The discrete-step execution engine (the paper's SIEFAST sketch, Section
+// 7): runs a guarded-command program under a scheduler, optionally
+// injecting faults, notifying monitors, and recording traces.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gc/program.hpp"
+#include "runtime/fault_injector.hpp"
+#include "runtime/monitor.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace dcft {
+
+/// One executed step of a run.
+struct TraceStep {
+    StateIndex to;
+    /// Index of the executed program action, or npos for a fault step.
+    std::size_t action;
+    static constexpr std::size_t kFaultStep = ~std::size_t{0};
+    bool is_fault() const { return action == kFaultStep; }
+};
+
+struct RunOptions {
+    std::size_t max_steps = 100000;
+    bool record_trace = false;
+    /// If set, the run stops as soon as this predicate holds.
+    std::optional<Predicate> stop_when;
+};
+
+struct RunResult {
+    StateIndex initial = 0;
+    StateIndex final_state = 0;
+    std::size_t steps = 0;           ///< program + fault steps executed
+    std::size_t program_steps = 0;
+    std::size_t fault_steps = 0;
+    bool deadlocked = false;         ///< ended in a p-maximal state
+    bool stopped_early = false;      ///< stop_when fired
+    std::vector<TraceStep> trace;    ///< only if record_trace
+};
+
+/// Executes programs step by step. Not thread-safe; one Simulator per
+/// thread. Monitors and the injector are borrowed (caller keeps ownership
+/// and must keep them alive during run()).
+class Simulator {
+public:
+    Simulator(const Program& program, Scheduler& scheduler,
+              std::uint64_t seed = 1);
+
+    /// Registers an observer (borrowed).
+    void add_monitor(Monitor* monitor);
+
+    /// Attaches a fault injector (borrowed); nullptr detaches.
+    void set_fault_injector(FaultInjector* injector);
+
+    /// Runs from `initial` until deadlock, stop_when, or max_steps.
+    RunResult run(StateIndex initial, const RunOptions& options = {});
+
+    Rng& rng() { return rng_; }
+
+private:
+    const Program* program_;
+    Scheduler* scheduler_;
+    Rng rng_;
+    std::vector<Monitor*> monitors_;
+    FaultInjector* injector_ = nullptr;
+};
+
+}  // namespace dcft

@@ -1,0 +1,132 @@
+#include "runtime/trace_checker.hpp"
+
+#include "common/check.hpp"
+
+namespace dcft {
+
+std::vector<StateIndex> trace_states(const RunResult& run) {
+    DCFT_EXPECTS(run.trace.size() == run.steps || run.steps == 0,
+                 "trace_states requires a run recorded with record_trace");
+    std::vector<StateIndex> states;
+    states.reserve(run.trace.size() + 1);
+    states.push_back(run.initial);
+    for (const TraceStep& step : run.trace) states.push_back(step.to);
+    return states;
+}
+
+TraceReport check_trace_safety(const StateSpace& space, const RunResult& run,
+                               const SafetySpec& safety) {
+    const std::vector<StateIndex> states = trace_states(run);
+    TraceReport report;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        if (!safety.state_allowed(space, states[i])) {
+            report.violations.push_back(TraceViolation{
+                i, "state " + space.format(states[i]) + " excluded by " +
+                       safety.name()});
+        }
+        if (i + 1 < states.size() &&
+            !safety.transition_allowed(space, states[i], states[i + 1])) {
+            const bool fault = run.trace[i].is_fault();
+            report.violations.push_back(TraceViolation{
+                i + 1, std::string(fault ? "fault step " : "step ") +
+                           space.format(states[i]) + " -> " +
+                           space.format(states[i + 1]) + " excluded by " +
+                           safety.name()});
+        }
+    }
+    return report;
+}
+
+TraceReport check_trace_detector(const StateSpace& space,
+                                 const RunResult& run,
+                                 const DetectorClaim& claim) {
+    const std::vector<StateIndex> states = trace_states(run);
+    TraceReport report;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        const bool z = claim.witness.eval(space, states[i]);
+        const bool x = claim.detection.eval(space, states[i]);
+        if (z && !x) {
+            report.violations.push_back(TraceViolation{
+                i, "Safeness: witness raised at " +
+                       space.format(states[i]) +
+                       " although the detection predicate is false"});
+        }
+        if (i + 1 < states.size() && z) {
+            const bool z2 = claim.witness.eval(space, states[i + 1]);
+            const bool x2 = claim.detection.eval(space, states[i + 1]);
+            if (!z2 && x2) {
+                report.violations.push_back(TraceViolation{
+                    i + 1,
+                    "Stability: witness retracted at " +
+                        space.format(states[i + 1]) +
+                        " while the detection predicate still holds"});
+            }
+        }
+    }
+    // Progress approximation: X held from some point to the end of the
+    // finite trace without ever being witnessed.
+    std::optional<std::size_t> x_since;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        const bool x = claim.detection.eval(space, states[i]);
+        const bool z = claim.witness.eval(space, states[i]);
+        if (!x || z)
+            x_since.reset();
+        else if (!x_since)
+            x_since = i;
+    }
+    if (x_since) {
+        report.violations.push_back(TraceViolation{
+            *x_since,
+            "Progress (finite-trace): detection predicate holds from step " +
+                std::to_string(*x_since) +
+                " to the end without being witnessed"});
+    }
+    return report;
+}
+
+TraceReport check_trace_corrector(const StateSpace& space,
+                                  const RunResult& run,
+                                  const CorrectorClaim& claim) {
+    const std::vector<StateIndex> states = trace_states(run);
+    TraceReport report;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        const bool z = claim.witness.eval(space, states[i]);
+        const bool x = claim.correction.eval(space, states[i]);
+        if (z && !x) {
+            report.violations.push_back(TraceViolation{
+                i, "Safeness: witness raised at " +
+                       space.format(states[i]) +
+                       " although the correction predicate is false"});
+        }
+        if (i + 1 < states.size()) {
+            const bool fault = run.trace[i].is_fault();
+            const bool x2 = claim.correction.eval(space, states[i + 1]);
+            const bool z2 = claim.witness.eval(space, states[i + 1]);
+            // cl(X): program steps never falsify the correction predicate
+            // (fault steps may — Theorem 5.5's asymmetry).
+            if (x && !x2 && !fault) {
+                report.violations.push_back(TraceViolation{
+                    i + 1, "Convergence closure: program step falsified "
+                           "the correction predicate at " +
+                               space.format(states[i + 1])});
+            }
+            if (z && !z2 && x2 && !fault) {
+                report.violations.push_back(TraceViolation{
+                    i + 1, "Stability: witness retracted at " +
+                               space.format(states[i + 1]) +
+                               " while the correction predicate holds"});
+            }
+        }
+    }
+    // Convergence approximation: the trace must not end unconverged.
+    if (!states.empty() &&
+        !claim.correction.eval(space, states.back())) {
+        report.violations.push_back(TraceViolation{
+            states.size() - 1,
+            "Convergence (finite-trace): trace ends with the correction "
+            "predicate false"});
+    }
+    return report;
+}
+
+}  // namespace dcft

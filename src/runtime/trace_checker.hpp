@@ -1,0 +1,60 @@
+// Offline trace checking: validate a recorded simulation trace against
+// specifications after the fact.
+//
+// This is the other half of the paper's hybrid-simulation story (Section
+// 7): a run produced by the simulator — possibly of a partially
+// implemented system — is checked against the same safety specifications
+// and detector/corrector conditions the verifier proves exhaustively.
+// Monitors (runtime/monitor.hpp) do this online; the trace checker does it
+// post-hoc on a RunResult with a recorded trace, and reports *where* in
+// the trace each condition failed.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "runtime/simulator.hpp"
+#include "spec/corrects.hpp"
+#include "spec/detects.hpp"
+#include "spec/safety_spec.hpp"
+
+namespace dcft {
+
+/// One violation found in a trace.
+struct TraceViolation {
+    std::size_t step;  ///< index into the reconstructed state sequence
+    std::string what;  ///< which condition, and how it failed
+};
+
+/// Result of checking one trace.
+struct TraceReport {
+    std::vector<TraceViolation> violations;
+    bool ok() const { return violations.empty(); }
+};
+
+/// The full state sequence of a run: initial state plus one state per
+/// trace step. Precondition: the run was recorded with record_trace.
+std::vector<StateIndex> trace_states(const RunResult& run);
+
+/// Checks every state and step of the trace against a safety
+/// specification. Fault steps are included — the paper's computations in
+/// the presence of faults contain them.
+TraceReport check_trace_safety(const StateSpace& space, const RunResult& run,
+                               const SafetySpec& safety);
+
+/// Checks the safety half of 'Z detects X' (Safeness + Stability) along
+/// the trace, and reports detection episodes X held to the end without
+/// being witnessed (a finite-trace approximation of Progress).
+TraceReport check_trace_detector(const StateSpace& space,
+                                 const RunResult& run,
+                                 const DetectorClaim& claim);
+
+/// Checks the safety half of 'Z corrects X' along the trace and reports a
+/// final unconverged suffix (finite-trace approximation of Convergence).
+/// Fault steps are exempt from the cl(X) clause, mirroring Theorem 5.5's
+/// observation that faults may violate corrector closure.
+TraceReport check_trace_corrector(const StateSpace& space,
+                                  const RunResult& run,
+                                  const CorrectorClaim& claim);
+
+}  // namespace dcft

@@ -1,0 +1,22 @@
+#include "spec/corrects.hpp"
+
+namespace dcft {
+
+ProblemSpec corrects_spec(const Predicate& z, const Predicate& x) {
+    const Predicate z_or_not_x =
+        (z || !x).renamed("(" + z.name() + " || !" + x.name() + ")");
+    SafetySpec safety = SafetySpec::conjunction(
+        {SafetySpec::closure(x),
+         SafetySpec::never((z && !x).renamed("(" + z.name() + " && !" +
+                                             x.name() + ")")),
+         SafetySpec::pair(z, z_or_not_x)},
+        "convergence&&safeness&&stability(" + z.name() + " corrects " +
+            x.name() + ")");
+    LivenessSpec liveness;
+    liveness.add_eventually(x);
+    liveness.add(LeadsTo{x, z_or_not_x});
+    return ProblemSpec(z.name() + " corrects " + x.name(), std::move(safety),
+                       std::move(liveness));
+}
+
+}  // namespace dcft

@@ -1,0 +1,28 @@
+// The 'Z corrects X' specification (Section 4.1 of the paper).
+//
+// Z is the witness predicate, X the correction predicate. The specification
+// adds Convergence to the three detector conditions:
+//
+//   Convergence: eventually X holds forever, and X is closed along the
+//                sequence — as safety cl(X) plus liveness (true ~~> X);
+//   Safeness   : Z => X at every state;
+//   Progress   : X ~~> (Z \/ !X);
+//   Stability  : ({Z}, {Z \/ !X}).
+#pragma once
+
+#include "spec/problem_spec.hpp"
+
+namespace dcft {
+
+/// The problem specification 'Z corrects X'.
+ProblemSpec corrects_spec(const Predicate& z, const Predicate& x);
+
+/// A corrector judgment: 'witness corrects correction_predicate in program
+/// from context' (the paper's `Z corrects X in c from U`).
+struct CorrectorClaim {
+    Predicate witness;     ///< Z
+    Predicate correction;  ///< X
+    Predicate context;     ///< U
+};
+
+}  // namespace dcft

@@ -1,0 +1,19 @@
+#include "spec/detects.hpp"
+
+namespace dcft {
+
+ProblemSpec detects_spec(const Predicate& z, const Predicate& x) {
+    const Predicate z_or_not_x =
+        (z || !x).renamed("(" + z.name() + " || !" + x.name() + ")");
+    SafetySpec safety = SafetySpec::conjunction(
+        {SafetySpec::never((z && !x).renamed("(" + z.name() + " && !" +
+                                             x.name() + ")")),
+         SafetySpec::pair(z, z_or_not_x)},
+        "safeness&&stability(" + z.name() + " detects " + x.name() + ")");
+    LivenessSpec liveness;
+    liveness.add(LeadsTo{x, z_or_not_x});
+    return ProblemSpec(z.name() + " detects " + x.name(), std::move(safety),
+                       std::move(liveness));
+}
+
+}  // namespace dcft

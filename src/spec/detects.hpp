@@ -1,0 +1,30 @@
+// The 'Z detects X' specification (Section 3.1 of the paper).
+//
+// Z is the witness predicate, X the detection predicate. The specification
+// is the set of sequences satisfying
+//
+//   Safeness : Z => X at every state              (never Z /\ !X)
+//   Progress : X ~~> (Z \/ !X)                    (liveness)
+//   Stability: ({Z}, {Z \/ !X})                   (generalized pair)
+//
+// `detects_spec` packages these as a ProblemSpec so the generic checkers
+// apply; `DetectorClaim` names the pieces of a "Z detects X in d from U"
+// judgment.
+#pragma once
+
+#include "spec/problem_spec.hpp"
+
+namespace dcft {
+
+/// The problem specification 'Z detects X'.
+ProblemSpec detects_spec(const Predicate& z, const Predicate& x);
+
+/// A detector judgment: 'witness detects detection_predicate in program
+/// from context' (the paper's `Z detects X in d from U`).
+struct DetectorClaim {
+    Predicate witness;    ///< Z
+    Predicate detection;  ///< X
+    Predicate context;    ///< U — the invariant the judgment is made from
+};
+
+}  // namespace dcft

@@ -1,0 +1,2 @@
+// LivenessSpec is header-only; this TU anchors the target in the build.
+#include "spec/liveness.hpp"

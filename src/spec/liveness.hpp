@@ -1,0 +1,50 @@
+// Liveness specifications.
+//
+// The liveness obligations that appear in the paper's specifications —
+// "converges to" (Section 2.2), the Progress condition of detectors
+// (Section 3.1), and the Convergence condition of correctors (Section 4.1)
+// — are all of the leads-to form: whenever P holds, Q eventually holds.
+// A LivenessSpec is a conjunction of such obligations. The verifier decides
+// them over finite transition systems under the paper's weak fairness
+// (Section 2.1: every continuously enabled action is eventually executed),
+// including the maximality condition for finite computations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gc/predicate.hpp"
+
+namespace dcft {
+
+/// One leads-to obligation: every computation state satisfying `from` is
+/// eventually followed by a state satisfying `to`.
+struct LeadsTo {
+    Predicate from;
+    Predicate to;
+
+    std::string name() const {
+        return from.name() + " ~~> " + to.name();
+    }
+};
+
+/// Conjunction of leads-to obligations.
+class LivenessSpec {
+public:
+    LivenessSpec() = default;
+
+    void add(LeadsTo obligation) { obligations_.push_back(std::move(obligation)); }
+
+    /// "Eventually Q" == true ~~> Q.
+    void add_eventually(const Predicate& q) {
+        obligations_.push_back(LeadsTo{Predicate::top(), q});
+    }
+
+    const std::vector<LeadsTo>& obligations() const { return obligations_; }
+    bool empty() const { return obligations_.empty(); }
+
+private:
+    std::vector<LeadsTo> obligations_;
+};
+
+}  // namespace dcft

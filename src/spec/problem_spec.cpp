@@ -1,0 +1,24 @@
+#include "spec/problem_spec.hpp"
+
+namespace dcft {
+
+std::string to_string(Tolerance t) {
+    switch (t) {
+        case Tolerance::FailSafe: return "fail-safe";
+        case Tolerance::Nonmasking: return "nonmasking";
+        case Tolerance::Masking: return "masking";
+    }
+    return "?";
+}
+
+ProblemSpec ProblemSpec::converges_to(const Predicate& s, const Predicate& r) {
+    SafetySpec safety = SafetySpec::conjunction(
+        {SafetySpec::closure(s), SafetySpec::closure(r)},
+        "cl(" + s.name() + ") && cl(" + r.name() + ")");
+    LivenessSpec liveness;
+    liveness.add(LeadsTo{s, r});
+    return ProblemSpec(s.name() + " converges-to " + r.name(),
+                       std::move(safety), std::move(liveness));
+}
+
+}  // namespace dcft

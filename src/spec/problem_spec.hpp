@@ -1,0 +1,53 @@
+// Problem specifications and tolerance specifications (Sections 2.2, 2.4).
+//
+// A problem specification factors (Alpern-Schneider) into a safety part and
+// a liveness part; dcft represents it as exactly that pair. The three
+// tolerance specifications of the paper derive from it:
+//
+//   masking    — SPEC itself;
+//   fail-safe  — the smallest safety specification containing SPEC, i.e.
+//                the safety part alone;
+//   nonmasking — (true)* SPEC: some suffix is in SPEC.
+#pragma once
+
+#include <string>
+
+#include "spec/liveness.hpp"
+#include "spec/safety_spec.hpp"
+
+namespace dcft {
+
+/// The paper's three tolerance grades (Section 2.4).
+enum class Tolerance { FailSafe, Nonmasking, Masking };
+
+std::string to_string(Tolerance t);
+
+/// A problem specification: safety ∩ liveness.
+class ProblemSpec {
+public:
+    ProblemSpec() = default;
+    ProblemSpec(std::string name, SafetySpec safety, LivenessSpec liveness)
+        : name_(std::move(name)), safety_(std::move(safety)),
+          liveness_(std::move(liveness)) {}
+
+    /// The specification "S converges to R" (Section 2.2):
+    /// cl(S) ∩ cl(R) ∩ (S ~~> R).
+    static ProblemSpec converges_to(const Predicate& s, const Predicate& r);
+
+    const std::string& name() const { return name_; }
+    const SafetySpec& safety() const { return safety_; }
+    const LivenessSpec& liveness() const { return liveness_; }
+
+    /// The fail-safe tolerance specification: SSPEC, the smallest safety
+    /// specification containing this one (Section 2.4).
+    ProblemSpec failsafe_weakening() const {
+        return ProblemSpec("failsafe(" + name_ + ")", safety_, LivenessSpec{});
+    }
+
+private:
+    std::string name_;
+    SafetySpec safety_;
+    LivenessSpec liveness_;
+};
+
+}  // namespace dcft

@@ -1,0 +1,99 @@
+#include "spec/safety_spec.hpp"
+
+#include "common/check.hpp"
+
+namespace dcft {
+
+struct SafetySpec::Impl {
+    std::string name;
+    Predicate bad_state;                // default-constructed = "true"? no:
+    bool has_bad_state = false;
+    TransitionFn bad_transition;        // null = no bad transitions
+    std::vector<SafetySpec> parts;      // for conjunctions
+};
+
+SafetySpec::SafetySpec() {
+    auto impl = std::make_shared<Impl>();
+    impl->name = "true-safety";
+    impl_ = std::move(impl);
+}
+
+SafetySpec::SafetySpec(std::string name, Predicate bad_state,
+                       TransitionFn bad_transition) {
+    auto impl = std::make_shared<Impl>();
+    impl->name = std::move(name);
+    impl->bad_state = std::move(bad_state);
+    impl->has_bad_state = true;
+    impl->bad_transition = std::move(bad_transition);
+    impl_ = std::move(impl);
+}
+
+SafetySpec SafetySpec::never(const Predicate& p) {
+    return SafetySpec("never(" + p.name() + ")", p, nullptr);
+}
+
+SafetySpec SafetySpec::pair(const Predicate& s, const Predicate& r) {
+    return SafetySpec(
+        "pair({" + s.name() + "},{" + r.name() + "})", Predicate::bottom(),
+        [s, r](const StateSpace& sp, StateIndex from, StateIndex to) {
+            return s.eval(sp, from) && !r.eval(sp, to);
+        });
+}
+
+SafetySpec SafetySpec::closure(const Predicate& s) {
+    SafetySpec out = pair(s, s);
+    // Rename for readability.
+    auto impl = std::make_shared<Impl>(*out.impl_);
+    impl->name = "cl(" + s.name() + ")";
+    out.impl_ = std::move(impl);
+    return out;
+}
+
+SafetySpec SafetySpec::conjunction(std::vector<SafetySpec> parts,
+                                   std::string name) {
+    auto impl = std::make_shared<Impl>();
+    if (name.empty()) {
+        name = "(";
+        for (std::size_t i = 0; i < parts.size(); ++i) {
+            if (i > 0) name += " && ";
+            name += parts[i].name();
+        }
+        name += ")";
+    }
+    impl->name = std::move(name);
+    impl->parts = std::move(parts);
+    SafetySpec out;
+    out.impl_ = std::move(impl);
+    return out;
+}
+
+const std::string& SafetySpec::name() const { return impl_->name; }
+
+bool SafetySpec::state_allowed(const StateSpace& space, StateIndex s) const {
+    if (impl_->has_bad_state && impl_->bad_state.eval(space, s)) return false;
+    for (const auto& part : impl_->parts)
+        if (!part.state_allowed(space, s)) return false;
+    return true;
+}
+
+bool SafetySpec::transition_allowed(const StateSpace& space, StateIndex from,
+                                    StateIndex to) const {
+    if (impl_->bad_transition && impl_->bad_transition(space, from, to))
+        return false;
+    for (const auto& part : impl_->parts)
+        if (!part.transition_allowed(space, from, to)) return false;
+    return true;
+}
+
+bool SafetySpec::maintains(const StateSpace& space,
+                           std::span<const StateIndex> states) const {
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        if (!state_allowed(space, states[i])) return false;
+        if (i + 1 < states.size() &&
+            !transition_allowed(space, states[i], states[i + 1]))
+            return false;
+    }
+    return true;
+}
+
+}  // namespace dcft

@@ -1,0 +1,19 @@
+#include "synth/add_failsafe.hpp"
+
+#include "verify/detection_predicate.hpp"
+
+namespace dcft {
+
+FailsafeSynthesis add_failsafe(const Program& p, const SafetySpec& safety) {
+    Program out(p.space_ptr(), p.vars(), "failsafe(" + p.name() + ")");
+    std::vector<Predicate> predicates;
+    predicates.reserve(p.num_actions());
+    for (const auto& ac : p.actions()) {
+        Predicate wdp = weakest_detection_predicate(p.space(), ac, safety);
+        out.add_action(ac.restricted(wdp));
+        predicates.push_back(std::move(wdp));
+    }
+    return FailsafeSynthesis{std::move(out), std::move(predicates)};
+}
+
+}  // namespace dcft

@@ -1,0 +1,34 @@
+// Fail-safe synthesis (the paper's Question 2, per its companion method
+// [Arora-Kulkarni, TSE 1998]): a fault-intolerant program is made fail-safe
+// tolerant by composing each action with a detector that witnesses the
+// action's detection predicate — concretely, by restricting every action
+// `g --> st` to `g /\ wdp --> st`, where wdp is the action's weakest
+// detection predicate for the safety specification (Theorem 3.3 guarantees
+// wdp exists; restriction to it preserves every safe behaviour, so the
+// result is the least-restrictive fail-safe transformation of this shape).
+//
+// The transformed program may deadlock in perturbed states — the paper
+// notes the same for DR;IR in Section 6.1; that is what the corrector
+// (add_nonmasking / add_masking) repairs.
+#pragma once
+
+#include <vector>
+
+#include "gc/program.hpp"
+#include "spec/safety_spec.hpp"
+
+namespace dcft {
+
+struct FailsafeSynthesis {
+    /// The transformed program: every action gated by its detector.
+    Program program;
+    /// The detection predicate used for each action (parallel to
+    /// p.actions()); these are the witnesses the added detectors watch.
+    std::vector<Predicate> detection_predicates;
+};
+
+/// Gates every action of p with its weakest detection predicate for
+/// `safety`. The result encapsulates p by construction.
+FailsafeSynthesis add_failsafe(const Program& p, const SafetySpec& safety);
+
+}  // namespace dcft

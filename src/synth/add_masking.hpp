@@ -1,0 +1,40 @@
+// Masking synthesis: fail-safe + nonmasking composed (the paper's Section
+// 5, mirroring Theorem 5.2's decomposition: a program that satisfies the
+// safety specification from the fault span *and* converges back to its
+// invariant is masking tolerant).
+//
+// Construction:
+//   1. add_failsafe gates every action of p with its weakest detection
+//      predicate, so no program step violates safety anywhere in the span;
+//   2. the gated program is additionally frozen outside the invariant, so
+//      recovery is interference-free;
+//   3. add_nonmasking synthesizes a corrector whose recovery transitions
+//      are themselves restricted to safety-allowed steps.
+//
+// If some span state admits no safe recovery path, masking tolerance of
+// this shape is unachievable and the result reports `complete == false`.
+#pragma once
+
+#include "synth/add_failsafe.hpp"
+#include "synth/add_nonmasking.hpp"
+
+namespace dcft {
+
+struct MaskingSynthesis {
+    Program program;
+    Program corrector;
+    Predicate fault_span;
+    std::vector<Predicate> detection_predicates;
+    bool complete = true;
+    std::vector<StateIndex> unrecoverable;
+};
+
+/// Builds a masking F-tolerant version of p for the given safety
+/// specification and invariant. `writable` restricts the corrector's
+/// variables (empty = all).
+MaskingSynthesis add_masking(const Program& p, const FaultClass& f,
+                             const SafetySpec& safety,
+                             const Predicate& invariant,
+                             std::vector<std::string> writable = {});
+
+}  // namespace dcft

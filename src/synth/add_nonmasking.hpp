@@ -1,0 +1,73 @@
+// Nonmasking synthesis: composing a corrector with a fault-intolerant
+// program so that, after faults stop, every computation converges to the
+// invariant (the paper's Section 4; the construction follows the companion
+// method [Arora-Kulkarni, TSE 1998]).
+//
+// The corrector is synthesized explicitly over the canonical fault span T:
+// rank every state of T by BFS distance to the invariant S along candidate
+// recovery transitions (single-variable writes by default, optionally
+// filtered by a safety specification so recovery itself stays safe), then
+// emit one corrector action whose guard is T /\ !S and whose statement
+// moves strictly down the ranking. With `single_step=false` the statement
+// follows the whole recovery path atomically — a reset-procedure-style
+// corrector whose convergence is interference-free by construction.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gc/program.hpp"
+#include "spec/safety_spec.hpp"
+#include "verify/state_set.hpp"
+
+namespace dcft {
+
+struct NonmaskingOptions {
+    /// One recovery hop per corrector firing (true) or an atomic jump along
+    /// the whole recovery path (false). Single-step correctors are the
+    /// realistic shape but their convergence can be foiled by program
+    /// interference — verify the result; atomic correctors always converge.
+    bool single_step = true;
+
+    /// Gate every program action by the invariant, so that outside S only
+    /// the corrector moves. Used by masking synthesis to rule out
+    /// interference during recovery.
+    bool freeze_program_outside_invariant = false;
+
+    /// When set, only recovery transitions allowed by this safety
+    /// specification are used (and only to spec-allowed states).
+    const SafetySpec* safety = nullptr;
+
+    /// Variables the corrector may write; empty = all variables of p.
+    std::vector<std::string> writable;
+
+    /// Where the fault span is computed from. Defaults to the correction
+    /// target itself (invariant-restoration synthesis). Set it to the
+    /// system's initial/good region when the correction target is a *goal*
+    /// predicate the system establishes rather than starts in — e.g. the
+    /// paper's TMR corrector corrects 'out = uncorrupted value' starting
+    /// from states where out is still unassigned (Section 6.1).
+    std::optional<Predicate> span_from;
+};
+
+struct NonmaskingSynthesis {
+    /// The composed program (possibly gated p) || corrector.
+    Program program;
+    /// The corrector alone, for component-level verification.
+    Program corrector;
+    /// The canonical fault span the corrector was built over.
+    Predicate fault_span;
+    /// False if some span state has no recovery path under the options;
+    /// such states are listed (up to a small cap) in `unrecoverable`.
+    bool complete = true;
+    std::vector<StateIndex> unrecoverable;
+};
+
+/// Builds (p || corrector) such that computations of the composition in the
+/// presence of f converge to `invariant` once faults stop.
+NonmaskingSynthesis add_nonmasking(const Program& p, const FaultClass& f,
+                                   const Predicate& invariant,
+                                   const NonmaskingOptions& opts = {});
+
+}  // namespace dcft

@@ -1,0 +1,29 @@
+// Verdict type returned by every checker in src/verify/.
+#pragma once
+
+#include <string>
+
+namespace dcft {
+
+/// Outcome of a verification query. On failure, `reason` names the violated
+/// condition and, where available, a witness state or transition.
+struct CheckResult {
+    bool ok = true;
+    std::string reason;
+
+    explicit operator bool() const { return ok; }
+
+    static CheckResult success() { return CheckResult{}; }
+    static CheckResult failure(std::string reason) {
+        return CheckResult{false, std::move(reason)};
+    }
+
+    /// First failure wins; success otherwise.
+    static CheckResult all(std::initializer_list<CheckResult> results) {
+        for (const auto& r : results)
+            if (!r.ok) return r;
+        return success();
+    }
+};
+
+}  // namespace dcft

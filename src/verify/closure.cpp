@@ -1,0 +1,41 @@
+#include "verify/closure.hpp"
+
+namespace dcft {
+namespace {
+
+CheckResult check_preserved_by(const StateSpace& space,
+                               std::span<const Action> actions,
+                               const Predicate& s, const char* what) {
+    std::vector<StateIndex> succ;
+    for (StateIndex st = 0; st < space.num_states(); ++st) {
+        if (!s.eval(space, st)) continue;
+        for (const auto& ac : actions) {
+            succ.clear();
+            ac.successors(space, st, succ);
+            for (StateIndex t : succ) {
+                if (!s.eval(space, t)) {
+                    return CheckResult::failure(
+                        std::string(what) + ": predicate " + s.name() +
+                        " not preserved by action '" + ac.name() +
+                        "' from " + space.format(st) + " to " +
+                        space.format(t));
+                }
+            }
+        }
+    }
+    return CheckResult::success();
+}
+
+}  // namespace
+
+CheckResult check_closed(const Program& p, const Predicate& s) {
+    return check_preserved_by(p.space(), p.actions(), s,
+                              ("closed in " + p.name()).c_str());
+}
+
+CheckResult check_preserved(const FaultClass& f, const Predicate& s) {
+    return check_preserved_by(f.space(), f.actions(), s,
+                              ("preserved by " + f.name()).c_str());
+}
+
+}  // namespace dcft

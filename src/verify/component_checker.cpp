@@ -1,0 +1,43 @@
+#include "verify/component_checker.hpp"
+
+namespace dcft {
+
+CheckResult check_detector(const Program& d, const DetectorClaim& claim) {
+    return refines_spec(d, detects_spec(claim.witness, claim.detection),
+                        claim.context);
+}
+
+CheckResult check_corrector(const Program& c, const CorrectorClaim& claim) {
+    return refines_spec(c, corrects_spec(claim.witness, claim.correction),
+                        claim.context);
+}
+
+CheckResult check_tolerant_detector(const Program& d, const FaultClass& f,
+                                    const DetectorClaim& claim,
+                                    Tolerance grade, const Predicate& span) {
+    const ProblemSpec spec = detects_spec(claim.witness, claim.detection);
+    if (CheckResult r = refines_spec(d, spec, claim.context); !r)
+        return CheckResult::failure("in the absence of faults: " + r.reason);
+    if (CheckResult r = refines_weakened(d, &f, spec, grade, span,
+                                         claim.context);
+        !r)
+        return CheckResult::failure("in the presence of " + f.name() + ": " +
+                                    r.reason);
+    return CheckResult::success();
+}
+
+CheckResult check_tolerant_corrector(const Program& c, const FaultClass& f,
+                                     const CorrectorClaim& claim,
+                                     Tolerance grade, const Predicate& span) {
+    const ProblemSpec spec = corrects_spec(claim.witness, claim.correction);
+    if (CheckResult r = refines_spec(c, spec, claim.context); !r)
+        return CheckResult::failure("in the absence of faults: " + r.reason);
+    if (CheckResult r = refines_weakened(c, &f, spec, grade, span,
+                                         claim.context);
+        !r)
+        return CheckResult::failure("in the presence of " + f.name() + ": " +
+                                    r.reason);
+    return CheckResult::success();
+}
+
+}  // namespace dcft

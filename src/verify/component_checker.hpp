@@ -1,0 +1,38 @@
+// Checking detector and corrector judgments (Sections 3.1 and 4.1).
+//
+//   check_detector(d, claim)  — 'Z detects X in d from U':
+//       d refines the 'Z detects X' specification from U.
+//   check_corrector(c, claim) — 'Z corrects X in c from U'.
+//
+// The tolerant variants implement the paper's F-tolerant component notion
+// (used by Theorems 3.6, 4.3, 5.5): the component refines its specification
+// from the context U, and together with the fault class it refines the
+// grade-weakened specification from the fault span T.
+#pragma once
+
+#include "spec/corrects.hpp"
+#include "spec/detects.hpp"
+#include "verify/check_result.hpp"
+#include "verify/refinement.hpp"
+
+namespace dcft {
+
+/// 'claim.witness detects claim.detection in d from claim.context'.
+CheckResult check_detector(const Program& d, const DetectorClaim& claim);
+
+/// 'claim.witness corrects claim.correction in c from claim.context'.
+CheckResult check_corrector(const Program& c, const CorrectorClaim& claim);
+
+/// d is a grade F-tolerant detector: d refines 'Z detects X' from U, and
+/// d [] F refines the grade-weakened 'Z detects X' from `span`.
+/// For the nonmasking grade, recovery goes via the context U.
+CheckResult check_tolerant_detector(const Program& d, const FaultClass& f,
+                                    const DetectorClaim& claim,
+                                    Tolerance grade, const Predicate& span);
+
+/// c is a grade F-tolerant corrector (same shape as above).
+CheckResult check_tolerant_corrector(const Program& c, const FaultClass& f,
+                                     const CorrectorClaim& claim,
+                                     Tolerance grade, const Predicate& span);
+
+}  // namespace dcft

@@ -1,0 +1,45 @@
+#include "verify/detection_predicate.hpp"
+
+namespace dcft {
+
+std::shared_ptr<const StateSet> weakest_detection_set(const StateSpace& space,
+                                                      const Action& ac,
+                                                      const SafetySpec& spec) {
+    auto out = std::make_shared<StateSet>(space.num_states());
+    std::vector<StateIndex> succ;
+    for (StateIndex s = 0; s < space.num_states(); ++s) {
+        if (!ac.enabled(space, s)) {
+            out->insert(s);  // vacuous: ac cannot execute here
+            continue;
+        }
+        succ.clear();
+        ac.successors(space, s, succ);
+        bool safe = true;
+        for (StateIndex t : succ) {
+            if (!spec.transition_allowed(space, s, t) ||
+                !spec.state_allowed(space, t)) {
+                safe = false;
+                break;
+            }
+        }
+        if (safe) out->insert(s);
+    }
+    return out;
+}
+
+Predicate weakest_detection_predicate(const StateSpace& space,
+                                      const Action& ac,
+                                      const SafetySpec& spec) {
+    return predicate_of(weakest_detection_set(space, ac, spec),
+                        "wdp(" + ac.name() + ")");
+}
+
+bool is_detection_predicate(const StateSpace& space, const Predicate& x,
+                            const Action& ac, const SafetySpec& spec) {
+    const auto weakest = weakest_detection_set(space, ac, spec);
+    for (StateIndex s = 0; s < space.num_states(); ++s)
+        if (x.eval(space, s) && !weakest->contains(s)) return false;
+    return true;
+}
+
+}  // namespace dcft

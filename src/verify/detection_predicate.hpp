@@ -1,0 +1,39 @@
+// Detection predicates (Section 3.2, Theorem 3.3 and the definition that
+// follows it): X is a detection predicate of action ac for SPEC iff
+// executing ac in any state where X holds maintains SPEC.
+//
+// Because dcft safety specifications are transition-local (see
+// spec/safety_spec.hpp), the *weakest* detection predicate of an action is
+// computable: the set of states from which every transition the action can
+// take is allowed by the specification. Theorem 3.3's existence claim and
+// the closure properties of detection predicates (union of detection
+// predicates is a detection predicate) are exercised in the test suite.
+#pragma once
+
+#include <memory>
+
+#include "gc/action.hpp"
+#include "spec/safety_spec.hpp"
+#include "verify/state_set.hpp"
+
+namespace dcft {
+
+/// The weakest detection predicate of `ac` for `spec`, as an explicit set:
+/// all states s such that executing ac at s (when enabled; vacuously true
+/// where disabled) yields only spec-allowed transitions to spec-allowed
+/// states.
+std::shared_ptr<const StateSet> weakest_detection_set(const StateSpace& space,
+                                                      const Action& ac,
+                                                      const SafetySpec& spec);
+
+/// Same, wrapped as a Predicate named "wdp(<action>)".
+Predicate weakest_detection_predicate(const StateSpace& space,
+                                      const Action& ac,
+                                      const SafetySpec& spec);
+
+/// True iff X is a detection predicate of ac for spec (Definition after
+/// Theorem 3.3): execution of ac in any state where X holds maintains spec.
+bool is_detection_predicate(const StateSpace& space, const Predicate& x,
+                            const Action& ac, const SafetySpec& spec);
+
+}  // namespace dcft

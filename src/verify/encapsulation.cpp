@@ -1,0 +1,92 @@
+#include "verify/encapsulation.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace dcft {
+namespace {
+
+/// Does ac ever change a variable in `vars`?
+bool touches(const StateSpace& space, const Action& ac, const VarSet& vars) {
+    std::vector<StateIndex> succ;
+    const auto members = vars.members();
+    for (StateIndex s = 0; s < space.num_states(); ++s) {
+        if (!ac.enabled(space, s)) continue;
+        succ.clear();
+        ac.successors(space, s, succ);
+        for (StateIndex t : succ)
+            for (VarId v : members)
+                if (space.get(t, v) != space.get(s, v)) return true;
+    }
+    return false;
+}
+
+/// Finds the action of p that `ac` is based on: either `ac` itself appears
+/// in p (same shared implementation), or an ancestor in its provenance
+/// chain does.
+std::optional<Action> base_in(const Action& ac, const Program& p) {
+    Action cur = ac;
+    for (;;) {
+        for (const auto& pac : p.actions())
+            if (pac.id() == cur.id()) return pac;
+        if (!cur.has_base()) return std::nullopt;
+        cur = cur.base();
+    }
+}
+
+}  // namespace
+
+CheckResult check_encapsulates(const Program& p_prime, const Program& p) {
+    const StateSpace& space = p_prime.space();
+    std::vector<StateIndex> succ, base_succ;
+    std::vector<StateIndex> proj, base_proj;
+
+    for (const auto& ac : p_prime.actions()) {
+        if (!touches(space, ac, p.vars())) continue;  // st' only — exempt
+
+        const auto base = base_in(ac, p);
+        if (!base) {
+            return CheckResult::failure(
+                "encapsulation violated: action '" + ac.name() + "' of " +
+                p_prime.name() + " updates variables of " + p.name() +
+                " but is not derived from any of its actions");
+        }
+
+        for (StateIndex s = 0; s < space.num_states(); ++s) {
+            if (!ac.enabled(space, s)) continue;
+            // The guard g /\ g' must imply the base guard g.
+            if (!base->enabled(space, s)) {
+                return CheckResult::failure(
+                    "encapsulation violated: '" + ac.name() +
+                    "' is enabled at " + space.format(s) +
+                    " where its base action '" + base->name() + "' is not");
+            }
+            // The effect on p's variables must be exactly st's effect.
+            succ.clear();
+            base_succ.clear();
+            ac.successors(space, s, succ);
+            base->successors(space, s, base_succ);
+            proj.clear();
+            base_proj.clear();
+            for (StateIndex t : succ)
+                proj.push_back(space.project(t, p.vars()));
+            for (StateIndex t : base_succ)
+                base_proj.push_back(space.project(t, p.vars()));
+            std::sort(proj.begin(), proj.end());
+            proj.erase(std::unique(proj.begin(), proj.end()), proj.end());
+            std::sort(base_proj.begin(), base_proj.end());
+            base_proj.erase(std::unique(base_proj.begin(), base_proj.end()),
+                            base_proj.end());
+            if (proj != base_proj) {
+                return CheckResult::failure(
+                    "encapsulation violated: at " + space.format(s) +
+                    ", action '" + ac.name() + "' updates the variables of " +
+                    p.name() + " differently from its base '" + base->name() +
+                    "'");
+            }
+        }
+    }
+    return CheckResult::success();
+}
+
+}  // namespace dcft

@@ -1,0 +1,22 @@
+// The *encapsulates* relation (Section 2.1): p' encapsulates p iff every
+// action of p' that updates variables of p has the shape
+// g /\ g' --> st || st' where g --> st is an action of p and st' does not
+// update variables of p (st' may read the pre-state of st's variables).
+//
+// dcft checks this semantically over the full state space, guided by the
+// provenance recorded on actions (Action::restricted / ::encapsulated):
+// for each action of p' that can change a variable of p, its provenance
+// chain must reach an action of p, its guard must imply the base guard,
+// and its effect projected on p's variables must coincide with the base
+// action's effect.
+#pragma once
+
+#include "gc/program.hpp"
+#include "verify/check_result.hpp"
+
+namespace dcft {
+
+/// Checks that p_prime encapsulates p.
+CheckResult check_encapsulates(const Program& p_prime, const Program& p);
+
+}  // namespace dcft

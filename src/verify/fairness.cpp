@@ -1,0 +1,212 @@
+#include "verify/fairness.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace dcft {
+namespace {
+
+/// Iterative Tarjan SCC over the sub-graph of program edges whose endpoints
+/// both satisfy `in_h`. Returns component ids (dense, otherwise arbitrary);
+/// nodes outside H get component id UINT32_MAX.
+struct SccResult {
+    std::vector<std::uint32_t> comp;
+    std::uint32_t num_comps = 0;
+};
+
+constexpr std::uint32_t kNoComp = ~std::uint32_t{0};
+
+SccResult tarjan_scc(const TransitionSystem& ts, const std::vector<char>& in_h) {
+    const std::size_t n = ts.num_nodes();
+    SccResult result;
+    result.comp.assign(n, kNoComp);
+
+    std::vector<std::uint32_t> index(n, kNoComp), low(n, 0);
+    std::vector<char> on_stack(n, 0);
+    std::vector<NodeId> stack;
+    std::uint32_t next_index = 0;
+
+    struct Frame {
+        NodeId node;
+        std::size_t edge;
+    };
+    std::vector<Frame> call;
+
+    for (NodeId root = 0; root < n; ++root) {
+        if (!in_h[root] || index[root] != kNoComp) continue;
+        call.push_back(Frame{root, 0});
+        index[root] = low[root] = next_index++;
+        stack.push_back(root);
+        on_stack[root] = 1;
+        while (!call.empty()) {
+            Frame& f = call.back();
+            const auto& edges = ts.program_edges(f.node);
+            bool descended = false;
+            while (f.edge < edges.size()) {
+                const NodeId w = edges[f.edge].to;
+                ++f.edge;
+                if (!in_h[w]) continue;
+                if (index[w] == kNoComp) {
+                    call.push_back(Frame{w, 0});
+                    index[w] = low[w] = next_index++;
+                    stack.push_back(w);
+                    on_stack[w] = 1;
+                    descended = true;
+                    break;
+                }
+                if (on_stack[w]) low[f.node] = std::min(low[f.node], index[w]);
+            }
+            if (descended) continue;
+            // f.node finished.
+            const NodeId v = f.node;
+            call.pop_back();
+            if (!call.empty())
+                low[call.back().node] = std::min(low[call.back().node], low[v]);
+            if (low[v] == index[v]) {
+                const std::uint32_t c = result.num_comps++;
+                for (;;) {
+                    const NodeId w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = 0;
+                    result.comp[w] = c;
+                    if (w == v) break;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace
+
+std::vector<char> eval_on_nodes(const TransitionSystem& ts,
+                                const Predicate& p) {
+    std::vector<char> out(ts.num_nodes());
+    for (NodeId n = 0; n < ts.num_nodes(); ++n)
+        out[n] = p.eval(ts.space(), ts.state_of(n)) ? 1 : 0;
+    return out;
+}
+
+std::vector<char> fair_avoidance_set(const TransitionSystem& ts,
+                                     const std::vector<char>& target) {
+    const std::size_t n = ts.num_nodes();
+    std::vector<char> in_h(n);
+    for (std::size_t i = 0; i < n; ++i) in_h[i] = target[i] ? 0 : 1;
+
+    std::vector<char> avoid(n, 0);
+    std::deque<NodeId> frontier;
+
+    // Finite maximal computations: terminal !target nodes.
+    for (NodeId v = 0; v < n; ++v) {
+        if (in_h[v] && ts.terminal(v)) {
+            avoid[v] = 1;
+            frontier.push_back(v);
+        }
+    }
+
+    // Infinite fair computations confined to !target: feasible SCCs.
+    const SccResult scc = tarjan_scc(ts, in_h);
+    if (scc.num_comps > 0) {
+        std::vector<std::vector<NodeId>> members(scc.num_comps);
+        for (NodeId v = 0; v < n; ++v)
+            if (scc.comp[v] != kNoComp) members[scc.comp[v]].push_back(v);
+
+        const std::size_t num_actions = ts.num_program_actions();
+        std::vector<char> has_internal(num_actions);
+        for (std::uint32_t c = 0; c < scc.num_comps; ++c) {
+            const auto& nodes = members[c];
+            // Internal edges per action, and whether any exist at all.
+            std::fill(has_internal.begin(), has_internal.end(), 0);
+            bool any_internal = false;
+            for (NodeId v : nodes) {
+                for (const auto& e : ts.program_edges(v)) {
+                    if (in_h[e.to] && scc.comp[e.to] == c) {
+                        has_internal[e.action] = 1;
+                        any_internal = true;
+                    }
+                }
+            }
+            if (!any_internal) continue;  // trivial SCC, no self-loop
+            bool feasible = true;
+            for (std::uint32_t a = 0; a < num_actions && feasible; ++a) {
+                if (has_internal[a]) continue;
+                bool enabled_everywhere = true;
+                for (NodeId v : nodes) {
+                    if (!ts.enabled(v, a)) {
+                        enabled_everywhere = false;
+                        break;
+                    }
+                }
+                if (enabled_everywhere) feasible = false;
+            }
+            if (feasible) {
+                for (NodeId v : nodes) {
+                    if (!avoid[v]) {
+                        avoid[v] = 1;
+                        frontier.push_back(v);
+                    }
+                }
+            }
+        }
+    }
+
+    // Backward closure within !target over program edges: a node that can
+    // reach an avoidance node without touching target also avoids.
+    const auto& preds = ts.predecessors(/*include_faults=*/false);
+    while (!frontier.empty()) {
+        const NodeId v = frontier.front();
+        frontier.pop_front();
+        for (NodeId u : preds[v]) {
+            if (in_h[u] && !avoid[u]) {
+                avoid[u] = 1;
+                frontier.push_back(u);
+            }
+        }
+    }
+    return avoid;
+}
+
+CheckResult check_leads_to(const TransitionSystem& ts, const Predicate& p,
+                           const Predicate& q, bool include_fault_edges) {
+    const std::vector<char> target = eval_on_nodes(ts, q);
+    std::vector<char> bad = fair_avoidance_set(ts, target);
+
+    if (include_fault_edges) {
+        // A violating computation may also use finitely many fault steps
+        // inside !q before its program-only suffix; extend backwards over
+        // program + fault edges within !q.
+        const auto& preds = ts.predecessors(/*include_faults=*/true);
+        std::deque<NodeId> frontier;
+        for (NodeId v = 0; v < ts.num_nodes(); ++v)
+            if (bad[v]) frontier.push_back(v);
+        while (!frontier.empty()) {
+            const NodeId v = frontier.front();
+            frontier.pop_front();
+            for (NodeId u : preds[v]) {
+                if (!target[u] && !bad[u]) {
+                    bad[u] = 1;
+                    frontier.push_back(u);
+                }
+            }
+        }
+    }
+
+    for (NodeId v = 0; v < ts.num_nodes(); ++v) {
+        if (!target[v] && bad[v] && p.eval(ts.space(), ts.state_of(v))) {
+            return CheckResult::failure(
+                "leads-to violated: " + p.name() + " ~~> " + q.name() +
+                " fails from state " + ts.space().format(ts.state_of(v)) +
+                (ts.terminal(v) ? " (maximal/terminal state)"
+                                : " (fair computation avoids target)") +
+                "; reached via: " + ts.format_witness(v));
+        }
+    }
+    return CheckResult::success();
+}
+
+CheckResult check_reaches(const TransitionSystem& ts, const Predicate& target,
+                          bool include_fault_edges) {
+    return check_leads_to(ts, Predicate::top(), target, include_fault_edges);
+}
+
+}  // namespace dcft

@@ -1,0 +1,29 @@
+#include "verify/fault_span.hpp"
+
+#include "verify/closure.hpp"
+#include "verify/reachability.hpp"
+
+namespace dcft {
+
+FaultSpan compute_fault_span(const Program& p, const FaultClass& f,
+                             const Predicate& invariant) {
+    auto states = std::make_shared<StateSet>(
+        reachable_states(p, &f, invariant));
+    Predicate pred = predicate_of(
+        states, "span(" + p.name() + "," + f.name() + "," + invariant.name() +
+                    ")");
+    return FaultSpan{std::move(states), std::move(pred)};
+}
+
+CheckResult check_is_fault_span(const Program& p, const FaultClass& f,
+                                const Predicate& invariant,
+                                const Predicate& span) {
+    if (!implies_everywhere(p.space(), invariant, span))
+        return CheckResult::failure("fault span: " + invariant.name() +
+                                    " does not imply " + span.name());
+    if (CheckResult r = check_closed(p, span); !r) return r;
+    if (CheckResult r = check_preserved(f, span); !r) return r;
+    return CheckResult::success();
+}
+
+}  // namespace dcft

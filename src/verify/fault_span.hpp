@@ -1,0 +1,31 @@
+// Fault spans (Section 2.3): T is an F-span of p from S iff S => T, T is
+// closed in p, and every action of F preserves T. The *canonical* F-span —
+// the smallest one — is the set of states reachable from S under p [] F;
+// tolerance checking uses it because a program tolerant from the smallest
+// span is tolerant from every span the designer might have had in mind
+// whose reachable part coincides.
+#pragma once
+
+#include <memory>
+
+#include "gc/program.hpp"
+#include "verify/check_result.hpp"
+#include "verify/state_set.hpp"
+
+namespace dcft {
+
+/// The canonical (smallest) F-span of p from `invariant`.
+struct FaultSpan {
+    std::shared_ptr<const StateSet> states;
+    Predicate predicate;  ///< membership predicate, named "span(...)"
+};
+
+FaultSpan compute_fault_span(const Program& p, const FaultClass& f,
+                             const Predicate& invariant);
+
+/// Checks the definition directly: S => T, T closed in p, F preserves T.
+CheckResult check_is_fault_span(const Program& p, const FaultClass& f,
+                                const Predicate& invariant,
+                                const Predicate& span);
+
+}  // namespace dcft

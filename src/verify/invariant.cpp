@@ -1,0 +1,74 @@
+#include "verify/invariant.hpp"
+
+#include <deque>
+
+#include "verify/reachability.hpp"
+
+namespace dcft {
+
+Predicate reachable_invariant(const Program& p, const Predicate& initial) {
+    auto reach = std::make_shared<StateSet>(
+        reachable_states(p, nullptr, initial));
+    return predicate_of(std::move(reach),
+                        "reach(" + p.name() + "," + initial.name() + ")");
+}
+
+Predicate largest_safety_invariant(const Program& p,
+                                   const SafetySpec& safety) {
+    const StateSpace& space = p.space();
+    const StateIndex n = space.num_states();
+
+    // removed[s] — s cannot belong to any safety invariant.
+    std::vector<char> removed(n, 0);
+    std::deque<StateIndex> queue;
+    std::vector<StateIndex> succ;
+
+    // Seed: states that are themselves disallowed, or have a disallowed
+    // transition (a closed set containing such a state cannot avoid it).
+    for (StateIndex s = 0; s < n; ++s) {
+        bool bad = !safety.state_allowed(space, s);
+        if (!bad) {
+            succ.clear();
+            p.successors(s, succ);
+            for (StateIndex t : succ) {
+                if (!safety.transition_allowed(space, s, t)) {
+                    bad = true;
+                    break;
+                }
+            }
+        }
+        if (bad) {
+            removed[s] = 1;
+            queue.push_back(s);
+        }
+    }
+
+    // Greatest fixpoint via backward propagation: any state with a
+    // successor outside the candidate set must go too (closure).
+    // Predecessor lists are built once.
+    std::vector<std::vector<StateIndex>> preds(n);
+    for (StateIndex s = 0; s < n; ++s) {
+        succ.clear();
+        p.successors(s, succ);
+        for (StateIndex t : succ) preds[t].push_back(s);
+    }
+    while (!queue.empty()) {
+        const StateIndex t = queue.front();
+        queue.pop_front();
+        for (StateIndex s : preds[t]) {
+            if (!removed[s]) {
+                removed[s] = 1;
+                queue.push_back(s);
+            }
+        }
+    }
+
+    auto keep = std::make_shared<StateSet>(n);
+    for (StateIndex s = 0; s < n; ++s)
+        if (!removed[s]) keep->insert(s);
+    return predicate_of(std::move(keep),
+                        "largest-inv(" + p.name() + "," + safety.name() +
+                            ")");
+}
+
+}  // namespace dcft

@@ -1,0 +1,28 @@
+#include "verify/reachability.hpp"
+
+#include <deque>
+
+namespace dcft {
+
+StateSet reachable_states(const Program& p, const FaultClass* f,
+                          const Predicate& from) {
+    const StateSpace& space = p.space();
+    StateSet seen(space.num_states());
+    std::deque<StateIndex> frontier;
+    for (StateIndex s = 0; s < space.num_states(); ++s) {
+        if (from.eval(space, s) && seen.insert(s)) frontier.push_back(s);
+    }
+    std::vector<StateIndex> succ;
+    while (!frontier.empty()) {
+        const StateIndex s = frontier.front();
+        frontier.pop_front();
+        succ.clear();
+        p.successors(s, succ);
+        if (f != nullptr) f->successors(s, succ);
+        for (StateIndex t : succ)
+            if (seen.insert(t)) frontier.push_back(t);
+    }
+    return seen;
+}
+
+}  // namespace dcft

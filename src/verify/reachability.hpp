@@ -1,0 +1,16 @@
+// Forward reachability over programs and fault classes.
+#pragma once
+
+#include "gc/program.hpp"
+#include "verify/state_set.hpp"
+
+namespace dcft {
+
+/// The set of states reachable from states satisfying `from` via actions of
+/// `p` and, if non-null, of `f`. This is the smallest set containing `from`
+/// that is closed in p and preserved by every action of f — for `from` = an
+/// invariant S, it is the canonical F-span of p from S (Section 2.3).
+StateSet reachable_states(const Program& p, const FaultClass* f,
+                          const Predicate& from);
+
+}  // namespace dcft

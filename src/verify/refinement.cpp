@@ -1,0 +1,131 @@
+#include "verify/refinement.hpp"
+
+#include "verify/closure.hpp"
+#include "verify/fairness.hpp"
+
+namespace dcft {
+namespace {
+
+CheckResult check_safety_on(const TransitionSystem& ts, const SafetySpec& spec,
+                            bool include_fault_edges) {
+    const StateSpace& space = ts.space();
+    for (NodeId n = 0; n < ts.num_nodes(); ++n) {
+        const StateIndex s = ts.state_of(n);
+        if (!spec.state_allowed(space, s)) {
+            return CheckResult::failure(
+                "safety violated: state " + space.format(s) +
+                " is excluded by " + spec.name() + "; witness: " +
+                ts.format_witness(n));
+        }
+        for (const auto& e : ts.program_edges(n)) {
+            const StateIndex t = ts.state_of(e.to);
+            if (!spec.transition_allowed(space, s, t)) {
+                return CheckResult::failure(
+                    "safety violated: transition " + space.format(s) + " -> " +
+                    space.format(t) + " (action '" +
+                    ts.program().action(e.action).name() +
+                    "') is excluded by " + spec.name() + "; witness: " +
+                    ts.format_witness(n));
+            }
+        }
+        if (include_fault_edges) {
+            for (const auto& e : ts.fault_edges(n)) {
+                const StateIndex t = ts.state_of(e.to);
+                if (!spec.transition_allowed(space, s, t)) {
+                    return CheckResult::failure(
+                        "safety violated by fault step: " + space.format(s) +
+                        " -> " + space.format(t) + " is excluded by " +
+                        spec.name());
+                }
+            }
+        }
+    }
+    return CheckResult::success();
+}
+
+}  // namespace
+
+CheckResult refines_spec(const Program& p, const ProblemSpec& spec,
+                         const Predicate& from, const RefinesOptions& opts) {
+    if (CheckResult r = check_closed(p, from); !r) return r;
+    if (opts.faults != nullptr) {
+        if (CheckResult r = check_preserved(*opts.faults, from); !r) return r;
+    }
+    const TransitionSystem ts(p, opts.faults, from);
+    const bool with_faults = opts.faults != nullptr;
+    if (CheckResult r = check_safety_on(ts, spec.safety(), with_faults); !r)
+        return r;
+    for (const auto& ob : spec.liveness().obligations()) {
+        if (CheckResult r = check_leads_to(ts, ob.from, ob.to, with_faults);
+            !r)
+            return r;
+    }
+    return CheckResult::success();
+}
+
+CheckResult refines_program(const Program& p_prime, const Program& p,
+                            const Predicate& from) {
+    if (CheckResult r = check_closed(p_prime, from); !r) return r;
+
+    const StateSpace& space = p_prime.space();
+    const VarSet& pvars = p.vars();
+    const TransitionSystem ts(p_prime, nullptr, from);
+    std::vector<StateIndex> base_succ;
+    for (NodeId n = 0; n < ts.num_nodes(); ++n) {
+        const StateIndex s = ts.state_of(n);
+        const StateIndex sp = space.project(s, pvars);
+        for (const auto& e : ts.program_edges(n)) {
+            const StateIndex t = ts.state_of(e.to);
+            const StateIndex tp = space.project(t, pvars);
+            if (tp == sp) continue;  // stutter on p's variables
+            bool matched = false;
+            for (const auto& ac : p.actions()) {
+                base_succ.clear();
+                ac.successors(space, s, base_succ);
+                for (StateIndex u : base_succ) {
+                    if (space.project(u, pvars) == tp) {
+                        matched = true;
+                        break;
+                    }
+                }
+                if (matched) break;
+            }
+            if (!matched) {
+                return CheckResult::failure(
+                    "refinement violated: step " + space.format(s) + " -> " +
+                    space.format(t) + " of " + p_prime.name() + " (action '" +
+                    ts.program().action(e.action).name() +
+                    "') does not project onto a step of " + p.name());
+            }
+        }
+    }
+    return CheckResult::success();
+}
+
+CheckResult converges(const Program& p, const FaultClass* f,
+                      const Predicate& from, const Predicate& to) {
+    const TransitionSystem ts(p, f, from);
+    return check_reaches(ts, to, f != nullptr);
+}
+
+CheckResult refines_weakened(const Program& p, const FaultClass* f,
+                             const ProblemSpec& spec, Tolerance grade,
+                             const Predicate& from, const Predicate& via) {
+    switch (grade) {
+        case Tolerance::Masking:
+            return refines_spec(p, spec, from, RefinesOptions{f});
+        case Tolerance::FailSafe:
+            return refines_spec(p, spec.failsafe_weakening(), from,
+                                RefinesOptions{f});
+        case Tolerance::Nonmasking: {
+            if (CheckResult r = converges(p, f, from, via); !r)
+                return CheckResult::failure(
+                    "nonmasking: computations do not converge to " +
+                    via.name() + ": " + r.reason);
+            return refines_spec(p, spec, via, RefinesOptions{});
+        }
+    }
+    return CheckResult::failure("unknown tolerance grade");
+}
+
+}  // namespace dcft

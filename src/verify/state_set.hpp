@@ -1,0 +1,80 @@
+// Dense sets of states, used for reachable sets, fault spans, and computed
+// predicates (e.g. weakest detection predicates).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "gc/predicate.hpp"
+#include "gc/state_space.hpp"
+
+namespace dcft {
+
+/// A subset of the states of a StateSpace, stored as a bitset over the
+/// packed state indices. Suitable for the explicit-state spaces dcft
+/// targets (up to ~10^8 states).
+class StateSet {
+public:
+    explicit StateSet(StateIndex num_states)
+        : num_states_(num_states),
+          bits_((static_cast<std::size_t>(num_states) + 63) / 64, 0) {}
+
+    StateIndex universe_size() const { return num_states_; }
+
+    bool contains(StateIndex s) const {
+        DCFT_EXPECTS(s < num_states_, "StateSet: state out of range");
+        return (bits_[s >> 6] >> (s & 63)) & 1;
+    }
+
+    /// Inserts s; returns true if it was newly inserted.
+    bool insert(StateIndex s) {
+        DCFT_EXPECTS(s < num_states_, "StateSet: state out of range");
+        const std::uint64_t mask = std::uint64_t{1} << (s & 63);
+        if (bits_[s >> 6] & mask) return false;
+        bits_[s >> 6] |= mask;
+        ++count_;
+        return true;
+    }
+
+    StateIndex count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        for (std::size_t w = 0; w < bits_.size(); ++w) {
+            std::uint64_t word = bits_[w];
+            while (word != 0) {
+                const int bit = __builtin_ctzll(word);
+                fn(static_cast<StateIndex>(w * 64 + bit));
+                word &= word - 1;
+            }
+        }
+    }
+
+private:
+    StateIndex num_states_;
+    std::vector<std::uint64_t> bits_;
+    StateIndex count_ = 0;
+};
+
+/// A Predicate backed by an explicit StateSet (shared, immutable).
+inline Predicate predicate_of(std::shared_ptr<const StateSet> set,
+                              std::string name) {
+    DCFT_EXPECTS(set != nullptr, "predicate_of requires a set");
+    return Predicate(std::move(name),
+                     [set = std::move(set)](const StateSpace&, StateIndex s) {
+                         return set->contains(s);
+                     });
+}
+
+/// All states of `space` satisfying p, as an explicit set.
+inline StateSet materialize(const StateSpace& space, const Predicate& p) {
+    StateSet out(space.num_states());
+    for (StateIndex s = 0; s < space.num_states(); ++s)
+        if (p.eval(space, s)) out.insert(s);
+    return out;
+}
+
+}  // namespace dcft

@@ -1,0 +1,41 @@
+#include "verify/tolerance_checker.hpp"
+
+#include "verify/refinement.hpp"
+
+namespace dcft {
+
+ToleranceReport check_tolerance(const Program& p, const FaultClass& f,
+                                const ProblemSpec& spec,
+                                const Predicate& invariant, Tolerance grade) {
+    ToleranceReport report;
+    report.invariant_size = count_satisfying(p.space(), invariant);
+    report.in_absence = refines_spec(p, spec, invariant);
+
+    const FaultSpan span = compute_fault_span(p, f, invariant);
+    report.fault_span = span.predicate;
+    report.span_size = span.states->count();
+
+    report.in_presence = refines_weakened(p, &f, spec, grade, span.predicate,
+                                          invariant);
+    return report;
+}
+
+ToleranceReport check_failsafe(const Program& p, const FaultClass& f,
+                               const ProblemSpec& spec,
+                               const Predicate& invariant) {
+    return check_tolerance(p, f, spec, invariant, Tolerance::FailSafe);
+}
+
+ToleranceReport check_nonmasking(const Program& p, const FaultClass& f,
+                                 const ProblemSpec& spec,
+                                 const Predicate& invariant) {
+    return check_tolerance(p, f, spec, invariant, Tolerance::Nonmasking);
+}
+
+ToleranceReport check_masking(const Program& p, const FaultClass& f,
+                              const ProblemSpec& spec,
+                              const Predicate& invariant) {
+    return check_tolerance(p, f, spec, invariant, Tolerance::Masking);
+}
+
+}  // namespace dcft

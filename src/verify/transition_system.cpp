@@ -1,0 +1,131 @@
+#include "verify/transition_system.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.hpp"
+
+namespace dcft {
+
+TransitionSystem::TransitionSystem(const Program& program,
+                                   const FaultClass* faults,
+                                   const Predicate& init)
+    : space_(program.space_ptr()), program_(program) {
+    // Seed with every state satisfying init (exhaustive scan of the space).
+    std::deque<NodeId> frontier;
+    const StateIndex n_states = space_->num_states();
+    for (StateIndex s = 0; s < n_states; ++s) {
+        if (!init.eval(*space_, s)) continue;
+        const NodeId id = static_cast<NodeId>(states_.size());
+        states_.push_back(s);
+        node_of_.emplace(s, id);
+        initial_.push_back(id);
+        parent_.push_back(id);  // roots are their own parent
+        frontier.push_back(id);
+    }
+    prog_edges_.resize(states_.size());
+    fault_edges_.resize(states_.size());
+
+    std::vector<StateIndex> succ;
+    NodeId current = 0;
+    auto intern = [&](StateIndex t) -> NodeId {
+        auto [it, inserted] =
+            node_of_.emplace(t, static_cast<NodeId>(states_.size()));
+        if (inserted) {
+            states_.push_back(t);
+            prog_edges_.emplace_back();
+            fault_edges_.emplace_back();
+            parent_.push_back(current);
+            frontier.push_back(it->second);
+        }
+        return it->second;
+    };
+
+    while (!frontier.empty()) {
+        const NodeId n = frontier.front();
+        frontier.pop_front();
+        current = n;
+        const StateIndex s = states_[n];
+        for (std::uint32_t a = 0; a < program_.num_actions(); ++a) {
+            succ.clear();
+            program_.action(a).successors(*space_, s, succ);
+            for (StateIndex t : succ) {
+                // intern() may grow the edge vectors; sequence it first.
+                const NodeId to = intern(t);
+                prog_edges_[n].push_back(Edge{a, to});
+            }
+        }
+        if (faults != nullptr) {
+            std::uint32_t a = 0;
+            for (const auto& fac : faults->actions()) {
+                succ.clear();
+                fac.successors(*space_, s, succ);
+                for (StateIndex t : succ) {
+                    const NodeId to = intern(t);
+                    fault_edges_[n].push_back(Edge{a, to});
+                }
+                ++a;
+            }
+        }
+    }
+}
+
+NodeId TransitionSystem::node_of(StateIndex s) const {
+    auto it = node_of_.find(s);
+    DCFT_EXPECTS(it != node_of_.end(),
+                 "TransitionSystem::node_of: state not reachable");
+    return it->second;
+}
+
+bool TransitionSystem::enabled(NodeId n, std::uint32_t a) const {
+    DCFT_EXPECTS(a < program_.num_actions(), "action index out of range");
+    return program_.action(a).enabled(*space_, states_[n]);
+}
+
+std::size_t TransitionSystem::num_program_edges() const {
+    std::size_t total = 0;
+    for (const auto& edges : prog_edges_) total += edges.size();
+    return total;
+}
+
+std::vector<StateIndex> TransitionSystem::witness_path(NodeId n) const {
+    DCFT_EXPECTS(n < states_.size(), "witness_path: node out of range");
+    std::vector<StateIndex> path;
+    NodeId cur = n;
+    for (;;) {
+        path.push_back(states_[cur]);
+        if (parent_[cur] == cur) break;
+        cur = parent_[cur];
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+std::string TransitionSystem::format_witness(NodeId n) const {
+    constexpr std::size_t kMaxShown = 6;
+    const std::vector<StateIndex> path = witness_path(n);
+    std::string out;
+    const std::size_t start =
+        path.size() > kMaxShown ? path.size() - kMaxShown : 0;
+    if (start > 0) out += "... -> ";
+    for (std::size_t i = start; i < path.size(); ++i) {
+        if (i > start) out += " -> ";
+        out += space_->format(path[i]);
+    }
+    return out;
+}
+
+const std::vector<std::vector<NodeId>>& TransitionSystem::predecessors(
+    bool include_faults) const {
+    auto& cache = include_faults ? preds_all_ : preds_prog_;
+    if (!cache.empty() || states_.empty()) return cache;
+    cache.resize(states_.size());
+    for (NodeId n = 0; n < states_.size(); ++n) {
+        for (const Edge& e : prog_edges_[n]) cache[e.to].push_back(n);
+        if (include_faults)
+            for (const Edge& e : fault_edges_[n]) cache[e.to].push_back(n);
+    }
+    return cache;
+}
+
+}  // namespace dcft

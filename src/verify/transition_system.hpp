@@ -1,0 +1,93 @@
+// Explicit transition systems over program (and fault) actions.
+//
+// The verifier works on the reachable fragment of the state space: nodes
+// are states reached from an initial predicate by program actions and,
+// optionally, fault actions. Program and fault edges are kept separate
+// because the paper treats them asymmetrically — computations are p-fair
+// and p-maximal, and fault actions occur only finitely often (Section 2.3).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gc/program.hpp"
+
+namespace dcft {
+
+/// Node identifier inside one TransitionSystem (dense, 0-based).
+using NodeId = std::uint32_t;
+
+/// Explicit-state transition graph of p (optionally p [] F) restricted to
+/// the states reachable from an initial set.
+class TransitionSystem {
+public:
+    struct Edge {
+        std::uint32_t action;  ///< index into actions() / fault_actions()
+        NodeId to;
+    };
+
+    /// Builds the reachable fragment from all states satisfying `init`.
+    /// If `faults` is non-null, fault transitions participate in
+    /// reachability and are recorded as fault edges.
+    TransitionSystem(const Program& program, const FaultClass* faults,
+                     const Predicate& init);
+
+    const StateSpace& space() const { return *space_; }
+    const Program& program() const { return program_; }
+
+    std::size_t num_nodes() const { return states_.size(); }
+    StateIndex state_of(NodeId n) const { return states_[n]; }
+
+    /// Node of a state, if the state is in the reachable fragment.
+    bool has_state(StateIndex s) const { return node_of_.count(s) != 0; }
+    NodeId node_of(StateIndex s) const;
+
+    /// Nodes whose states satisfied `init` at construction time.
+    const std::vector<NodeId>& initial_nodes() const { return initial_; }
+
+    const std::vector<Edge>& program_edges(NodeId n) const {
+        return prog_edges_[n];
+    }
+    const std::vector<Edge>& fault_edges(NodeId n) const {
+        return fault_edges_[n];
+    }
+
+    std::size_t num_program_actions() const { return program_.num_actions(); }
+
+    /// Whether program action `a` is enabled at node n.
+    bool enabled(NodeId n, std::uint32_t a) const;
+
+    /// Whether no program action is enabled at node n (p-maximal end state).
+    bool terminal(NodeId n) const { return prog_edges_[n].empty(); }
+
+    /// Total number of program edges (for diagnostics and benches).
+    std::size_t num_program_edges() const;
+
+    /// Reverse adjacency over program edges (and fault edges if requested),
+    /// built lazily on first use.
+    const std::vector<std::vector<NodeId>>& predecessors(
+        bool include_faults) const;
+
+    /// States along a shortest exploration path from some initial node to
+    /// n (inclusive); used to report counterexample witnesses.
+    std::vector<StateIndex> witness_path(NodeId n) const;
+
+    /// "s0 -> s1 -> ... -> sk" rendering of witness_path(n), capped to the
+    /// last few states for long paths.
+    std::string format_witness(NodeId n) const;
+
+private:
+    std::shared_ptr<const StateSpace> space_;
+    Program program_;
+    std::vector<StateIndex> states_;
+    std::unordered_map<StateIndex, NodeId> node_of_;
+    std::vector<NodeId> initial_;
+    std::vector<std::vector<Edge>> prog_edges_;
+    std::vector<std::vector<Edge>> fault_edges_;
+    std::vector<NodeId> parent_;  ///< BFS tree; parent_[n] == n at roots
+    mutable std::vector<std::vector<NodeId>> preds_prog_;
+    mutable std::vector<std::vector<NodeId>> preds_all_;
+};
+
+}  // namespace dcft

@@ -1,0 +1,146 @@
+// Section 6.2: Byzantine agreement decomposed into IB + DB + CB, with the
+// 3f+1 threshold recovered as a verification outcome.
+#include "apps/byzantine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include "verify/component_checker.hpp"
+#include "verify/reachability.hpp"
+#include "verify/refinement.hpp"
+#include "verify/tolerance_checker.hpp"
+
+namespace dcft {
+namespace {
+
+using apps::ByzantineSystem;
+using apps::make_byzantine;
+
+/// The invariant we verify from: all states reachable by the given program
+/// in the absence of faults, from the canonical initial states.
+Predicate reachable_invariant(const ByzantineSystem& sys,
+                              const Program& program) {
+    const Predicate init(
+        "init", [&sys](const StateSpace& sp, StateIndex s) {
+            if (sp.get(s, sys.b_g) != 0) return false;
+            for (std::size_t i = 0; i < sys.d.size(); ++i) {
+                if (sp.get(s, sys.b[i]) != 0) return false;
+                if (sp.get(s, sys.d[i]) != 2) return false;    // bot
+                if (sp.get(s, sys.out[i]) != 2) return false;  // bot
+            }
+            return true;  // d.g free: both initial decisions included
+        });
+    auto reach = std::make_shared<StateSet>(
+        reachable_states(program, nullptr, init));
+    return predicate_of(std::move(reach), "reach(" + program.name() + ")");
+}
+
+class ByzantineTest : public ::testing::Test {
+protected:
+    ByzantineSystem sys = make_byzantine(4, 1);
+};
+
+TEST_F(ByzantineTest, IntolerantRefinesSpecWithoutByzantineProcesses) {
+    const Predicate inv = reachable_invariant(sys, sys.intolerant);
+    EXPECT_TRUE(refines_spec(sys.intolerant, sys.spec, inv).ok);
+}
+
+TEST_F(ByzantineTest, IntolerantViolatesSafetyUnderByzantineGeneral) {
+    const Predicate inv = reachable_invariant(sys, sys.intolerant);
+    EXPECT_FALSE(check_failsafe(sys.intolerant, sys.byzantine_fault,
+                                sys.spec, inv)
+                     .ok());
+}
+
+TEST_F(ByzantineTest, DetectorGatedVersionIsFailsafeTolerant) {
+    const Predicate inv = reachable_invariant(sys, sys.failsafe);
+    const ToleranceReport r = check_failsafe(
+        sys.failsafe, sys.byzantine_fault, sys.spec, inv);
+    EXPECT_TRUE(r.ok()) << r.reason();
+}
+
+TEST_F(ByzantineTest, FailsafeVersionIsNotMasking) {
+    // A Byzantine general that equivocates can block one process forever —
+    // fail-safe, but liveness is lost without the corrector.
+    const Predicate inv = reachable_invariant(sys, sys.failsafe);
+    EXPECT_FALSE(check_masking(sys.failsafe, sys.byzantine_fault, sys.spec,
+                               inv)
+                     .ok());
+}
+
+TEST_F(ByzantineTest, FullConstructionIsMaskingTolerant) {
+    const Predicate inv = reachable_invariant(sys, sys.masking);
+    const ToleranceReport r =
+        check_masking(sys.masking, sys.byzantine_fault, sys.spec, inv);
+    EXPECT_TRUE(r.ok()) << r.reason();
+}
+
+TEST_F(ByzantineTest, MaskingVersionIsAlsoFailsafe) {
+    const Predicate inv = reachable_invariant(sys, sys.masking);
+    EXPECT_TRUE(check_failsafe(sys.masking, sys.byzantine_fault, sys.spec,
+                               inv)
+                    .ok());
+}
+
+TEST_F(ByzantineTest, DbWitnessIsADetectorOfCorrectDecision) {
+    // 'W.j detects (d.j = corrdecn)' in the masking program, from its
+    // fault-free invariant.
+    const Predicate inv = reachable_invariant(sys, sys.masking);
+    for (int j = 1; j < sys.num_processes; ++j) {
+        const DetectorClaim claim{sys.witness(j), sys.detection(j), inv};
+        EXPECT_TRUE(check_detector(sys.masking, claim).ok) << "process " << j;
+    }
+}
+
+TEST_F(ByzantineTest, ThreeProcessesCannotMaskOneByzantine) {
+    // n = 3, f = 1 < the 3f+1 threshold: the construction must fail.
+    ByzantineSystem small = make_byzantine(3, 1);
+    const Predicate inv = reachable_invariant(small, small.masking);
+    EXPECT_FALSE(check_masking(small.masking, small.byzantine_fault,
+                               small.spec, inv)
+                     .ok());
+}
+
+TEST_F(ByzantineTest, NoFaultBudgetMeansTrivialTolerance) {
+    ByzantineSystem calm = make_byzantine(4, 0);
+    const Predicate inv = reachable_invariant(calm, calm.masking);
+    EXPECT_TRUE(check_masking(calm.masking, calm.byzantine_fault, calm.spec,
+                              inv)
+                    .ok());
+}
+
+TEST_F(ByzantineTest, FiveProcessesTolerateOneByzantine) {
+    // n = 5 > 3f+1 also works (more slack than the tight bound).
+    ByzantineSystem five = make_byzantine(5, 1);
+    const Predicate inv = reachable_invariant(five, five.masking);
+    const ToleranceReport r = check_masking(
+        five.masking, five.byzantine_fault, five.spec, inv);
+    EXPECT_TRUE(r.ok()) << r.reason();
+}
+
+TEST_F(ByzantineTest, InitialStateShape) {
+    const StateIndex s0 = sys.initial_state(1);
+    EXPECT_EQ(sys.space->get(s0, sys.d_g), 1);
+    EXPECT_EQ(sys.space->get(s0, sys.b_g), 0);
+    for (std::size_t i = 0; i < sys.d.size(); ++i) {
+        EXPECT_EQ(sys.space->get(s0, sys.d[i]), 2);
+        EXPECT_EQ(sys.space->get(s0, sys.out[i]), 2);
+        EXPECT_EQ(sys.space->get(s0, sys.b[i]), 0);
+    }
+    EXPECT_THROW(sys.initial_state(2), ContractError);
+}
+
+TEST_F(ByzantineTest, WitnessRequiresAllDecisionsPresent) {
+    StateIndex s = sys.initial_state(1);
+    EXPECT_FALSE(sys.witness(1).eval(*sys.space, s));
+    for (std::size_t i = 0; i < sys.d.size(); ++i)
+        s = sys.space->set(s, sys.d[i], 1);
+    EXPECT_TRUE(sys.witness(1).eval(*sys.space, s));
+    s = sys.space->set(s, sys.d[0], 0);  // minority now
+    EXPECT_FALSE(sys.witness(1).eval(*sys.space, s));
+    EXPECT_TRUE(sys.witness(2).eval(*sys.space, s));
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,117 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include <set>
+
+namespace dcft {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a() == b()) ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero) {
+    Rng rng(7);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, BelowZeroThrows) {
+    Rng rng(7);
+    EXPECT_THROW(rng.below(0), ContractError);
+}
+
+TEST(RngTest, BelowCoversAllResidues) {
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, BetweenInclusive) {
+    Rng rng(3);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const auto v = rng.between(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, BetweenSingleton) {
+    Rng rng(3);
+    EXPECT_EQ(rng.between(5, 5), 5);
+}
+
+TEST(RngTest, BetweenBadRangeThrows) {
+    Rng rng(3);
+    EXPECT_THROW(rng.between(3, 2), ContractError);
+}
+
+TEST(RngTest, Uniform01InRange) {
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform01();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes) {
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-0.5));
+        EXPECT_TRUE(rng.chance(1.5));
+    }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+    Rng rng(5);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        if (rng.chance(0.3)) ++hits;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+    Rng parent(17);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (parent() == child()) ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+    Rng rng(0);
+    // Must not be stuck at a fixed point.
+    const auto a = rng();
+    const auto b = rng();
+    EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,121 @@
+// The reusable corrector builders (Section 7's component framework).
+#include "components/corrector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "verify/component_checker.hpp"
+#include "verify/tolerance_checker.hpp"
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> grid_space() {
+    return make_space({Variable{"a", 3, {}}, Variable{"b", 3, {}},
+                       Variable{"z", 2, {}}});
+}
+
+Predicate origin(const StateSpace& sp) {
+    return (Predicate::var_eq(sp, "a", 0) && Predicate::var_eq(sp, "b", 0))
+        .renamed("origin");
+}
+
+TEST(ResetCorrectorTest, SatisfiesItsOwnClaim) {
+    auto sp = grid_space();
+    const Corrector c =
+        make_reset(sp, origin(*sp), {{"a", 0}, {"b", 0}});
+    EXPECT_TRUE(c.verify().ok);
+}
+
+TEST(ResetCorrectorTest, ResetIsOneAtomicStep) {
+    auto sp = grid_space();
+    const Corrector c =
+        make_reset(sp, origin(*sp), {{"a", 0}, {"b", 0}});
+    const StateIndex far = sp->encode({{2, 2, 0}});
+    ASSERT_EQ(c.program.num_actions(), 1u);
+    const StateIndex t = c.program.action(0).apply(*sp, far);
+    EXPECT_TRUE(origin(*sp).eval(*sp, t));
+    // Disabled once corrected.
+    EXPECT_FALSE(c.program.action(0).enabled(*sp, t));
+}
+
+TEST(ResetCorrectorTest, RejectsBadValues) {
+    auto sp = grid_space();
+    EXPECT_THROW(make_reset(sp, origin(*sp), {{"a", 7}}), ContractError);
+    EXPECT_THROW(make_reset(sp, origin(*sp), {}), ContractError);
+}
+
+TEST(ConstraintSatisfierTest, StepwiseRepairConverges) {
+    auto sp = grid_space();
+    // Repair one variable at a time, a first.
+    const Corrector c = make_constraint_satisfier(
+        sp, origin(*sp),
+        [](const StateSpace& space, StateIndex s) {
+            if (space.get(s, 0) != 0) return space.set(s, 0, 0);
+            return space.set(s, 1, 0);
+        });
+    EXPECT_TRUE(c.verify().ok);
+}
+
+TEST(ConstraintSatisfierTest, NonConvergingRepairRejectedByChecker) {
+    auto sp = grid_space();
+    // A "repair" that cycles a without ever fixing b.
+    const Corrector c = make_constraint_satisfier(
+        sp, origin(*sp),
+        [](const StateSpace& space, StateIndex s) {
+            return space.set(s, 0, (space.get(s, 0) + 1) % 3);
+        });
+    EXPECT_FALSE(c.verify().ok);
+}
+
+TEST(WitnessedCorrectorTest, SeparatesWitnessFromCorrection) {
+    auto sp = grid_space();
+    Corrector c = add_witness(
+        make_reset(sp, origin(*sp), {{"a", 0}, {"b", 0}}), sp, "z");
+    EXPECT_EQ(c.claim.witness.name(), "Z(z)");
+    EXPECT_TRUE(c.verify().ok);
+    // The witness lags the correction by one step: from a corrected but
+    // unwitnessed state, the witness action raises z.
+    const StateIndex corrected = sp->encode({{0, 0, 0}});
+    std::vector<StateIndex> succ;
+    c.program.successors(corrected, succ);
+    ASSERT_EQ(succ.size(), 1u);
+    EXPECT_EQ(sp->get(succ[0], 2), 1);
+}
+
+TEST(WitnessedCorrectorTest, NonmaskingTolerantToPerturbation) {
+    auto sp = grid_space();
+    Corrector c = add_witness(
+        make_reset(sp, origin(*sp), {{"a", 0}, {"b", 0}}), sp, "z");
+    FaultClass f(sp, "F");
+    f.add_action(Action::nondet(
+        "perturb", Predicate::top(),
+        [](const StateSpace& space, StateIndex s,
+           std::vector<StateIndex>& out) {
+            StateIndex t = space.set(s, 0, 1);
+            out.push_back(space.set(t, 2, 0));  // knock a, clear witness
+        }));
+    EXPECT_TRUE(check_tolerant_corrector(c.program, f, c.claim,
+                                         Tolerance::Nonmasking,
+                                         Predicate::top())
+                    .ok);
+    // But not masking F-tolerant: the fault itself falsifies X.
+    EXPECT_FALSE(check_tolerant_corrector(c.program, f, c.claim,
+                                          Tolerance::Masking,
+                                          Predicate::top())
+                     .ok);
+}
+
+TEST(AttachTest, ComposesAlongside) {
+    auto sp = grid_space();
+    const Corrector c =
+        make_reset(sp, origin(*sp), {{"a", 0}, {"b", 0}});
+    Program base(sp, "base");
+    base.add_action(Action::assign_const(
+        *sp, "walk", origin(*sp), "a", 1));
+    const Program composed = c.attach(base);
+    EXPECT_EQ(composed.num_actions(), 2u);
+}
+
+}  // namespace
+}  // namespace dcft

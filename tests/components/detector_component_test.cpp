@@ -1,0 +1,136 @@
+// The reusable detector builders (Section 7's component framework).
+#include "components/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/tmr.hpp"
+#include "common/check.hpp"
+#include "verify/component_checker.hpp"
+#include "verify/refinement.hpp"
+#include "verify/tolerance_checker.hpp"
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> cond_space() {
+    return make_space({Variable{"cond", 2, {}}, Variable{"z", 2, {}}});
+}
+
+TEST(WatchdogTest, SatisfiesItsOwnClaim) {
+    auto sp = cond_space();
+    const Detector d = make_watchdog(
+        sp, "z", Predicate::var_eq(*sp, "cond", 1).renamed("X"));
+    EXPECT_TRUE(d.verify().ok);
+}
+
+TEST(WatchdogTest, RequiresBooleanWitness) {
+    auto sp = make_space({Variable{"cond", 2, {}}, Variable{"z", 3, {}}});
+    EXPECT_THROW(
+        make_watchdog(sp, "z", Predicate::var_eq(*sp, "cond", 1)),
+        ContractError);
+}
+
+TEST(WatchdogTest, GateBlocksBaseUntilWitness) {
+    auto sp = cond_space();
+    const Detector d = make_watchdog(
+        sp, "z", Predicate::var_eq(*sp, "cond", 1).renamed("X"));
+    Program base(sp, sp->varset({"cond"}), "base");
+    base.add_action(Action::assign_const(*sp, "act", Predicate::top(),
+                                         "cond", 0));
+    const Program gated = d.gate(base);
+    // The gated copy of base's action is found by provenance: it must be
+    // enabled only once the witness holds.
+    const StateIndex no_witness = sp->encode({{1, 0}});
+    const StateIndex witnessed = sp->encode({{1, 1}});
+    bool found_gated = false;
+    for (const auto& ac : gated.actions()) {
+        if (ac.has_base() && ac.root_base().id() == base.action(0).id()) {
+            EXPECT_TRUE(ac.enabled(*sp, witnessed));
+            EXPECT_FALSE(ac.enabled(*sp, no_witness));
+            found_gated = true;
+        }
+    }
+    EXPECT_TRUE(found_gated);
+}
+
+TEST(WatchdogTest, InterferenceFreedomWithinComposition) {
+    auto sp = cond_space();
+    const Detector d = make_watchdog(
+        sp, "z", Predicate::var_eq(*sp, "cond", 1).renamed("X"));
+    // A benign neighbour that only raises cond.
+    Program neighbour(sp, sp->varset({"cond"}), "raiser");
+    neighbour.add_action(Action::assign_const(
+        *sp, "raise-cond", Predicate::var_eq(*sp, "cond", 0), "cond", 1));
+    EXPECT_TRUE(d.verify_within(parallel(d.program, neighbour)).ok);
+
+    // An interfering neighbour that falsifies cond: Safeness breaks
+    // because the witness keeps pointing at a gone condition.
+    Program saboteur(sp, sp->varset({"cond"}), "saboteur");
+    saboteur.add_action(Action::assign_const(
+        *sp, "drop-cond", Predicate::var_eq(*sp, "cond", 1), "cond", 0));
+    EXPECT_FALSE(d.verify_within(parallel(d.program, saboteur)).ok);
+}
+
+TEST(ResettingWatchdogTest, ToleratesTransientConditions) {
+    // With the lower action, the composition with the saboteur satisfies
+    // the nonmasking weakening of the detects spec (the witness chases the
+    // condition) — though never the masking one (a lag step exists).
+    auto sp = cond_space();
+    const Detector d = make_resetting_watchdog(
+        sp, "z", Predicate::var_eq(*sp, "cond", 1).renamed("X"));
+    EXPECT_TRUE(d.verify().ok);
+}
+
+TEST(ComparatorTest, MatchesTheTmrWitness) {
+    auto sys = apps::make_tmr(2);
+    const Detector d = make_comparator(
+        sys.space, "x", "y", sys.x_uncorrupted, sys.invariant);
+    // Witness: x == y. Same gating role as the paper's (x=y \/ x=z) for
+    // the y-half; the claim holds from the invariant.
+    EXPECT_TRUE(d.verify().ok);
+    // Stateless: no actions of its own.
+    EXPECT_EQ(d.program.num_actions(), 0u);
+}
+
+TEST(ThresholdTest, MajorityWitness) {
+    auto sys = apps::make_tmr(2);
+    std::vector<Predicate> agree;
+    for (const char* v : {"x", "y", "z"}) {
+        agree.push_back(Predicate(
+            std::string(v) + "==maj",
+            [id = sys.space->find(v), sys](const StateSpace& sp,
+                                           StateIndex s) {
+                return sp.get(s, id) == sp.get(s, sys.x_var) ||
+                       sp.get(s, id) == sp.get(s, sys.y_var);
+            }));
+    }
+    EXPECT_THROW(make_threshold(sys.space, agree, 0, Predicate::top(),
+                                Predicate::top()),
+                 ContractError);
+    EXPECT_THROW(make_threshold(sys.space, {}, 1, Predicate::top(),
+                                Predicate::top()),
+                 ContractError);
+    const Detector d = make_threshold(sys.space, agree, 2,
+                                      Predicate::top(), Predicate::top());
+    EXPECT_EQ(d.program.num_actions(), 0u);
+    // With threshold 2-of-3 over these conditions the witness holds at
+    // least on all-agree states.
+    EXPECT_TRUE(d.claim.witness.eval(*sys.space, sys.initial_state(0)));
+}
+
+TEST(WatchdogTest, FailsafeTolerantUnderGuardedFault) {
+    auto sp = cond_space();
+    const Detector d = make_watchdog(
+        sp, "z", Predicate::var_eq(*sp, "cond", 1).renamed("X"));
+    FaultClass f(sp, "F");
+    f.add_action(Action::assign_const(
+        *sp, "strike",
+        Predicate::var_eq(*sp, "cond", 1) && Predicate::var_eq(*sp, "z", 0),
+        "cond", 0));
+    EXPECT_TRUE(check_tolerant_detector(d.program, f, d.claim,
+                                        Tolerance::FailSafe, d.claim.context)
+                    .ok);
+}
+
+}  // namespace
+}  // namespace dcft

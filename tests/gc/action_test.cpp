@@ -1,0 +1,160 @@
+#include "gc/action.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> space2x3() {
+    return make_space({Variable{"a", 2, {}}, Variable{"b", 3, {}}});
+}
+
+TEST(ActionTest, AssignConstUpdatesVariable) {
+    auto sp = space2x3();
+    const Action ac =
+        Action::assign_const(*sp, "set-b", Predicate::top(), "b", 2);
+    const StateIndex s = sp->encode({{1, 0}});
+    const StateIndex t = ac.apply(*sp, s);
+    EXPECT_EQ(sp->get(t, 1), 2);
+    EXPECT_EQ(sp->get(t, 0), 1);
+}
+
+TEST(ActionTest, GuardControlsEnabledness) {
+    auto sp = space2x3();
+    const Predicate g = Predicate::var_eq(*sp, "a", 1);
+    const Action ac = Action::assign_const(*sp, "x", g, "b", 0);
+    EXPECT_FALSE(ac.enabled(*sp, sp->encode({{0, 2}})));
+    EXPECT_TRUE(ac.enabled(*sp, sp->encode({{1, 2}})));
+}
+
+TEST(ActionTest, DisabledActionProducesNoSuccessors) {
+    auto sp = space2x3();
+    const Action ac = Action::assign_const(
+        *sp, "x", Predicate::bottom(), "b", 0);
+    std::vector<StateIndex> succ;
+    ac.successors(*sp, 0, succ);
+    EXPECT_TRUE(succ.empty());
+}
+
+TEST(ActionTest, ApplyOnDisabledThrows) {
+    auto sp = space2x3();
+    const Action ac = Action::assign_const(
+        *sp, "x", Predicate::bottom(), "b", 0);
+    EXPECT_THROW(ac.apply(*sp, 0), ContractError);
+}
+
+TEST(ActionTest, AssignUsesValueFunction) {
+    auto sp = space2x3();
+    const Action ac = Action::assign(
+        *sp, "copy", Predicate::top(), "b",
+        [](const StateSpace& space, StateIndex s) {
+            return space.get(s, 0);  // b := a
+        });
+    const StateIndex t = ac.apply(*sp, sp->encode({{1, 2}}));
+    EXPECT_EQ(sp->get(t, 1), 1);
+}
+
+TEST(ActionTest, NondetProducesAllSuccessors) {
+    auto sp = space2x3();
+    const Action ac = Action::nondet(
+        "any-b", Predicate::top(),
+        [](const StateSpace& space, StateIndex s,
+           std::vector<StateIndex>& out) {
+            for (Value c = 0; c < 3; ++c)
+                out.push_back(space.set(s, 1, c));
+        });
+    std::vector<StateIndex> succ;
+    ac.successors(*sp, sp->encode({{0, 0}}), succ);
+    EXPECT_EQ(succ.size(), 3u);
+    EXPECT_THROW(ac.apply(*sp, 0), ContractError);  // nondeterministic
+}
+
+TEST(ActionTest, SkipIsSelfLoop) {
+    auto sp = space2x3();
+    const Action ac = Action::skip("noop", Predicate::top());
+    for (StateIndex s = 0; s < sp->num_states(); ++s)
+        EXPECT_EQ(ac.apply(*sp, s), s);
+}
+
+TEST(ActionTest, RestrictedConjoinsGuard) {
+    auto sp = space2x3();
+    const Action base =
+        Action::assign_const(*sp, "x", Predicate::var_eq(*sp, "a", 1), "b", 0);
+    const Action gated = base.restricted(Predicate::var_eq(*sp, "b", 2));
+    EXPECT_FALSE(gated.enabled(*sp, sp->encode({{1, 1}})));
+    EXPECT_FALSE(gated.enabled(*sp, sp->encode({{0, 2}})));
+    EXPECT_TRUE(gated.enabled(*sp, sp->encode({{1, 2}})));
+    // Effect unchanged where enabled.
+    EXPECT_EQ(gated.apply(*sp, sp->encode({{1, 2}})),
+              base.apply(*sp, sp->encode({{1, 2}})));
+}
+
+TEST(ActionTest, ProvenanceTracksBase) {
+    auto sp = space2x3();
+    const Action base =
+        Action::assign_const(*sp, "x", Predicate::top(), "b", 0);
+    EXPECT_FALSE(base.has_base());
+    EXPECT_EQ(base.root_base().id(), base.id());
+
+    const Action once = base.restricted(Predicate::top());
+    EXPECT_TRUE(once.has_base());
+    EXPECT_EQ(once.base().id(), base.id());
+
+    const Action twice = once.restricted(Predicate::top());
+    EXPECT_EQ(twice.base().id(), once.id());
+    EXPECT_EQ(twice.root_base().id(), base.id());
+}
+
+TEST(ActionTest, BaseOnRootThrows) {
+    auto sp = space2x3();
+    const Action base =
+        Action::assign_const(*sp, "x", Predicate::top(), "b", 0);
+    EXPECT_THROW(base.base(), ContractError);
+}
+
+TEST(ActionTest, EncapsulatedRunsBothStatements) {
+    auto sp = space2x3();
+    // base: b := 2 ; extra: a := old value of b (reads the pre-state).
+    const Action base =
+        Action::assign_const(*sp, "set-b", Predicate::top(), "b", 2);
+    const Action wrapped = base.encapsulated(
+        "set-b-and-a", Predicate::top(),
+        [sp](const StateSpace& space, StateIndex before, StateIndex after) {
+            const Value old_b = space.get(before, 1);
+            return space.set(after, 0, old_b == 0 ? 0 : 1);
+        });
+    const StateIndex s = sp->encode({{0, 1}});
+    const StateIndex t = wrapped.apply(*sp, s);
+    EXPECT_EQ(sp->get(t, 1), 2);  // st ran
+    EXPECT_EQ(sp->get(t, 0), 1);  // st' read the pre-state b == 1
+    EXPECT_EQ(wrapped.base().id(), base.id());
+}
+
+TEST(ActionTest, EncapsulatedGuardConjoins) {
+    auto sp = space2x3();
+    const Action base = Action::assign_const(
+        *sp, "x", Predicate::var_eq(*sp, "a", 1), "b", 0);
+    const Action wrapped = base.encapsulated(
+        "w", Predicate::var_eq(*sp, "b", 2),
+        [](const StateSpace&, StateIndex, StateIndex after) { return after; });
+    EXPECT_FALSE(wrapped.enabled(*sp, sp->encode({{1, 1}})));
+    EXPECT_FALSE(wrapped.enabled(*sp, sp->encode({{0, 2}})));
+    EXPECT_TRUE(wrapped.enabled(*sp, sp->encode({{1, 2}})));
+}
+
+TEST(ActionTest, RenamedKeepsSemanticsAndProvenance) {
+    auto sp = space2x3();
+    const Action base =
+        Action::assign_const(*sp, "x", Predicate::top(), "b", 1);
+    const Action renamed = base.restricted(Predicate::top()).renamed("fresh");
+    EXPECT_EQ(renamed.name(), "fresh");
+    EXPECT_EQ(renamed.root_base().id(), base.id());
+    EXPECT_EQ(renamed.apply(*sp, 0), base.apply(*sp, 0));
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,179 @@
+#include "gc/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace dcft {
+namespace {
+
+struct Fixture {
+    std::shared_ptr<const StateSpace> space;
+    Channel chan;
+
+    static Fixture make(int capacity, Value domain) {
+        auto builder = std::make_shared<StateSpace>();
+        Channel chan(*builder, "c", capacity, domain);
+        builder->add_variable("pad", 2);  // another variable alongside
+        builder->freeze();
+        return Fixture{builder, chan};
+    }
+};
+
+TEST(ChannelTest, DomainSizeIsGeometricSum) {
+    auto fx = Fixture::make(2, 3);
+    // lengths 0,1,2 over 3 values: 1 + 3 + 9 = 13 encodings.
+    EXPECT_EQ(fx.space->variable(fx.chan.var()).domain_size, 13);
+    auto fx2 = Fixture::make(3, 2);
+    EXPECT_EQ(fx2.space->variable(fx2.chan.var()).domain_size,
+              1 + 2 + 4 + 8);
+}
+
+TEST(ChannelTest, PushPopFifoOrder) {
+    auto fx = Fixture::make(3, 4);
+    StateIndex s = 0;
+    EXPECT_TRUE(fx.chan.empty(*fx.space, s));
+    s = fx.chan.push(*fx.space, s, 2);
+    s = fx.chan.push(*fx.space, s, 0);
+    s = fx.chan.push(*fx.space, s, 3);
+    EXPECT_TRUE(fx.chan.full(*fx.space, s));
+    EXPECT_EQ(fx.chan.size(*fx.space, s), 3);
+    EXPECT_EQ(fx.chan.front(*fx.space, s), 2);
+    s = fx.chan.pop(*fx.space, s);
+    EXPECT_EQ(fx.chan.front(*fx.space, s), 0);
+    s = fx.chan.pop(*fx.space, s);
+    EXPECT_EQ(fx.chan.front(*fx.space, s), 3);
+    s = fx.chan.pop(*fx.space, s);
+    EXPECT_TRUE(fx.chan.empty(*fx.space, s));
+}
+
+TEST(ChannelTest, EncodingIsInjective) {
+    auto fx = Fixture::make(2, 3);
+    // Every distinct queue content maps to a distinct variable value:
+    // enumerate all queues and collect encodings.
+    std::vector<StateIndex> seen;
+    std::vector<std::vector<Value>> queues{{}};
+    for (Value a = 0; a < 3; ++a) {
+        queues.push_back({a});
+        for (Value b = 0; b < 3; ++b) queues.push_back({a, b});
+    }
+    for (const auto& queue : queues) {
+        StateIndex s = 0;
+        for (Value v : queue) s = fx.chan.push(*fx.space, s, v);
+        const StateIndex enc =
+            static_cast<StateIndex>(fx.space->get(s, fx.chan.var()));
+        EXPECT_EQ(std::count(seen.begin(), seen.end(), enc), 0);
+        seen.push_back(enc);
+    }
+    EXPECT_EQ(seen.size(), 13u);
+}
+
+TEST(ChannelTest, OverflowAndUnderflowThrow) {
+    auto fx = Fixture::make(1, 2);
+    StateIndex s = fx.chan.push(*fx.space, 0, 1);
+    EXPECT_THROW(fx.chan.push(*fx.space, s, 0), ContractError);
+    EXPECT_THROW(fx.chan.pop(*fx.space, 0), ContractError);
+    EXPECT_THROW(fx.chan.front(*fx.space, 0), ContractError);
+}
+
+TEST(ChannelTest, PredicatesTrackState) {
+    auto fx = Fixture::make(2, 2);
+    StateIndex s = 0;
+    EXPECT_TRUE(fx.chan.is_empty().eval(*fx.space, s));
+    EXPECT_FALSE(fx.chan.is_full().eval(*fx.space, s));
+    s = fx.chan.push(*fx.space, s, 1);
+    EXPECT_TRUE(fx.chan.nonempty().eval(*fx.space, s));
+    EXPECT_FALSE(fx.chan.is_full().eval(*fx.space, s));
+    s = fx.chan.push(*fx.space, s, 0);
+    EXPECT_TRUE(fx.chan.is_full().eval(*fx.space, s));
+}
+
+TEST(ChannelTest, SendActionPushesAndRespectsCapacity) {
+    auto fx = Fixture::make(1, 2);
+    const Action send = fx.chan.send(
+        "send", Predicate::top(),
+        [](const StateSpace&, StateIndex) { return Value{1}; });
+    EXPECT_TRUE(send.enabled(*fx.space, 0));
+    const StateIndex s = send.apply(*fx.space, 0);
+    EXPECT_EQ(fx.chan.front(*fx.space, s), 1);
+    EXPECT_FALSE(send.enabled(*fx.space, s));  // full
+}
+
+TEST(ChannelTest, ReceiveActionPopsAndHandsValue) {
+    auto fx = Fixture::make(2, 3);
+    const VarId pad = fx.space->find("pad");
+    const Action recv = fx.chan.receive(
+        "recv", Predicate::top(),
+        [pad](const StateSpace& sp, StateIndex s, Value v) {
+            return sp.set(s, pad, v == 2 ? 1 : 0);
+        });
+    EXPECT_FALSE(recv.enabled(*fx.space, 0));  // empty
+    StateIndex s = fx.chan.push(*fx.space, 0, 2);
+    ASSERT_TRUE(recv.enabled(*fx.space, s));
+    s = recv.apply(*fx.space, s);
+    EXPECT_TRUE(fx.chan.empty(*fx.space, s));
+    EXPECT_EQ(fx.space->get(s, pad), 1);  // handler saw the value 2
+}
+
+TEST(ChannelTest, LoseDropsHead) {
+    auto fx = Fixture::make(2, 2);
+    const Action lose = fx.chan.lose("lose");
+    StateIndex s = fx.chan.push(*fx.space, 0, 1);
+    s = fx.chan.push(*fx.space, s, 0);
+    s = lose.apply(*fx.space, s);
+    EXPECT_EQ(fx.chan.size(*fx.space, s), 1);
+    EXPECT_EQ(fx.chan.front(*fx.space, s), 0);
+}
+
+TEST(ChannelTest, DuplicateCopiesHeadToTail) {
+    auto fx = Fixture::make(3, 2);
+    const Action dup = fx.chan.duplicate("dup");
+    StateIndex s = fx.chan.push(*fx.space, 0, 1);
+    s = fx.chan.push(*fx.space, s, 0);
+    s = dup.apply(*fx.space, s);
+    EXPECT_EQ(fx.chan.size(*fx.space, s), 3);
+    // FIFO: 1, 0, then the duplicate of the head (1).
+    EXPECT_EQ(fx.chan.front(*fx.space, s), 1);
+    s = fx.chan.pop(*fx.space, s);
+    EXPECT_EQ(fx.chan.front(*fx.space, s), 0);
+    s = fx.chan.pop(*fx.space, s);
+    EXPECT_EQ(fx.chan.front(*fx.space, s), 1);
+}
+
+TEST(ChannelTest, CorruptReplacesHeadWithEveryOtherValue) {
+    auto fx = Fixture::make(2, 3);
+    const Action corrupt = fx.chan.corrupt("corrupt");
+    StateIndex s = fx.chan.push(*fx.space, 0, 1);
+    s = fx.chan.push(*fx.space, s, 2);
+    std::vector<StateIndex> succ;
+    corrupt.successors(*fx.space, s, succ);
+    ASSERT_EQ(succ.size(), 2u);  // head 1 -> 0 or 2
+    for (StateIndex t : succ) {
+        EXPECT_NE(fx.chan.front(*fx.space, t), 1);
+        EXPECT_EQ(fx.chan.size(*fx.space, t), 2);
+        // The tail is untouched.
+        EXPECT_EQ(fx.chan.front(*fx.space, fx.chan.pop(*fx.space, t)), 2);
+    }
+}
+
+TEST(ChannelTest, TwoChannelsCoexist) {
+    auto builder = std::make_shared<StateSpace>();
+    Channel a(*builder, "a", 2, 2);
+    Channel b(*builder, "b", 2, 2);
+    builder->freeze();
+    StateIndex s = a.push(*builder, 0, 1);
+    s = b.push(*builder, s, 0);
+    EXPECT_EQ(a.size(*builder, s), 1);
+    EXPECT_EQ(b.size(*builder, s), 1);
+    EXPECT_EQ(a.front(*builder, s), 1);
+    EXPECT_EQ(b.front(*builder, s), 0);
+}
+
+TEST(ChannelTest, BadParametersRejected) {
+    auto builder = std::make_shared<StateSpace>();
+    EXPECT_THROW(Channel(*builder, "c", 0, 2), ContractError);
+    EXPECT_THROW(Channel(*builder, "d", 2, 0), ContractError);
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,115 @@
+#include "gc/composition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> space2x3() {
+    return make_space({Variable{"a", 2, {}}, Variable{"b", 3, {}}});
+}
+
+Program single(std::shared_ptr<const StateSpace> sp, std::string name,
+               Action ac) {
+    Program p(sp, std::move(name));
+    p.add_action(std::move(ac));
+    return p;
+}
+
+TEST(CompositionTest, ParallelIsActionUnion) {
+    auto sp = space2x3();
+    const Program p = single(
+        sp, "p", Action::assign_const(*sp, "pa", Predicate::top(), "a", 1));
+    const Program q = single(
+        sp, "q", Action::assign_const(*sp, "qb", Predicate::top(), "b", 2));
+    const Program pq = parallel(p, q);
+    EXPECT_EQ(pq.num_actions(), 2u);
+    EXPECT_EQ(pq.action(0).name(), "pa");
+    EXPECT_EQ(pq.action(1).name(), "qb");
+}
+
+TEST(CompositionTest, ParallelRequiresSharedSpace) {
+    auto sp1 = space2x3();
+    auto sp2 = space2x3();
+    const Program p = single(
+        sp1, "p", Action::assign_const(*sp1, "x", Predicate::top(), "a", 1));
+    const Program q = single(
+        sp2, "q", Action::assign_const(*sp2, "y", Predicate::top(), "a", 1));
+    EXPECT_THROW(parallel(p, q), ContractError);
+}
+
+TEST(CompositionTest, ParallelUnionsVarSets) {
+    auto sp = space2x3();
+    Program p(sp, sp->varset({"a"}), "p");
+    Program q(sp, sp->varset({"b"}), "q");
+    const Program pq = parallel(p, q);
+    EXPECT_EQ(pq.vars().count(), 2u);
+}
+
+TEST(CompositionTest, RestrictGatesEveryAction) {
+    auto sp = space2x3();
+    Program p(sp, "p");
+    p.add_action(Action::assign_const(*sp, "x", Predicate::top(), "a", 1));
+    p.add_action(Action::assign_const(*sp, "y", Predicate::top(), "b", 0));
+    const Predicate z = Predicate::var_eq(*sp, "b", 2);
+    const Program zp = restrict_program(z, p);
+    ASSERT_EQ(zp.num_actions(), 2u);
+    const StateIndex outside = sp->encode({{0, 1}});
+    const StateIndex inside = sp->encode({{0, 2}});
+    for (const auto& ac : zp.actions()) {
+        EXPECT_FALSE(ac.enabled(*sp, outside));
+        EXPECT_TRUE(ac.enabled(*sp, inside));
+    }
+}
+
+TEST(CompositionTest, RestrictRecordsProvenance) {
+    auto sp = space2x3();
+    Program p(sp, "p");
+    Action base = Action::assign_const(*sp, "x", Predicate::top(), "a", 1);
+    p.add_action(base);
+    const Program zp = restrict_program(Predicate::top(), p);
+    EXPECT_EQ(zp.action(0).root_base().id(), base.id());
+}
+
+TEST(CompositionTest, SequenceIsParallelWithRestriction) {
+    // p ;_Z q == p || (Z /\ q): q's actions run only under Z, p's freely.
+    auto sp = space2x3();
+    const Program p = single(
+        sp, "p", Action::assign_const(*sp, "pa", Predicate::top(), "a", 1));
+    const Program q = single(
+        sp, "q", Action::assign_const(*sp, "qb", Predicate::top(), "b", 0));
+    const Predicate z = Predicate::var_eq(*sp, "a", 1);
+    const Program seq = sequence(p, z, q);
+    ASSERT_EQ(seq.num_actions(), 2u);
+    const StateIndex a0 = sp->encode({{0, 2}});
+    EXPECT_TRUE(seq.action(0).enabled(*sp, a0));   // p unrestricted
+    EXPECT_FALSE(seq.action(1).enabled(*sp, a0));  // q gated by Z
+    const StateIndex a1 = sp->encode({{1, 2}});
+    EXPECT_TRUE(seq.action(1).enabled(*sp, a1));
+}
+
+TEST(CompositionTest, WithFaultsAppendsFaultActions) {
+    auto sp = space2x3();
+    const Program p = single(
+        sp, "p", Action::assign_const(*sp, "pa", Predicate::top(), "a", 1));
+    FaultClass f(sp, "F");
+    f.add_action(Action::assign_const(*sp, "fb", Predicate::top(), "b", 1));
+    const Program pf = with_faults(p, f);
+    EXPECT_EQ(pf.num_actions(), 2u);
+}
+
+TEST(CompositionTest, CompositionNamesAreDescriptive) {
+    auto sp = space2x3();
+    const Program p = single(
+        sp, "p", Action::assign_const(*sp, "pa", Predicate::top(), "a", 1));
+    const Program q = single(
+        sp, "q", Action::assign_const(*sp, "qb", Predicate::top(), "b", 0));
+    EXPECT_EQ(parallel(p, q).name(), "(p || q)");
+    EXPECT_NE(restrict_program(Predicate::top(), p).name().find("/\\"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,103 @@
+#include "gc/predicate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> space2x3() {
+    return make_space({Variable{"a", 2, {}}, Variable{"b", 3, {}}});
+}
+
+TEST(PredicateTest, TopAndBottom) {
+    auto sp = space2x3();
+    for (StateIndex s = 0; s < sp->num_states(); ++s) {
+        EXPECT_TRUE(Predicate::top().eval(*sp, s));
+        EXPECT_FALSE(Predicate::bottom().eval(*sp, s));
+    }
+    EXPECT_EQ(Predicate::top().name(), "true");
+    EXPECT_EQ(Predicate::bottom().name(), "false");
+}
+
+TEST(PredicateTest, DefaultConstructedIsTop) {
+    auto sp = space2x3();
+    Predicate p;
+    EXPECT_TRUE(p.eval(*sp, 0));
+}
+
+TEST(PredicateTest, VarEq) {
+    auto sp = space2x3();
+    const Predicate p = Predicate::var_eq(*sp, "b", 2);
+    for (StateIndex s = 0; s < sp->num_states(); ++s)
+        EXPECT_EQ(p.eval(*sp, s), sp->get(s, 1) == 2);
+}
+
+TEST(PredicateTest, VarEqOutOfDomainThrows) {
+    auto sp = space2x3();
+    EXPECT_THROW(Predicate::var_eq(*sp, "b", 3), ContractError);
+    EXPECT_THROW(Predicate::var_eq(*sp, "nope", 0), ContractError);
+}
+
+TEST(PredicateTest, BooleanAlgebraIsPointwise) {
+    auto sp = space2x3();
+    const Predicate a = Predicate::var_eq(*sp, "a", 1);
+    const Predicate b = Predicate::var_eq(*sp, "b", 0);
+    for (StateIndex s = 0; s < sp->num_states(); ++s) {
+        const bool av = a.eval(*sp, s), bv = b.eval(*sp, s);
+        EXPECT_EQ((a && b).eval(*sp, s), av && bv);
+        EXPECT_EQ((a || b).eval(*sp, s), av || bv);
+        EXPECT_EQ((!a).eval(*sp, s), !av);
+        EXPECT_EQ(implies(a, b).eval(*sp, s), !av || bv);
+    }
+}
+
+TEST(PredicateTest, DeMorgan) {
+    auto sp = space2x3();
+    const Predicate a = Predicate::var_eq(*sp, "a", 0);
+    const Predicate b = Predicate::var_eq(*sp, "b", 1);
+    EXPECT_TRUE(equivalent(*sp, !(a && b), (!a) || (!b)));
+    EXPECT_TRUE(equivalent(*sp, !(a || b), (!a) && (!b)));
+}
+
+TEST(PredicateTest, ImpliesEverywhere) {
+    auto sp = space2x3();
+    const Predicate narrow =
+        Predicate::var_eq(*sp, "a", 1) && Predicate::var_eq(*sp, "b", 1);
+    const Predicate wide = Predicate::var_eq(*sp, "a", 1);
+    EXPECT_TRUE(implies_everywhere(*sp, narrow, wide));
+    EXPECT_FALSE(implies_everywhere(*sp, wide, narrow));
+    EXPECT_TRUE(implies_everywhere(*sp, Predicate::bottom(), narrow));
+    EXPECT_TRUE(implies_everywhere(*sp, narrow, Predicate::top()));
+}
+
+TEST(PredicateTest, CountSatisfying) {
+    auto sp = space2x3();
+    EXPECT_EQ(count_satisfying(*sp, Predicate::top()), 6u);
+    EXPECT_EQ(count_satisfying(*sp, Predicate::bottom()), 0u);
+    EXPECT_EQ(count_satisfying(*sp, Predicate::var_eq(*sp, "a", 0)), 3u);
+    EXPECT_EQ(count_satisfying(*sp, Predicate::var_ne(*sp, "b", 1)), 4u);
+}
+
+TEST(PredicateTest, NamesComposeReadably) {
+    auto sp = space2x3();
+    const Predicate a = Predicate::var_eq(*sp, "a", 0);
+    EXPECT_EQ(a.name(), "a==0");
+    EXPECT_EQ((!a).name(), "!a==0");
+    EXPECT_EQ((a && a).name(), "(a==0 && a==0)");
+    EXPECT_EQ(a.renamed("fresh").name(), "fresh");
+}
+
+TEST(PredicateTest, RenamedPreservesSemantics) {
+    auto sp = space2x3();
+    const Predicate a = Predicate::var_eq(*sp, "a", 0);
+    EXPECT_TRUE(equivalent(*sp, a, a.renamed("other")));
+}
+
+TEST(PredicateTest, NullFunctionRejected) {
+    EXPECT_THROW(Predicate("bad", nullptr), ContractError);
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,112 @@
+#include "gc/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> space2x3() {
+    return make_space({Variable{"a", 2, {}}, Variable{"b", 3, {}}});
+}
+
+Program counter_program(std::shared_ptr<const StateSpace> sp) {
+    Program p(sp, "counter");
+    p.add_action(Action::assign(
+        *sp, "inc-b",
+        Predicate("b<2",
+                  [](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 1) < 2;
+                  }),
+        "b",
+        [](const StateSpace& space, StateIndex s) {
+            return space.get(s, 1) + 1;
+        }));
+    return p;
+}
+
+TEST(ProgramTest, ActionsAccumulate) {
+    auto sp = space2x3();
+    Program p = counter_program(sp);
+    EXPECT_EQ(p.num_actions(), 1u);
+    p.add_action(Action::skip("noop", Predicate::top()));
+    EXPECT_EQ(p.num_actions(), 2u);
+    EXPECT_EQ(p.action(0).name(), "inc-b");
+    EXPECT_THROW(p.action(2), ContractError);
+}
+
+TEST(ProgramTest, ActionNamedFindsUnique) {
+    auto sp = space2x3();
+    Program p = counter_program(sp);
+    EXPECT_EQ(p.action_named("inc-b").name(), "inc-b");
+    EXPECT_THROW(p.action_named("none"), ContractError);
+    p.add_action(Action::skip("inc-b", Predicate::top()));
+    EXPECT_THROW(p.action_named("inc-b"), ContractError);  // ambiguous
+}
+
+TEST(ProgramTest, SuccessorsUnionOverActions) {
+    auto sp = space2x3();
+    Program p = counter_program(sp);
+    p.add_action(Action::assign_const(*sp, "flip-a",
+                                      Predicate::var_eq(*sp, "a", 0), "a", 1));
+    std::vector<StateIndex> succ;
+    p.successors(sp->encode({{0, 0}}), succ);
+    EXPECT_EQ(succ.size(), 2u);  // inc-b and flip-a both enabled
+}
+
+TEST(ProgramTest, TerminalWhenNoActionEnabled) {
+    auto sp = space2x3();
+    const Program p = counter_program(sp);
+    EXPECT_FALSE(p.is_terminal(sp->encode({{0, 0}})));
+    EXPECT_TRUE(p.is_terminal(sp->encode({{0, 2}})));  // b == 2: guard false
+}
+
+TEST(ProgramTest, WritesDetectsSemanticWrites) {
+    auto sp = space2x3();
+    const Program p = counter_program(sp);
+    EXPECT_FALSE(p.writes(sp->find("a")));
+    EXPECT_TRUE(p.writes(sp->find("b")));
+}
+
+TEST(ProgramTest, DefaultVarsIsFullSpace) {
+    auto sp = space2x3();
+    const Program p(sp, "p");
+    EXPECT_EQ(p.vars().count(), sp->num_vars());
+}
+
+TEST(ProgramTest, ExplicitVarSubset) {
+    auto sp = space2x3();
+    const Program p(sp, sp->varset({"b"}), "p");
+    EXPECT_EQ(p.vars().count(), 1u);
+    EXPECT_TRUE(p.vars().contains(sp->find("b")));
+}
+
+TEST(ProgramTest, RenamedKeepsActions) {
+    auto sp = space2x3();
+    const Program p = counter_program(sp).renamed("other");
+    EXPECT_EQ(p.name(), "other");
+    EXPECT_EQ(p.num_actions(), 1u);
+}
+
+TEST(ProgramTest, RequiresFrozenSpace) {
+    auto sp = std::make_shared<StateSpace>();
+    sp->add_variable("x", 2);
+    EXPECT_THROW(Program(sp, "p"), ContractError);
+}
+
+TEST(FaultClassTest, HoldsActions) {
+    auto sp = space2x3();
+    FaultClass f(sp, "faults");
+    EXPECT_TRUE(f.empty());
+    f.add_action(Action::assign_const(*sp, "corrupt-a",
+                                      Predicate::var_eq(*sp, "a", 0), "a", 1));
+    EXPECT_FALSE(f.empty());
+    std::vector<StateIndex> succ;
+    f.successors(sp->encode({{0, 0}}), succ);
+    EXPECT_EQ(succ.size(), 1u);
+    EXPECT_EQ(sp->get(succ[0], 0), 1);
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,145 @@
+#include "runtime/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/memory_access.hpp"
+#include "common/check.hpp"
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> counter_space() {
+    return make_space({Variable{"v", 8, {}}});
+}
+
+Program incrementer(std::shared_ptr<const StateSpace> sp, Value limit) {
+    Program p(sp, "inc");
+    p.add_action(Action::assign(
+        *sp, "inc",
+        Predicate("v<lim",
+                  [limit](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 0) < limit;
+                  }),
+        "v",
+        [](const StateSpace& space, StateIndex s) {
+            return space.get(s, 0) + 1;
+        }));
+    return p;
+}
+
+TEST(ExperimentTest, AggregatesBasicCounts) {
+    auto sp = counter_space();
+    const Program p = incrementer(sp, 5);
+    Experiment ex;
+    ex.program = &p;
+    ex.runs = 50;
+    const BatchResult r = run_experiment(ex);
+    EXPECT_EQ(r.runs, 50u);
+    EXPECT_EQ(r.deadlocked, 50u);
+    EXPECT_DOUBLE_EQ(r.steps.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(r.fault_steps.mean(), 0.0);
+}
+
+TEST(ExperimentTest, RequiresProgramAndRuns) {
+    Experiment ex;
+    EXPECT_THROW(run_experiment(ex), ContractError);
+    auto sp = counter_space();
+    const Program p = incrementer(sp, 5);
+    ex.program = &p;
+    ex.runs = 0;
+    EXPECT_THROW(run_experiment(ex), ContractError);
+}
+
+TEST(ExperimentTest, FaultInjectionCounted) {
+    auto sys = apps::make_memory_access();
+    Experiment ex;
+    ex.program = &sys.nonmasking;
+    ex.initial = sys.initial_state();
+    ex.runs = 100;
+    ex.options.max_steps = 60;
+    ex.faults = &sys.page_fault;
+    ex.fault_probability = 0.5;
+    ex.max_faults = 2;
+    const BatchResult r = run_experiment(ex);
+    EXPECT_GT(r.fault_steps.mean(), 0.5);
+    EXPECT_LE(r.fault_steps.max(), 2.0);
+}
+
+TEST(ExperimentTest, MonitorsAggregate) {
+    auto sys = apps::make_memory_access();
+    Experiment ex;
+    ex.program = &sys.masking;
+    ex.initial = sys.initial_state();
+    ex.runs = 100;
+    ex.options.max_steps = 60;
+    ex.faults = &sys.page_fault;
+    ex.fault_probability = 0.3;
+    ex.max_faults = 2;
+    ex.safety = sys.spec.safety();
+    ex.detector = std::make_pair(sys.Z1, sys.X1);
+    ex.corrector = sys.X1;
+    const BatchResult r = run_experiment(ex);
+    EXPECT_EQ(r.safety_violations, 0u);  // pm is masking
+    EXPECT_FALSE(r.availability.empty());
+    EXPECT_FALSE(r.detection_latency.empty());
+    EXPECT_GT(r.availability.mean(), 0.5);
+}
+
+TEST(ExperimentTest, MultithreadedMatchesSingleThreaded) {
+    // Same seeds => same pooled statistics regardless of thread count.
+    auto sys = apps::make_memory_access();
+    Experiment ex;
+    ex.program = &sys.nonmasking;
+    ex.initial = sys.initial_state();
+    ex.runs = 64;
+    ex.options.max_steps = 50;
+    ex.faults = &sys.page_fault;
+    ex.fault_probability = 0.25;
+    ex.max_faults = 3;
+    ex.corrector = sys.X1;
+
+    ex.threads = 1;
+    const BatchResult single = run_experiment(ex);
+    ex.threads = 4;
+    const BatchResult multi = run_experiment(ex);
+
+    EXPECT_EQ(single.runs, multi.runs);
+    EXPECT_EQ(single.deadlocked, multi.deadlocked);
+    EXPECT_DOUBLE_EQ(single.steps.mean(), multi.steps.mean());
+    EXPECT_DOUBLE_EQ(single.fault_steps.mean(), multi.fault_steps.mean());
+    EXPECT_DOUBLE_EQ(single.availability.mean(), multi.availability.mean());
+}
+
+TEST(ExperimentTest, CustomSchedulerFactory) {
+    auto sp = counter_space();
+    Program p(sp, "two");
+    p.add_action(Action::assign_const(
+        *sp, "a", Predicate::var_eq(*sp, "v", 0), "v", 1));
+    p.add_action(Action::assign_const(
+        *sp, "b", Predicate::var_eq(*sp, "v", 0), "v", 2));
+    Experiment ex;
+    ex.program = &p;
+    ex.runs = 10;
+    ex.make_scheduler = [] {
+        return std::make_unique<RoundRobinScheduler>();
+    };
+    const BatchResult r = run_experiment(ex);
+    // Round-robin deterministically picks action "a" first from v=0.
+    EXPECT_EQ(r.runs, 10u);
+    EXPECT_DOUBLE_EQ(r.steps.mean(), 1.0);
+}
+
+TEST(ExperimentTest, StopWhenCounts) {
+    auto sp = counter_space();
+    const Program p = incrementer(sp, 7);
+    Experiment ex;
+    ex.program = &p;
+    ex.runs = 10;
+    ex.options.stop_when = Predicate::var_eq(*sp, "v", 3);
+    const BatchResult r = run_experiment(ex);
+    EXPECT_EQ(r.stopped_early, 10u);
+    EXPECT_DOUBLE_EQ(r.steps.mean(), 3.0);
+}
+
+}  // namespace
+}  // namespace dcft

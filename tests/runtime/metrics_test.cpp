@@ -1,0 +1,62 @@
+#include "runtime/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace dcft {
+namespace {
+
+TEST(SummaryStatsTest, EmptyStats) {
+    SummaryStats stats;
+    EXPECT_TRUE(stats.empty());
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_THROW(stats.mean(), ContractError);
+    EXPECT_THROW(stats.min(), ContractError);
+    EXPECT_THROW(stats.percentile(0.5), ContractError);
+}
+
+TEST(SummaryStatsTest, BasicAggregates) {
+    SummaryStats stats;
+    for (double x : {3.0, 1.0, 4.0, 1.0, 5.0}) stats.add(x);
+    EXPECT_EQ(stats.count(), 5u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 2.8);
+    EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(SummaryStatsTest, Percentiles) {
+    SummaryStats stats;
+    for (int i = 1; i <= 100; ++i) stats.add(i);
+    EXPECT_DOUBLE_EQ(stats.percentile(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(stats.percentile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(stats.percentile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(stats.percentile(0.0), 1.0);
+}
+
+TEST(SummaryStatsTest, PercentileOutOfRangeThrows) {
+    SummaryStats stats;
+    stats.add(1.0);
+    EXPECT_THROW(stats.percentile(1.5), ContractError);
+    EXPECT_THROW(stats.percentile(-0.1), ContractError);
+}
+
+TEST(SummaryStatsTest, AddAfterQueryKeepsConsistency) {
+    SummaryStats stats;
+    stats.add(5.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+    stats.add(9.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+    stats.add(1.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+}
+
+TEST(SummaryStatsTest, SingleSample) {
+    SummaryStats stats;
+    stats.add(7.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 7.0);
+    EXPECT_DOUBLE_EQ(stats.percentile(0.5), 7.0);
+}
+
+}  // namespace
+}  // namespace dcft

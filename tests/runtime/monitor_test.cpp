@@ -1,0 +1,138 @@
+#include "runtime/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcft {
+namespace {
+
+// Space: x (condition), z (witness).
+std::shared_ptr<const StateSpace> xz_space() {
+    return make_space({Variable{"x", 2, {}}, Variable{"z", 2, {}}});
+}
+
+StateIndex st(const StateSpace& sp, Value x, Value z) {
+    return sp.encode({{x, z}});
+}
+
+TEST(SafetyMonitorTest, CountsBadStatesAndTransitions) {
+    auto sp = xz_space();
+    SafetySpec spec = SafetySpec::conjunction(
+        {SafetySpec::never(Predicate::var_eq(*sp, "x", 1)),
+         SafetySpec::pair(Predicate::var_eq(*sp, "z", 1),
+                          Predicate::var_eq(*sp, "z", 1))});
+    SafetyMonitor mon(spec);
+    mon.on_start(*sp, st(*sp, 0, 0));
+    EXPECT_EQ(mon.bad_states(), 0u);
+    mon.on_step(*sp, st(*sp, 0, 0), st(*sp, 1, 0), false, 0);  // bad state
+    EXPECT_EQ(mon.bad_states(), 1u);
+    EXPECT_EQ(mon.program_violations(), 1u);
+    mon.on_step(*sp, st(*sp, 0, 1), st(*sp, 0, 0), true, 1);  // z retracted
+    EXPECT_EQ(mon.fault_violations(), 1u);
+    EXPECT_EQ(mon.program_violations(), 1u);
+}
+
+TEST(SafetyMonitorTest, BadInitialStateCounted) {
+    auto sp = xz_space();
+    SafetyMonitor mon(SafetySpec::never(Predicate::var_eq(*sp, "x", 1)));
+    mon.on_start(*sp, st(*sp, 1, 0));
+    EXPECT_EQ(mon.bad_states(), 1u);
+}
+
+TEST(DetectorMonitorTest, MeasuresDetectionLatency) {
+    auto sp = xz_space();
+    DetectorMonitor mon(Predicate::var_eq(*sp, "z", 1),
+                        Predicate::var_eq(*sp, "x", 1));
+    mon.on_start(*sp, st(*sp, 0, 0));
+    mon.on_step(*sp, st(*sp, 0, 0), st(*sp, 1, 0), true, 3);   // X up at 3
+    mon.on_step(*sp, st(*sp, 1, 0), st(*sp, 1, 0), false, 4);  // still hidden
+    mon.on_step(*sp, st(*sp, 1, 0), st(*sp, 1, 1), false, 7);  // Z up at 7
+    ASSERT_EQ(mon.detection_latency().count(), 1u);
+    EXPECT_DOUBLE_EQ(mon.detection_latency().mean(), 4.0);
+    EXPECT_EQ(mon.safeness_violations(), 0u);
+    EXPECT_EQ(mon.stability_violations(), 0u);
+}
+
+TEST(DetectorMonitorTest, CountsSafenessViolations) {
+    auto sp = xz_space();
+    DetectorMonitor mon(Predicate::var_eq(*sp, "z", 1),
+                        Predicate::var_eq(*sp, "x", 1));
+    mon.on_start(*sp, st(*sp, 0, 0));
+    mon.on_step(*sp, st(*sp, 0, 0), st(*sp, 0, 1), false, 0);  // Z && !X
+    EXPECT_EQ(mon.safeness_violations(), 1u);
+}
+
+TEST(DetectorMonitorTest, CountsStabilityViolations) {
+    auto sp = xz_space();
+    DetectorMonitor mon(Predicate::var_eq(*sp, "z", 1),
+                        Predicate::var_eq(*sp, "x", 1));
+    mon.on_start(*sp, st(*sp, 1, 1));
+    // Z retracted while X still holds: Stability broken.
+    mon.on_step(*sp, st(*sp, 1, 1), st(*sp, 1, 0), false, 0);
+    EXPECT_EQ(mon.stability_violations(), 1u);
+    // Z retracted together with X: allowed.
+    mon.on_step(*sp, st(*sp, 1, 0), st(*sp, 1, 1), false, 1);
+    mon.on_step(*sp, st(*sp, 1, 1), st(*sp, 0, 0), false, 2);
+    EXPECT_EQ(mon.stability_violations(), 1u);
+}
+
+TEST(DetectorMonitorTest, XFlickerResetsEpisode) {
+    auto sp = xz_space();
+    DetectorMonitor mon(Predicate::var_eq(*sp, "z", 1),
+                        Predicate::var_eq(*sp, "x", 1));
+    mon.on_start(*sp, st(*sp, 1, 0));  // X up at episode start
+    mon.on_step(*sp, st(*sp, 1, 0), st(*sp, 0, 0), false, 1);  // X down
+    mon.on_step(*sp, st(*sp, 0, 0), st(*sp, 1, 0), false, 5);  // X up again
+    mon.on_step(*sp, st(*sp, 1, 0), st(*sp, 1, 1), false, 6);  // detected
+    ASSERT_EQ(mon.detection_latency().count(), 1u);
+    EXPECT_DOUBLE_EQ(mon.detection_latency().mean(), 1.0);  // 6 - 5
+}
+
+TEST(CorrectorMonitorTest, AvailabilityAndLatency) {
+    auto sp = xz_space();
+    CorrectorMonitor mon(Predicate::var_eq(*sp, "x", 1));
+    mon.on_start(*sp, st(*sp, 1, 0));                          // healthy
+    mon.on_step(*sp, st(*sp, 1, 0), st(*sp, 0, 0), true, 0);   // disrupted
+    mon.on_step(*sp, st(*sp, 0, 0), st(*sp, 0, 0), false, 1);  // still down
+    mon.on_step(*sp, st(*sp, 0, 0), st(*sp, 1, 0), false, 2);  // corrected
+    mon.on_finish(*sp, st(*sp, 1, 0), 3);
+    EXPECT_EQ(mon.disruptions(), 1u);
+    ASSERT_EQ(mon.correction_latency().count(), 1u);
+    EXPECT_DOUBLE_EQ(mon.correction_latency().mean(), 2.0);
+    EXPECT_DOUBLE_EQ(mon.availability(), 0.5);  // 2 of 4 observations
+    EXPECT_FALSE(mon.unrecovered_at_end());
+}
+
+TEST(CorrectorMonitorTest, StartingBrokenCountsAsDisruption) {
+    auto sp = xz_space();
+    CorrectorMonitor mon(Predicate::var_eq(*sp, "x", 1));
+    mon.on_start(*sp, st(*sp, 0, 0));
+    EXPECT_EQ(mon.disruptions(), 1u);
+    EXPECT_TRUE(mon.unrecovered_at_end());
+    mon.on_step(*sp, st(*sp, 0, 0), st(*sp, 1, 0), false, 0);
+    EXPECT_FALSE(mon.unrecovered_at_end());
+}
+
+TEST(CorrectorMonitorTest, MultipleEpisodes) {
+    auto sp = xz_space();
+    CorrectorMonitor mon(Predicate::var_eq(*sp, "x", 1));
+    mon.on_start(*sp, st(*sp, 1, 0));
+    mon.on_step(*sp, st(*sp, 1, 0), st(*sp, 0, 0), true, 0);
+    mon.on_step(*sp, st(*sp, 0, 0), st(*sp, 1, 0), false, 1);
+    mon.on_step(*sp, st(*sp, 1, 0), st(*sp, 0, 0), true, 2);
+    mon.on_step(*sp, st(*sp, 0, 0), st(*sp, 1, 0), false, 3);
+    EXPECT_EQ(mon.disruptions(), 2u);
+    EXPECT_EQ(mon.correction_latency().count(), 2u);
+}
+
+TEST(CorrectorMonitorTest, PerfectAvailabilityWhenNeverBroken) {
+    auto sp = xz_space();
+    CorrectorMonitor mon(Predicate::var_eq(*sp, "x", 1));
+    mon.on_start(*sp, st(*sp, 1, 0));
+    for (int i = 0; i < 5; ++i)
+        mon.on_step(*sp, st(*sp, 1, 0), st(*sp, 1, 0), false, i);
+    EXPECT_DOUBLE_EQ(mon.availability(), 1.0);
+    EXPECT_EQ(mon.disruptions(), 0u);
+}
+
+}  // namespace
+}  // namespace dcft

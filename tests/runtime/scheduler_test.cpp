@@ -1,0 +1,112 @@
+#include "runtime/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/check.hpp"
+
+namespace dcft {
+namespace {
+
+const std::vector<std::size_t> kEnabled{0, 2, 5};
+
+TEST(RandomSchedulerTest, PicksOnlyEnabled) {
+    RandomScheduler sched;
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const std::size_t a = sched.pick(kEnabled, rng);
+        EXPECT_TRUE(a == 0 || a == 2 || a == 5);
+    }
+}
+
+TEST(RandomSchedulerTest, CoversAllEnabled) {
+    RandomScheduler sched;
+    Rng rng(2);
+    std::map<std::size_t, int> counts;
+    for (int i = 0; i < 600; ++i) ++counts[sched.pick(kEnabled, rng)];
+    EXPECT_EQ(counts.size(), 3u);
+    for (const auto& [a, c] : counts) EXPECT_GT(c, 100) << a;
+}
+
+TEST(RandomSchedulerTest, EmptyEnabledThrows) {
+    RandomScheduler sched;
+    Rng rng(1);
+    EXPECT_THROW(sched.pick({}, rng), ContractError);
+}
+
+TEST(RoundRobinSchedulerTest, CyclesThroughActions) {
+    RoundRobinScheduler sched;
+    Rng rng(1);
+    EXPECT_EQ(sched.pick(kEnabled, rng), 0u);
+    EXPECT_EQ(sched.pick(kEnabled, rng), 2u);
+    EXPECT_EQ(sched.pick(kEnabled, rng), 5u);
+    EXPECT_EQ(sched.pick(kEnabled, rng), 0u);  // wraps
+}
+
+TEST(RoundRobinSchedulerTest, SkipsDisabled) {
+    RoundRobinScheduler sched;
+    Rng rng(1);
+    EXPECT_EQ(sched.pick(kEnabled, rng), 0u);
+    const std::vector<std::size_t> only5{5};
+    EXPECT_EQ(sched.pick(only5, rng), 5u);
+    EXPECT_EQ(sched.pick(kEnabled, rng), 0u);  // cursor wrapped past 5
+}
+
+TEST(RoundRobinSchedulerTest, ResetRestartsCursor) {
+    RoundRobinScheduler sched;
+    Rng rng(1);
+    sched.pick(kEnabled, rng);
+    sched.pick(kEnabled, rng);
+    sched.reset();
+    EXPECT_EQ(sched.pick(kEnabled, rng), 0u);
+}
+
+TEST(RoundRobinSchedulerTest, IsWeaklyFair) {
+    // Every always-enabled action is chosen within one full cycle.
+    RoundRobinScheduler sched;
+    Rng rng(1);
+    std::map<std::size_t, int> counts;
+    for (int i = 0; i < 30; ++i) ++counts[sched.pick(kEnabled, rng)];
+    EXPECT_EQ(counts[0], 10);
+    EXPECT_EQ(counts[2], 10);
+    EXPECT_EQ(counts[5], 10);
+}
+
+TEST(AdversarialSchedulerTest, StarvesListedActions) {
+    AdversarialScheduler sched({2});
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        const std::size_t a = sched.pick(kEnabled, rng);
+        EXPECT_NE(a, 2u);
+    }
+}
+
+TEST(AdversarialSchedulerTest, FallsBackWhenOnlyStarvedEnabled) {
+    AdversarialScheduler sched({2, 5});
+    Rng rng(3);
+    const std::vector<std::size_t> only_starved{2, 5};
+    const std::size_t a = sched.pick(only_starved, rng);
+    EXPECT_TRUE(a == 2 || a == 5);
+}
+
+TEST(WeightedSchedulerTest, RespectsWeights) {
+    WeightedScheduler sched({10.0, 0.0, 1.0});  // action 0 heavy, 1 never
+    Rng rng(4);
+    std::map<std::size_t, int> counts;
+    const std::vector<std::size_t> enabled{0, 1, 2};
+    for (int i = 0; i < 2000; ++i) ++counts[sched.pick(enabled, rng)];
+    EXPECT_GT(counts[0], counts[2] * 5);
+    EXPECT_EQ(counts[1], 0);
+}
+
+TEST(WeightedSchedulerTest, MissingWeightsDefaultToOne) {
+    WeightedScheduler sched({});
+    Rng rng(4);
+    std::map<std::size_t, int> counts;
+    for (int i = 0; i < 600; ++i) ++counts[sched.pick(kEnabled, rng)];
+    EXPECT_EQ(counts.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dcft

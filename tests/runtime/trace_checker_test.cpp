@@ -1,0 +1,192 @@
+#include "runtime/trace_checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/memory_access.hpp"
+#include "common/check.hpp"
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> xz_space() {
+    return make_space({Variable{"x", 2, {}}, Variable{"z", 2, {}}});
+}
+
+/// Hand-builds a recorded run through the given states.
+RunResult scripted_run(std::vector<StateIndex> states,
+                       std::vector<bool> fault_steps = {}) {
+    RunResult run;
+    run.initial = states.front();
+    for (std::size_t i = 1; i < states.size(); ++i) {
+        const bool fault =
+            i - 1 < fault_steps.size() && fault_steps[i - 1];
+        run.trace.push_back(TraceStep{
+            states[i],
+            fault ? TraceStep::kFaultStep : std::size_t{0}});
+    }
+    run.steps = run.trace.size();
+    run.final_state = states.back();
+    return run;
+}
+
+StateIndex st(const StateSpace& sp, Value x, Value z) {
+    return sp.encode({{x, z}});
+}
+
+TEST(TraceStatesTest, ReconstructsSequence) {
+    auto sp = xz_space();
+    const RunResult run =
+        scripted_run({st(*sp, 0, 0), st(*sp, 1, 0), st(*sp, 1, 1)});
+    EXPECT_EQ(trace_states(run).size(), 3u);
+    EXPECT_EQ(trace_states(run).front(), st(*sp, 0, 0));
+    EXPECT_EQ(trace_states(run).back(), st(*sp, 1, 1));
+}
+
+TEST(TraceStatesTest, RejectsUnrecordedRun) {
+    RunResult run;
+    run.steps = 5;  // steps happened but no trace was recorded
+    EXPECT_THROW(trace_states(run), ContractError);
+}
+
+TEST(TraceSafetyTest, CleanTracePasses) {
+    auto sp = xz_space();
+    const SafetySpec safety =
+        SafetySpec::never(Predicate::var_eq(*sp, "z", 1) &&
+                          Predicate::var_eq(*sp, "x", 0));
+    const RunResult run =
+        scripted_run({st(*sp, 0, 0), st(*sp, 1, 0), st(*sp, 1, 1)});
+    EXPECT_TRUE(check_trace_safety(*sp, run, safety).ok());
+}
+
+TEST(TraceSafetyTest, LocatesBadState) {
+    auto sp = xz_space();
+    const SafetySpec safety =
+        SafetySpec::never(Predicate::var_eq(*sp, "z", 1) &&
+                          Predicate::var_eq(*sp, "x", 0));
+    const RunResult run =
+        scripted_run({st(*sp, 0, 0), st(*sp, 0, 1), st(*sp, 1, 1)});
+    const TraceReport report = check_trace_safety(*sp, run, safety);
+    ASSERT_EQ(report.violations.size(), 1u);
+    EXPECT_EQ(report.violations[0].step, 1u);
+}
+
+TEST(TraceSafetyTest, LocatesBadTransitionIncludingFaultSteps) {
+    auto sp = xz_space();
+    // cl(x): x must never fall.
+    const SafetySpec safety =
+        SafetySpec::closure(Predicate::var_eq(*sp, "x", 1));
+    const RunResult run = scripted_run(
+        {st(*sp, 1, 0), st(*sp, 0, 0)}, {true});  // a fault step drops x
+    const TraceReport report = check_trace_safety(*sp, run, safety);
+    ASSERT_EQ(report.violations.size(), 1u);
+    EXPECT_NE(report.violations[0].what.find("fault step"),
+              std::string::npos);
+}
+
+TEST(TraceDetectorTest, SafenessAndStabilityLocated) {
+    auto sp = xz_space();
+    const DetectorClaim claim{Predicate::var_eq(*sp, "z", 1),
+                              Predicate::var_eq(*sp, "x", 1),
+                              Predicate::top()};
+    // z raised while x false (step 1), then z dropped while x true (3) —
+    // which also leaves an unwitnessed detection pending at the end.
+    const RunResult run = scripted_run({st(*sp, 0, 0), st(*sp, 0, 1),
+                                        st(*sp, 1, 1), st(*sp, 1, 0)});
+    const TraceReport report = check_trace_detector(*sp, run, claim);
+    ASSERT_EQ(report.violations.size(), 3u);
+    EXPECT_NE(report.violations[0].what.find("Safeness"),
+              std::string::npos);
+    EXPECT_EQ(report.violations[0].step, 1u);
+    EXPECT_NE(report.violations[1].what.find("Stability"),
+              std::string::npos);
+    EXPECT_EQ(report.violations[1].step, 3u);
+    EXPECT_NE(report.violations[2].what.find("Progress"),
+              std::string::npos);
+}
+
+TEST(TraceDetectorTest, UnwitnessedDetectionReported) {
+    auto sp = xz_space();
+    const DetectorClaim claim{Predicate::var_eq(*sp, "z", 1),
+                              Predicate::var_eq(*sp, "x", 1),
+                              Predicate::top()};
+    const RunResult run = scripted_run(
+        {st(*sp, 0, 0), st(*sp, 1, 0), st(*sp, 1, 0)});
+    const TraceReport report = check_trace_detector(*sp, run, claim);
+    ASSERT_EQ(report.violations.size(), 1u);
+    EXPECT_NE(report.violations[0].what.find("Progress"),
+              std::string::npos);
+    EXPECT_EQ(report.violations[0].step, 1u);
+}
+
+TEST(TraceCorrectorTest, FaultMayFalsifyButProgramMayNot) {
+    auto sp = xz_space();
+    const CorrectorClaim claim{Predicate::var_eq(*sp, "x", 1),
+                               Predicate::var_eq(*sp, "x", 1),
+                               Predicate::top()};
+    // Fault drops x: allowed. Program drops x: a violation.
+    const RunResult fault_run = scripted_run(
+        {st(*sp, 1, 0), st(*sp, 0, 0), st(*sp, 1, 0)}, {true, false});
+    EXPECT_TRUE(check_trace_corrector(*sp, fault_run, claim).ok());
+    const RunResult prog_run = scripted_run(
+        {st(*sp, 1, 0), st(*sp, 0, 0), st(*sp, 1, 0)}, {false, false});
+    const TraceReport report =
+        check_trace_corrector(*sp, prog_run, claim);
+    ASSERT_EQ(report.violations.size(), 1u);
+    EXPECT_NE(report.violations[0].what.find("Convergence closure"),
+              std::string::npos);
+}
+
+TEST(TraceCorrectorTest, UnconvergedEndingReported) {
+    auto sp = xz_space();
+    const CorrectorClaim claim{Predicate::var_eq(*sp, "x", 1),
+                               Predicate::var_eq(*sp, "x", 1),
+                               Predicate::top()};
+    const RunResult run =
+        scripted_run({st(*sp, 1, 0), st(*sp, 0, 0)}, {true});
+    const TraceReport report = check_trace_corrector(*sp, run, claim);
+    ASSERT_EQ(report.violations.size(), 1u);
+    EXPECT_NE(report.violations[0].what.find("Convergence (finite-trace)"),
+              std::string::npos);
+}
+
+TEST(TraceCheckerTest, EndToEndOnTheMaskingMemoryProgram) {
+    // A real simulated run of pm under page faults passes all three trace
+    // checks — the hybrid-validation workflow.
+    auto sys = apps::make_memory_access();
+    RoundRobinScheduler scheduler;
+    Simulator sim(sys.masking, scheduler, 5);
+    FaultInjector injector(sys.page_fault, 0.3, 2);
+    sim.set_fault_injector(&injector);
+    RunOptions options;
+    options.record_trace = true;
+    options.max_steps = 60;
+    const RunResult run = sim.run(sys.initial_state(), options);
+
+    EXPECT_TRUE(
+        check_trace_safety(*sys.space, run, sys.spec.safety()).ok());
+    const DetectorClaim detector{sys.Z1, sys.X1, sys.S};
+    EXPECT_TRUE(check_trace_detector(*sys.space, run, detector).ok());
+    const CorrectorClaim corrector{sys.X1, sys.X1, sys.U1};
+    EXPECT_TRUE(check_trace_corrector(*sys.space, run, corrector).ok());
+}
+
+TEST(TraceCheckerTest, EndToEndCatchesTheIntolerantProgram) {
+    auto sys = apps::make_memory_access();
+    RoundRobinScheduler scheduler;
+    bool caught = false;
+    for (std::uint64_t seed = 0; seed < 20 && !caught; ++seed) {
+        Simulator sim(sys.intolerant, scheduler, seed);
+        FaultInjector injector(sys.page_fault, 0.5, 2);
+        sim.set_fault_injector(&injector);
+        RunOptions options;
+        options.record_trace = true;
+        options.max_steps = 40;
+        const RunResult run = sim.run(sys.initial_state(), options);
+        if (!check_trace_safety(*sys.space, run, sys.spec.safety()).ok())
+            caught = true;
+    }
+    EXPECT_TRUE(caught);
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,153 @@
+// The prefix algebra of Section 3.2 and Section 5 — Lemmas 3.1, 3.2 and
+// 5.1 — checked as executable properties of the transition-local safety
+// representation, over randomized specifications and sequences.
+//
+// dcft represents suffix-closed fusion-closed safety specifications by
+// (bad-state, bad-transition) predicates; these lemmas are exactly what
+// justifies that representation, so they must hold for every instance.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "spec/safety_spec.hpp"
+
+namespace dcft {
+namespace {
+
+constexpr StateIndex kStates = 5;
+
+std::shared_ptr<const StateSpace> space5() {
+    return make_space({Variable{"v", kStates, {}}});
+}
+
+/// A random safety specification: each state is bad with probability 1/8,
+/// each transition with probability 1/4.
+SafetySpec random_spec(Rng& rng) {
+    auto bad_states = std::make_shared<std::vector<char>>(kStates);
+    auto bad_trans =
+        std::make_shared<std::vector<char>>(kStates * kStates);
+    for (auto& b : *bad_states) b = rng.chance(0.125) ? 1 : 0;
+    for (auto& b : *bad_trans) b = rng.chance(0.25) ? 1 : 0;
+    return SafetySpec(
+        "random",
+        Predicate("bad-state",
+                  [bad_states](const StateSpace&, StateIndex s) {
+                      return (*bad_states)[s] != 0;
+                  }),
+        [bad_trans](const StateSpace&, StateIndex from, StateIndex to) {
+            return (*bad_trans)[from * kStates + to] != 0;
+        });
+}
+
+std::vector<StateIndex> random_sequence(Rng& rng, std::size_t len) {
+    std::vector<StateIndex> seq(len);
+    for (auto& s : seq) s = rng.below(kStates);
+    return seq;
+}
+
+std::vector<StateIndex> concat(std::vector<StateIndex> a,
+                               const std::vector<StateIndex>& b) {
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+}
+
+class FusionClosureTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Lemma 3.1: if sigma.s maintains SPEC and s.beta maintains SPEC then
+// sigma.s.beta maintains SPEC.
+TEST_P(FusionClosureTest, Lemma31FusionOfMaintainingPrefixes) {
+    auto sp = space5();
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 200; ++trial) {
+        const SafetySpec spec = random_spec(rng);
+        const StateIndex s = rng.below(kStates);
+        const auto sigma = random_sequence(rng, rng.below(4));
+        const auto beta = random_sequence(rng, rng.below(4));
+        const auto sigma_s = concat(sigma, {s});
+        const auto s_beta = concat({s}, beta);
+        if (!spec.maintains(*sp, sigma_s) || !spec.maintains(*sp, s_beta))
+            continue;
+        const auto fused = concat(sigma_s, beta);
+        EXPECT_TRUE(spec.maintains(*sp, fused))
+            << "fusion of two maintaining prefixes must maintain";
+    }
+}
+
+// Lemma 3.2: if sigma.s maintains SPEC, then sigma.s.s' maintains SPEC iff
+// s.s' maintains SPEC — violation is detectable from the current state
+// alone, independent of history.
+TEST_P(FusionClosureTest, Lemma32ViolationDetectableFromCurrentState) {
+    auto sp = space5();
+    Rng rng(GetParam() ^ 0xABCDEFULL);
+    for (int trial = 0; trial < 200; ++trial) {
+        const SafetySpec spec = random_spec(rng);
+        const StateIndex s = rng.below(kStates);
+        const StateIndex s2 = rng.below(kStates);
+        const auto sigma = random_sequence(rng, rng.below(4));
+        const auto sigma_s = concat(sigma, {s});
+        if (!spec.maintains(*sp, sigma_s)) continue;
+        const bool extended =
+            spec.maintains(*sp, concat(sigma_s, {s2}));
+        const bool local =
+            spec.maintains(*sp, std::vector<StateIndex>{s, s2});
+        EXPECT_EQ(extended, local)
+            << "maintains of the extension must be history-independent";
+    }
+}
+
+// Lemma 5.1 (the safety half, which is what the representation decides):
+// if alpha.s maintains SPEC and s.beta is allowed by SPEC, the fusion
+// alpha.s.beta is allowed-as-a-prefix too.
+TEST_P(FusionClosureTest, Lemma51FusionWithSuffix) {
+    auto sp = space5();
+    Rng rng(GetParam() ^ 0x123456ULL);
+    for (int trial = 0; trial < 200; ++trial) {
+        const SafetySpec spec = random_spec(rng);
+        const StateIndex s = rng.below(kStates);
+        const auto alpha = random_sequence(rng, rng.below(4));
+        const auto beta = random_sequence(rng, rng.below(5));
+        const auto alpha_s = concat(alpha, {s});
+        const auto s_beta = concat({s}, beta);
+        if (!spec.maintains(*sp, alpha_s) || !spec.maintains(*sp, s_beta))
+            continue;
+        EXPECT_TRUE(spec.maintains(*sp, concat(alpha_s, beta)));
+    }
+}
+
+// Suffix closure: every suffix of a maintaining sequence maintains.
+TEST_P(FusionClosureTest, SuffixClosure) {
+    auto sp = space5();
+    Rng rng(GetParam() ^ 0x777ULL);
+    for (int trial = 0; trial < 200; ++trial) {
+        const SafetySpec spec = random_spec(rng);
+        const auto seq = random_sequence(rng, 1 + rng.below(6));
+        if (!spec.maintains(*sp, seq)) continue;
+        for (std::size_t k = 0; k < seq.size(); ++k) {
+            const std::vector<StateIndex> suffix(seq.begin() +
+                                                     static_cast<long>(k),
+                                                 seq.end());
+            EXPECT_TRUE(spec.maintains(*sp, suffix));
+        }
+    }
+}
+
+// Prefix closure (safety is downward closed on prefixes).
+TEST_P(FusionClosureTest, PrefixClosure) {
+    auto sp = space5();
+    Rng rng(GetParam() ^ 0x999ULL);
+    for (int trial = 0; trial < 200; ++trial) {
+        const SafetySpec spec = random_spec(rng);
+        const auto seq = random_sequence(rng, 1 + rng.below(6));
+        if (!spec.maintains(*sp, seq)) continue;
+        for (std::size_t k = 0; k <= seq.size(); ++k) {
+            const std::vector<StateIndex> prefix(
+                seq.begin(), seq.begin() + static_cast<long>(k));
+            EXPECT_TRUE(spec.maintains(*sp, prefix));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusionClosureTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace dcft

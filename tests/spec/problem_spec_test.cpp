@@ -1,0 +1,98 @@
+#include "spec/problem_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spec/corrects.hpp"
+#include "spec/detects.hpp"
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> space4() {
+    return make_space({Variable{"v", 4, {}}});
+}
+
+TEST(ProblemSpecTest, ToleranceNames) {
+    EXPECT_EQ(to_string(Tolerance::FailSafe), "fail-safe");
+    EXPECT_EQ(to_string(Tolerance::Nonmasking), "nonmasking");
+    EXPECT_EQ(to_string(Tolerance::Masking), "masking");
+}
+
+TEST(ProblemSpecTest, FailsafeWeakeningDropsLiveness) {
+    auto sp = space4();
+    LivenessSpec live;
+    live.add_eventually(Predicate::var_eq(*sp, "v", 1));
+    const ProblemSpec spec("demo", SafetySpec(), std::move(live));
+    EXPECT_FALSE(spec.liveness().empty());
+    const ProblemSpec weak = spec.failsafe_weakening();
+    EXPECT_TRUE(weak.liveness().empty());
+    EXPECT_EQ(weak.name(), "failsafe(demo)");
+}
+
+TEST(ProblemSpecTest, ConvergesToHasClosureAndLeadsTo) {
+    auto sp = space4();
+    const Predicate s = Predicate::var_eq(*sp, "v", 1);
+    const Predicate r = Predicate::var_eq(*sp, "v", 2);
+    const ProblemSpec spec = ProblemSpec::converges_to(s, r);
+    // Safety: cl(S) && cl(R).
+    EXPECT_FALSE(spec.safety().transition_allowed(*sp, 1, 0));
+    EXPECT_FALSE(spec.safety().transition_allowed(*sp, 2, 0));
+    EXPECT_TRUE(spec.safety().transition_allowed(*sp, 0, 3));
+    // Liveness: S ~~> R.
+    ASSERT_EQ(spec.liveness().obligations().size(), 1u);
+    EXPECT_EQ(spec.liveness().obligations()[0].name(), "v==1 ~~> v==2");
+}
+
+TEST(DetectsSpecTest, EncodesThreeConditions) {
+    auto sp = space4();
+    const Predicate z = Predicate::var_eq(*sp, "v", 1);
+    const Predicate x =
+        (Predicate::var_eq(*sp, "v", 1) || Predicate::var_eq(*sp, "v", 2));
+    const ProblemSpec spec = detects_spec(z, x);
+    // Safeness: state with Z && !X is bad — no such state here (Z => X).
+    for (StateIndex s = 0; s < 4; ++s)
+        EXPECT_TRUE(spec.safety().state_allowed(*sp, s));
+    // Stability: from Z (v==1), next must satisfy Z || !X: v==2 violates.
+    EXPECT_FALSE(spec.safety().transition_allowed(*sp, 1, 2));
+    EXPECT_TRUE(spec.safety().transition_allowed(*sp, 1, 1));
+    EXPECT_TRUE(spec.safety().transition_allowed(*sp, 1, 0));  // !X
+    // Progress: one leads-to obligation.
+    EXPECT_EQ(spec.liveness().obligations().size(), 1u);
+}
+
+TEST(DetectsSpecTest, SafenessExcludesBadWitness) {
+    auto sp = space4();
+    // Z = v==1 but X = v==2: witnessing at v==1 violates Safeness.
+    const ProblemSpec spec = detects_spec(Predicate::var_eq(*sp, "v", 1),
+                                          Predicate::var_eq(*sp, "v", 2));
+    EXPECT_FALSE(spec.safety().state_allowed(*sp, 1));
+    EXPECT_TRUE(spec.safety().state_allowed(*sp, 2));
+}
+
+TEST(CorrectsSpecTest, AddsConvergence) {
+    auto sp = space4();
+    const Predicate z = Predicate::var_eq(*sp, "v", 1);
+    const Predicate x =
+        (Predicate::var_eq(*sp, "v", 1) || Predicate::var_eq(*sp, "v", 2));
+    const ProblemSpec spec = corrects_spec(z, x);
+    // Convergence closure: once X holds it must keep holding: 2 -> 0 bad.
+    EXPECT_FALSE(spec.safety().transition_allowed(*sp, 2, 0));
+    EXPECT_TRUE(spec.safety().transition_allowed(*sp, 2, 1));
+    // Two liveness obligations: eventually X, and X ~~> (Z || !X).
+    EXPECT_EQ(spec.liveness().obligations().size(), 2u);
+}
+
+TEST(LivenessSpecTest, AccumulatesObligations) {
+    auto sp = space4();
+    LivenessSpec live;
+    EXPECT_TRUE(live.empty());
+    live.add(LeadsTo{Predicate::var_eq(*sp, "v", 0),
+                     Predicate::var_eq(*sp, "v", 1)});
+    live.add_eventually(Predicate::var_eq(*sp, "v", 2));
+    EXPECT_EQ(live.obligations().size(), 2u);
+    EXPECT_EQ(live.obligations()[0].name(), "v==0 ~~> v==1");
+    EXPECT_EQ(live.obligations()[1].name(), "true ~~> v==2");
+}
+
+}  // namespace
+}  // namespace dcft

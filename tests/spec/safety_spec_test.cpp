@@ -1,0 +1,99 @@
+#include "spec/safety_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> space4() {
+    return make_space({Variable{"v", 4, {}}});
+}
+
+TEST(SafetySpecTest, DefaultAllowsEverything) {
+    auto sp = space4();
+    SafetySpec spec;
+    for (StateIndex s = 0; s < 4; ++s) {
+        EXPECT_TRUE(spec.state_allowed(*sp, s));
+        for (StateIndex t = 0; t < 4; ++t)
+            EXPECT_TRUE(spec.transition_allowed(*sp, s, t));
+    }
+}
+
+TEST(SafetySpecTest, NeverExcludesStates) {
+    auto sp = space4();
+    const SafetySpec spec = SafetySpec::never(Predicate::var_eq(*sp, "v", 2));
+    EXPECT_TRUE(spec.state_allowed(*sp, 0));
+    EXPECT_FALSE(spec.state_allowed(*sp, 2));
+    // never() constrains states only, not transitions.
+    EXPECT_TRUE(spec.transition_allowed(*sp, 0, 2));
+}
+
+TEST(SafetySpecTest, PairConstrainsSuccessors) {
+    auto sp = space4();
+    // ({v==1}, {v==2}): from v==1, only v==2 next.
+    const SafetySpec spec = SafetySpec::pair(Predicate::var_eq(*sp, "v", 1),
+                                             Predicate::var_eq(*sp, "v", 2));
+    EXPECT_TRUE(spec.transition_allowed(*sp, 1, 2));
+    EXPECT_FALSE(spec.transition_allowed(*sp, 1, 3));
+    EXPECT_FALSE(spec.transition_allowed(*sp, 1, 1));
+    EXPECT_TRUE(spec.transition_allowed(*sp, 0, 3));  // antecedent false
+}
+
+TEST(SafetySpecTest, ClosureIsPairWithItself) {
+    auto sp = space4();
+    const Predicate s1 = Predicate::var_eq(*sp, "v", 1);
+    const SafetySpec cl = SafetySpec::closure(s1);
+    EXPECT_TRUE(cl.transition_allowed(*sp, 1, 1));
+    EXPECT_FALSE(cl.transition_allowed(*sp, 1, 0));
+    EXPECT_TRUE(cl.transition_allowed(*sp, 0, 1));
+    EXPECT_TRUE(cl.transition_allowed(*sp, 0, 3));
+    EXPECT_EQ(cl.name(), "cl(v==1)");
+}
+
+TEST(SafetySpecTest, ConjunctionIntersects) {
+    auto sp = space4();
+    const SafetySpec a = SafetySpec::never(Predicate::var_eq(*sp, "v", 0));
+    const SafetySpec b = SafetySpec::pair(Predicate::var_eq(*sp, "v", 1),
+                                          Predicate::var_eq(*sp, "v", 2));
+    const SafetySpec both = SafetySpec::conjunction({a, b});
+    EXPECT_FALSE(both.state_allowed(*sp, 0));
+    EXPECT_TRUE(both.state_allowed(*sp, 1));
+    EXPECT_FALSE(both.transition_allowed(*sp, 1, 3));
+    EXPECT_TRUE(both.transition_allowed(*sp, 1, 2));
+}
+
+TEST(SafetySpecTest, NestedConjunction) {
+    auto sp = space4();
+    const SafetySpec inner = SafetySpec::conjunction(
+        {SafetySpec::never(Predicate::var_eq(*sp, "v", 0))});
+    const SafetySpec outer = SafetySpec::conjunction(
+        {inner, SafetySpec::never(Predicate::var_eq(*sp, "v", 1))});
+    EXPECT_FALSE(outer.state_allowed(*sp, 0));
+    EXPECT_FALSE(outer.state_allowed(*sp, 1));
+    EXPECT_TRUE(outer.state_allowed(*sp, 2));
+}
+
+TEST(SafetySpecTest, MaintainsChecksAllStatesAndSteps) {
+    auto sp = space4();
+    const SafetySpec spec = SafetySpec::conjunction(
+        {SafetySpec::never(Predicate::var_eq(*sp, "v", 3)),
+         SafetySpec::closure(Predicate::var_eq(*sp, "v", 1))});
+    const std::vector<StateIndex> good{0, 1, 1, 1};
+    EXPECT_TRUE(spec.maintains(*sp, good));
+    const std::vector<StateIndex> bad_state{0, 3};
+    EXPECT_FALSE(spec.maintains(*sp, bad_state));
+    const std::vector<StateIndex> bad_step{0, 1, 2};
+    EXPECT_FALSE(spec.maintains(*sp, bad_step));
+    const std::vector<StateIndex> empty;
+    EXPECT_TRUE(spec.maintains(*sp, empty));
+}
+
+TEST(SafetySpecTest, MaintainsSingleState) {
+    auto sp = space4();
+    const SafetySpec spec = SafetySpec::never(Predicate::var_eq(*sp, "v", 3));
+    EXPECT_TRUE(spec.maintains(*sp, std::vector<StateIndex>{0}));
+    EXPECT_FALSE(spec.maintains(*sp, std::vector<StateIndex>{3}));
+}
+
+}  // namespace
+}  // namespace dcft

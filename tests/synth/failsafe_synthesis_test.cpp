@@ -1,0 +1,80 @@
+// Question 2 of the paper, fail-safe direction: adding detectors to a
+// fault-intolerant program yields a fail-safe tolerant program.
+#include "synth/add_failsafe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/memory_access.hpp"
+#include "apps/tmr.hpp"
+#include "verify/detection_predicate.hpp"
+#include "verify/encapsulation.hpp"
+#include "verify/tolerance_checker.hpp"
+
+namespace dcft {
+namespace {
+
+TEST(FailsafeSynthesisTest, GatesEveryActionWithItsWeakestPredicate) {
+    auto sys = apps::make_tmr(2);
+    const FailsafeSynthesis fs =
+        add_failsafe(sys.intolerant, sys.spec.safety());
+    ASSERT_EQ(fs.program.num_actions(), sys.intolerant.num_actions());
+    ASSERT_EQ(fs.detection_predicates.size(), sys.intolerant.num_actions());
+    for (std::size_t i = 0; i < fs.program.num_actions(); ++i) {
+        EXPECT_TRUE(equivalent(
+            *sys.space, fs.detection_predicates[i],
+            weakest_detection_predicate(*sys.space, sys.intolerant.action(i),
+                                        sys.spec.safety())));
+    }
+}
+
+TEST(FailsafeSynthesisTest, SynthesizedTmrIsFailsafeTolerant) {
+    auto sys = apps::make_tmr(2);
+    const FailsafeSynthesis fs =
+        add_failsafe(sys.intolerant, sys.spec.safety());
+    const ToleranceReport r = check_failsafe(
+        fs.program, sys.corrupt_one_input, sys.spec, sys.invariant);
+    EXPECT_TRUE(r.ok()) << r.reason();
+}
+
+TEST(FailsafeSynthesisTest, SynthesizedTmrMatchesHandBuiltDetectorGating) {
+    // The synthesized guard g /\ wdp must be equivalent to the paper's
+    // hand-chosen DR witness gating wherever the intolerant guard holds:
+    // IR may fire exactly when out = bot and x is a majority value.
+    auto sys = apps::make_tmr(2);
+    const FailsafeSynthesis fs =
+        add_failsafe(sys.intolerant, sys.spec.safety());
+    const Action& synthesized = fs.program.action(0);
+    const Action& hand_built = sys.failsafe.action_named(
+        sys.failsafe.action(0).name());
+    for (StateIndex s = 0; s < sys.space->num_states(); ++s)
+        EXPECT_EQ(synthesized.enabled(*sys.space, s),
+                  hand_built.enabled(*sys.space, s))
+            << sys.space->format(s);
+}
+
+TEST(FailsafeSynthesisTest, SynthesizedMemoryAccessIsFailsafeTolerant) {
+    auto sys = apps::make_memory_access();
+    const FailsafeSynthesis fs =
+        add_failsafe(sys.intolerant, sys.spec.safety());
+    const ToleranceReport r =
+        check_failsafe(fs.program, sys.page_fault, sys.spec, sys.S);
+    EXPECT_TRUE(r.ok()) << r.reason();
+}
+
+TEST(FailsafeSynthesisTest, SynthesisEncapsulatesTheIntolerantProgram) {
+    auto sys = apps::make_memory_access();
+    const FailsafeSynthesis fs =
+        add_failsafe(sys.intolerant, sys.spec.safety());
+    EXPECT_TRUE(check_encapsulates(fs.program, sys.intolerant).ok);
+}
+
+TEST(FailsafeSynthesisTest, IntolerantProgramItselfFailsTheCheck) {
+    // Sanity: the synthesis is doing real work.
+    auto sys = apps::make_tmr(2);
+    EXPECT_FALSE(check_failsafe(sys.intolerant, sys.corrupt_one_input,
+                                sys.spec, sys.invariant)
+                     .ok());
+}
+
+}  // namespace
+}  // namespace dcft

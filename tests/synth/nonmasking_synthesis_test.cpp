@@ -1,0 +1,143 @@
+// Question 2 of the paper, nonmasking direction: composing a synthesized
+// corrector with a fault-intolerant program yields recovery.
+#include "synth/add_nonmasking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "verify/component_checker.hpp"
+#include "verify/tolerance_checker.hpp"
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> counter_space() {
+    return make_space({Variable{"v", 6, {}}});
+}
+
+Predicate at(const StateSpace& sp, Value v) {
+    return Predicate::var_eq(sp, "v", v);
+}
+
+/// p: v < 3 --> v := v+1; goal 3; faults throw v to 4 or 5 where p stalls.
+struct Fixture {
+    std::shared_ptr<const StateSpace> space = counter_space();
+    Program p{space, "climb"};
+    FaultClass f{space, "throw"};
+    ProblemSpec spec;
+    Predicate inv;
+
+    Fixture() {
+        p.add_action(Action::assign(
+            *space, "inc",
+            Predicate("v<3",
+                      [](const StateSpace& sp, StateIndex s) {
+                          return sp.get(s, 0) < 3;
+                      }),
+            "v",
+            [](const StateSpace& sp, StateIndex s) {
+                return sp.get(s, 0) + 1;
+            }));
+        f.add_action(Action::nondet(
+            "throw", Predicate::top(),
+            [](const StateSpace& sp, StateIndex s,
+               std::vector<StateIndex>& out) {
+                out.push_back(sp.set(s, 0, 4));
+                out.push_back(sp.set(s, 0, 5));
+            }));
+        LivenessSpec live;
+        live.add_eventually(at(*space, 3));
+        spec = ProblemSpec("reach3", SafetySpec(), std::move(live));
+        inv = Predicate("v<=3", [](const StateSpace&, StateIndex s) {
+            return s <= 3;
+        });
+    }
+};
+
+TEST(NonmaskingSynthesisTest, IntolerantProgramStallsOutsideInvariant) {
+    Fixture fx;
+    EXPECT_FALSE(check_nonmasking(fx.p, fx.f, fx.spec, fx.inv).ok());
+}
+
+TEST(NonmaskingSynthesisTest, SingleStepCorrectorRestoresTolerance) {
+    Fixture fx;
+    const NonmaskingSynthesis nm = add_nonmasking(fx.p, fx.f, fx.inv);
+    EXPECT_TRUE(nm.complete);
+    const ToleranceReport r =
+        check_nonmasking(nm.program, fx.f, fx.spec, fx.inv);
+    EXPECT_TRUE(r.ok()) << r.reason();
+}
+
+TEST(NonmaskingSynthesisTest, AtomicResetCorrectorAlsoWorks) {
+    Fixture fx;
+    NonmaskingOptions opts;
+    opts.single_step = false;
+    const NonmaskingSynthesis nm = add_nonmasking(fx.p, fx.f, fx.inv, opts);
+    EXPECT_TRUE(nm.complete);
+    const ToleranceReport r =
+        check_nonmasking(nm.program, fx.f, fx.spec, fx.inv);
+    EXPECT_TRUE(r.ok()) << r.reason();
+    // The atomic corrector jumps straight into the invariant.
+    std::vector<StateIndex> succ;
+    for (StateIndex s = 4; s <= 5; ++s) {
+        succ.clear();
+        nm.corrector.successors(s, succ);
+        ASSERT_EQ(succ.size(), 1u);
+        EXPECT_TRUE(fx.inv.eval(*fx.space, succ[0]));
+    }
+}
+
+TEST(NonmaskingSynthesisTest, CorrectorIsDisabledInsideInvariant) {
+    Fixture fx;
+    const NonmaskingSynthesis nm = add_nonmasking(fx.p, fx.f, fx.inv);
+    for (StateIndex s = 0; s <= 3; ++s)
+        EXPECT_TRUE(nm.corrector.is_terminal(s)) << s;
+}
+
+TEST(NonmaskingSynthesisTest, SynthesizedCompositionIsACorrector) {
+    // The composed program refines 'S corrects S' from the fault span —
+    // the Arora-Gouda special case (Remark, Section 4.1).
+    Fixture fx;
+    const NonmaskingSynthesis nm = add_nonmasking(fx.p, fx.f, fx.inv);
+    const CorrectorClaim claim{fx.inv, fx.inv, nm.fault_span};
+    EXPECT_TRUE(check_corrector(nm.program, claim).ok);
+}
+
+TEST(NonmaskingSynthesisTest, RestrictedWritablesReportIncompleteness) {
+    // If the corrector may not write v, nothing can recover: the synthesis
+    // must say so rather than emit a bogus corrector.
+    auto space = make_space({Variable{"v", 4, {}}, Variable{"w", 2, {}}});
+    Program p(space, "p");
+    p.add_action(Action::assign_const(
+        *space, "fix-w", Predicate::var_eq(*space, "w", 1), "w", 0));
+    FaultClass f(space, "F");
+    f.add_action(Action::assign_const(
+        *space, "hit-v", Predicate::var_eq(*space, "v", 0), "v", 2));
+    const Predicate inv =
+        (Predicate::var_eq(*space, "v", 0) && Predicate::var_eq(*space, "w",
+                                                                0))
+            .renamed("inv");
+    NonmaskingOptions limited;
+    limited.writable = {"w"};  // cannot undo the v corruption
+    const NonmaskingSynthesis nm = add_nonmasking(p, f, inv, limited);
+    EXPECT_FALSE(nm.complete);
+    EXPECT_FALSE(nm.unrecoverable.empty());
+    NonmaskingOptions full;
+    const NonmaskingSynthesis ok = add_nonmasking(p, f, inv, full);
+    EXPECT_TRUE(ok.complete);
+}
+
+TEST(NonmaskingSynthesisTest, RecoveryStaysInsideFaultSpan) {
+    Fixture fx;
+    const NonmaskingSynthesis nm = add_nonmasking(fx.p, fx.f, fx.inv);
+    std::vector<StateIndex> succ;
+    for (StateIndex s = 0; s < fx.space->num_states(); ++s) {
+        if (!nm.fault_span.eval(*fx.space, s)) continue;
+        succ.clear();
+        nm.corrector.successors(s, succ);
+        for (StateIndex t : succ)
+            EXPECT_TRUE(nm.fault_span.eval(*fx.space, t));
+    }
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,89 @@
+// Multitolerance — the authors' companion concept (refs [4], [10]; the
+// paper's intro claims "the first solutions that satisfy multiple
+// fault-tolerance properties"): one program, several fault classes, a
+// different tolerance grade to each. The checker decides each (program,
+// fault-class) pair independently, so multitolerance is just a
+// conjunction of verdicts.
+#include <gtest/gtest.h>
+
+#include "apps/alternating_bit.hpp"
+#include "apps/memory_access.hpp"
+#include "verify/invariant.hpp"
+#include "verify/tolerance_checker.hpp"
+
+namespace dcft {
+namespace {
+
+TEST(MultitoleranceTest, AbpGradesPerFaultClass) {
+    // One protocol, three fault classes, three different outcomes:
+    // masking to loss, masking to duplication, nothing to corruption.
+    auto sys = apps::make_alternating_bit();
+    const StateIndex init = sys.initial_state();
+    const Predicate inv = reachable_invariant(
+        sys.protocol, Predicate("init",
+                                [init](const StateSpace&, StateIndex s) {
+                                    return s == init;
+                                }));
+    EXPECT_TRUE(check_masking(sys.protocol, sys.loss, sys.spec, inv).ok());
+    EXPECT_TRUE(
+        check_masking(sys.protocol, sys.duplication, sys.spec, inv).ok());
+    EXPECT_FALSE(
+        check_failsafe(sys.protocol, sys.corruption, sys.spec, inv).ok());
+}
+
+TEST(MultitoleranceTest, CombinedFaultClassesStillMask) {
+    // Loss and duplication together (the union fault class): still
+    // masking — tolerances to "compatible" fault classes compose.
+    auto sys = apps::make_alternating_bit();
+    const StateIndex init = sys.initial_state();
+    const Predicate inv = reachable_invariant(
+        sys.protocol, Predicate("init",
+                                [init](const StateSpace&, StateIndex s) {
+                                    return s == init;
+                                }));
+    FaultClass both(sys.space, "loss+duplication");
+    for (const auto& ac : sys.loss.actions()) both.add_action(ac);
+    for (const auto& ac : sys.duplication.actions()) both.add_action(ac);
+    const ToleranceReport r =
+        check_masking(sys.protocol, both, sys.spec, inv);
+    EXPECT_TRUE(r.ok()) << r.reason();
+}
+
+TEST(MultitoleranceTest, MemoryAccessMixedGrades) {
+    // pm is masking to the guarded page fault; to the *unrestricted* page
+    // fault it degrades to nonmasking (the fault can strike between
+    // detection and the gated read, so safety is violated transiently,
+    // but recovery still converges).
+    auto sys = apps::make_memory_access();
+    EXPECT_TRUE(
+        check_masking(sys.masking, sys.page_fault, sys.spec, sys.S).ok());
+    EXPECT_FALSE(check_masking(sys.masking, sys.unrestricted_page_fault,
+                               sys.spec, sys.S)
+                     .ok());
+    EXPECT_TRUE(check_nonmasking(sys.masking, sys.unrestricted_page_fault,
+                                 sys.spec, sys.S)
+                    .ok());
+}
+
+TEST(MultitoleranceTest, GradesAreIndependentAcrossFaultClasses) {
+    // The same program can sit at any point of the grade lattice per
+    // fault class; verify the full matrix for pf.
+    auto sys = apps::make_memory_access();
+    // Guarded fault: fail-safe only.
+    EXPECT_TRUE(
+        check_failsafe(sys.failsafe, sys.page_fault, sys.spec, sys.S).ok());
+    EXPECT_FALSE(
+        check_nonmasking(sys.failsafe, sys.page_fault, sys.spec, sys.S)
+            .ok());
+    // Unrestricted fault: nothing at all.
+    EXPECT_FALSE(check_failsafe(sys.failsafe, sys.unrestricted_page_fault,
+                                sys.spec, sys.S)
+                     .ok());
+    EXPECT_FALSE(check_nonmasking(sys.failsafe,
+                                  sys.unrestricted_page_fault, sys.spec,
+                                  sys.S)
+                     .ok());
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,91 @@
+#include "verify/closure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> counter_space() {
+    return make_space({Variable{"v", 6, {}}});
+}
+
+TEST(ClosureTest, ClosedPredicateAccepted) {
+    auto sp = counter_space();
+    Program p(sp, "inc-to-3");
+    p.add_action(Action::assign(
+        *sp, "inc",
+        Predicate("v<3",
+                  [](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 0) < 3;
+                  }),
+        "v",
+        [](const StateSpace& space, StateIndex s) {
+            return space.get(s, 0) + 1;
+        }));
+    // v <= 3 is closed (the program never goes past 3).
+    const Predicate le3("v<=3", [](const StateSpace& space, StateIndex s) {
+        return space.get(s, 0) <= 3;
+    });
+    EXPECT_TRUE(check_closed(p, le3).ok);
+    // v <= 2 is not closed: inc moves 2 -> 3.
+    const Predicate le2("v<=2", [](const StateSpace& space, StateIndex s) {
+        return space.get(s, 0) <= 2;
+    });
+    const CheckResult r = check_closed(p, le2);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.reason.find("not preserved"), std::string::npos);
+}
+
+TEST(ClosureTest, TrueAndFalseAreTriviallyClosed) {
+    // The paper notes true and false are closed in every program.
+    auto sp = counter_space();
+    Program p(sp, "p");
+    p.add_action(Action::nondet(
+        "scramble", Predicate::top(),
+        [](const StateSpace& space, StateIndex s,
+           std::vector<StateIndex>& out) {
+            for (Value c = 0; c < 6; ++c) out.push_back(space.set(s, 0, c));
+        }));
+    EXPECT_TRUE(check_closed(p, Predicate::top()).ok);
+    EXPECT_TRUE(check_closed(p, Predicate::bottom()).ok);
+}
+
+TEST(ClosureTest, NondeterministicSuccessorsAllChecked) {
+    auto sp = counter_space();
+    Program p(sp, "p");
+    p.add_action(Action::nondet(
+        "fork", Predicate::var_eq(*sp, "v", 0),
+        [](const StateSpace& space, StateIndex s,
+           std::vector<StateIndex>& out) {
+            out.push_back(space.set(s, 0, 1));
+            out.push_back(space.set(s, 0, 5));  // escapes v <= 1
+        }));
+    const Predicate le1("v<=1", [](const StateSpace& space, StateIndex s) {
+        return space.get(s, 0) <= 1;
+    });
+    EXPECT_FALSE(check_closed(p, le1).ok);
+}
+
+TEST(ClosureTest, FaultPreservationChecked) {
+    auto sp = counter_space();
+    FaultClass f(sp, "F");
+    f.add_action(Action::assign_const(*sp, "corrupt",
+                                      Predicate::var_eq(*sp, "v", 1), "v", 4));
+    const Predicate le2("v<=2", [](const StateSpace& space, StateIndex s) {
+        return space.get(s, 0) <= 2;
+    });
+    EXPECT_FALSE(check_preserved(f, le2).ok);
+    const Predicate le5("v<=5", [](const StateSpace& space, StateIndex s) {
+        return space.get(s, 0) <= 5;
+    });
+    EXPECT_TRUE(check_preserved(f, le5).ok);
+}
+
+TEST(ClosureTest, EmptyProgramPreservesEverything) {
+    auto sp = counter_space();
+    const Program p(sp, "empty");
+    EXPECT_TRUE(check_closed(p, Predicate::var_eq(*sp, "v", 2)).ok);
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,174 @@
+// Detector and corrector judgments on small purpose-built components.
+#include "verify/component_checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcft {
+namespace {
+
+// Space: x (the condition being watched), z (the witness).
+std::shared_ptr<const StateSpace> xz_space() {
+    return make_space({Variable{"x", 2, {}}, Variable{"z", 2, {}}});
+}
+
+Predicate x_true(const StateSpace& sp) {
+    return Predicate::var_eq(sp, "x", 1).renamed("X");
+}
+Predicate z_true(const StateSpace& sp) {
+    return Predicate::var_eq(sp, "z", 1).renamed("Z");
+}
+Predicate context(const StateSpace& sp) {
+    // U: the witness never lies — z => x.
+    return implies(z_true(sp), x_true(sp)).renamed("U");
+}
+
+/// detect :: x /\ !z --> z := true.
+Program good_detector(std::shared_ptr<const StateSpace> sp) {
+    Program d(sp, "detector");
+    d.add_action(Action::assign_const(
+        *sp, "detect", x_true(*sp) && !z_true(*sp), "z", 1));
+    return d;
+}
+
+TEST(DetectorCheckTest, GoodDetectorAccepted) {
+    auto sp = xz_space();
+    const Program d = good_detector(sp);
+    const DetectorClaim claim{z_true(*sp), x_true(*sp), context(*sp)};
+    EXPECT_TRUE(check_detector(d, claim).ok);
+}
+
+TEST(DetectorCheckTest, LyingDetectorViolatesSafeness) {
+    auto sp = xz_space();
+    Program d(sp, "liar");
+    d.add_action(Action::assign_const(
+        *sp, "lie", !x_true(*sp) && !z_true(*sp), "z", 1));
+    const DetectorClaim claim{z_true(*sp), x_true(*sp), context(*sp)};
+    const CheckResult r = check_detector(d, claim);
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(DetectorCheckTest, SluggishDetectorViolatesProgress) {
+    auto sp = xz_space();
+    const Program d(sp, "asleep");  // no actions at all
+    const DetectorClaim claim{z_true(*sp), x_true(*sp), context(*sp)};
+    const CheckResult r = check_detector(d, claim);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.reason.find("leads-to"), std::string::npos);
+}
+
+TEST(DetectorCheckTest, UnstableDetectorViolatesStability) {
+    auto sp = xz_space();
+    Program d = good_detector(sp);
+    // Retracts the witness while x still holds.
+    d.add_action(Action::assign_const(
+        *sp, "retract", x_true(*sp) && z_true(*sp), "z", 0));
+    const DetectorClaim claim{z_true(*sp), x_true(*sp), context(*sp)};
+    EXPECT_FALSE(check_detector(d, claim).ok);
+}
+
+TEST(DetectorCheckTest, FailsafeTolerantDetector) {
+    auto sp = xz_space();
+    const Program d = good_detector(sp);
+    // The fault falsifies x, but only before the witness is raised —
+    // the memory-access shape (Section 3.3).
+    FaultClass f(sp, "F");
+    f.add_action(Action::assign_const(
+        *sp, "strike", x_true(*sp) && !z_true(*sp), "x", 0));
+    const DetectorClaim claim{z_true(*sp), x_true(*sp), context(*sp)};
+    const Predicate span = context(*sp);  // closed under d and F here
+    EXPECT_TRUE(check_tolerant_detector(d, f, claim, Tolerance::FailSafe,
+                                        span)
+                    .ok);
+}
+
+TEST(DetectorCheckTest, UnrestrictedFaultBreaksFailsafeTolerance) {
+    auto sp = xz_space();
+    const Program d = good_detector(sp);
+    FaultClass f(sp, "F");
+    f.add_action(Action::assign_const(*sp, "strike", x_true(*sp), "x", 0));
+    const DetectorClaim claim{z_true(*sp), x_true(*sp), context(*sp)};
+    // The fault reaches z /\ !x, so the span must include it; from there
+    // Safeness is violated.
+    const CheckResult r = check_tolerant_detector(
+        d, f, claim, Tolerance::FailSafe, Predicate::top());
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.reason.find("presence"), std::string::npos);
+}
+
+/// fix :: !x --> x := true, plus the witness action.
+Program good_corrector(std::shared_ptr<const StateSpace> sp) {
+    Program c(sp, "corrector");
+    c.add_action(Action::assign_const(*sp, "fix", !x_true(*sp), "x", 1));
+    c.add_action(Action::assign_const(
+        *sp, "witness", x_true(*sp) && !z_true(*sp), "z", 1));
+    return c;
+}
+
+TEST(CorrectorCheckTest, GoodCorrectorAccepted) {
+    auto sp = xz_space();
+    const Program c = good_corrector(sp);
+    const CorrectorClaim claim{z_true(*sp), x_true(*sp), context(*sp)};
+    EXPECT_TRUE(check_corrector(c, claim).ok);
+}
+
+TEST(CorrectorCheckTest, CorrectorWithoutConvergenceRejected) {
+    auto sp = xz_space();
+    // Only witnesses; never repairs x.
+    const Program c = good_detector(sp);
+    const CorrectorClaim claim{z_true(*sp), x_true(*sp), context(*sp)};
+    const CheckResult r = check_corrector(c, claim);
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(CorrectorCheckTest, CorrectorBreakingClosureRejected) {
+    auto sp = xz_space();
+    Program c = good_corrector(sp);
+    // Un-corrects: violates the Convergence closure cl(X).
+    c.add_action(Action::assign_const(
+        *sp, "break", x_true(*sp) && !z_true(*sp), "x", 0));
+    const CorrectorClaim claim{z_true(*sp), x_true(*sp), context(*sp)};
+    EXPECT_FALSE(check_corrector(c, claim).ok);
+}
+
+TEST(CorrectorCheckTest, NonmaskingTolerantCorrector) {
+    auto sp = xz_space();
+    const Program c = good_corrector(sp);
+    // Faults falsify x at will (and clear z with it, keeping U).
+    FaultClass f(sp, "F");
+    f.add_action(Action::nondet(
+        "strike", x_true(*sp),
+        [sp](const StateSpace& space, StateIndex s,
+             std::vector<StateIndex>& out) {
+            StateIndex t = space.set(s, space.find("x"), 0);
+            t = space.set(t, space.find("z"), 0);
+            out.push_back(t);
+        }));
+    const CorrectorClaim claim{z_true(*sp), x_true(*sp), context(*sp)};
+    EXPECT_TRUE(check_tolerant_corrector(c, f, claim, Tolerance::Nonmasking,
+                                         Predicate::top())
+                    .ok);
+}
+
+TEST(CorrectorCheckTest, MaskingTolerantCorrectorNeedsMore) {
+    // The same fault violates cl(X) on its own transition, so the
+    // corrector is nonmasking- but not masking-tolerant — the asymmetry
+    // Theorem 5.5 points out.
+    auto sp = xz_space();
+    const Program c = good_corrector(sp);
+    FaultClass f(sp, "F");
+    f.add_action(Action::nondet(
+        "strike", x_true(*sp),
+        [sp](const StateSpace& space, StateIndex s,
+             std::vector<StateIndex>& out) {
+            StateIndex t = space.set(s, space.find("x"), 0);
+            t = space.set(t, space.find("z"), 0);
+            out.push_back(t);
+        }));
+    const CorrectorClaim claim{z_true(*sp), x_true(*sp), context(*sp)};
+    EXPECT_FALSE(check_tolerant_corrector(c, f, claim, Tolerance::Masking,
+                                          Predicate::top())
+                     .ok);
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,137 @@
+// Cross-validation of the fair-convergence engine against the simulator:
+// on randomly generated programs, whenever the exhaustive checker says
+// "every fair computation converges", fair simulations must in fact
+// converge — and witness states the checker flags as avoidance starts
+// must be reproducible as stuck simulations under an adversarial-ish
+// scheduler where the structure permits.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "runtime/simulator.hpp"
+#include "verify/fairness.hpp"
+#include "verify/refinement.hpp"
+
+namespace dcft {
+namespace {
+
+struct RandomConvergenceSystem {
+    std::shared_ptr<const StateSpace> space;
+    Program program;
+    Predicate target;
+};
+
+RandomConvergenceSystem random_system(std::uint64_t seed) {
+    Rng rng(seed);
+    auto space = make_space({Variable{"a", 4, {}}, Variable{"b", 4, {}}});
+    Program p(space, "random");
+    const std::size_t num_actions = 2 + rng.below(4);
+    for (std::size_t i = 0; i < num_actions; ++i) {
+        const VarId gvar = rng.below(2);
+        const Value gval = static_cast<Value>(rng.below(4));
+        const VarId tvar = rng.below(2);
+        const Value tval = static_cast<Value>(rng.below(4));
+        p.add_action(Action::assign_const(
+            *space, "ac" + std::to_string(i),
+            Predicate("g",
+                      [gvar, gval](const StateSpace& sp, StateIndex s) {
+                          return sp.get(s, gvar) == gval;
+                      }),
+            space->variable(tvar).name, tval));
+    }
+    const Value ta = static_cast<Value>(rng.below(4));
+    Predicate target("target",
+                     [ta](const StateSpace& sp, StateIndex s) {
+                         return sp.get(s, 0) == ta;
+                     });
+    return RandomConvergenceSystem{space, std::move(p), std::move(target)};
+}
+
+class CrossValidationTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CrossValidationTest, VerifiedConvergenceHoldsInFairSimulations) {
+    RandomConvergenceSystem sys = random_system(GetParam());
+    const bool verified =
+        converges(sys.program, nullptr, Predicate::top(), sys.target).ok;
+    if (!verified) return;  // nothing to cross-validate in this direction
+
+    // Round-robin is deterministically weakly fair; random is fair with
+    // probability 1. Both must reach the target from every state.
+    RoundRobinScheduler round_robin;
+    RandomScheduler random;
+    for (Scheduler* scheduler :
+         std::initializer_list<Scheduler*>{&round_robin, &random}) {
+        for (StateIndex s = 0; s < sys.space->num_states(); ++s) {
+            Simulator sim(sys.program, *scheduler, 17 + s);
+            RunOptions options;
+            options.max_steps = 2000;
+            options.stop_when = sys.target;
+            const RunResult run = sim.run(s, options);
+            const bool reached =
+                run.stopped_early ||
+                sys.target.eval(*sys.space, run.final_state);
+            EXPECT_TRUE(reached)
+                << "verified-convergent system failed to converge from "
+                << sys.space->format(s) << " under " << scheduler->name();
+        }
+    }
+}
+
+TEST_P(CrossValidationTest, DeadlockWitnessesAreRealDeadlocks) {
+    RandomConvergenceSystem sys = random_system(GetParam() ^ 0xF00DULL);
+    const TransitionSystem ts(sys.program, nullptr, Predicate::top());
+    const auto target_marks = eval_on_nodes(ts, sys.target);
+    const auto avoid = fair_avoidance_set(ts, target_marks);
+    for (NodeId n = 0; n < ts.num_nodes(); ++n) {
+        if (!avoid[n] || !ts.terminal(n)) continue;
+        // A terminal avoidance node must really be stuck outside target.
+        const StateIndex s = ts.state_of(n);
+        EXPECT_TRUE(sys.program.is_terminal(s));
+        EXPECT_FALSE(sys.target.eval(*sys.space, s));
+    }
+}
+
+TEST_P(CrossValidationTest, AvoidanceSetIsClosedBackwards) {
+    // Structural soundness: a node with an edge into the avoidance region
+    // (staying outside the target) must itself be avoidant.
+    RandomConvergenceSystem sys = random_system(GetParam() ^ 0xBEEFULL);
+    const TransitionSystem ts(sys.program, nullptr, Predicate::top());
+    const auto target_marks = eval_on_nodes(ts, sys.target);
+    const auto avoid = fair_avoidance_set(ts, target_marks);
+    for (NodeId n = 0; n < ts.num_nodes(); ++n) {
+        if (target_marks[n]) continue;
+        for (const auto& e : ts.program_edges(n)) {
+            if (!target_marks[e.to] && avoid[e.to]) {
+                EXPECT_TRUE(avoid[n]) << ts.space().format(ts.state_of(n));
+            }
+        }
+    }
+}
+
+TEST_P(CrossValidationTest, NonAvoidantStatesConvergeUnderRoundRobin) {
+    // The exact converse direction, per state: if the checker says no fair
+    // run from s avoids the target, a deterministically fair simulation
+    // from s reaches it.
+    RandomConvergenceSystem sys = random_system(GetParam() ^ 0xCAFEULL);
+    const TransitionSystem ts(sys.program, nullptr, Predicate::top());
+    const auto target_marks = eval_on_nodes(ts, sys.target);
+    const auto avoid = fair_avoidance_set(ts, target_marks);
+    RoundRobinScheduler scheduler;
+    for (NodeId n = 0; n < ts.num_nodes(); ++n) {
+        if (avoid[n] || target_marks[n]) continue;
+        Simulator sim(sys.program, scheduler, 3);
+        RunOptions options;
+        options.max_steps = 2000;
+        options.stop_when = sys.target;
+        const RunResult run = sim.run(ts.state_of(n), options);
+        EXPECT_TRUE(run.stopped_early)
+            << "non-avoidant state failed to converge: "
+            << ts.space().format(ts.state_of(n));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossValidationTest,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,160 @@
+// Theorem 3.3 made executable: every action has a (weakest) detection
+// predicate, and the family of detection predicates is closed under
+// weakening-into and disjunction.
+#include "verify/detection_predicate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> counter_space(Value n) {
+    return make_space({Variable{"v", n, {}}});
+}
+
+Predicate at(const StateSpace& sp, Value v) {
+    return Predicate::var_eq(sp, "v", v);
+}
+
+TEST(DetectionPredicateTest, WeakestPredicateExcludesUnsafeStates) {
+    auto sp = counter_space(5);
+    // inc: v := v+1 (enabled when v < 4). Spec: never reach v == 3.
+    const Action inc = Action::assign(
+        *sp, "inc",
+        Predicate("v<4",
+                  [](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 0) < 4;
+                  }),
+        "v",
+        [](const StateSpace& space, StateIndex s) {
+            return space.get(s, 0) + 1;
+        });
+    const SafetySpec spec = SafetySpec::never(at(*sp, 3));
+    const auto wdp = weakest_detection_set(*sp, inc, spec);
+    // Executing inc at 2 lands on 3: unsafe. Everywhere else: safe
+    // (including 4, where inc is disabled — vacuous).
+    EXPECT_TRUE(wdp->contains(0));
+    EXPECT_TRUE(wdp->contains(1));
+    EXPECT_FALSE(wdp->contains(2));
+    EXPECT_TRUE(wdp->contains(3));  // inc: 3 -> 4, which is allowed
+    EXPECT_TRUE(wdp->contains(4));  // disabled
+}
+
+TEST(DetectionPredicateTest, BadTransitionsAlsoExcluded) {
+    auto sp = counter_space(5);
+    const Action inc = Action::assign(
+        *sp, "inc",
+        Predicate("v<4",
+                  [](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 0) < 4;
+                  }),
+        "v",
+        [](const StateSpace& space, StateIndex s) {
+            return space.get(s, 0) + 1;
+        });
+    // Transition 1 -> 2 is forbidden, the state 2 itself is fine.
+    const SafetySpec spec = SafetySpec::pair(at(*sp, 1), !at(*sp, 2));
+    const auto wdp = weakest_detection_set(*sp, inc, spec);
+    EXPECT_FALSE(wdp->contains(1));
+    EXPECT_TRUE(wdp->contains(0));
+    EXPECT_TRUE(wdp->contains(2));
+}
+
+TEST(DetectionPredicateTest, NondeterministicActionNeedsAllBranchesSafe) {
+    auto sp = counter_space(5);
+    const Action fork = Action::nondet(
+        "fork", at(*sp, 0),
+        [](const StateSpace& space, StateIndex s,
+           std::vector<StateIndex>& out) {
+            out.push_back(space.set(s, 0, 1));
+            out.push_back(space.set(s, 0, 3));
+        });
+    const SafetySpec spec = SafetySpec::never(at(*sp, 3));
+    const auto wdp = weakest_detection_set(*sp, fork, spec);
+    EXPECT_FALSE(wdp->contains(0));  // one branch is unsafe
+}
+
+TEST(DetectionPredicateTest, IsDetectionPredicateAcceptsStrengthenings) {
+    // If sf is a detection predicate and X => sf, X is one too (the
+    // weakening-into property noted after Theorem 3.3).
+    auto sp = counter_space(5);
+    const Action inc = Action::assign(
+        *sp, "inc",
+        Predicate("v<4",
+                  [](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 0) < 4;
+                  }),
+        "v",
+        [](const StateSpace& space, StateIndex s) {
+            return space.get(s, 0) + 1;
+        });
+    const SafetySpec spec = SafetySpec::never(at(*sp, 3));
+    const Predicate weakest = weakest_detection_predicate(*sp, inc, spec);
+    EXPECT_TRUE(is_detection_predicate(*sp, weakest, inc, spec));
+    EXPECT_TRUE(is_detection_predicate(*sp, at(*sp, 0), inc, spec));
+    EXPECT_TRUE(is_detection_predicate(*sp, Predicate::bottom(), inc, spec));
+    EXPECT_FALSE(is_detection_predicate(*sp, at(*sp, 2), inc, spec));
+    EXPECT_FALSE(is_detection_predicate(*sp, Predicate::top(), inc, spec));
+}
+
+TEST(DetectionPredicateTest, DisjunctionOfDetectionPredicatesIsOne) {
+    auto sp = counter_space(6);
+    const Action inc = Action::assign(
+        *sp, "inc",
+        Predicate("v<5",
+                  [](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 0) < 5;
+                  }),
+        "v",
+        [](const StateSpace& space, StateIndex s) {
+            return space.get(s, 0) + 1;
+        });
+    const SafetySpec spec = SafetySpec::never(at(*sp, 4));
+    const Predicate sf1 = at(*sp, 0);
+    const Predicate sf2 = at(*sp, 1);
+    ASSERT_TRUE(is_detection_predicate(*sp, sf1, inc, spec));
+    ASSERT_TRUE(is_detection_predicate(*sp, sf2, inc, spec));
+    EXPECT_TRUE(is_detection_predicate(*sp, sf1 || sf2, inc, spec));
+}
+
+TEST(DetectionPredicateTest, WeakestIsTheWeakest) {
+    // Every detection predicate implies the weakest one.
+    auto sp = counter_space(6);
+    const Action inc = Action::assign(
+        *sp, "inc",
+        Predicate("v<5",
+                  [](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 0) < 5;
+                  }),
+        "v",
+        [](const StateSpace& space, StateIndex s) {
+            return space.get(s, 0) + 1;
+        });
+    const SafetySpec spec = SafetySpec::never(at(*sp, 4));
+    const Predicate weakest = weakest_detection_predicate(*sp, inc, spec);
+    for (Value c = 0; c < 6; ++c) {
+        const Predicate candidate = at(*sp, c);
+        if (is_detection_predicate(*sp, candidate, inc, spec)) {
+            EXPECT_TRUE(implies_everywhere(*sp, candidate, weakest));
+        }
+    }
+}
+
+TEST(DetectionPredicateTest, TrueSpecGivesTruePredicate) {
+    auto sp = counter_space(4);
+    const Action inc = Action::assign(
+        *sp, "inc",
+        Predicate("v<3",
+                  [](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 0) < 3;
+                  }),
+        "v",
+        [](const StateSpace& space, StateIndex s) {
+            return space.get(s, 0) + 1;
+        });
+    const auto wdp = weakest_detection_set(*sp, inc, SafetySpec());
+    EXPECT_EQ(wdp->count(), sp->num_states());
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,107 @@
+#include "verify/encapsulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gc/composition.hpp"
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> two_var_space() {
+    return make_space({Variable{"v", 4, {}}, Variable{"aux", 2, {}}});
+}
+
+Program base_program(std::shared_ptr<const StateSpace> sp) {
+    Program p(sp, sp->varset({"v"}), "base");
+    p.add_action(Action::assign(
+        *sp, "inc",
+        Predicate("v<3",
+                  [](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 0) < 3;
+                  }),
+        "v",
+        [](const StateSpace& space, StateIndex s) {
+            return space.get(s, 0) + 1;
+        }));
+    return p;
+}
+
+TEST(EncapsulationTest, ProgramEncapsulatesItself) {
+    auto sp = two_var_space();
+    const Program p = base_program(sp);
+    EXPECT_TRUE(check_encapsulates(p, p).ok);
+}
+
+TEST(EncapsulationTest, RestrictionEncapsulates) {
+    auto sp = two_var_space();
+    const Program p = base_program(sp);
+    const Program gated =
+        restrict_program(Predicate::var_eq(*sp, "aux", 1), p);
+    EXPECT_TRUE(check_encapsulates(gated, p).ok);
+}
+
+TEST(EncapsulationTest, EncapsulatedActionWithExtraEffectAccepted) {
+    auto sp = two_var_space();
+    const Program p = base_program(sp);
+    Program wrapper(sp, "wrapper");
+    wrapper.add_action(p.action(0).encapsulated(
+        "inc-and-mark", Predicate::top(),
+        [sp](const StateSpace& space, StateIndex, StateIndex after) {
+            return space.set(after, space.find("aux"), 1);
+        }));
+    EXPECT_TRUE(check_encapsulates(wrapper, p).ok);
+}
+
+TEST(EncapsulationTest, PureAuxiliaryActionsAreExempt) {
+    auto sp = two_var_space();
+    const Program p = base_program(sp);
+    Program wrapper(sp, "wrapper");
+    wrapper.add_action(p.action(0).restricted(Predicate::top()));
+    // A detector-style action touching only aux needs no provenance.
+    wrapper.add_action(Action::assign_const(
+        *sp, "detect", Predicate::var_eq(*sp, "aux", 0), "aux", 1));
+    EXPECT_TRUE(check_encapsulates(wrapper, p).ok);
+}
+
+TEST(EncapsulationTest, UnderivedWriteToBaseVarsRejected) {
+    auto sp = two_var_space();
+    const Program p = base_program(sp);
+    Program rogue(sp, "rogue");
+    rogue.add_action(Action::assign_const(
+        *sp, "smash-v", Predicate::top(), "v", 0));
+    const CheckResult r = check_encapsulates(rogue, p);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.reason.find("not derived"), std::string::npos);
+}
+
+TEST(EncapsulationTest, ExtraEffectMustNotTouchBaseVars) {
+    auto sp = two_var_space();
+    const Program p = base_program(sp);
+    Program cheat(sp, "cheat");
+    // The "extra" statement overwrites v — the projection onto the base
+    // variables no longer matches the base action's effect.
+    cheat.add_action(p.action(0).encapsulated(
+        "inc-then-clobber", Predicate::top(),
+        [sp](const StateSpace& space, StateIndex, StateIndex after) {
+            return space.set(after, space.find("v"), 0);
+        }));
+    const CheckResult r = check_encapsulates(cheat, p);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.reason.find("differently"), std::string::npos);
+}
+
+TEST(EncapsulationTest, SequenceCompositionEncapsulates) {
+    // The paper's detector-gating pattern D ;_Z p encapsulates p when the
+    // detector only writes its witness variable.
+    auto sp = two_var_space();
+    const Program p = base_program(sp);
+    Program detector(sp, sp->varset({"aux"}), "D");
+    detector.add_action(Action::assign_const(
+        *sp, "witness", Predicate::var_eq(*sp, "aux", 0), "aux", 1));
+    const Program composed =
+        sequence(detector, Predicate::var_eq(*sp, "aux", 1), p);
+    EXPECT_TRUE(check_encapsulates(composed, p).ok);
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,224 @@
+// The weak-fairness liveness engine, exercised on hand-crafted graphs that
+// pin down exactly which runs the paper's computation model admits.
+#include "verify/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> counter_space(Value n) {
+    return make_space({Variable{"v", n, {}}});
+}
+
+Predicate at(const StateSpace& sp, Value v) {
+    return Predicate::var_eq(sp, "v", v);
+}
+
+// Deadlock in !target: a maximal finite computation never reaching the
+// target violates true ~~> target.
+TEST(FairnessTest, DeadlockAvoidingTargetFails) {
+    auto sp = counter_space(3);
+    Program p(sp, "p");
+    p.add_action(Action::assign_const(*sp, "go", at(*sp, 0), "v", 1));
+    // From 0: step to 1, then deadlock at 1. Target is 2: unreachable.
+    const TransitionSystem ts(p, nullptr, at(*sp, 0));
+    const CheckResult r = check_reaches(ts, at(*sp, 2), false);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.reason.find("leads-to violated"), std::string::npos);
+}
+
+TEST(FairnessTest, DeadlockInsideTargetSucceeds) {
+    auto sp = counter_space(3);
+    Program p(sp, "p");
+    p.add_action(Action::assign_const(*sp, "go", at(*sp, 0), "v", 2));
+    const TransitionSystem ts(p, nullptr, at(*sp, 0));
+    EXPECT_TRUE(check_reaches(ts, at(*sp, 2), false).ok);
+}
+
+// A 2-cycle 0 <-> 1 via action A, with action B: (anywhere) -> 2.
+// B is enabled at every state of the cycle and always exits it, so weak
+// fairness forces the exit: true ~~> v==2 holds.
+TEST(FairnessTest, ContinuouslyEnabledExitIsForced) {
+    auto sp = counter_space(3);
+    Program p(sp, "p");
+    p.add_action(Action::assign(
+        *sp, "toggle",
+        Predicate("v<2",
+                  [](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 0) < 2;
+                  }),
+        "v",
+        [](const StateSpace& space, StateIndex s) {
+            return 1 - space.get(s, 0);
+        }));
+    p.add_action(Action::assign_const(
+        *sp, "exit",
+        Predicate("v<2",
+                  [](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 0) < 2;
+                  }),
+        "v", 2));
+    const TransitionSystem ts(p, nullptr, at(*sp, 0));
+    EXPECT_TRUE(check_reaches(ts, at(*sp, 2), false).ok);
+}
+
+// Same cycle, but the exit action is enabled only at state 0. A fair run
+// may alternate 0,1,0,1,... — the exit is not *continuously* enabled, so
+// weak fairness does not force it: true ~~> v==2 fails.
+TEST(FairnessTest, IntermittentlyEnabledExitIsNotForced) {
+    auto sp = counter_space(3);
+    Program p(sp, "p");
+    p.add_action(Action::assign(
+        *sp, "toggle",
+        Predicate("v<2",
+                  [](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 0) < 2;
+                  }),
+        "v",
+        [](const StateSpace& space, StateIndex s) {
+            return 1 - space.get(s, 0);
+        }));
+    p.add_action(Action::assign_const(*sp, "exit", at(*sp, 0), "v", 2));
+    const TransitionSystem ts(p, nullptr, at(*sp, 0));
+    EXPECT_FALSE(check_reaches(ts, at(*sp, 2), false).ok);
+}
+
+// A self-loop that never reaches the target.
+TEST(FairnessTest, SelfLoopAvoidsTarget) {
+    auto sp = counter_space(3);
+    Program p(sp, "p");
+    p.add_action(Action::skip("spin", at(*sp, 0)));
+    const TransitionSystem ts(p, nullptr, at(*sp, 0));
+    EXPECT_FALSE(check_reaches(ts, at(*sp, 2), false).ok);
+}
+
+// Nondeterminism is demonic: if an enabled action *may* stay in the cycle,
+// the adversary keeps choosing that branch.
+TEST(FairnessTest, DemonicNondeterminismMayAvoid) {
+    auto sp = counter_space(3);
+    Program p(sp, "p");
+    p.add_action(Action::nondet(
+        "maybe-exit", at(*sp, 0),
+        [](const StateSpace& space, StateIndex s,
+           std::vector<StateIndex>& out) {
+            out.push_back(s);                     // stay
+            out.push_back(space.set(s, 0, 2));    // or exit
+        }));
+    const TransitionSystem ts(p, nullptr, at(*sp, 0));
+    EXPECT_FALSE(check_reaches(ts, at(*sp, 2), false).ok);
+}
+
+// If every branch of the only enabled action exits, the exit happens.
+TEST(FairnessTest, AllBranchesExitForcesExit) {
+    auto sp = counter_space(4);
+    Program p(sp, "p");
+    p.add_action(Action::nondet(
+        "must-exit", at(*sp, 0),
+        [](const StateSpace& space, StateIndex s,
+           std::vector<StateIndex>& out) {
+            out.push_back(space.set(s, 0, 2));
+            out.push_back(space.set(s, 0, 3));
+        }));
+    const TransitionSystem ts(p, nullptr, at(*sp, 0));
+    const Predicate target =
+        (at(*sp, 2) || at(*sp, 3)).renamed("2or3");
+    EXPECT_TRUE(check_reaches(ts, target, false).ok);
+}
+
+// Leads-to with a nontrivial antecedent: P states that can only wander
+// inside !Q forever must be flagged; P states that force Q must not.
+TEST(FairnessTest, LeadsToOnlyConstrainsAntecedentStates) {
+    auto sp = counter_space(4);
+    Program p(sp, "p");
+    // 0 -> 1 (then deadlock at 1); 2 -> 3 (then deadlock at 3).
+    p.add_action(Action::assign_const(*sp, "a", at(*sp, 0), "v", 1));
+    p.add_action(Action::assign_const(*sp, "b", at(*sp, 2), "v", 3));
+    const Predicate init = (at(*sp, 0) || at(*sp, 2)).renamed("init");
+    const TransitionSystem ts(p, nullptr, init);
+    // v==0 ~~> v==1 holds; v==0 ~~> v==3 fails; v==2 ~~> v==3 holds.
+    EXPECT_TRUE(check_leads_to(ts, at(*sp, 0), at(*sp, 1), false).ok);
+    EXPECT_FALSE(check_leads_to(ts, at(*sp, 0), at(*sp, 3), false).ok);
+    EXPECT_TRUE(check_leads_to(ts, at(*sp, 2), at(*sp, 3), false).ok);
+    // Antecedent false everywhere: vacuously true.
+    EXPECT_TRUE(check_leads_to(ts, Predicate::bottom(), at(*sp, 3), false).ok);
+}
+
+// Fault edges: only finitely many fault steps occur, and faults are not
+// fair — but a violating run may use them to reach an avoidance region.
+TEST(FairnessTest, FaultEdgeCanCarryRunIntoAvoidanceRegion) {
+    auto sp = counter_space(4);
+    Program p(sp, "p");
+    // Program: 0 -> 2 (target). From 1: deadlock (avoids target).
+    p.add_action(Action::assign_const(*sp, "good", at(*sp, 0), "v", 2));
+    FaultClass f(sp, "F");
+    f.add_action(Action::assign_const(*sp, "trip", at(*sp, 0), "v", 1));
+    // Without the fault class, 0 always reaches 2.
+    const TransitionSystem prog_only(p, nullptr, at(*sp, 0));
+    EXPECT_TRUE(check_reaches(prog_only, at(*sp, 2), false).ok);
+    // With the fault step 0 -> 1 the run deadlocks at 1, avoiding 2.
+    const TransitionSystem ts(p, &f, at(*sp, 0));
+    EXPECT_FALSE(check_reaches(ts, at(*sp, 2), true).ok);
+}
+
+// Faults are not subject to fairness: a fault that *would* rescue the run
+// cannot be relied upon.
+TEST(FairnessTest, FaultsAreNotFair) {
+    auto sp = counter_space(4);
+    Program p(sp, "p");
+    p.add_action(Action::skip("spin", at(*sp, 0)));
+    FaultClass f(sp, "F");
+    f.add_action(Action::assign_const(*sp, "rescue", at(*sp, 0), "v", 2));
+    const TransitionSystem ts(p, &f, at(*sp, 0));
+    // The run may spin at 0 forever; the rescue fault never fires.
+    EXPECT_FALSE(check_reaches(ts, at(*sp, 2), true).ok);
+}
+
+// Two independent tokens: each action toggles its own variable; both are
+// continuously enabled, so both must fire — the run cannot privilege one.
+TEST(FairnessTest, InterleavedActionsBothProgress) {
+    auto sp = make_space({Variable{"a", 3, {}}, Variable{"b", 3, {}}});
+    Program p(sp, "p");
+    p.add_action(Action::assign(
+        *sp, "inc-a",
+        Predicate("a<2",
+                  [](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 0) < 2;
+                  }),
+        "a",
+        [](const StateSpace& space, StateIndex s) {
+            return space.get(s, 0) + 1;
+        }));
+    p.add_action(Action::assign(
+        *sp, "inc-b",
+        Predicate("b<2",
+                  [](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 1) < 2;
+                  }),
+        "b",
+        [](const StateSpace& space, StateIndex s) {
+            return space.get(s, 1) + 1;
+        }));
+    const Predicate init("origin", [](const StateSpace& space, StateIndex s) {
+        return space.get(s, 0) == 0 && space.get(s, 1) == 0;
+    });
+    const TransitionSystem ts(p, nullptr, init);
+    const Predicate done("both-2", [](const StateSpace& space, StateIndex s) {
+        return space.get(s, 0) == 2 && space.get(s, 1) == 2;
+    });
+    EXPECT_TRUE(check_reaches(ts, done, false).ok);
+}
+
+TEST(FairnessTest, EvalOnNodesMatchesPredicate) {
+    auto sp = counter_space(3);
+    Program p(sp, "p");
+    p.add_action(Action::assign_const(*sp, "go", at(*sp, 0), "v", 1));
+    const TransitionSystem ts(p, nullptr, at(*sp, 0));
+    const auto marks = eval_on_nodes(ts, at(*sp, 1));
+    ASSERT_EQ(marks.size(), ts.num_nodes());
+    for (NodeId n = 0; n < ts.num_nodes(); ++n)
+        EXPECT_EQ(marks[n] != 0, sp->get(ts.state_of(n), 0) == 1);
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,103 @@
+#include "verify/fault_span.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> counter_space(Value n) {
+    return make_space({Variable{"v", n, {}}});
+}
+
+Predicate at(const StateSpace& sp, Value v) {
+    return Predicate::var_eq(sp, "v", v);
+}
+
+Program incrementer(std::shared_ptr<const StateSpace> sp, Value limit) {
+    Program p(sp, "inc");
+    p.add_action(Action::assign(
+        *sp, "inc",
+        Predicate("v<lim",
+                  [limit](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 0) < limit;
+                  }),
+        "v",
+        [](const StateSpace& space, StateIndex s) {
+            return space.get(s, 0) + 1;
+        }));
+    return p;
+}
+
+TEST(FaultSpanTest, CanonicalSpanIsReachableClosure) {
+    auto sp = counter_space(8);
+    const Program p = incrementer(sp, 2);
+    FaultClass f(sp, "F");
+    f.add_action(Action::assign_const(*sp, "bump", at(*sp, 2), "v", 5));
+    const FaultSpan span = compute_fault_span(p, f, at(*sp, 0));
+    // 0,1,2 by the program; 5 by the fault; 5 is terminal for inc? no:
+    // inc guard v<2 is false at 5, so nothing further.
+    EXPECT_EQ(span.states->count(), 4u);
+    EXPECT_TRUE(span.predicate.eval(*sp, 5));
+    EXPECT_FALSE(span.predicate.eval(*sp, 6));
+}
+
+TEST(FaultSpanTest, SpanSatisfiesDefinition) {
+    auto sp = counter_space(8);
+    const Program p = incrementer(sp, 2);
+    FaultClass f(sp, "F");
+    f.add_action(Action::assign_const(*sp, "bump", at(*sp, 2), "v", 5));
+    const FaultSpan span = compute_fault_span(p, f, at(*sp, 0));
+    EXPECT_TRUE(check_is_fault_span(p, f, at(*sp, 0), span.predicate).ok);
+}
+
+TEST(FaultSpanTest, DefinitionRejectsNonSuperset) {
+    auto sp = counter_space(8);
+    const Program p = incrementer(sp, 2);
+    FaultClass f(sp, "F");
+    // T must contain S.
+    EXPECT_FALSE(
+        check_is_fault_span(p, f, at(*sp, 0), at(*sp, 1)).ok);
+}
+
+TEST(FaultSpanTest, DefinitionRejectsNonClosed) {
+    auto sp = counter_space(8);
+    const Program p = incrementer(sp, 3);
+    FaultClass f(sp, "F");
+    // v <= 1 contains S = {0} but inc escapes it.
+    const Predicate t("v<=1", [](const StateSpace& space, StateIndex s) {
+        return space.get(s, 0) <= 1;
+    });
+    EXPECT_FALSE(check_is_fault_span(p, f, at(*sp, 0), t).ok);
+}
+
+TEST(FaultSpanTest, DefinitionRejectsFaultEscape) {
+    auto sp = counter_space(8);
+    const Program p = incrementer(sp, 2);
+    FaultClass f(sp, "F");
+    f.add_action(Action::assign_const(*sp, "bump", at(*sp, 2), "v", 7));
+    const Predicate t("v<=2", [](const StateSpace& space, StateIndex s) {
+        return space.get(s, 0) <= 2;
+    });
+    EXPECT_FALSE(check_is_fault_span(p, f, at(*sp, 0), t).ok);
+}
+
+TEST(FaultSpanTest, WiderSpansAlsoSatisfyDefinition) {
+    // The canonical span is the smallest; any closed superset qualifies.
+    auto sp = counter_space(8);
+    const Program p = incrementer(sp, 2);
+    FaultClass f(sp, "F");
+    f.add_action(Action::assign_const(*sp, "bump", at(*sp, 2), "v", 5));
+    EXPECT_TRUE(
+        check_is_fault_span(p, f, at(*sp, 0), Predicate::top()).ok);
+}
+
+TEST(FaultSpanTest, NoFaultsMeansSpanIsProgramClosure) {
+    auto sp = counter_space(8);
+    const Program p = incrementer(sp, 3);
+    FaultClass f(sp, "F");  // empty
+    const FaultSpan span = compute_fault_span(p, f, at(*sp, 1));
+    EXPECT_EQ(span.states->count(), 3u);  // 1, 2, 3
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,134 @@
+#include "verify/invariant.hpp"
+
+#include <gtest/gtest.h>
+
+#include "verify/closure.hpp"
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> counter_space(Value n) {
+    return make_space({Variable{"v", n, {}}});
+}
+
+Predicate at(const StateSpace& sp, Value v) {
+    return Predicate::var_eq(sp, "v", v);
+}
+
+Program incrementer(std::shared_ptr<const StateSpace> sp, Value limit) {
+    Program p(sp, "inc");
+    p.add_action(Action::assign(
+        *sp, "inc",
+        Predicate("v<lim",
+                  [limit](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 0) < limit;
+                  }),
+        "v",
+        [](const StateSpace& space, StateIndex s) {
+            return space.get(s, 0) + 1;
+        }));
+    return p;
+}
+
+TEST(ReachableInvariantTest, IsTheForwardClosure) {
+    auto sp = counter_space(8);
+    const Program p = incrementer(sp, 4);
+    const Predicate inv = reachable_invariant(p, at(*sp, 1));
+    for (StateIndex s = 0; s < 8; ++s)
+        EXPECT_EQ(inv.eval(*sp, s), s >= 1 && s <= 4) << s;
+    EXPECT_TRUE(check_closed(p, inv).ok);
+}
+
+TEST(LargestInvariantTest, ExcludesBadStatesAndTheirBasins) {
+    auto sp = counter_space(8);
+    // inc to 5; state 4 is forbidden. States 0..3 inevitably pass through
+    // 4 (the only move is +1), so only {5, 6, 7} (where inc has stopped or
+    // never passes 4) survive... careful: inc guard is v<5, so from 3 the
+    // program *must* step to 4. From 5,6,7 the action is disabled.
+    const Program p = incrementer(sp, 5);
+    const SafetySpec safety = SafetySpec::never(at(*sp, 4));
+    const Predicate inv = largest_safety_invariant(p, safety);
+    for (StateIndex s = 0; s < 8; ++s)
+        EXPECT_EQ(inv.eval(*sp, s), s >= 5) << s;
+}
+
+TEST(LargestInvariantTest, IsClosedAndSafe) {
+    auto sp = counter_space(10);
+    Program p(sp, "p");
+    p.add_action(incrementer(sp, 6).action(0));
+    p.add_action(Action::assign_const(*sp, "loop", at(*sp, 6), "v", 2));
+    const SafetySpec safety = SafetySpec::never(at(*sp, 9));
+    const Predicate inv = largest_safety_invariant(p, safety);
+    EXPECT_TRUE(check_closed(p, inv).ok);
+    for (StateIndex s = 0; s < 10; ++s) {
+        if (inv.eval(*sp, s)) {
+            EXPECT_TRUE(safety.state_allowed(*sp, s));
+        }
+    }
+}
+
+TEST(LargestInvariantTest, ContainsEveryOtherSafetyInvariant) {
+    auto sp = counter_space(10);
+    const Program p = incrementer(sp, 6);
+    const SafetySpec safety = SafetySpec::never(at(*sp, 8));
+    const Predicate largest = largest_safety_invariant(p, safety);
+    // Candidate smaller invariants: closed, safe sets.
+    for (Value c = 0; c < 10; ++c) {
+        const Predicate candidate("tail", [c](const StateSpace&,
+                                              StateIndex s) {
+            return static_cast<Value>(s) >= c && s <= 6;
+        });
+        const bool closed = check_closed(p, candidate).ok;
+        bool safe = true;
+        for (StateIndex s = 0; s < 10; ++s)
+            if (candidate.eval(*sp, s) && !safety.state_allowed(*sp, s))
+                safe = false;
+        if (closed && safe) {
+            EXPECT_TRUE(implies_everywhere(*sp, candidate, largest)) << c;
+        }
+    }
+}
+
+TEST(LargestInvariantTest, BadTransitionsAlsoPrune) {
+    auto sp = counter_space(6);
+    const Program p = incrementer(sp, 5);
+    // The transition 2 -> 3 is forbidden (states are all fine).
+    const SafetySpec safety = SafetySpec::pair(at(*sp, 2), !at(*sp, 3));
+    const Predicate inv = largest_safety_invariant(p, safety);
+    EXPECT_FALSE(inv.eval(*sp, 2));  // must take 2 -> 3
+    EXPECT_FALSE(inv.eval(*sp, 0));  // reaches 2 inevitably
+    EXPECT_TRUE(inv.eval(*sp, 3));
+    EXPECT_TRUE(inv.eval(*sp, 5));
+}
+
+TEST(LargestInvariantTest, CanBeEmpty) {
+    auto sp = counter_space(4);
+    Program p(sp, "p");
+    p.add_action(Action::assign(
+        *sp, "cycle", Predicate::top(), "v",
+        [](const StateSpace& space, StateIndex s) {
+            return (space.get(s, 0) + 1) % 4;
+        }));
+    const SafetySpec safety = SafetySpec::never(at(*sp, 0));
+    const Predicate inv = largest_safety_invariant(p, safety);
+    EXPECT_EQ(count_satisfying(*sp, inv), 0u);
+}
+
+TEST(LargestInvariantTest, NondeterministicEscapePrunes) {
+    auto sp = counter_space(6);
+    Program p(sp, "p");
+    p.add_action(Action::nondet(
+        "fork", at(*sp, 1),
+        [](const StateSpace& space, StateIndex s,
+           std::vector<StateIndex>& out) {
+            out.push_back(space.set(s, 0, 2));
+            out.push_back(space.set(s, 0, 5));  // 5 is forbidden
+        }));
+    const SafetySpec safety = SafetySpec::never(at(*sp, 5));
+    const Predicate inv = largest_safety_invariant(p, safety);
+    EXPECT_FALSE(inv.eval(*sp, 1));  // one branch is fatal
+    EXPECT_TRUE(inv.eval(*sp, 2));
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,168 @@
+// Randomized cross-checks tying the kernel, verifier, and synthesis
+// together: properties that must hold for *every* program are checked on
+// randomly generated guarded-command programs.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gc/composition.hpp"
+#include "synth/add_failsafe.hpp"
+#include "verify/closure.hpp"
+#include "verify/encapsulation.hpp"
+#include "verify/fault_span.hpp"
+#include "verify/reachability.hpp"
+#include "verify/refinement.hpp"
+
+namespace dcft {
+namespace {
+
+struct RandomSystem {
+    std::shared_ptr<const StateSpace> space;
+    Program program;
+    FaultClass faults;
+    SafetySpec safety;
+};
+
+/// A random program over 3 small variables: each action guards on one
+/// variable's value and assigns a constant to another.
+RandomSystem random_system(std::uint64_t seed) {
+    Rng rng(seed);
+    auto space = make_space(
+        {Variable{"a", 3, {}}, Variable{"b", 3, {}}, Variable{"c", 2, {}}});
+    auto random_action = [&](const std::string& name) {
+        const VarId gvar = rng.below(3);
+        const Value gval =
+            static_cast<Value>(rng.below(static_cast<std::uint64_t>(
+                space->variable(gvar).domain_size)));
+        const VarId tvar = rng.below(3);
+        const Value tval =
+            static_cast<Value>(rng.below(static_cast<std::uint64_t>(
+                space->variable(tvar).domain_size)));
+        const Predicate guard(
+            "g", [gvar, gval](const StateSpace& sp, StateIndex s) {
+                return sp.get(s, gvar) == gval;
+            });
+        return Action::assign_const(*space, name, guard,
+                                    space->variable(tvar).name, tval);
+    };
+
+    Program p(space, "random");
+    const std::size_t num_actions = 2 + rng.below(4);
+    for (std::size_t i = 0; i < num_actions; ++i)
+        p.add_action(random_action("ac" + std::to_string(i)));
+
+    FaultClass f(space, "F");
+    f.add_action(random_action("fault0"));
+
+    // Random safety spec: forbid one state value combination and one
+    // transition pattern.
+    const Value bad_a =
+        static_cast<Value>(rng.below(3));
+    const Value bad_b = static_cast<Value>(rng.below(3));
+    SafetySpec safety(
+        "random-safety",
+        Predicate("bad",
+                  [bad_a, bad_b](const StateSpace& sp, StateIndex s) {
+                      return sp.get(s, 0) == bad_a && sp.get(s, 1) == bad_b &&
+                             sp.get(s, 2) == 1;
+                  }),
+        [](const StateSpace& sp, StateIndex from, StateIndex to) {
+            // Forbid simultaneously "leaving a==0" observations that also
+            // flip c — an arbitrary but fixed transition constraint.
+            return sp.get(from, 0) == 0 && sp.get(to, 0) != 0 &&
+                   sp.get(from, 2) != sp.get(to, 2);
+        });
+
+    return RandomSystem{space, std::move(p), std::move(f),
+                        std::move(safety)};
+}
+
+class RandomProgramTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomProgramTest, ReachableSetIsClosed) {
+    RandomSystem sys = random_system(GetParam());
+    const Predicate init = Predicate::var_eq(*sys.space, "a", 0);
+    auto reach = std::make_shared<StateSet>(
+        reachable_states(sys.program, nullptr, init));
+    EXPECT_TRUE(
+        check_closed(sys.program, predicate_of(reach, "reach")).ok);
+}
+
+TEST_P(RandomProgramTest, CanonicalSpanSatisfiesSpanDefinition) {
+    RandomSystem sys = random_system(GetParam());
+    const Predicate init = Predicate::var_eq(*sys.space, "b", 1);
+    const FaultSpan span =
+        compute_fault_span(sys.program, sys.faults, init);
+    EXPECT_TRUE(
+        check_is_fault_span(sys.program, sys.faults, init, span.predicate)
+            .ok);
+}
+
+TEST_P(RandomProgramTest, FailsafeSynthesisNeverTakesBadStep) {
+    RandomSystem sys = random_system(GetParam());
+    const FailsafeSynthesis fs = add_failsafe(sys.program, sys.safety);
+    std::vector<StateIndex> succ;
+    for (StateIndex s = 0; s < sys.space->num_states(); ++s) {
+        for (const auto& ac : fs.program.actions()) {
+            succ.clear();
+            ac.successors(*sys.space, s, succ);
+            for (StateIndex t : succ) {
+                EXPECT_TRUE(sys.safety.transition_allowed(*sys.space, s, t));
+                EXPECT_TRUE(sys.safety.state_allowed(*sys.space, t));
+            }
+        }
+    }
+}
+
+TEST_P(RandomProgramTest, FailsafeSynthesisRefinesTheBase) {
+    RandomSystem sys = random_system(GetParam());
+    const FailsafeSynthesis fs = add_failsafe(sys.program, sys.safety);
+    EXPECT_TRUE(refines_program(fs.program, sys.program, Predicate::top()).ok);
+}
+
+TEST_P(RandomProgramTest, FailsafeSynthesisEncapsulatesTheBase) {
+    RandomSystem sys = random_system(GetParam());
+    const FailsafeSynthesis fs = add_failsafe(sys.program, sys.safety);
+    EXPECT_TRUE(check_encapsulates(fs.program, sys.program).ok);
+}
+
+TEST_P(RandomProgramTest, ParallelCompositionSuccessorsAreUnion) {
+    RandomSystem a = random_system(GetParam());
+    // Second program over the same space.
+    Program q(a.space, "q");
+    q.add_action(Action::assign_const(*a.space, "qx", Predicate::top(), "c",
+                                      1));
+    const Program pq = parallel(a.program, q);
+    std::vector<StateIndex> lhs, rhs;
+    for (StateIndex s = 0; s < a.space->num_states(); ++s) {
+        lhs.clear();
+        rhs.clear();
+        pq.successors(s, lhs);
+        a.program.successors(s, rhs);
+        q.successors(s, rhs);
+        EXPECT_EQ(lhs, rhs);
+    }
+}
+
+TEST_P(RandomProgramTest, RestrictionShrinksBehaviour) {
+    RandomSystem sys = random_system(GetParam());
+    const Predicate z = Predicate::var_eq(*sys.space, "c", 0);
+    const Program gated = restrict_program(z, sys.program);
+    std::vector<StateIndex> gated_succ, base_succ;
+    for (StateIndex s = 0; s < sys.space->num_states(); ++s) {
+        gated_succ.clear();
+        base_succ.clear();
+        gated.successors(s, gated_succ);
+        sys.program.successors(s, base_succ);
+        if (z.eval(*sys.space, s)) {
+            EXPECT_EQ(gated_succ, base_succ);
+        } else {
+            EXPECT_TRUE(gated_succ.empty());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,93 @@
+#include "verify/reachability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> counter_space(Value n) {
+    return make_space({Variable{"v", n, {}}});
+}
+
+/// v < limit --> v := v + 1.
+Program increment_to(std::shared_ptr<const StateSpace> sp, Value limit) {
+    Program p(sp, "inc");
+    p.add_action(Action::assign(
+        *sp, "inc",
+        Predicate("v<limit",
+                  [limit](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 0) < limit;
+                  }),
+        "v",
+        [](const StateSpace& space, StateIndex s) {
+            return space.get(s, 0) + 1;
+        }));
+    return p;
+}
+
+TEST(ReachabilityTest, ForwardClosureOfChain) {
+    auto sp = counter_space(10);
+    const Program p = increment_to(sp, 6);
+    const StateSet reach =
+        reachable_states(p, nullptr, Predicate::var_eq(*sp, "v", 2));
+    EXPECT_EQ(reach.count(), 5u);  // 2,3,4,5,6
+    EXPECT_FALSE(reach.contains(1));
+    EXPECT_TRUE(reach.contains(2));
+    EXPECT_TRUE(reach.contains(6));
+    EXPECT_FALSE(reach.contains(7));
+}
+
+TEST(ReachabilityTest, MultipleInitialStates) {
+    auto sp = counter_space(10);
+    const Program p = increment_to(sp, 3);
+    const Predicate init =
+        Predicate::var_eq(*sp, "v", 0) || Predicate::var_eq(*sp, "v", 8);
+    const StateSet reach = reachable_states(p, nullptr, init);
+    EXPECT_EQ(reach.count(), 5u);  // 0..3 plus isolated 8
+    EXPECT_TRUE(reach.contains(8));
+    EXPECT_FALSE(reach.contains(9));
+}
+
+TEST(ReachabilityTest, FaultActionsExtendClosure) {
+    auto sp = counter_space(10);
+    const Program p = increment_to(sp, 3);
+    FaultClass f(sp, "F");
+    f.add_action(Action::assign_const(*sp, "jump",
+                                      Predicate::var_eq(*sp, "v", 3), "v", 7));
+    const StateSet without =
+        reachable_states(p, nullptr, Predicate::var_eq(*sp, "v", 0));
+    const StateSet with =
+        reachable_states(p, &f, Predicate::var_eq(*sp, "v", 0));
+    EXPECT_EQ(without.count(), 4u);
+    EXPECT_EQ(with.count(), 5u);  // plus 7 (no program action from 7 to 8?
+    EXPECT_TRUE(with.contains(7));
+    EXPECT_FALSE(with.contains(8));  // inc guard v<3 is false at 7
+}
+
+TEST(ReachabilityTest, EmptyInitialSetYieldsEmptyClosure) {
+    auto sp = counter_space(4);
+    const Program p = increment_to(sp, 3);
+    const StateSet reach =
+        reachable_states(p, nullptr, Predicate::bottom());
+    EXPECT_TRUE(reach.empty());
+}
+
+TEST(ReachabilityTest, NondeterministicBranches) {
+    auto sp = counter_space(8);
+    Program p(sp, "branch");
+    p.add_action(Action::nondet(
+        "fork", Predicate::var_eq(*sp, "v", 0),
+        [](const StateSpace& space, StateIndex s,
+           std::vector<StateIndex>& out) {
+            out.push_back(space.set(s, 0, 3));
+            out.push_back(space.set(s, 0, 5));
+        }));
+    const StateSet reach =
+        reachable_states(p, nullptr, Predicate::var_eq(*sp, "v", 0));
+    EXPECT_EQ(reach.count(), 3u);
+    EXPECT_TRUE(reach.contains(3));
+    EXPECT_TRUE(reach.contains(5));
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,70 @@
+#include "verify/state_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcft {
+namespace {
+
+TEST(StateSetTest, InsertAndContains) {
+    StateSet set(100);
+    EXPECT_TRUE(set.empty());
+    EXPECT_FALSE(set.contains(5));
+    EXPECT_TRUE(set.insert(5));
+    EXPECT_TRUE(set.contains(5));
+    EXPECT_FALSE(set.insert(5));  // duplicate
+    EXPECT_EQ(set.count(), 1u);
+}
+
+TEST(StateSetTest, WordBoundaries) {
+    StateSet set(130);
+    for (StateIndex s : {0u, 63u, 64u, 127u, 128u, 129u}) set.insert(s);
+    EXPECT_EQ(set.count(), 6u);
+    EXPECT_TRUE(set.contains(63));
+    EXPECT_TRUE(set.contains(64));
+    EXPECT_FALSE(set.contains(65));
+    EXPECT_TRUE(set.contains(129));
+}
+
+TEST(StateSetTest, OutOfRangeThrows) {
+    StateSet set(10);
+    EXPECT_THROW(set.insert(10), ContractError);
+    EXPECT_THROW((void)set.contains(10), ContractError);
+}
+
+TEST(StateSetTest, ForEachVisitsExactlyMembers) {
+    StateSet set(200);
+    const std::vector<StateIndex> members{1, 64, 65, 199};
+    for (StateIndex s : members) set.insert(s);
+    std::vector<StateIndex> visited;
+    set.for_each([&](StateIndex s) { visited.push_back(s); });
+    EXPECT_EQ(visited, members);
+}
+
+TEST(StateSetTest, MaterializeMatchesPredicate) {
+    auto sp = make_space({Variable{"v", 10, {}}});
+    const Predicate even("even", [](const StateSpace&, StateIndex s) {
+        return s % 2 == 0;
+    });
+    const StateSet set = materialize(*sp, even);
+    EXPECT_EQ(set.count(), 5u);
+    for (StateIndex s = 0; s < 10; ++s)
+        EXPECT_EQ(set.contains(s), s % 2 == 0);
+}
+
+TEST(StateSetTest, PredicateOfRoundTrips) {
+    auto sp = make_space({Variable{"v", 8, {}}});
+    auto set = std::make_shared<StateSet>(8);
+    set->insert(3);
+    set->insert(7);
+    const Predicate p = predicate_of(set, "the-set");
+    EXPECT_EQ(p.name(), "the-set");
+    for (StateIndex s = 0; s < 8; ++s)
+        EXPECT_EQ(p.eval(*sp, s), set->contains(s));
+}
+
+TEST(StateSetTest, PredicateOfNullThrows) {
+    EXPECT_THROW(predicate_of(nullptr, "x"), ContractError);
+}
+
+}  // namespace
+}  // namespace dcft

@@ -1,0 +1,125 @@
+// Counterexample witnesses: failing checks name a path from an initial
+// state to the violation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "verify/refinement.hpp"
+#include "verify/transition_system.hpp"
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> counter_space(Value n) {
+    return make_space({Variable{"v", n, {}}});
+}
+
+Predicate at(const StateSpace& sp, Value v) {
+    return Predicate::var_eq(sp, "v", v);
+}
+
+Program incrementer(std::shared_ptr<const StateSpace> sp, Value limit) {
+    Program p(sp, "inc");
+    p.add_action(Action::assign(
+        *sp, "inc",
+        Predicate("v<lim",
+                  [limit](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 0) < limit;
+                  }),
+        "v",
+        [](const StateSpace& space, StateIndex s) {
+            return space.get(s, 0) + 1;
+        }));
+    return p;
+}
+
+TEST(WitnessTest, PathFromInitialToNode) {
+    auto sp = counter_space(6);
+    const Program p = incrementer(sp, 5);
+    const TransitionSystem ts(p, nullptr, at(*sp, 0));
+    const NodeId target = ts.node_of(3);
+    const std::vector<StateIndex> path = ts.witness_path(target);
+    EXPECT_EQ(path, (std::vector<StateIndex>{0, 1, 2, 3}));
+}
+
+TEST(WitnessTest, InitialNodeHasSingletonPath) {
+    auto sp = counter_space(6);
+    const Program p = incrementer(sp, 5);
+    const TransitionSystem ts(p, nullptr, at(*sp, 2));
+    EXPECT_EQ(ts.witness_path(ts.node_of(2)),
+              (std::vector<StateIndex>{2}));
+}
+
+TEST(WitnessTest, PathStepsAreActualTransitions) {
+    auto sp = counter_space(8);
+    Program p(sp, "p");
+    p.add_action(incrementer(sp, 7).action(0));
+    p.add_action(Action::assign_const(*sp, "jump", at(*sp, 1), "v", 5));
+    const TransitionSystem ts(p, nullptr, at(*sp, 0));
+    std::vector<StateIndex> succ;
+    for (NodeId n = 0; n < ts.num_nodes(); ++n) {
+        const auto path = ts.witness_path(n);
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            succ.clear();
+            p.successors(path[i], succ);
+            EXPECT_NE(std::find(succ.begin(), succ.end(), path[i + 1]),
+                      succ.end());
+        }
+    }
+}
+
+TEST(WitnessTest, FormattedWitnessNamesStates) {
+    auto sp = counter_space(6);
+    const Program p = incrementer(sp, 5);
+    const TransitionSystem ts(p, nullptr, at(*sp, 0));
+    const std::string text = ts.format_witness(ts.node_of(2));
+    EXPECT_EQ(text, "{v=0} -> {v=1} -> {v=2}");
+}
+
+TEST(WitnessTest, LongPathsAreElided) {
+    auto sp = counter_space(20);
+    const Program p = incrementer(sp, 19);
+    const TransitionSystem ts(p, nullptr, at(*sp, 0));
+    const std::string text = ts.format_witness(ts.node_of(15));
+    EXPECT_EQ(text.rfind("... -> ", 0), 0u);
+    EXPECT_NE(text.find("{v=15}"), std::string::npos);
+}
+
+TEST(WitnessTest, SafetyFailureCarriesWitness) {
+    auto sp = counter_space(8);
+    const Program p = incrementer(sp, 5);
+    const ProblemSpec spec("no-4", SafetySpec::never(at(*sp, 4)), {});
+    const Predicate from("v<=5", [](const StateSpace&, StateIndex s) {
+        return s <= 5;
+    });
+    const CheckResult r = refines_spec(p, spec, from);
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.reason.find("witness:"), std::string::npos);
+}
+
+TEST(WitnessTest, LivenessFailureCarriesWitness) {
+    auto sp = counter_space(8);
+    const Program p = incrementer(sp, 3);
+    LivenessSpec live;
+    live.add_eventually(at(*sp, 7));
+    const ProblemSpec spec("reach-7", SafetySpec(), std::move(live));
+    const Predicate from("v<=3", [](const StateSpace&, StateIndex s) {
+        return s <= 3;
+    });
+    const CheckResult r = refines_spec(p, spec, from);
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.reason.find("reached via:"), std::string::npos);
+}
+
+TEST(WitnessTest, FaultStepsAppearInWitnessPaths) {
+    auto sp = counter_space(8);
+    const Program p = incrementer(sp, 2);
+    FaultClass f(sp, "F");
+    f.add_action(Action::assign_const(*sp, "leap", at(*sp, 2), "v", 6));
+    const TransitionSystem ts(p, &f, at(*sp, 0));
+    const auto path = ts.witness_path(ts.node_of(6));
+    EXPECT_EQ(path, (std::vector<StateIndex>{0, 1, 2, 6}));
+}
+
+}  // namespace
+}  // namespace dcft

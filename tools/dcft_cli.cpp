@@ -1,0 +1,315 @@
+// dcft — command-line driver over the built-in example systems.
+//
+//   dcft list
+//       Show the available systems and their program variants.
+//   dcft verify <system> [size]
+//       Run the fail-safe / nonmasking / masking checks for every variant
+//       of the system and print the verdict grid.
+//   dcft simulate <system> [size] [--variant NAME] [--runs N]
+//                 [--fault-p P] [--max-faults K] [--steps N] [--seed S]
+//       Batch-simulate a variant under fault injection and print
+//       aggregate statistics.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "apps/alternating_bit.hpp"
+#include "apps/barrier.hpp"
+#include "apps/byzantine.hpp"
+#include "apps/distributed_reset.hpp"
+#include "apps/leader_election.hpp"
+#include "apps/memory_access.hpp"
+#include "apps/spanning_tree.hpp"
+#include "apps/termination_detection.hpp"
+#include "apps/tmr.hpp"
+#include "apps/token_ring.hpp"
+#include "runtime/experiment.hpp"
+#include "verify/invariant.hpp"
+#include "verify/tolerance_checker.hpp"
+
+using namespace dcft;
+
+namespace {
+
+/// One loaded system: program variants plus everything needed to verify
+/// and simulate them.
+struct SystemInstance {
+    std::shared_ptr<const StateSpace> space;
+    std::map<std::string, Program> variants;
+    std::unique_ptr<FaultClass> faults;
+    ProblemSpec spec;
+    Predicate invariant;
+    StateIndex initial = 0;
+};
+
+SystemInstance load(const std::string& name, int size) {
+    SystemInstance out;
+    if (name == "memory") {
+        auto sys = apps::make_memory_access(size > 0 ? size : 3, 1);
+        out.space = sys.space;
+        out.variants.emplace("intolerant", sys.intolerant);
+        out.variants.emplace("failsafe", sys.failsafe);
+        out.variants.emplace("nonmasking", sys.nonmasking);
+        out.variants.emplace("masking", sys.masking);
+        out.faults = std::make_unique<FaultClass>(sys.page_fault);
+        out.spec = sys.spec;
+        out.invariant = sys.S;
+        out.initial = sys.initial_state();
+    } else if (name == "tmr") {
+        auto sys = apps::make_tmr(size > 0 ? size : 2);
+        out.space = sys.space;
+        out.variants.emplace("intolerant", sys.intolerant);
+        out.variants.emplace("failsafe", sys.failsafe);
+        out.variants.emplace("masking", sys.masking);
+        out.faults = std::make_unique<FaultClass>(sys.corrupt_one_input);
+        out.spec = sys.spec;
+        out.invariant = sys.invariant;
+        out.initial = sys.initial_state(0);
+    } else if (name == "byzantine") {
+        auto sys = apps::make_byzantine(size > 0 ? size : 4, 1);
+        out.space = sys.space;
+        out.variants.emplace("intolerant", sys.intolerant);
+        out.variants.emplace("failsafe", sys.failsafe);
+        out.variants.emplace("masking", sys.masking);
+        out.faults = std::make_unique<FaultClass>(sys.byzantine_fault);
+        out.spec = sys.spec;
+        out.initial = sys.initial_state(1);
+        out.invariant = reachable_invariant(
+            out.variants.at("masking"),
+            Predicate("init",
+                      [init = out.initial](const StateSpace&, StateIndex s) {
+                          return s == init;
+                      }));
+    } else if (name == "token-ring") {
+        const int n = size > 0 ? size : 4;
+        auto sys = apps::make_token_ring(n, n);
+        out.space = sys.space;
+        out.variants.emplace("ring", sys.ring);
+        out.faults = std::make_unique<FaultClass>(sys.corrupt_any);
+        out.spec = sys.spec;
+        out.invariant = sys.legitimate;
+        out.initial = sys.initial_state();
+    } else if (name == "spanning-tree") {
+        auto sys =
+            apps::make_spanning_tree(apps::path_graph(size > 0 ? size : 4));
+        out.space = sys.space;
+        out.variants.emplace("tree", sys.program);
+        out.faults = std::make_unique<FaultClass>(sys.corrupt_any);
+        out.spec = sys.spec;
+        out.invariant = sys.legitimate;
+        out.initial = sys.legitimate_state();
+    } else if (name == "election") {
+        const int n = size > 0 ? size : 4;
+        std::vector<int> parent(static_cast<std::size_t>(n), 0);
+        for (int i = 1; i < n; ++i)
+            parent[static_cast<std::size_t>(i)] = (i - 1) / 2;
+        auto sys = apps::make_leader_election(parent);
+        out.space = sys.space;
+        out.variants.emplace("election", sys.program);
+        out.faults = std::make_unique<FaultClass>(sys.corrupt_any);
+        out.spec = sys.spec;
+        out.invariant = sys.legitimate;
+        out.initial = sys.legitimate_state();
+    } else if (name == "termination") {
+        auto sys = apps::make_termination_detection(size > 0 ? size : 3);
+        out.space = sys.space;
+        out.variants.emplace("probe", sys.system);
+        out.faults = std::make_unique<FaultClass>(sys.spurious_activation);
+        // Spec: the detector claim as a problem specification.
+        LivenessSpec live;
+        live.add(LeadsTo{sys.all_passive, sys.done});
+        out.spec = ProblemSpec(
+            "SPEC_termination",
+            SafetySpec::never((sys.done && !sys.all_passive)
+                                  .renamed("lying-done")),
+            std::move(live));
+        out.invariant = reachable_invariant(sys.system, sys.initial);
+        out.initial = sys.initial_state(
+            std::vector<bool>(static_cast<std::size_t>(sys.n), true));
+    } else if (name == "barrier") {
+        auto sys = apps::make_barrier(size > 0 ? size : 4);
+        out.space = sys.space;
+        out.variants.emplace("trusting", sys.trusting);
+        out.variants.emplace("rechecking", sys.rechecking);
+        out.faults = std::make_unique<FaultClass>(sys.corrupt_witness);
+        out.spec = sys.spec;
+        out.initial = sys.initial_state();
+        out.invariant = reachable_invariant(
+            out.variants.at("rechecking"),
+            Predicate("init",
+                      [init = out.initial](const StateSpace&, StateIndex s) {
+                          return s == init;
+                      }));
+    } else if (name == "abp") {
+        auto sys = apps::make_alternating_bit(size > 0 ? size : 2, 4);
+        out.space = sys.space;
+        out.variants.emplace("protocol", sys.protocol);
+        out.faults = std::make_unique<FaultClass>(sys.loss);
+        out.spec = sys.spec;
+        out.initial = sys.initial_state();
+        out.invariant = reachable_invariant(
+            out.variants.at("protocol"),
+            Predicate("init",
+                      [init = out.initial](const StateSpace&, StateIndex s) {
+                          return s == init;
+                      }));
+    } else if (name == "reset") {
+        const int n = size > 0 ? size : 4;
+        std::vector<int> parent(static_cast<std::size_t>(n), 0);
+        for (int i = 1; i < n; ++i)
+            parent[static_cast<std::size_t>(i)] = (i - 1) / 2;
+        auto sys = apps::make_distributed_reset(parent);
+        out.space = sys.space;
+        out.variants.emplace("reset", sys.system);
+        out.faults = std::make_unique<FaultClass>(sys.corrupt_sessions);
+        out.spec = sys.spec;
+        out.initial = sys.initial_state();
+        out.invariant = reachable_invariant(
+            out.variants.at("reset"),
+            Predicate("init",
+                      [init = out.initial](const StateSpace&, StateIndex s) {
+                          return s == init;
+                      }));
+    } else {
+        throw ContractError("unknown system: " + name);
+    }
+    return out;
+}
+
+const char* kSystems[] = {"memory",   "tmr",      "byzantine",
+                          "token-ring", "spanning-tree", "election",
+                          "termination", "barrier", "reset", "abp"};
+
+int cmd_list() {
+    std::printf("built-in systems (dcft verify <system> [size]):\n");
+    for (const char* name : kSystems) {
+        const SystemInstance sys = load(name, 0);
+        std::printf("  %-14s states=%-10llu variants:", name,
+                    static_cast<unsigned long long>(
+                        sys.space->num_states()));
+        for (const auto& [variant, program] : sys.variants) {
+            std::printf(" %s(%zu actions)", variant.c_str(),
+                        program.num_actions());
+        }
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int cmd_verify(const std::string& name, int size) {
+    const SystemInstance sys = load(name, size);
+    std::printf("%s: |space|=%llu, spec=%s, faults=%s\n", name.c_str(),
+                static_cast<unsigned long long>(sys.space->num_states()),
+                sys.spec.name().c_str(), sys.faults->name().c_str());
+    std::printf("  %-14s %-10s %-11s %-8s\n", "variant", "fail-safe",
+                "nonmasking", "masking");
+    for (const auto& [variant, program] : sys.variants) {
+        const bool fs =
+            check_failsafe(program, *sys.faults, sys.spec, sys.invariant)
+                .ok();
+        const bool nm =
+            check_nonmasking(program, *sys.faults, sys.spec, sys.invariant)
+                .ok();
+        const ToleranceReport mk = check_masking(program, *sys.faults,
+                                                 sys.spec, sys.invariant);
+        std::printf("  %-14s %-10s %-11s %-8s\n", variant.c_str(),
+                    fs ? "yes" : "no", nm ? "yes" : "no",
+                    mk.ok() ? "yes" : "no");
+        if (!mk.ok())
+            std::printf("      masking fails because: %s\n",
+                        mk.reason().c_str());
+    }
+    return 0;
+}
+
+int cmd_simulate(const std::string& name, int size,
+                 const std::map<std::string, std::string>& flags) {
+    const SystemInstance sys = load(name, size);
+    auto flag = [&flags](const char* key, double fallback) {
+        auto it = flags.find(key);
+        return it == flags.end() ? fallback : std::stod(it->second);
+    };
+    std::string variant = flags.count("variant")
+                              ? flags.at("variant")
+                              : sys.variants.begin()->first;
+    if (!sys.variants.count(variant)) {
+        std::fprintf(stderr, "no variant '%s' in %s\n", variant.c_str(),
+                     name.c_str());
+        return 1;
+    }
+
+    Experiment ex;
+    const Program& program = sys.variants.at(variant);
+    ex.program = &program;
+    ex.initial = sys.initial;
+    ex.runs = static_cast<std::size_t>(flag("runs", 200));
+    ex.base_seed = static_cast<std::uint64_t>(flag("seed", 1));
+    ex.options.max_steps = static_cast<std::size_t>(flag("steps", 1000));
+    ex.faults = sys.faults.get();
+    ex.fault_probability = flag("fault-p", 0.1);
+    ex.max_faults = static_cast<std::size_t>(flag("max-faults", 3));
+    ex.safety = sys.spec.safety();
+    ex.corrector = sys.invariant;
+
+    const BatchResult result = run_experiment(ex);
+    std::printf("%s/%s: %zu runs, seed %llu, fault-p %.2f\n", name.c_str(),
+                variant.c_str(), result.runs,
+                static_cast<unsigned long long>(ex.base_seed),
+                ex.fault_probability);
+    std::printf("  steps/run          : mean %.1f, max %.0f\n",
+                result.steps.mean(), result.steps.max());
+    std::printf("  faults/run         : mean %.2f\n",
+                result.fault_steps.mean());
+    std::printf("  deadlocked runs    : %zu\n", result.deadlocked);
+    std::printf("  safety violations  : %zu (program steps)\n",
+                result.safety_violations);
+    if (!result.availability.empty())
+        std::printf("  invariant uptime   : mean %.3f\n",
+                    result.availability.mean());
+    if (!result.correction_latency.empty())
+        std::printf("  recovery latency   : mean %.1f, p99 %.1f\n",
+                    result.correction_latency.mean(),
+                    result.correction_latency.percentile(0.99));
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        if (argc < 2) {
+            std::fprintf(stderr,
+                         "usage: dcft list | verify <system> [size] | "
+                         "simulate <system> [size] [--key value ...]\n");
+            return 2;
+        }
+        const std::string command = argv[1];
+        if (command == "list") return cmd_list();
+
+        if (argc < 3) {
+            std::fprintf(stderr, "%s requires a system name\n",
+                         command.c_str());
+            return 2;
+        }
+        const std::string system = argv[2];
+        int size = 0;
+        int arg = 3;
+        if (arg < argc && argv[arg][0] != '-') size = std::atoi(argv[arg++]);
+        std::map<std::string, std::string> flags;
+        for (; arg + 1 < argc; arg += 2) {
+            std::string key = argv[arg];
+            if (key.rfind("--", 0) == 0) key = key.substr(2);
+            flags[key] = argv[arg + 1];
+        }
+
+        if (command == "verify") return cmd_verify(system, size);
+        if (command == "simulate") return cmd_simulate(system, size, flags);
+        std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+        return 2;
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}
