@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_channels.dir/bench_channels.cpp.o"
+  "CMakeFiles/bench_channels.dir/bench_channels.cpp.o.d"
+  "bench_channels"
+  "bench_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

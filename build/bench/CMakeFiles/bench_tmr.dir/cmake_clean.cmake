@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tmr.dir/bench_tmr.cpp.o"
+  "CMakeFiles/bench_tmr.dir/bench_tmr.cpp.o.d"
+  "bench_tmr"
+  "bench_tmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

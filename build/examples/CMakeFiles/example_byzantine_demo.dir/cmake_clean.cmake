@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_byzantine_demo.dir/byzantine_demo.cpp.o"
+  "CMakeFiles/example_byzantine_demo.dir/byzantine_demo.cpp.o.d"
+  "example_byzantine_demo"
+  "example_byzantine_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_byzantine_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_components_demo.dir/components_demo.cpp.o"
+  "CMakeFiles/example_components_demo.dir/components_demo.cpp.o.d"
+  "example_components_demo"
+  "example_components_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_components_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

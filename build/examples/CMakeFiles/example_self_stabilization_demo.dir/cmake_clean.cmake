@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_self_stabilization_demo.dir/self_stabilization_demo.cpp.o"
+  "CMakeFiles/example_self_stabilization_demo.dir/self_stabilization_demo.cpp.o.d"
+  "example_self_stabilization_demo"
+  "example_self_stabilization_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_self_stabilization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

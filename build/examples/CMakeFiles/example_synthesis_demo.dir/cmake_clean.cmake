@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_synthesis_demo.dir/synthesis_demo.cpp.o"
+  "CMakeFiles/example_synthesis_demo.dir/synthesis_demo.cpp.o.d"
+  "example_synthesis_demo"
+  "example_synthesis_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_synthesis_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

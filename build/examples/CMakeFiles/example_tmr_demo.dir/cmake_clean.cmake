@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tmr_demo.dir/tmr_demo.cpp.o"
+  "CMakeFiles/example_tmr_demo.dir/tmr_demo.cpp.o.d"
+  "example_tmr_demo"
+  "example_tmr_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tmr_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/alternating_bit.cpp" "src/CMakeFiles/dcft.dir/apps/alternating_bit.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/apps/alternating_bit.cpp.o.d"
+  "/root/repo/src/apps/barrier.cpp" "src/CMakeFiles/dcft.dir/apps/barrier.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/apps/barrier.cpp.o.d"
+  "/root/repo/src/apps/byzantine.cpp" "src/CMakeFiles/dcft.dir/apps/byzantine.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/apps/byzantine.cpp.o.d"
+  "/root/repo/src/apps/distributed_reset.cpp" "src/CMakeFiles/dcft.dir/apps/distributed_reset.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/apps/distributed_reset.cpp.o.d"
+  "/root/repo/src/apps/leader_election.cpp" "src/CMakeFiles/dcft.dir/apps/leader_election.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/apps/leader_election.cpp.o.d"
+  "/root/repo/src/apps/memory_access.cpp" "src/CMakeFiles/dcft.dir/apps/memory_access.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/apps/memory_access.cpp.o.d"
+  "/root/repo/src/apps/spanning_tree.cpp" "src/CMakeFiles/dcft.dir/apps/spanning_tree.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/apps/spanning_tree.cpp.o.d"
+  "/root/repo/src/apps/termination_detection.cpp" "src/CMakeFiles/dcft.dir/apps/termination_detection.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/apps/termination_detection.cpp.o.d"
+  "/root/repo/src/apps/tmr.cpp" "src/CMakeFiles/dcft.dir/apps/tmr.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/apps/tmr.cpp.o.d"
+  "/root/repo/src/apps/token_ring.cpp" "src/CMakeFiles/dcft.dir/apps/token_ring.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/apps/token_ring.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/dcft.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/common/rng.cpp.o.d"
+  "/root/repo/src/components/corrector.cpp" "src/CMakeFiles/dcft.dir/components/corrector.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/components/corrector.cpp.o.d"
+  "/root/repo/src/components/detector.cpp" "src/CMakeFiles/dcft.dir/components/detector.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/components/detector.cpp.o.d"
+  "/root/repo/src/gc/action.cpp" "src/CMakeFiles/dcft.dir/gc/action.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/gc/action.cpp.o.d"
+  "/root/repo/src/gc/channel.cpp" "src/CMakeFiles/dcft.dir/gc/channel.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/gc/channel.cpp.o.d"
+  "/root/repo/src/gc/composition.cpp" "src/CMakeFiles/dcft.dir/gc/composition.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/gc/composition.cpp.o.d"
+  "/root/repo/src/gc/predicate.cpp" "src/CMakeFiles/dcft.dir/gc/predicate.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/gc/predicate.cpp.o.d"
+  "/root/repo/src/gc/program.cpp" "src/CMakeFiles/dcft.dir/gc/program.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/gc/program.cpp.o.d"
+  "/root/repo/src/gc/state_space.cpp" "src/CMakeFiles/dcft.dir/gc/state_space.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/gc/state_space.cpp.o.d"
+  "/root/repo/src/runtime/experiment.cpp" "src/CMakeFiles/dcft.dir/runtime/experiment.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/runtime/experiment.cpp.o.d"
+  "/root/repo/src/runtime/fault_injector.cpp" "src/CMakeFiles/dcft.dir/runtime/fault_injector.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/runtime/fault_injector.cpp.o.d"
+  "/root/repo/src/runtime/metrics.cpp" "src/CMakeFiles/dcft.dir/runtime/metrics.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/runtime/metrics.cpp.o.d"
+  "/root/repo/src/runtime/monitor.cpp" "src/CMakeFiles/dcft.dir/runtime/monitor.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/runtime/monitor.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/CMakeFiles/dcft.dir/runtime/scheduler.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/runtime/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/simulator.cpp" "src/CMakeFiles/dcft.dir/runtime/simulator.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/runtime/simulator.cpp.o.d"
+  "/root/repo/src/runtime/trace_checker.cpp" "src/CMakeFiles/dcft.dir/runtime/trace_checker.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/runtime/trace_checker.cpp.o.d"
+  "/root/repo/src/spec/corrects.cpp" "src/CMakeFiles/dcft.dir/spec/corrects.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/spec/corrects.cpp.o.d"
+  "/root/repo/src/spec/detects.cpp" "src/CMakeFiles/dcft.dir/spec/detects.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/spec/detects.cpp.o.d"
+  "/root/repo/src/spec/liveness.cpp" "src/CMakeFiles/dcft.dir/spec/liveness.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/spec/liveness.cpp.o.d"
+  "/root/repo/src/spec/problem_spec.cpp" "src/CMakeFiles/dcft.dir/spec/problem_spec.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/spec/problem_spec.cpp.o.d"
+  "/root/repo/src/spec/safety_spec.cpp" "src/CMakeFiles/dcft.dir/spec/safety_spec.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/spec/safety_spec.cpp.o.d"
+  "/root/repo/src/synth/add_failsafe.cpp" "src/CMakeFiles/dcft.dir/synth/add_failsafe.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/synth/add_failsafe.cpp.o.d"
+  "/root/repo/src/synth/add_masking.cpp" "src/CMakeFiles/dcft.dir/synth/add_masking.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/synth/add_masking.cpp.o.d"
+  "/root/repo/src/synth/add_nonmasking.cpp" "src/CMakeFiles/dcft.dir/synth/add_nonmasking.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/synth/add_nonmasking.cpp.o.d"
+  "/root/repo/src/verify/closure.cpp" "src/CMakeFiles/dcft.dir/verify/closure.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/verify/closure.cpp.o.d"
+  "/root/repo/src/verify/component_checker.cpp" "src/CMakeFiles/dcft.dir/verify/component_checker.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/verify/component_checker.cpp.o.d"
+  "/root/repo/src/verify/detection_predicate.cpp" "src/CMakeFiles/dcft.dir/verify/detection_predicate.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/verify/detection_predicate.cpp.o.d"
+  "/root/repo/src/verify/encapsulation.cpp" "src/CMakeFiles/dcft.dir/verify/encapsulation.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/verify/encapsulation.cpp.o.d"
+  "/root/repo/src/verify/fairness.cpp" "src/CMakeFiles/dcft.dir/verify/fairness.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/verify/fairness.cpp.o.d"
+  "/root/repo/src/verify/fault_span.cpp" "src/CMakeFiles/dcft.dir/verify/fault_span.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/verify/fault_span.cpp.o.d"
+  "/root/repo/src/verify/invariant.cpp" "src/CMakeFiles/dcft.dir/verify/invariant.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/verify/invariant.cpp.o.d"
+  "/root/repo/src/verify/reachability.cpp" "src/CMakeFiles/dcft.dir/verify/reachability.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/verify/reachability.cpp.o.d"
+  "/root/repo/src/verify/refinement.cpp" "src/CMakeFiles/dcft.dir/verify/refinement.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/verify/refinement.cpp.o.d"
+  "/root/repo/src/verify/tolerance_checker.cpp" "src/CMakeFiles/dcft.dir/verify/tolerance_checker.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/verify/tolerance_checker.cpp.o.d"
+  "/root/repo/src/verify/transition_system.cpp" "src/CMakeFiles/dcft.dir/verify/transition_system.cpp.o" "gcc" "src/CMakeFiles/dcft.dir/verify/transition_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

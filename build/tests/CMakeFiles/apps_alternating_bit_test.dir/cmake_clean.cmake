@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_alternating_bit_test.dir/apps/alternating_bit_test.cpp.o"
+  "CMakeFiles/apps_alternating_bit_test.dir/apps/alternating_bit_test.cpp.o.d"
+  "apps_alternating_bit_test"
+  "apps_alternating_bit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_alternating_bit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

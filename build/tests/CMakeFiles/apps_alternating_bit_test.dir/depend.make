@@ -1,0 +1,2 @@
+# Empty dependencies file for apps_alternating_bit_test.
+# This may be replaced when dependencies are built.

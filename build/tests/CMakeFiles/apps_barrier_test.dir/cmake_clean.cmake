@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_barrier_test.dir/apps/barrier_test.cpp.o"
+  "CMakeFiles/apps_barrier_test.dir/apps/barrier_test.cpp.o.d"
+  "apps_barrier_test"
+  "apps_barrier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_barrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

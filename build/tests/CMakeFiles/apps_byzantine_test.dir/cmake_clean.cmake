@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_byzantine_test.dir/apps/byzantine_test.cpp.o"
+  "CMakeFiles/apps_byzantine_test.dir/apps/byzantine_test.cpp.o.d"
+  "apps_byzantine_test"
+  "apps_byzantine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_byzantine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

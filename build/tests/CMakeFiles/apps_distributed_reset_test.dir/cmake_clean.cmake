@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_distributed_reset_test.dir/apps/distributed_reset_test.cpp.o"
+  "CMakeFiles/apps_distributed_reset_test.dir/apps/distributed_reset_test.cpp.o.d"
+  "apps_distributed_reset_test"
+  "apps_distributed_reset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_distributed_reset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

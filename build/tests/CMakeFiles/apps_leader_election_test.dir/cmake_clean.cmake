@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_leader_election_test.dir/apps/leader_election_test.cpp.o"
+  "CMakeFiles/apps_leader_election_test.dir/apps/leader_election_test.cpp.o.d"
+  "apps_leader_election_test"
+  "apps_leader_election_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_leader_election_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_memory_access_test.dir/apps/memory_access_test.cpp.o"
+  "CMakeFiles/apps_memory_access_test.dir/apps/memory_access_test.cpp.o.d"
+  "apps_memory_access_test"
+  "apps_memory_access_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_memory_access_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

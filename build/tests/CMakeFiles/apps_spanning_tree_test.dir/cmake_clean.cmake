@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_spanning_tree_test.dir/apps/spanning_tree_test.cpp.o"
+  "CMakeFiles/apps_spanning_tree_test.dir/apps/spanning_tree_test.cpp.o.d"
+  "apps_spanning_tree_test"
+  "apps_spanning_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_spanning_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_termination_detection_test.dir/apps/termination_detection_test.cpp.o"
+  "CMakeFiles/apps_termination_detection_test.dir/apps/termination_detection_test.cpp.o.d"
+  "apps_termination_detection_test"
+  "apps_termination_detection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_termination_detection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

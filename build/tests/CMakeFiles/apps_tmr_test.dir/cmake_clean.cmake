@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_tmr_test.dir/apps/tmr_test.cpp.o"
+  "CMakeFiles/apps_tmr_test.dir/apps/tmr_test.cpp.o.d"
+  "apps_tmr_test"
+  "apps_tmr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_tmr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_token_ring_test.dir/apps/token_ring_test.cpp.o"
+  "CMakeFiles/apps_token_ring_test.dir/apps/token_ring_test.cpp.o.d"
+  "apps_token_ring_test"
+  "apps_token_ring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_token_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/components_corrector_component_test.dir/components/corrector_component_test.cpp.o"
+  "CMakeFiles/components_corrector_component_test.dir/components/corrector_component_test.cpp.o.d"
+  "components_corrector_component_test"
+  "components_corrector_component_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/components_corrector_component_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/components_detector_component_test.dir/components/detector_component_test.cpp.o"
+  "CMakeFiles/components_detector_component_test.dir/components/detector_component_test.cpp.o.d"
+  "components_detector_component_test"
+  "components_detector_component_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/components_detector_component_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_action_test.dir/gc/action_test.cpp.o"
+  "CMakeFiles/gc_action_test.dir/gc/action_test.cpp.o.d"
+  "gc_action_test"
+  "gc_action_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_action_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_channel_test.dir/gc/channel_test.cpp.o"
+  "CMakeFiles/gc_channel_test.dir/gc/channel_test.cpp.o.d"
+  "gc_channel_test"
+  "gc_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

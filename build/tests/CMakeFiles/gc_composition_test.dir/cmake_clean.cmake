@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_composition_test.dir/gc/composition_test.cpp.o"
+  "CMakeFiles/gc_composition_test.dir/gc/composition_test.cpp.o.d"
+  "gc_composition_test"
+  "gc_composition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_composition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_predicate_test.dir/gc/predicate_test.cpp.o"
+  "CMakeFiles/gc_predicate_test.dir/gc/predicate_test.cpp.o.d"
+  "gc_predicate_test"
+  "gc_predicate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_predicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_program_test.dir/gc/program_test.cpp.o"
+  "CMakeFiles/gc_program_test.dir/gc/program_test.cpp.o.d"
+  "gc_program_test"
+  "gc_program_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

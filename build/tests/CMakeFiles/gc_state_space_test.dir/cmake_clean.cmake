@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_state_space_test.dir/gc/state_space_test.cpp.o"
+  "CMakeFiles/gc_state_space_test.dir/gc/state_space_test.cpp.o.d"
+  "gc_state_space_test"
+  "gc_state_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_state_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

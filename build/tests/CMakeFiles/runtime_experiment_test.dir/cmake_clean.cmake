@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_experiment_test.dir/runtime/experiment_test.cpp.o"
+  "CMakeFiles/runtime_experiment_test.dir/runtime/experiment_test.cpp.o.d"
+  "runtime_experiment_test"
+  "runtime_experiment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

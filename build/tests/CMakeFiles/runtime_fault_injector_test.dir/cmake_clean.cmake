@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_fault_injector_test.dir/runtime/fault_injector_test.cpp.o"
+  "CMakeFiles/runtime_fault_injector_test.dir/runtime/fault_injector_test.cpp.o.d"
+  "runtime_fault_injector_test"
+  "runtime_fault_injector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_fault_injector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_monitor_test.dir/runtime/monitor_test.cpp.o"
+  "CMakeFiles/runtime_monitor_test.dir/runtime/monitor_test.cpp.o.d"
+  "runtime_monitor_test"
+  "runtime_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

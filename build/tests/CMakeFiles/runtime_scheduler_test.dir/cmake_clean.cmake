@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_scheduler_test.dir/runtime/scheduler_test.cpp.o"
+  "CMakeFiles/runtime_scheduler_test.dir/runtime/scheduler_test.cpp.o.d"
+  "runtime_scheduler_test"
+  "runtime_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_simulator_test.dir/runtime/simulator_test.cpp.o"
+  "CMakeFiles/runtime_simulator_test.dir/runtime/simulator_test.cpp.o.d"
+  "runtime_simulator_test"
+  "runtime_simulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_trace_checker_test.dir/runtime/trace_checker_test.cpp.o"
+  "CMakeFiles/runtime_trace_checker_test.dir/runtime/trace_checker_test.cpp.o.d"
+  "runtime_trace_checker_test"
+  "runtime_trace_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_trace_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

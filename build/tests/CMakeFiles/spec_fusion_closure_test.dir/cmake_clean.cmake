@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_fusion_closure_test.dir/spec/fusion_closure_test.cpp.o"
+  "CMakeFiles/spec_fusion_closure_test.dir/spec/fusion_closure_test.cpp.o.d"
+  "spec_fusion_closure_test"
+  "spec_fusion_closure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_fusion_closure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

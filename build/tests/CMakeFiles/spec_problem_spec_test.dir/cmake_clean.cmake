@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_problem_spec_test.dir/spec/problem_spec_test.cpp.o"
+  "CMakeFiles/spec_problem_spec_test.dir/spec/problem_spec_test.cpp.o.d"
+  "spec_problem_spec_test"
+  "spec_problem_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_problem_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

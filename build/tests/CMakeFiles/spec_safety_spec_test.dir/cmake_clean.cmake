@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_safety_spec_test.dir/spec/safety_spec_test.cpp.o"
+  "CMakeFiles/spec_safety_spec_test.dir/spec/safety_spec_test.cpp.o.d"
+  "spec_safety_spec_test"
+  "spec_safety_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_safety_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

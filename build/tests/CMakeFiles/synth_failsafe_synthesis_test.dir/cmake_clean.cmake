@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_failsafe_synthesis_test.dir/synth/failsafe_synthesis_test.cpp.o"
+  "CMakeFiles/synth_failsafe_synthesis_test.dir/synth/failsafe_synthesis_test.cpp.o.d"
+  "synth_failsafe_synthesis_test"
+  "synth_failsafe_synthesis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_failsafe_synthesis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_nonmasking_synthesis_test.dir/synth/nonmasking_synthesis_test.cpp.o"
+  "CMakeFiles/synth_nonmasking_synthesis_test.dir/synth/nonmasking_synthesis_test.cpp.o.d"
+  "synth_nonmasking_synthesis_test"
+  "synth_nonmasking_synthesis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_nonmasking_synthesis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_multitolerance_test.dir/theory/multitolerance_test.cpp.o"
+  "CMakeFiles/theory_multitolerance_test.dir/theory/multitolerance_test.cpp.o.d"
+  "theory_multitolerance_test"
+  "theory_multitolerance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_multitolerance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

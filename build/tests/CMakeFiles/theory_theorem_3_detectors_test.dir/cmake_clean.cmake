@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_theorem_3_detectors_test.dir/theory/theorem_3_detectors_test.cpp.o"
+  "CMakeFiles/theory_theorem_3_detectors_test.dir/theory/theorem_3_detectors_test.cpp.o.d"
+  "theory_theorem_3_detectors_test"
+  "theory_theorem_3_detectors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_theorem_3_detectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_theorem_5_masking_test.dir/theory/theorem_5_masking_test.cpp.o"
+  "CMakeFiles/theory_theorem_5_masking_test.dir/theory/theorem_5_masking_test.cpp.o.d"
+  "theory_theorem_5_masking_test"
+  "theory_theorem_5_masking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_theorem_5_masking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_closure_test.dir/verify/closure_test.cpp.o"
+  "CMakeFiles/verify_closure_test.dir/verify/closure_test.cpp.o.d"
+  "verify_closure_test"
+  "verify_closure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_closure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

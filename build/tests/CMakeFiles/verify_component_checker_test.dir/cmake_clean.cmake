@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_component_checker_test.dir/verify/component_checker_test.cpp.o"
+  "CMakeFiles/verify_component_checker_test.dir/verify/component_checker_test.cpp.o.d"
+  "verify_component_checker_test"
+  "verify_component_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_component_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_cross_validation_test.dir/verify/cross_validation_test.cpp.o"
+  "CMakeFiles/verify_cross_validation_test.dir/verify/cross_validation_test.cpp.o.d"
+  "verify_cross_validation_test"
+  "verify_cross_validation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_cross_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_detection_predicate_test.dir/verify/detection_predicate_test.cpp.o"
+  "CMakeFiles/verify_detection_predicate_test.dir/verify/detection_predicate_test.cpp.o.d"
+  "verify_detection_predicate_test"
+  "verify_detection_predicate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_detection_predicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_encapsulation_test.dir/verify/encapsulation_test.cpp.o"
+  "CMakeFiles/verify_encapsulation_test.dir/verify/encapsulation_test.cpp.o.d"
+  "verify_encapsulation_test"
+  "verify_encapsulation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_encapsulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_fairness_oracle_test.dir/verify/fairness_oracle_test.cpp.o"
+  "CMakeFiles/verify_fairness_oracle_test.dir/verify/fairness_oracle_test.cpp.o.d"
+  "verify_fairness_oracle_test"
+  "verify_fairness_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_fairness_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

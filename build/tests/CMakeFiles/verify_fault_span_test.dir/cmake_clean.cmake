@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_fault_span_test.dir/verify/fault_span_test.cpp.o"
+  "CMakeFiles/verify_fault_span_test.dir/verify/fault_span_test.cpp.o.d"
+  "verify_fault_span_test"
+  "verify_fault_span_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_fault_span_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

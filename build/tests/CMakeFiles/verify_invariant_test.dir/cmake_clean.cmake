@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_invariant_test.dir/verify/invariant_test.cpp.o"
+  "CMakeFiles/verify_invariant_test.dir/verify/invariant_test.cpp.o.d"
+  "verify_invariant_test"
+  "verify_invariant_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_invariant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_random_program_test.dir/verify/random_program_test.cpp.o"
+  "CMakeFiles/verify_random_program_test.dir/verify/random_program_test.cpp.o.d"
+  "verify_random_program_test"
+  "verify_random_program_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_random_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_reachability_test.dir/verify/reachability_test.cpp.o"
+  "CMakeFiles/verify_reachability_test.dir/verify/reachability_test.cpp.o.d"
+  "verify_reachability_test"
+  "verify_reachability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_reachability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_refinement_test.dir/verify/refinement_test.cpp.o"
+  "CMakeFiles/verify_refinement_test.dir/verify/refinement_test.cpp.o.d"
+  "verify_refinement_test"
+  "verify_refinement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_refinement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_state_set_test.dir/verify/state_set_test.cpp.o"
+  "CMakeFiles/verify_state_set_test.dir/verify/state_set_test.cpp.o.d"
+  "verify_state_set_test"
+  "verify_state_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_state_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_witness_test.dir/verify/witness_test.cpp.o"
+  "CMakeFiles/verify_witness_test.dir/verify/witness_test.cpp.o.d"
+  "verify_witness_test"
+  "verify_witness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_witness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcft_cli.dir/dcft_cli.cpp.o"
+  "CMakeFiles/dcft_cli.dir/dcft_cli.cpp.o.d"
+  "dcft"
+  "dcft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcft_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
