@@ -1,0 +1,175 @@
+// Word-packed bit vectors — the shared dense-set substrate of the verifier.
+//
+// BitVec is the raw 64-bit-word representation used by StateSet (sets of
+// states) and by set-backed Predicates (gc/predicate.hpp). It provides the
+// word-level set algebra the bulk-evaluation paths compose with: once a
+// predicate has been evaluated into a BitVec, conjunction, disjunction,
+// complement, difference and containment are O(|space|/64) word operations
+// instead of per-state std::function calls.
+//
+// Invariant: bits beyond size_bits() in the last word (the "padding bits")
+// are always zero. Every mutating operation restores this invariant, so
+// popcount(), none(), operator== and friends never see stray bits.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dcft {
+
+class BitVec {
+public:
+    using Word = std::uint64_t;
+    static constexpr std::uint64_t kWordBits = 64;
+
+    BitVec() = default;
+    explicit BitVec(std::uint64_t size_bits)
+        : size_bits_(size_bits),
+          words_((size_bits + kWordBits - 1) / kWordBits, 0) {}
+
+    std::uint64_t size_bits() const { return size_bits_; }
+    std::size_t num_words() const { return words_.size(); }
+
+    Word* data() { return words_.data(); }
+    const Word* data() const { return words_.data(); }
+    Word word(std::size_t w) const { return words_[w]; }
+
+    bool test(std::uint64_t i) const {
+        DCFT_EXPECTS(i < size_bits_, "BitVec: index out of range");
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void set(std::uint64_t i) {
+        DCFT_EXPECTS(i < size_bits_, "BitVec: index out of range");
+        words_[i >> 6] |= Word{1} << (i & 63);
+    }
+
+    void reset(std::uint64_t i) {
+        DCFT_EXPECTS(i < size_bits_, "BitVec: index out of range");
+        words_[i >> 6] &= ~(Word{1} << (i & 63));
+    }
+
+    /// Sets bit i; returns true iff it was previously clear.
+    bool test_and_set(std::uint64_t i) {
+        DCFT_EXPECTS(i < size_bits_, "BitVec: index out of range");
+        const Word mask = Word{1} << (i & 63);
+        Word& w = words_[i >> 6];
+        if (w & mask) return false;
+        w |= mask;
+        return true;
+    }
+
+    /// Number of set bits (padding bits are provably zero).
+    std::uint64_t popcount() const {
+        std::uint64_t n = 0;
+        for (const Word w : words_) n += static_cast<std::uint64_t>(std::popcount(w));
+        return n;
+    }
+
+    bool none() const {
+        for (const Word w : words_)
+            if (w != 0) return false;
+        return true;
+    }
+    bool any() const { return !none(); }
+
+    void clear_all() {
+        for (Word& w : words_) w = 0;
+    }
+
+    void set_all() {
+        for (Word& w : words_) w = ~Word{0};
+        mask_padding();
+    }
+
+    BitVec& operator&=(const BitVec& o) {
+        check_same(o);
+        for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= o.words_[w];
+        return *this;
+    }
+
+    BitVec& operator|=(const BitVec& o) {
+        check_same(o);
+        for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= o.words_[w];
+        return *this;
+    }
+
+    BitVec& operator^=(const BitVec& o) {
+        check_same(o);
+        for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= o.words_[w];
+        return *this;
+    }
+
+    /// this &= ~o (set difference).
+    BitVec& subtract(const BitVec& o) {
+        check_same(o);
+        for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= ~o.words_[w];
+        return *this;
+    }
+
+    /// Complement within the universe; padding bits stay zero.
+    void complement() {
+        for (Word& w : words_) w = ~w;
+        mask_padding();
+    }
+
+    BitVec complemented() const {
+        BitVec out = *this;
+        out.complement();
+        return out;
+    }
+
+    bool intersects(const BitVec& o) const {
+        check_same(o);
+        for (std::size_t w = 0; w < words_.size(); ++w)
+            if (words_[w] & o.words_[w]) return true;
+        return false;
+    }
+
+    /// True iff every set bit of *this is also set in o.
+    bool is_subset_of(const BitVec& o) const {
+        check_same(o);
+        for (std::size_t w = 0; w < words_.size(); ++w)
+            if (words_[w] & ~o.words_[w]) return false;
+        return true;
+    }
+
+    friend bool operator==(const BitVec& a, const BitVec& b) {
+        return a.size_bits_ == b.size_bits_ && a.words_ == b.words_;
+    }
+
+    /// Calls fn(i) for every set bit, in increasing order.
+    template <typename Fn>
+    void for_each_set(Fn&& fn) const {
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            Word word = words_[w];
+            while (word != 0) {
+                const int bit = std::countr_zero(word);
+                fn(static_cast<std::uint64_t>(w) * kWordBits +
+                   static_cast<std::uint64_t>(bit));
+                word &= word - 1;
+            }
+        }
+    }
+
+private:
+    void check_same(const BitVec& o) const {
+        DCFT_EXPECTS(size_bits_ == o.size_bits_,
+                     "BitVec: universe size mismatch");
+    }
+
+    /// Zeroes the bits of the last word beyond size_bits_.
+    void mask_padding() {
+        const std::uint64_t tail = size_bits_ & 63;
+        if (tail != 0 && !words_.empty())
+            words_.back() &= (Word{1} << tail) - 1;
+    }
+
+    std::uint64_t size_bits_ = 0;
+    std::vector<Word> words_;
+};
+
+}  // namespace dcft

@@ -1,21 +1,58 @@
 #include "gc/predicate.hpp"
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace dcft {
 
 struct Predicate::Impl {
     std::string name;
     Fn fn;
+    /// Non-null iff the predicate is set-backed; then for every valid s,
+    /// fn(space, s) == bits->test(s).
+    std::shared_ptr<const BitVec> bits;
 };
+
+namespace {
+
+/// Evaluation function of a set-backed predicate.
+Predicate::Fn bits_fn(std::shared_ptr<const BitVec> bits) {
+    return [bits = std::move(bits)](const StateSpace&, StateIndex s) {
+        DCFT_EXPECTS(s < bits->size_bits(),
+                     "set-backed Predicate: state out of range");
+        return bits->test(s);
+    };
+}
+
+/// Both operands set-backed over the same universe? Then word-level
+/// composition applies.
+const BitVec* backed_pair(const Predicate& a, const Predicate& b) {
+    const auto& ba = a.backing_bits();
+    const auto& bb = b.backing_bits();
+    if (ba && bb && ba->size_bits() == bb->size_bits()) return ba.get();
+    return nullptr;
+}
+
+}  // namespace
 
 Predicate::Predicate()
     : impl_(std::make_shared<Impl>(
-          Impl{"true", [](const StateSpace&, StateIndex) { return true; }})) {}
+          Impl{"true", [](const StateSpace&, StateIndex) { return true; },
+               nullptr})) {}
 
 Predicate::Predicate(std::string name, Fn fn) {
     DCFT_EXPECTS(fn != nullptr, "Predicate requires an evaluation function");
-    impl_ = std::make_shared<Impl>(Impl{std::move(name), std::move(fn)});
+    impl_ = std::make_shared<Impl>(
+        Impl{std::move(name), std::move(fn), nullptr});
+}
+
+Predicate Predicate::from_bits(std::string name,
+                               std::shared_ptr<const BitVec> bits) {
+    DCFT_EXPECTS(bits != nullptr, "Predicate::from_bits requires bits");
+    Predicate out;
+    out.impl_ = std::make_shared<Impl>(
+        Impl{std::move(name), bits_fn(bits), std::move(bits)});
+    return out;
 }
 
 Predicate Predicate::top() { return Predicate(); }
@@ -48,55 +85,115 @@ bool Predicate::eval(const StateSpace& space, StateIndex s) const {
 
 const std::string& Predicate::name() const { return impl_->name; }
 
+const std::shared_ptr<const BitVec>& Predicate::backing_bits() const {
+    return impl_->bits;
+}
+
 Predicate Predicate::renamed(std::string name) const {
     Predicate out = *this;
-    out.impl_ = std::make_shared<Impl>(Impl{std::move(name), impl_->fn});
+    out.impl_ = std::make_shared<Impl>(
+        Impl{std::move(name), impl_->fn, impl_->bits});
     return out;
 }
 
 Predicate operator&&(const Predicate& a, const Predicate& b) {
-    return Predicate("(" + a.name() + " && " + b.name() + ")",
+    std::string name = "(" + a.name() + " && " + b.name() + ")";
+    if (backed_pair(a, b) != nullptr) {
+        auto bits = std::make_shared<BitVec>(*a.backing_bits());
+        *bits &= *b.backing_bits();
+        return Predicate::from_bits(std::move(name), std::move(bits));
+    }
+    return Predicate(std::move(name),
                      [a, b](const StateSpace& sp, StateIndex s) {
                          return a.eval(sp, s) && b.eval(sp, s);
                      });
 }
 
 Predicate operator||(const Predicate& a, const Predicate& b) {
-    return Predicate("(" + a.name() + " || " + b.name() + ")",
+    std::string name = "(" + a.name() + " || " + b.name() + ")";
+    if (backed_pair(a, b) != nullptr) {
+        auto bits = std::make_shared<BitVec>(*a.backing_bits());
+        *bits |= *b.backing_bits();
+        return Predicate::from_bits(std::move(name), std::move(bits));
+    }
+    return Predicate(std::move(name),
                      [a, b](const StateSpace& sp, StateIndex s) {
                          return a.eval(sp, s) || b.eval(sp, s);
                      });
 }
 
 Predicate operator!(const Predicate& a) {
-    return Predicate("!" + a.name(),
+    std::string name = "!" + a.name();
+    if (a.backing_bits() != nullptr) {
+        auto bits = std::make_shared<BitVec>(a.backing_bits()->complemented());
+        return Predicate::from_bits(std::move(name), std::move(bits));
+    }
+    return Predicate(std::move(name),
                      [a](const StateSpace& sp, StateIndex s) {
                          return !a.eval(sp, s);
                      });
 }
 
 Predicate implies(const Predicate& a, const Predicate& b) {
-    return Predicate("(" + a.name() + " => " + b.name() + ")",
+    std::string name = "(" + a.name() + " => " + b.name() + ")";
+    if (backed_pair(a, b) != nullptr) {
+        auto bits = std::make_shared<BitVec>(a.backing_bits()->complemented());
+        *bits |= *b.backing_bits();
+        return Predicate::from_bits(std::move(name), std::move(bits));
+    }
+    return Predicate(std::move(name),
                      [a, b](const StateSpace& sp, StateIndex s) {
                          return !a.eval(sp, s) || b.eval(sp, s);
                      });
 }
 
+BitVec eval_bits(const StateSpace& space, const Predicate& p,
+                 unsigned n_threads) {
+    const StateIndex n = space.num_states();
+    // Backed fast path: the answer already exists as words.
+    if (const auto& bits = p.backing_bits();
+        bits != nullptr && bits->size_bits() == n) {
+        return *bits;
+    }
+    BitVec out(n);
+    const unsigned threads = resolve_verifier_threads(n_threads);
+    // Chunks are aligned to 64 states so no two workers share a word.
+    parallel_chunks(n, threads, BitVec::kWordBits,
+                    [&](unsigned, std::uint64_t begin, std::uint64_t end) {
+                        for (StateIndex s = begin; s < end; ++s)
+                            if (p.eval(space, s)) out.set(s);
+                    });
+    return out;
+}
+
 bool implies_everywhere(const StateSpace& space, const Predicate& a,
                         const Predicate& b) {
-    for (StateIndex s = 0; s < space.num_states(); ++s)
+    const StateIndex n = space.num_states();
+    const auto& ba = a.backing_bits();
+    const auto& bb = b.backing_bits();
+    if (ba && bb && ba->size_bits() == n && bb->size_bits() == n)
+        return ba->is_subset_of(*bb);
+    for (StateIndex s = 0; s < n; ++s)
         if (a.eval(space, s) && !b.eval(space, s)) return false;
     return true;
 }
 
 bool equivalent(const StateSpace& space, const Predicate& a,
                 const Predicate& b) {
-    for (StateIndex s = 0; s < space.num_states(); ++s)
+    const StateIndex n = space.num_states();
+    const auto& ba = a.backing_bits();
+    const auto& bb = b.backing_bits();
+    if (ba && bb && ba->size_bits() == n && bb->size_bits() == n)
+        return *ba == *bb;
+    for (StateIndex s = 0; s < n; ++s)
         if (a.eval(space, s) != b.eval(space, s)) return false;
     return true;
 }
 
 StateIndex count_satisfying(const StateSpace& space, const Predicate& p) {
+    if (const auto& bits = p.backing_bits();
+        bits != nullptr && bits->size_bits() == space.num_states())
+        return bits->popcount();
     StateIndex n = 0;
     for (StateIndex s = 0; s < space.num_states(); ++s)
         if (p.eval(space, s)) ++n;

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "common/bitvec.hpp"
 #include "gc/state_space.hpp"
 
 namespace dcft {
@@ -20,6 +21,13 @@ namespace dcft {
 /// Value-semantic and cheap to copy (shared immutable implementation).
 /// Predicates are pure: evaluation must not depend on anything but the
 /// state. A default-constructed Predicate is `top()` (true everywhere).
+///
+/// A predicate may additionally be *set-backed*: built from (or composed
+/// out of) an explicit bit vector over the packed state indices. The bulk
+/// paths of the verifier (materialization, implication checks, counting)
+/// detect backed predicates and run word-level set algebra instead of
+/// per-state std::function calls; the boolean operators on two backed
+/// predicates produce a backed result eagerly in O(|space|/64).
 class Predicate {
 public:
     using Fn = std::function<bool(const StateSpace&, StateIndex)>;
@@ -29,6 +37,12 @@ public:
 
     /// Named predicate from an evaluation function.
     Predicate(std::string name, Fn fn);
+
+    /// Predicate backed by an explicit bit vector: holds at state s iff
+    /// bits->test(s). `bits` must cover the packed index range of every
+    /// space the predicate is evaluated against.
+    static Predicate from_bits(std::string name,
+                               std::shared_ptr<const BitVec> bits);
 
     /// The constant predicates.
     static Predicate top();
@@ -48,6 +62,10 @@ public:
 
     const std::string& name() const;
 
+    /// The backing bit vector when this predicate is set-backed (built by
+    /// from_bits, or composed from backed operands); null otherwise.
+    const std::shared_ptr<const BitVec>& backing_bits() const;
+
     /// Returns a copy carrying a different display name.
     Predicate renamed(std::string name) const;
 
@@ -63,15 +81,25 @@ private:
 /// a => b (pointwise).
 Predicate implies(const Predicate& a, const Predicate& b);
 
-/// True iff a => b holds at every state of the space (exhaustive check).
+/// Evaluates p at every state of the space into a bit vector — each
+/// predicate evaluated exactly once per state, chunked across up to
+/// n_threads workers (0 = default_verifier_threads(); results are
+/// identical for every thread count). Backed predicates are copied in
+/// O(|space|/64) without re-evaluation.
+BitVec eval_bits(const StateSpace& space, const Predicate& p,
+                 unsigned n_threads = 1);
+
+/// True iff a => b holds at every state of the space (exhaustive check;
+/// word-level when both predicates are set-backed).
 bool implies_everywhere(const StateSpace& space, const Predicate& a,
                         const Predicate& b);
 
-/// True iff a and b hold at exactly the same states (exhaustive check).
+/// True iff a and b hold at exactly the same states (exhaustive check;
+/// word-level when both predicates are set-backed).
 bool equivalent(const StateSpace& space, const Predicate& a,
                 const Predicate& b);
 
-/// Number of states satisfying p (exhaustive count).
+/// Number of states satisfying p (popcount when p is set-backed).
 StateIndex count_satisfying(const StateSpace& space, const Predicate& p);
 
 }  // namespace dcft

@@ -1,29 +1,37 @@
 #include "verify/closure.hpp"
 
+#include "common/bitvec.hpp"
+
 namespace dcft {
 namespace {
 
 CheckResult check_preserved_by(const StateSpace& space,
                                std::span<const Action> actions,
                                const Predicate& s, const char* what) {
+    // Evaluate the predicate exactly once per state, then test membership
+    // of every successor with bit probes instead of repeated evaluation.
+    const BitVec s_bits = eval_bits(space, s);
     std::vector<StateIndex> succ;
-    for (StateIndex st = 0; st < space.num_states(); ++st) {
-        if (!s.eval(space, st)) continue;
+    CheckResult result = CheckResult::success();
+    s_bits.for_each_set([&](std::uint64_t st_raw) {
+        if (!result.ok) return;
+        const StateIndex st = static_cast<StateIndex>(st_raw);
         for (const auto& ac : actions) {
             succ.clear();
             ac.successors(space, st, succ);
             for (StateIndex t : succ) {
-                if (!s.eval(space, t)) {
-                    return CheckResult::failure(
+                if (!s_bits.test(t)) {
+                    result = CheckResult::failure(
                         std::string(what) + ": predicate " + s.name() +
                         " not preserved by action '" + ac.name() +
                         "' from " + space.format(st) + " to " +
                         space.format(t));
+                    return;
                 }
             }
         }
-    }
-    return CheckResult::success();
+    });
+    return result;
 }
 
 }  // namespace

@@ -1,30 +1,38 @@
 #include "verify/detection_predicate.hpp"
 
+#include "common/parallel.hpp"
+
 namespace dcft {
 
 std::shared_ptr<const StateSet> weakest_detection_set(const StateSpace& space,
                                                       const Action& ac,
                                                       const SafetySpec& spec) {
-    auto out = std::make_shared<StateSet>(space.num_states());
-    std::vector<StateIndex> succ;
-    for (StateIndex s = 0; s < space.num_states(); ++s) {
-        if (!ac.enabled(space, s)) {
-            out->insert(s);  // vacuous: ac cannot execute here
-            continue;
-        }
-        succ.clear();
-        ac.successors(space, s, succ);
-        bool safe = true;
-        for (StateIndex t : succ) {
-            if (!spec.transition_allowed(space, s, t) ||
-                !spec.state_allowed(space, t)) {
-                safe = false;
-                break;
+    const StateIndex n = space.num_states();
+    BitVec out(n);
+    // Chunks are word-aligned so workers never share a word of `out`.
+    parallel_chunks(
+        n, default_verifier_threads(), BitVec::kWordBits,
+        [&](unsigned, std::uint64_t begin, std::uint64_t end) {
+            std::vector<StateIndex> succ;
+            for (StateIndex s = begin; s < end; ++s) {
+                if (!ac.enabled(space, s)) {
+                    out.set(s);  // vacuous: ac cannot execute here
+                    continue;
+                }
+                succ.clear();
+                ac.successors(space, s, succ);
+                bool safe = true;
+                for (StateIndex t : succ) {
+                    if (!spec.transition_allowed(space, s, t) ||
+                        !spec.state_allowed(space, t)) {
+                        safe = false;
+                        break;
+                    }
+                }
+                if (safe) out.set(s);
             }
-        }
-        if (safe) out->insert(s);
-    }
-    return out;
+        });
+    return std::make_shared<StateSet>(std::move(out));
 }
 
 Predicate weakest_detection_predicate(const StateSpace& space,
@@ -37,9 +45,10 @@ Predicate weakest_detection_predicate(const StateSpace& space,
 bool is_detection_predicate(const StateSpace& space, const Predicate& x,
                             const Action& ac, const SafetySpec& spec) {
     const auto weakest = weakest_detection_set(space, ac, spec);
-    for (StateIndex s = 0; s < space.num_states(); ++s)
-        if (x.eval(space, s) && !weakest->contains(s)) return false;
-    return true;
+    // x is a detection predicate iff x => weakest — one bulk evaluation of
+    // x, then a word-level containment check.
+    const BitVec x_bits = eval_bits(space, x);
+    return x_bits.is_subset_of(weakest->bits());
 }
 
 }  // namespace dcft

@@ -3,22 +3,31 @@
 #include <algorithm>
 #include <optional>
 
+#include "common/bitvec.hpp"
+
 namespace dcft {
 namespace {
 
-/// Does ac ever change a variable in `vars`?
-bool touches(const StateSpace& space, const Action& ac, const VarSet& vars) {
+/// Does ac ever change a variable in `vars`? The guard is evaluated in
+/// bulk (once per state) and only the enabled states are visited.
+bool touches(const StateSpace& space, const Action& ac, const VarSet& vars,
+             const BitVec& enabled_bits) {
     std::vector<StateIndex> succ;
     const auto members = vars.members();
-    for (StateIndex s = 0; s < space.num_states(); ++s) {
-        if (!ac.enabled(space, s)) continue;
+    bool found = false;
+    enabled_bits.for_each_set([&](std::uint64_t s_raw) {
+        if (found) return;
+        const StateIndex s = static_cast<StateIndex>(s_raw);
         succ.clear();
         ac.successors(space, s, succ);
         for (StateIndex t : succ)
             for (VarId v : members)
-                if (space.get(t, v) != space.get(s, v)) return true;
-    }
-    return false;
+                if (space.get(t, v) != space.get(s, v)) {
+                    found = true;
+                    return;
+                }
+    });
+    return found;
 }
 
 /// Finds the action of p that `ac` is based on: either `ac` itself appears
@@ -42,7 +51,11 @@ CheckResult check_encapsulates(const Program& p_prime, const Program& p) {
     std::vector<StateIndex> proj, base_proj;
 
     for (const auto& ac : p_prime.actions()) {
-        if (!touches(space, ac, p.vars())) continue;  // st' only — exempt
+        // Evaluate the guard once per state; every scan below visits only
+        // the enabled states.
+        const BitVec enabled_bits = eval_bits(space, ac.guard());
+        if (!touches(space, ac, p.vars(), enabled_bits))
+            continue;  // st' only — exempt
 
         const auto base = base_in(ac, p);
         if (!base) {
@@ -52,10 +65,14 @@ CheckResult check_encapsulates(const Program& p_prime, const Program& p) {
                 " but is not derived from any of its actions");
         }
 
+        // Bulk-evaluate the base guard too: the per-state loop below then
+        // probes two bitsets instead of re-evaluating either guard.
+        const BitVec base_enabled = eval_bits(space, base->guard());
+
         for (StateIndex s = 0; s < space.num_states(); ++s) {
-            if (!ac.enabled(space, s)) continue;
+            if (!enabled_bits.test(s)) continue;
             // The guard g /\ g' must imply the base guard g.
-            if (!base->enabled(space, s)) {
+            if (!base_enabled.test(s)) {
                 return CheckResult::failure(
                     "encapsulation violated: '" + ac.name() +
                     "' is enabled at " + space.format(s) +

@@ -82,6 +82,14 @@ SccResult tarjan_scc(const TransitionSystem& ts, const std::vector<char>& in_h) 
 std::vector<char> eval_on_nodes(const TransitionSystem& ts,
                                 const Predicate& p) {
     std::vector<char> out(ts.num_nodes());
+    // Set-backed predicates answer with a bit probe per node instead of a
+    // std::function call.
+    if (const auto& bits = p.backing_bits();
+        bits != nullptr && bits->size_bits() == ts.space().num_states()) {
+        for (NodeId n = 0; n < ts.num_nodes(); ++n)
+            out[n] = bits->test(ts.state_of(n)) ? 1 : 0;
+        return out;
+    }
     for (NodeId n = 0; n < ts.num_nodes(); ++n)
         out[n] = p.eval(ts.space(), ts.state_of(n)) ? 1 : 0;
     return out;
@@ -151,15 +159,20 @@ std::vector<char> fair_avoidance_set(const TransitionSystem& ts,
     }
 
     // Backward closure within !target over program edges: a node that can
-    // reach an avoidance node without touching target also avoids.
-    const auto& preds = ts.predecessors(/*include_faults=*/false);
-    while (!frontier.empty()) {
-        const NodeId v = frontier.front();
-        frontier.pop_front();
-        for (NodeId u : preds[v]) {
-            if (in_h[u] && !avoid[u]) {
-                avoid[u] = 1;
-                frontier.push_back(u);
+    // reach an avoidance node without touching target also avoids. Only
+    // touch the (lazily built) predecessor cache when there is anything to
+    // close over — in passing checks the avoidance seed is empty and the
+    // cache is never materialized.
+    if (!frontier.empty()) {
+        const auto& preds = ts.predecessors(/*include_faults=*/false);
+        while (!frontier.empty()) {
+            const NodeId v = frontier.front();
+            frontier.pop_front();
+            for (NodeId u : preds[v]) {
+                if (in_h[u] && !avoid[u]) {
+                    avoid[u] = 1;
+                    frontier.push_back(u);
+                }
             }
         }
     }
@@ -174,18 +187,21 @@ CheckResult check_leads_to(const TransitionSystem& ts, const Predicate& p,
     if (include_fault_edges) {
         // A violating computation may also use finitely many fault steps
         // inside !q before its program-only suffix; extend backwards over
-        // program + fault edges within !q.
-        const auto& preds = ts.predecessors(/*include_faults=*/true);
+        // program + fault edges within !q. Skipped entirely (no predecessor
+        // cache build) when there is nothing to extend.
         std::deque<NodeId> frontier;
         for (NodeId v = 0; v < ts.num_nodes(); ++v)
             if (bad[v]) frontier.push_back(v);
-        while (!frontier.empty()) {
-            const NodeId v = frontier.front();
-            frontier.pop_front();
-            for (NodeId u : preds[v]) {
-                if (!target[u] && !bad[u]) {
-                    bad[u] = 1;
-                    frontier.push_back(u);
+        if (!frontier.empty()) {
+            const auto& preds = ts.predecessors(/*include_faults=*/true);
+            while (!frontier.empty()) {
+                const NodeId v = frontier.front();
+                frontier.pop_front();
+                for (NodeId u : preds[v]) {
+                    if (!target[u] && !bad[u]) {
+                        bad[u] = 1;
+                        frontier.push_back(u);
+                    }
                 }
             }
         }

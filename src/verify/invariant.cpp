@@ -1,7 +1,9 @@
 #include "verify/invariant.hpp"
 
-#include <deque>
+#include <utility>
 
+#include "common/bitvec.hpp"
+#include "common/parallel.hpp"
 #include "verify/reachability.hpp"
 
 namespace dcft {
@@ -17,55 +19,67 @@ Predicate largest_safety_invariant(const Program& p,
                                    const SafetySpec& safety) {
     const StateSpace& space = p.space();
     const StateIndex n = space.num_states();
+    const unsigned threads = default_verifier_threads();
 
-    // removed[s] — s cannot belong to any safety invariant.
-    std::vector<char> removed(n, 0);
-    std::deque<StateIndex> queue;
-    std::vector<StateIndex> succ;
-
-    // Seed: states that are themselves disallowed, or have a disallowed
-    // transition (a closed set containing such a state cannot avoid it).
-    for (StateIndex s = 0; s < n; ++s) {
-        bool bad = !safety.state_allowed(space, s);
-        if (!bad) {
-            succ.clear();
-            p.successors(s, succ);
-            for (StateIndex t : succ) {
-                if (!safety.transition_allowed(space, s, t)) {
-                    bad = true;
-                    break;
+    // One parallel pass computes, per state, (a) whether it must be
+    // removed outright — disallowed itself, or having a disallowed
+    // transition — and (b) its successor edges, recorded flat for the
+    // predecessor CSR. Chunks are word-aligned so no two workers share a
+    // word of the `removed` bitset.
+    BitVec removed(n);
+    const unsigned chunks = parallel_chunk_count(n, threads, BitVec::kWordBits);
+    std::vector<std::vector<std::pair<StateIndex, StateIndex>>> edge_bufs(
+        chunks);
+    parallel_chunks(
+        n, threads, BitVec::kWordBits,
+        [&](unsigned c, std::uint64_t begin, std::uint64_t end) {
+            auto& edges = edge_bufs[c];
+            std::vector<StateIndex> succ;
+            for (StateIndex s = begin; s < end; ++s) {
+                succ.clear();
+                p.successors(s, succ);
+                bool bad = !safety.state_allowed(space, s);
+                for (StateIndex t : succ) {
+                    edges.emplace_back(s, t);
+                    if (!bad && !safety.transition_allowed(space, s, t))
+                        bad = true;
                 }
+                if (bad) removed.set(s);
             }
-        }
-        if (bad) {
-            removed[s] = 1;
-            queue.push_back(s);
-        }
+        });
+
+    // Predecessor CSR over all program edges (counting sort, flat arrays).
+    std::size_t num_edges = 0;
+    for (const auto& buf : edge_bufs) num_edges += buf.size();
+    std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+    for (const auto& buf : edge_bufs)
+        for (const auto& [s, t] : buf) ++offsets[t + 1];
+    for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+    std::vector<StateIndex> preds(num_edges);
+    {
+        std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+        for (const auto& buf : edge_bufs)
+            for (const auto& [s, t] : buf) preds[cursor[t]++] = s;
     }
 
     // Greatest fixpoint via backward propagation: any state with a
     // successor outside the candidate set must go too (closure).
-    // Predecessor lists are built once.
-    std::vector<std::vector<StateIndex>> preds(n);
-    for (StateIndex s = 0; s < n; ++s) {
-        succ.clear();
-        p.successors(s, succ);
-        for (StateIndex t : succ) preds[t].push_back(s);
-    }
+    std::vector<StateIndex> queue;
+    queue.reserve(static_cast<std::size_t>(removed.popcount()));
+    removed.for_each_set([&](std::uint64_t s) {
+        queue.push_back(static_cast<StateIndex>(s));
+    });
     while (!queue.empty()) {
-        const StateIndex t = queue.front();
-        queue.pop_front();
-        for (StateIndex s : preds[t]) {
-            if (!removed[s]) {
-                removed[s] = 1;
-                queue.push_back(s);
-            }
+        const StateIndex t = queue.back();
+        queue.pop_back();
+        for (std::uint64_t i = offsets[t]; i < offsets[t + 1]; ++i) {
+            const StateIndex s = preds[i];
+            if (removed.test_and_set(s)) queue.push_back(s);
         }
     }
 
-    auto keep = std::make_shared<StateSet>(n);
-    for (StateIndex s = 0; s < n; ++s)
-        if (!removed[s]) keep->insert(s);
+    removed.complement();
+    auto keep = std::make_shared<StateSet>(std::move(removed));
     return predicate_of(std::move(keep),
                         "largest-inv(" + p.name() + "," + safety.name() +
                             ")");

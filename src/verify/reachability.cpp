@@ -1,27 +1,50 @@
 #include "verify/reachability.hpp"
 
-#include <deque>
+#include <utility>
+
+#include "common/parallel.hpp"
 
 namespace dcft {
 
 StateSet reachable_states(const Program& p, const FaultClass* f,
-                          const Predicate& from) {
+                          const Predicate& from, unsigned n_threads) {
     const StateSpace& space = p.space();
-    StateSet seen(space.num_states());
-    std::deque<StateIndex> frontier;
-    for (StateIndex s = 0; s < space.num_states(); ++s) {
-        if (from.eval(space, s) && seen.insert(s)) frontier.push_back(s);
-    }
-    std::vector<StateIndex> succ;
+    const StateIndex n_states = space.num_states();
+    const unsigned threads = resolve_verifier_threads(n_threads);
+
+    // Seed: bulk-evaluate the source predicate (each state exactly once).
+    StateSet seen(eval_bits(space, from, threads));
+    std::vector<StateIndex> frontier;
+    frontier.reserve(static_cast<std::size_t>(seen.count()));
+    seen.for_each([&](StateIndex s) { frontier.push_back(s); });
+
+    // Level-synchronous expansion: workers compute successor targets for
+    // disjoint frontier slices into chunk-private buffers; the merge pass
+    // dedupes into `seen` serially. The resulting set is independent of the
+    // chunking, so verdicts are identical for every thread count.
+    std::vector<std::vector<StateIndex>> bufs;
+    std::vector<StateIndex> next;
     while (!frontier.empty()) {
-        const StateIndex s = frontier.front();
-        frontier.pop_front();
-        succ.clear();
-        p.successors(s, succ);
-        if (f != nullptr) f->successors(s, succ);
-        for (StateIndex t : succ)
-            if (seen.insert(t)) frontier.push_back(t);
+        const std::uint64_t level = frontier.size();
+        const unsigned chunks = parallel_chunk_count(level, threads, 1);
+        if (bufs.size() < chunks) bufs.resize(chunks);
+        parallel_chunks(level, threads, 1,
+                        [&](unsigned c, std::uint64_t b, std::uint64_t e) {
+                            std::vector<StateIndex>& out = bufs[c];
+                            out.clear();
+                            for (std::uint64_t i = b; i < e; ++i) {
+                                const StateIndex s = frontier[i];
+                                p.successors(s, out);
+                                if (f != nullptr) f->successors(s, out);
+                            }
+                        });
+        next.clear();
+        for (unsigned c = 0; c < chunks; ++c)
+            for (StateIndex t : bufs[c])
+                if (seen.insert(t)) next.push_back(t);
+        frontier.swap(next);
     }
+    (void)n_states;
     return seen;
 }
 

@@ -10,7 +10,10 @@ namespace dcft {
 /// `p` and, if non-null, of `f`. This is the smallest set containing `from`
 /// that is closed in p and preserved by every action of f — for `from` = an
 /// invariant S, it is the canonical F-span of p from S (Section 2.3).
+///
+/// `n_threads` bounds the exploration workers (0 = process default); the
+/// computed set is identical for every thread count.
 StateSet reachable_states(const Program& p, const FaultClass* f,
-                          const Predicate& from);
+                          const Predicate& from, unsigned n_threads = 0);
 
 }  // namespace dcft

@@ -1,10 +1,54 @@
 #include "verify/refinement.hpp"
 
+#include "common/bitvec.hpp"
 #include "verify/closure.hpp"
 #include "verify/fairness.hpp"
 
 namespace dcft {
 namespace {
+
+/// Closure of `from` under the program (and preservation under the fault
+/// class, if any), checked against the *recorded* edges of ts instead of a
+/// fresh successor enumeration. Nodes are swept in id order; when ts was
+/// explored from `from` the nodes satisfying it are exactly the roots, in
+/// ascending state order — the same order check_closed visits, so the first
+/// reported violation (and its message) is identical.
+CheckResult check_closure_on(const TransitionSystem& ts,
+                             const BitVec& from_bits, const Predicate& from,
+                             const FaultClass* faults) {
+    const StateSpace& space = ts.space();
+    for (NodeId n = 0; n < ts.num_nodes(); ++n) {
+        const StateIndex s = ts.state_of(n);
+        if (!from_bits.test(s)) continue;
+        for (const auto& e : ts.program_edges(n)) {
+            const StateIndex t = ts.state_of(e.to);
+            if (!from_bits.test(t)) {
+                return CheckResult::failure(
+                    "closed in " + ts.program().name() + ": predicate " +
+                    from.name() + " not preserved by action '" +
+                    ts.program().action(e.action).name() + "' from " +
+                    space.format(s) + " to " + space.format(t));
+            }
+        }
+    }
+    if (faults != nullptr) {
+        for (NodeId n = 0; n < ts.num_nodes(); ++n) {
+            const StateIndex s = ts.state_of(n);
+            if (!from_bits.test(s)) continue;
+            for (const auto& e : ts.fault_edges(n)) {
+                const StateIndex t = ts.state_of(e.to);
+                if (!from_bits.test(t)) {
+                    return CheckResult::failure(
+                        "preserved by " + faults->name() + ": predicate " +
+                        from.name() + " not preserved by action '" +
+                        faults->actions()[e.action].name() + "' from " +
+                        space.format(s) + " to " + space.format(t));
+                }
+            }
+        }
+    }
+    return CheckResult::success();
+}
 
 CheckResult check_safety_on(const TransitionSystem& ts, const SafetySpec& spec,
                             bool include_fault_edges) {
@@ -47,12 +91,20 @@ CheckResult check_safety_on(const TransitionSystem& ts, const SafetySpec& spec,
 
 CheckResult refines_spec(const Program& p, const ProblemSpec& spec,
                          const Predicate& from, const RefinesOptions& opts) {
-    if (CheckResult r = check_closed(p, from); !r) return r;
-    if (opts.faults != nullptr) {
-        if (CheckResult r = check_preserved(*opts.faults, from); !r) return r;
-    }
+    // One exploration serves the closure check *and* the safety/liveness
+    // obligations: the recorded edges of the roots are exactly the successor
+    // sets check_closed would enumerate.
     const TransitionSystem ts(p, opts.faults, from);
-    const bool with_faults = opts.faults != nullptr;
+    return refines_spec_on(ts, opts.faults, spec, from);
+}
+
+CheckResult refines_spec_on(const TransitionSystem& ts,
+                            const FaultClass* faults, const ProblemSpec& spec,
+                            const Predicate& from) {
+    const BitVec from_bits = eval_bits(ts.space(), from);
+    if (CheckResult r = check_closure_on(ts, from_bits, from, faults); !r)
+        return r;
+    const bool with_faults = faults != nullptr;
     if (CheckResult r = check_safety_on(ts, spec.safety(), with_faults); !r)
         return r;
     for (const auto& ob : spec.liveness().obligations()) {

@@ -31,6 +31,20 @@ struct RefinesOptions {
 CheckResult refines_spec(const Program& p, const ProblemSpec& spec,
                          const Predicate& from, const RefinesOptions& opts = {});
 
+/// refines_spec evaluated on a pre-built transition system, so one
+/// exploration can carry several obligations (see check_tolerance).
+///
+/// `ts` must have been built over the same program with the same fault
+/// class (`faults` selects whether fault edges participate), and every
+/// state satisfying `from` must be a node of `ts` — e.g. `ts` was explored
+/// from `from` itself, or `from` denotes a subset of ts.state_bits().
+/// Closure of `from` is checked on the recorded edges; the successor sets
+/// are identical to what a fresh enumeration would produce, so verdicts
+/// (and, when `ts` was explored from `from`, messages) match refines_spec.
+CheckResult refines_spec_on(const TransitionSystem& ts,
+                            const FaultClass* faults, const ProblemSpec& spec,
+                            const Predicate& from);
+
 /// 'p_prime refines p from `from`' up to stuttering on the variables of p.
 CheckResult refines_program(const Program& p_prime, const Program& p,
                             const Predicate& from);

@@ -1,0 +1,23 @@
+#include "verify/state_set.hpp"
+
+namespace dcft {
+
+Predicate predicate_of(std::shared_ptr<const StateSet> set,
+                       std::string name) {
+    DCFT_EXPECTS(set != nullptr, "predicate_of requires a set");
+    // Alias the set's bit vector so the predicate keeps the StateSet alive
+    // while exposing the words to the bulk word-level paths.
+    std::shared_ptr<const BitVec> bits(set, &set->bits());
+    return Predicate::from_bits(std::move(name), std::move(bits));
+}
+
+StateSet materialize(const StateSpace& space, const Predicate& p) {
+    return StateSet(eval_bits(space, p, /*n_threads=*/1));
+}
+
+StateSet materialize_parallel(const StateSpace& space, const Predicate& p,
+                              unsigned n_threads) {
+    return StateSet(eval_bits(space, p, n_threads));
+}
+
+}  // namespace dcft

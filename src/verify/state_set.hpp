@@ -1,11 +1,19 @@
 // Dense sets of states, used for reachable sets, fault spans, and computed
 // predicates (e.g. weakest detection predicates).
+//
+// A StateSet is a BitVec over the packed state indices plus a cached
+// cardinality. Besides the point operations (insert / contains), it exposes
+// the word-level set algebra the bulk-evaluation paths of the verifier
+// compose with: once predicates are materialized, intersection, union,
+// complement and difference are O(|space|/64) word operations.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/bitvec.hpp"
 #include "common/check.hpp"
 #include "gc/predicate.hpp"
 #include "gc/state_space.hpp"
@@ -17,23 +25,26 @@ namespace dcft {
 /// targets (up to ~10^8 states).
 class StateSet {
 public:
-    explicit StateSet(StateIndex num_states)
-        : num_states_(num_states),
-          bits_((static_cast<std::size_t>(num_states) + 63) / 64, 0) {}
+    explicit StateSet(StateIndex num_states) : bits_(num_states) {}
 
-    StateIndex universe_size() const { return num_states_; }
+    /// Adopts an already-computed bit vector (count via popcount).
+    explicit StateSet(BitVec bits)
+        : bits_(std::move(bits)),
+          count_(static_cast<StateIndex>(bits_.popcount())) {}
+
+    StateIndex universe_size() const {
+        return static_cast<StateIndex>(bits_.size_bits());
+    }
 
     bool contains(StateIndex s) const {
-        DCFT_EXPECTS(s < num_states_, "StateSet: state out of range");
-        return (bits_[s >> 6] >> (s & 63)) & 1;
+        DCFT_EXPECTS(s < bits_.size_bits(), "StateSet: state out of range");
+        return bits_.test(s);
     }
 
     /// Inserts s; returns true if it was newly inserted.
     bool insert(StateIndex s) {
-        DCFT_EXPECTS(s < num_states_, "StateSet: state out of range");
-        const std::uint64_t mask = std::uint64_t{1} << (s & 63);
-        if (bits_[s >> 6] & mask) return false;
-        bits_[s >> 6] |= mask;
+        DCFT_EXPECTS(s < bits_.size_bits(), "StateSet: state out of range");
+        if (!bits_.test_and_set(s)) return false;
         ++count_;
         return true;
     }
@@ -43,38 +54,74 @@ public:
 
     template <typename Fn>
     void for_each(Fn&& fn) const {
-        for (std::size_t w = 0; w < bits_.size(); ++w) {
-            std::uint64_t word = bits_[w];
-            while (word != 0) {
-                const int bit = __builtin_ctzll(word);
-                fn(static_cast<StateIndex>(w * 64 + bit));
-                word &= word - 1;
-            }
-        }
+        bits_.for_each_set([&fn](std::uint64_t s) {
+            fn(static_cast<StateIndex>(s));
+        });
+    }
+
+    /// The raw word-packed representation (padding bits are zero).
+    const BitVec& bits() const { return bits_; }
+
+    // -- word-level set algebra (all operands must share a universe) --
+
+    StateSet& operator&=(const StateSet& o) {
+        bits_ &= o.bits_;
+        recount();
+        return *this;
+    }
+
+    StateSet& operator|=(const StateSet& o) {
+        bits_ |= o.bits_;
+        recount();
+        return *this;
+    }
+
+    /// Removes every member of o (set difference).
+    StateSet& subtract(const StateSet& o) {
+        bits_.subtract(o.bits_);
+        recount();
+        return *this;
+    }
+
+    /// Complements in place within the universe.
+    StateSet& complement() {
+        bits_.complement();
+        count_ = static_cast<StateIndex>(bits_.size_bits()) - count_;
+        return *this;
+    }
+
+    bool intersects(const StateSet& o) const {
+        return bits_.intersects(o.bits_);
+    }
+
+    bool is_subset_of(const StateSet& o) const {
+        return bits_.is_subset_of(o.bits_);
+    }
+
+    friend bool operator==(const StateSet& a, const StateSet& b) {
+        return a.bits_ == b.bits_;
     }
 
 private:
-    StateIndex num_states_;
-    std::vector<std::uint64_t> bits_;
+    void recount() { count_ = static_cast<StateIndex>(bits_.popcount()); }
+
+    BitVec bits_;
     StateIndex count_ = 0;
 };
 
-/// A Predicate backed by an explicit StateSet (shared, immutable).
-inline Predicate predicate_of(std::shared_ptr<const StateSet> set,
-                              std::string name) {
-    DCFT_EXPECTS(set != nullptr, "predicate_of requires a set");
-    return Predicate(std::move(name),
-                     [set = std::move(set)](const StateSpace&, StateIndex s) {
-                         return set->contains(s);
-                     });
-}
+/// A Predicate backed by an explicit StateSet (shared, immutable). The
+/// result is set-backed (Predicate::backing_bits()), so the verifier's bulk
+/// paths evaluate it with word operations.
+Predicate predicate_of(std::shared_ptr<const StateSet> set, std::string name);
 
-/// All states of `space` satisfying p, as an explicit set.
-inline StateSet materialize(const StateSpace& space, const Predicate& p) {
-    StateSet out(space.num_states());
-    for (StateIndex s = 0; s < space.num_states(); ++s)
-        if (p.eval(space, s)) out.insert(s);
-    return out;
-}
+/// All states of `space` satisfying p, as an explicit set. Each state is
+/// evaluated exactly once; set-backed predicates are copied word-wise.
+StateSet materialize(const StateSpace& space, const Predicate& p);
+
+/// materialize() with the evaluation scan chunked across up to n_threads
+/// workers (0 = default_verifier_threads()). The result is identical for
+/// every thread count.
+StateSet materialize_parallel(const StateSpace& space, const Predicate& p,
+                              unsigned n_threads = 0);
 
 }  // namespace dcft

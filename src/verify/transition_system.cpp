@@ -1,78 +1,249 @@
 #include "verify/transition_system.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <utility>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace dcft {
+namespace {
+
+/// Largest space for which the interner is a direct-mapped NodeId array
+/// (4 bytes per state of the *whole* space). Beyond this we fall back to a
+/// hash map keyed by state index.
+constexpr StateIndex kDirectMapMax = StateIndex{1} << 25;
+
+/// Cap on speculative reserve() sizing (states) so pathological spaces do
+/// not pre-allocate unbounded memory.
+constexpr std::size_t kReserveCap = std::size_t{1} << 22;
+
+/// Chunk-private successor records produced by one worker for one slice of
+/// a BFS level. For each node of the slice, in order: `counts` holds
+/// (#program successors, #fault successors) and `recs` holds those
+/// successors contiguously — program records first, then fault records,
+/// each as (action index, target state).
+struct ChunkBuf {
+    std::vector<std::pair<std::uint32_t, StateIndex>> recs;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> counts;
+};
+
+}  // namespace
 
 TransitionSystem::TransitionSystem(const Program& program,
                                    const FaultClass* faults,
-                                   const Predicate& init)
+                                   const Predicate& init, unsigned n_threads)
     : space_(program.space_ptr()), program_(program) {
-    // Seed with every state satisfying init (exhaustive scan of the space).
-    std::deque<NodeId> frontier;
-    const StateIndex n_states = space_->num_states();
-    for (StateIndex s = 0; s < n_states; ++s) {
-        if (!init.eval(*space_, s)) continue;
-        const NodeId id = static_cast<NodeId>(states_.size());
-        states_.push_back(s);
-        node_of_.emplace(s, id);
-        initial_.push_back(id);
-        parent_.push_back(id);  // roots are their own parent
-        frontier.push_back(id);
-    }
-    prog_edges_.resize(states_.size());
-    fault_edges_.resize(states_.size());
+    explore(faults, init, resolve_verifier_threads(n_threads));
+}
 
-    std::vector<StateIndex> succ;
-    NodeId current = 0;
-    auto intern = [&](StateIndex t) -> NodeId {
+void TransitionSystem::explore(const FaultClass* faults,
+                               const Predicate& init, unsigned n_threads) {
+    const StateIndex n_states = space_->num_states();
+    direct_mapped_ = n_states <= kDirectMapMax;
+    if (direct_mapped_) {
+        node_map_.assign(static_cast<std::size_t>(n_states), kNoNode);
+    }
+
+    // Reserve from space-size heuristics: explicit-state instances are
+    // usually mostly reachable, so size to the space (capped).
+    const std::size_t guess =
+        static_cast<std::size_t>(std::min<StateIndex>(n_states, kReserveCap));
+    states_.reserve(guess);
+    parent_.reserve(guess);
+    prog_offsets_.reserve(guess + 1);
+    if (!direct_mapped_) node_hash_.reserve(guess);
+
+    // Interns t (first discovery appends it to the next BFS level with
+    // `from` as its BFS-tree parent). Serial — called only from the merge
+    // pass, in canonical order.
+    auto intern = [&](StateIndex t, NodeId from) -> NodeId {
+        if (direct_mapped_) {
+            NodeId& slot = node_map_[static_cast<std::size_t>(t)];
+            if (slot == kNoNode) {
+                slot = static_cast<NodeId>(states_.size());
+                states_.push_back(t);
+                parent_.push_back(from);
+            }
+            return slot;
+        }
         auto [it, inserted] =
-            node_of_.emplace(t, static_cast<NodeId>(states_.size()));
+            node_hash_.emplace(t, static_cast<NodeId>(states_.size()));
         if (inserted) {
             states_.push_back(t);
-            prog_edges_.emplace_back();
-            fault_edges_.emplace_back();
-            parent_.push_back(current);
-            frontier.push_back(it->second);
+            parent_.push_back(from);
         }
         return it->second;
     };
 
-    while (!frontier.empty()) {
-        const NodeId n = frontier.front();
-        frontier.pop_front();
-        current = n;
-        const StateIndex s = states_[n];
-        for (std::uint32_t a = 0; a < program_.num_actions(); ++a) {
-            succ.clear();
-            program_.action(a).successors(*space_, s, succ);
-            for (StateIndex t : succ) {
-                // intern() may grow the edge vectors; sequence it first.
-                const NodeId to = intern(t);
-                prog_edges_[n].push_back(Edge{a, to});
-            }
-        }
-        if (faults != nullptr) {
-            std::uint32_t a = 0;
-            for (const auto& fac : faults->actions()) {
-                succ.clear();
-                fac.successors(*space_, s, succ);
-                for (StateIndex t : succ) {
-                    const NodeId to = intern(t);
-                    fault_edges_[n].push_back(Edge{a, to});
+    // Seed: bulk-evaluate init over the space (each state exactly once,
+    // chunked across workers) and intern the satisfying states in
+    // ascending order — the canonical root numbering.
+    const BitVec init_bits = eval_bits(*space_, init, n_threads);
+    initial_.reserve(static_cast<std::size_t>(init_bits.popcount()));
+    init_bits.for_each_set([&](std::uint64_t s) {
+        const NodeId id =
+            intern(static_cast<StateIndex>(s), static_cast<NodeId>(0));
+        parent_[id] = id;  // roots are their own parent
+        initial_.push_back(id);
+    });
+
+    prog_offsets_.push_back(0);
+    fault_offsets_.push_back(0);
+
+    // Level-synchronous BFS. Workers expand disjoint contiguous slices of
+    // the current level into chunk-private buffers; the merge pass then
+    // walks the buffers in slice order, interning targets and appending
+    // CSR rows. Because nodes are expanded in id order and their successor
+    // records are merged in expansion order, discovery order — and with it
+    // node numbering, edge order, and the BFS parent tree — is identical
+    // to the sequential FIFO exploration, for every thread count.
+    std::vector<ChunkBuf> bufs;
+    std::vector<StateIndex> succ;  // scratch for the fused serial path
+    std::size_t level_begin = 0;
+    while (level_begin < states_.size()) {
+        const std::size_t level_end = states_.size();
+        const std::uint64_t level_size = level_end - level_begin;
+        const unsigned chunks =
+            parallel_chunk_count(level_size, n_threads, /*align=*/1);
+
+        if (chunks <= 1) {
+            // Fused serial path: one worker would process the whole level,
+            // so skip the staging buffers and intern/append inline. This is
+            // exactly the sequential FIFO BFS, hence trivially canonical.
+            for (std::size_t i = level_begin; i < level_end; ++i) {
+                const StateIndex s = states_[i];
+                const NodeId node = static_cast<NodeId>(i);
+                for (std::uint32_t a = 0; a < program_.num_actions(); ++a) {
+                    succ.clear();
+                    program_.action(a).successors(*space_, s, succ);
+                    for (StateIndex t : succ)
+                        prog_edges_.push_back(Edge{a, intern(t, node)});
                 }
-                ++a;
+                prog_offsets_.push_back(prog_edges_.size());
+                if (faults != nullptr) {
+                    std::uint32_t a = 0;
+                    for (const auto& fac : faults->actions()) {
+                        succ.clear();
+                        fac.successors(*space_, s, succ);
+                        for (StateIndex t : succ)
+                            fault_edges_.push_back(Edge{a, intern(t, node)});
+                        ++a;
+                    }
+                }
+                fault_offsets_.push_back(fault_edges_.size());
+            }
+            level_begin = level_end;
+            continue;
+        }
+
+        if (bufs.size() < chunks) bufs.resize(chunks);
+
+        parallel_chunks(
+            level_size, n_threads, /*align=*/1,
+            [&](unsigned c, std::uint64_t begin, std::uint64_t end) {
+                ChunkBuf& buf = bufs[c];
+                buf.recs.clear();
+                buf.counts.clear();
+                std::vector<StateIndex> succ;
+                for (std::uint64_t i = begin; i < end; ++i) {
+                    const StateIndex s = states_[level_begin + i];
+                    std::uint32_t n_prog = 0, n_fault = 0;
+                    for (std::uint32_t a = 0; a < program_.num_actions();
+                         ++a) {
+                        succ.clear();
+                        program_.action(a).successors(*space_, s, succ);
+                        for (StateIndex t : succ) {
+                            buf.recs.emplace_back(a, t);
+                            ++n_prog;
+                        }
+                    }
+                    if (faults != nullptr) {
+                        std::uint32_t a = 0;
+                        for (const auto& fac : faults->actions()) {
+                            succ.clear();
+                            fac.successors(*space_, s, succ);
+                            for (StateIndex t : succ) {
+                                buf.recs.emplace_back(a, t);
+                                ++n_fault;
+                            }
+                            ++a;
+                        }
+                    }
+                    buf.counts.emplace_back(n_prog, n_fault);
+                }
+            });
+
+        // Serial merge in canonical order.
+        NodeId node = static_cast<NodeId>(level_begin);
+        for (unsigned c = 0; c < chunks; ++c) {
+            const ChunkBuf& buf = bufs[c];
+            std::size_t r = 0;
+            for (const auto& [n_prog, n_fault] : buf.counts) {
+                for (std::uint32_t k = 0; k < n_prog; ++k, ++r) {
+                    const auto& [a, t] = buf.recs[r];
+                    prog_edges_.push_back(Edge{a, intern(t, node)});
+                }
+                prog_offsets_.push_back(prog_edges_.size());
+                for (std::uint32_t k = 0; k < n_fault; ++k, ++r) {
+                    const auto& [a, t] = buf.recs[r];
+                    fault_edges_.push_back(Edge{a, intern(t, node)});
+                }
+                fault_offsets_.push_back(fault_edges_.size());
+                ++node;
             }
         }
+        DCFT_ASSERT(node == static_cast<NodeId>(level_end),
+                    "TransitionSystem: level merge out of sync");
+        level_begin = level_end;
     }
 }
 
+BitVec TransitionSystem::state_bits() const {
+    BitVec bits(space_->num_states());
+    for (const StateIndex s : states_) bits.set(s);
+    return bits;
+}
+
+void TransitionSystem::build_predecessors(CsrList& out,
+                                          bool include_faults) const {
+    const std::size_t n = states_.size();
+    out.offsets_.assign(n + 1, 0);
+    for (const Edge& e : prog_edges_) ++out.offsets_[e.to + 1];
+    if (include_faults)
+        for (const Edge& e : fault_edges_) ++out.offsets_[e.to + 1];
+    for (std::size_t i = 1; i <= n; ++i)
+        out.offsets_[i] += out.offsets_[i - 1];
+    out.items_.resize(out.offsets_.empty() ? 0 : out.offsets_[n]);
+    // Fill in ascending source order (program edges before fault edges per
+    // source), matching the order the lazy seed builder produced.
+    std::vector<std::uint64_t> cursor(out.offsets_.begin(),
+                                      out.offsets_.end() - 1);
+    for (NodeId u = 0; u < n; ++u) {
+        for (const Edge& e : program_edges(u))
+            out.items_[cursor[e.to]++] = u;
+        if (include_faults)
+            for (const Edge& e : fault_edges(u))
+                out.items_[cursor[e.to]++] = u;
+    }
+}
+
+bool TransitionSystem::has_state(StateIndex s) const {
+    if (direct_mapped_)
+        return s < node_map_.size() &&
+               node_map_[static_cast<std::size_t>(s)] != kNoNode;
+    return node_hash_.count(s) != 0;
+}
+
 NodeId TransitionSystem::node_of(StateIndex s) const {
-    auto it = node_of_.find(s);
-    DCFT_EXPECTS(it != node_of_.end(),
+    if (direct_mapped_) {
+        DCFT_EXPECTS(s < node_map_.size() &&
+                         node_map_[static_cast<std::size_t>(s)] != kNoNode,
+                     "TransitionSystem::node_of: state not reachable");
+        return node_map_[static_cast<std::size_t>(s)];
+    }
+    auto it = node_hash_.find(s);
+    DCFT_EXPECTS(it != node_hash_.end(),
                  "TransitionSystem::node_of: state not reachable");
     return it->second;
 }
@@ -80,12 +251,6 @@ NodeId TransitionSystem::node_of(StateIndex s) const {
 bool TransitionSystem::enabled(NodeId n, std::uint32_t a) const {
     DCFT_EXPECTS(a < program_.num_actions(), "action index out of range");
     return program_.action(a).enabled(*space_, states_[n]);
-}
-
-std::size_t TransitionSystem::num_program_edges() const {
-    std::size_t total = 0;
-    for (const auto& edges : prog_edges_) total += edges.size();
-    return total;
 }
 
 std::vector<StateIndex> TransitionSystem::witness_path(NodeId n) const {
@@ -113,19 +278,6 @@ std::string TransitionSystem::format_witness(NodeId n) const {
         out += space_->format(path[i]);
     }
     return out;
-}
-
-const std::vector<std::vector<NodeId>>& TransitionSystem::predecessors(
-    bool include_faults) const {
-    auto& cache = include_faults ? preds_all_ : preds_prog_;
-    if (!cache.empty() || states_.empty()) return cache;
-    cache.resize(states_.size());
-    for (NodeId n = 0; n < states_.size(); ++n) {
-        for (const Edge& e : prog_edges_[n]) cache[e.to].push_back(n);
-        if (include_faults)
-            for (const Edge& e : fault_edges_[n]) cache[e.to].push_back(n);
-    }
-    return cache;
 }
 
 }  // namespace dcft

@@ -5,12 +5,34 @@
 // optionally, fault actions. Program and fault edges are kept separate
 // because the paper treats them asymmetrically — computations are p-fair
 // and p-maximal, and fault actions occur only finitely often (Section 2.3).
+//
+// Performance architecture (see DESIGN.md):
+//  * Exploration is level-synchronous parallel BFS: each frontier level is
+//    split into contiguous chunks whose successor sets are computed by
+//    worker threads into chunk-private buffers; a serial merge pass then
+//    interns newly discovered states in canonical order. Node numbering,
+//    edge order, and witness paths are therefore bit-for-bit identical to
+//    the sequential FIFO BFS for every thread count.
+//  * The interner is a direct-mapped std::vector<NodeId> over the packed
+//    state indices (O(1) array lookup per successor) for spaces up to
+//    ~2^26 states, falling back to a hash map beyond that.
+//  * Edges are stored CSR (compressed sparse row): flat offsets[] /
+//    edges[] arrays built append-only during the merge, giving
+//    cache-friendly iteration everywhere the checkers consume adjacency.
+//  * The predecessor CSRs (program-only and program+fault) are built
+//    lazily on first request, guarded by a std::once_flag, so checkers
+//    that never walk edges backwards (e.g. safety scans) do not pay for
+//    them — while a const TransitionSystem& stays safely shareable across
+//    checker threads.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/bitvec.hpp"
 #include "gc/program.hpp"
 
 namespace dcft {
@@ -25,13 +47,35 @@ public:
     struct Edge {
         std::uint32_t action;  ///< index into actions() / fault_actions()
         NodeId to;
+
+        friend bool operator==(const Edge&, const Edge&) = default;
+    };
+
+    /// Read-only CSR adjacency: rows are nodes, lists[n] is a contiguous
+    /// span. Used for the predecessor caches.
+    class CsrList {
+    public:
+        std::span<const NodeId> operator[](NodeId n) const {
+            return {items_.data() + offsets_[n], offsets_[n + 1] - offsets_[n]};
+        }
+        std::size_t num_items() const { return items_.size(); }
+
+    private:
+        friend class TransitionSystem;
+        std::vector<std::uint64_t> offsets_;  ///< size num_nodes() + 1
+        std::vector<NodeId> items_;
     };
 
     /// Builds the reachable fragment from all states satisfying `init`.
     /// If `faults` is non-null, fault transitions participate in
     /// reachability and are recorded as fault edges.
+    ///
+    /// `n_threads` bounds the exploration worker count (0 = the process
+    /// default, see default_verifier_threads()). The resulting system —
+    /// node numbering, edge order, witness paths — is identical for every
+    /// thread count.
     TransitionSystem(const Program& program, const FaultClass* faults,
-                     const Predicate& init);
+                     const Predicate& init, unsigned n_threads = 0);
 
     const StateSpace& space() const { return *space_; }
     const Program& program() const { return program_; }
@@ -40,17 +84,19 @@ public:
     StateIndex state_of(NodeId n) const { return states_[n]; }
 
     /// Node of a state, if the state is in the reachable fragment.
-    bool has_state(StateIndex s) const { return node_of_.count(s) != 0; }
+    bool has_state(StateIndex s) const;
     NodeId node_of(StateIndex s) const;
 
     /// Nodes whose states satisfied `init` at construction time.
     const std::vector<NodeId>& initial_nodes() const { return initial_; }
 
-    const std::vector<Edge>& program_edges(NodeId n) const {
-        return prog_edges_[n];
+    std::span<const Edge> program_edges(NodeId n) const {
+        return {prog_edges_.data() + prog_offsets_[n],
+                prog_offsets_[n + 1] - prog_offsets_[n]};
     }
-    const std::vector<Edge>& fault_edges(NodeId n) const {
-        return fault_edges_[n];
+    std::span<const Edge> fault_edges(NodeId n) const {
+        return {fault_edges_.data() + fault_offsets_[n],
+                fault_offsets_[n + 1] - fault_offsets_[n]};
     }
 
     std::size_t num_program_actions() const { return program_.num_actions(); }
@@ -59,15 +105,35 @@ public:
     bool enabled(NodeId n, std::uint32_t a) const;
 
     /// Whether no program action is enabled at node n (p-maximal end state).
-    bool terminal(NodeId n) const { return prog_edges_[n].empty(); }
+    bool terminal(NodeId n) const {
+        return prog_offsets_[n] == prog_offsets_[n + 1];
+    }
 
     /// Total number of program edges (for diagnostics and benches).
-    std::size_t num_program_edges() const;
+    std::size_t num_program_edges() const { return prog_edges_.size(); }
+    /// Total number of fault edges.
+    std::size_t num_fault_edges() const { return fault_edges_.size(); }
 
-    /// Reverse adjacency over program edges (and fault edges if requested),
-    /// built lazily on first use.
-    const std::vector<std::vector<NodeId>>& predecessors(
-        bool include_faults) const;
+    /// Reverse adjacency over program edges (and fault edges if requested).
+    /// Built lazily on first request behind a std::once_flag, so concurrent
+    /// calls on a const TransitionSystem are safe and the cost is only paid
+    /// by checkers that actually walk edges backwards.
+    const CsrList& predecessors(bool include_faults) const {
+        if (include_faults) {
+            std::call_once(preds_all_once_,
+                           [this] { build_predecessors(preds_all_, true); });
+            return preds_all_;
+        }
+        std::call_once(preds_prog_once_,
+                       [this] { build_predecessors(preds_prog_, false); });
+        return preds_prog_;
+    }
+
+    /// Bitset over the *whole* state space marking exactly the states of
+    /// this system's nodes. For a system of p [] F explored from an
+    /// invariant this is the fault span (the reachable closure of the
+    /// invariant under program and fault steps).
+    BitVec state_bits() const;
 
     /// States along a shortest exploration path from some initial node to
     /// n (inclusive); used to report counterexample witnesses.
@@ -78,16 +144,40 @@ public:
     std::string format_witness(NodeId n) const;
 
 private:
+    void explore(const FaultClass* faults, const Predicate& init,
+                 unsigned n_threads);
+    void build_predecessors(CsrList& out, bool include_faults) const;
+
     std::shared_ptr<const StateSpace> space_;
     Program program_;
-    std::vector<StateIndex> states_;
-    std::unordered_map<StateIndex, NodeId> node_of_;
+    std::vector<StateIndex> states_;  ///< node -> state, BFS discovery order
     std::vector<NodeId> initial_;
-    std::vector<std::vector<Edge>> prog_edges_;
-    std::vector<std::vector<Edge>> fault_edges_;
     std::vector<NodeId> parent_;  ///< BFS tree; parent_[n] == n at roots
-    mutable std::vector<std::vector<NodeId>> preds_prog_;
-    mutable std::vector<std::vector<NodeId>> preds_all_;
+
+    // CSR edge storage: offsets have num_nodes()+1 entries; edges of node n
+    // are [offsets[n], offsets[n+1]). Program edges of a node are ordered
+    // by action index then successor order; fault edges likewise.
+    std::vector<std::uint64_t> prog_offsets_;
+    std::vector<Edge> prog_edges_;
+    std::vector<std::uint64_t> fault_offsets_;
+    std::vector<Edge> fault_edges_;
+
+    // Interner / reverse lookup. Direct-mapped for small spaces (node_map_
+    // has space_->num_states() entries, kNoNode = absent); hash map beyond.
+    static constexpr NodeId kNoNode = ~NodeId{0};
+    std::vector<NodeId> node_map_;
+    std::unordered_map<StateIndex, NodeId> node_hash_;
+    bool direct_mapped_ = false;
+
+    // Lazily built predecessor CSRs, one once_flag each so asking for the
+    // program-only reverse graph never pays for the (often much larger)
+    // program+fault one. `mutable` + std::once_flag keeps the const
+    // accessor thread-safe: the first caller builds, everyone else blocks
+    // on the flag and then reads immutable data.
+    mutable std::once_flag preds_prog_once_;
+    mutable std::once_flag preds_all_once_;
+    mutable CsrList preds_prog_;
+    mutable CsrList preds_all_;
 };
 
 }  // namespace dcft

@@ -66,5 +66,136 @@ TEST(StateSetTest, PredicateOfNullThrows) {
     EXPECT_THROW(predicate_of(nullptr, "x"), ContractError);
 }
 
+// -- word-level set algebra ------------------------------------------------
+
+/// Builds a set over a (possibly non-word-multiple) universe.
+StateSet set_of(StateIndex universe, std::initializer_list<StateIndex> xs) {
+    StateSet s(universe);
+    for (StateIndex x : xs) s.insert(x);
+    return s;
+}
+
+TEST(StateSetAlgebraTest, IntersectUnionSubtractOnOddUniverse) {
+    // 130 bits: two full words plus a 2-bit tail.
+    StateSet a = set_of(130, {0, 63, 64, 100, 128, 129});
+    const StateSet b = set_of(130, {63, 64, 99, 129});
+
+    StateSet u = a;
+    u |= b;
+    EXPECT_EQ(u.count(), 7u);
+    EXPECT_TRUE(u.contains(99));
+    EXPECT_TRUE(u.contains(100));
+
+    StateSet i = a;
+    i &= b;
+    EXPECT_EQ(i.count(), 3u);
+    EXPECT_TRUE(i.contains(63));
+    EXPECT_TRUE(i.contains(64));
+    EXPECT_TRUE(i.contains(129));
+    EXPECT_FALSE(i.contains(0));
+
+    StateSet d = a;
+    d.subtract(b);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_TRUE(d.contains(0));
+    EXPECT_TRUE(d.contains(100));
+    EXPECT_TRUE(d.contains(128));
+
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_FALSE(set_of(130, {1}).intersects(set_of(130, {2})));
+    EXPECT_TRUE(i.is_subset_of(a));
+    EXPECT_TRUE(i.is_subset_of(b));
+    EXPECT_FALSE(a.is_subset_of(b));
+}
+
+TEST(StateSetAlgebraTest, ComplementKeepsPaddingBitsZero) {
+    // 67 bits: the last word has 61 padding bits which must stay zero, or
+    // count()/for_each would report ghost states past the universe.
+    StateSet s = set_of(67, {0, 66});
+    s.complement();
+    EXPECT_EQ(s.count(), 65u);
+    EXPECT_FALSE(s.contains(0));
+    EXPECT_FALSE(s.contains(66));
+    EXPECT_TRUE(s.contains(1));
+    StateIndex max_seen = 0, visits = 0;
+    s.for_each([&](StateIndex x) {
+        max_seen = std::max(max_seen, x);
+        ++visits;
+    });
+    EXPECT_EQ(visits, 65u);
+    EXPECT_LT(max_seen, 67u);
+
+    // Complementing twice round-trips exactly.
+    s.complement();
+    EXPECT_EQ(s, set_of(67, {0, 66}));
+}
+
+TEST(StateSetAlgebraTest, ComplementOfEmptyIsUniverse) {
+    for (const StateIndex n : {1u, 63u, 64u, 65u, 128u, 130u}) {
+        StateSet s(n);
+        s.complement();
+        EXPECT_EQ(s.count(), n) << "universe " << n;
+        EXPECT_TRUE(s.bits().popcount() == n) << "universe " << n;
+    }
+}
+
+TEST(BitVecTest, SetAllMasksPadding) {
+    BitVec v(70);
+    v.set_all();
+    EXPECT_EQ(v.popcount(), 70u);
+    v.complement();
+    EXPECT_TRUE(v.none());
+}
+
+TEST(BitVecTest, SubsetAndEqualityIgnoreNothing) {
+    BitVec a(100), b(100);
+    a.set(3);
+    a.set(64);
+    b.set(3);
+    b.set(64);
+    b.set(99);
+    EXPECT_TRUE(a.is_subset_of(b));
+    EXPECT_FALSE(b.is_subset_of(a));
+    EXPECT_FALSE(a == b);
+    a.set(99);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(BitVecTest, TestAndSetReportsFirstInsertion) {
+    BitVec v(65);
+    EXPECT_TRUE(v.test_and_set(64));
+    EXPECT_FALSE(v.test_and_set(64));
+    EXPECT_EQ(v.popcount(), 1u);
+}
+
+TEST(BitVecTest, MixedUniverseSizesThrow) {
+    BitVec a(64), b(65);
+    EXPECT_THROW(a |= b, ContractError);
+    EXPECT_THROW((void)a.is_subset_of(b), ContractError);
+}
+
+TEST(StateSetAlgebraTest, AdoptedBitsCountsViaPopcount) {
+    BitVec bits(200);
+    bits.set(0);
+    bits.set(64);
+    bits.set(199);
+    const StateSet s{std::move(bits)};
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_TRUE(s.contains(199));
+}
+
+TEST(StateSetTest, MaterializeParallelMatchesSequential) {
+    auto sp = make_space({Variable{"u", 9, {}}, Variable{"v", 11, {}},
+                          Variable{"w", 7, {}}});
+    const Predicate p("mix", [](const StateSpace& space, StateIndex s) {
+        return (space.get(s, 0) + space.get(s, 1) * space.get(s, 2)) % 3 == 1;
+    });
+    const StateSet seq = materialize(*sp, p);
+    for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+        const StateSet par = materialize_parallel(*sp, p, threads);
+        EXPECT_EQ(par, seq) << "threads " << threads;
+    }
+}
+
 }  // namespace
 }  // namespace dcft

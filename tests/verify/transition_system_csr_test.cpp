@@ -1,0 +1,227 @@
+// Differential tests for the CSR transition system against the retained
+// reference (seed-era) implementation in verify/reference.hpp.
+//
+// The optimized explorer promises *bit-for-bit* equivalence with the
+// sequential FIFO BFS: same node numbering, same edge lists (order
+// included), same BFS parents and witness paths — for every thread count.
+// These tests pin that contract on randomized guarded-command programs and
+// on app systems large enough to exercise the parallel chunked path, and
+// additionally cross-check the verdict pipeline (leads-to, tolerance
+// grades) against the reference pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/byzantine.hpp"
+#include "apps/token_ring.hpp"
+#include "common/rng.hpp"
+#include "verify/fairness.hpp"
+#include "verify/reachability.hpp"
+#include "verify/reference.hpp"
+#include "verify/state_set.hpp"
+#include "verify/tolerance_checker.hpp"
+#include "verify/transition_system.hpp"
+
+namespace dcft {
+namespace {
+
+struct RandomSystem {
+    std::shared_ptr<const StateSpace> space;
+    Program program;
+    FaultClass faults;
+};
+
+/// Random guarded-command system over three small variables (same family
+/// as random_program_test.cpp).
+RandomSystem random_system(std::uint64_t seed) {
+    Rng rng(seed);
+    auto space = make_space(
+        {Variable{"a", 4, {}}, Variable{"b", 3, {}}, Variable{"c", 3, {}}});
+    auto random_action = [&](const std::string& name) {
+        const VarId gvar = rng.below(3);
+        const Value gval =
+            static_cast<Value>(rng.below(static_cast<std::uint64_t>(
+                space->variable(gvar).domain_size)));
+        const VarId tvar = rng.below(3);
+        const Value tval =
+            static_cast<Value>(rng.below(static_cast<std::uint64_t>(
+                space->variable(tvar).domain_size)));
+        const Predicate guard(
+            "g", [gvar, gval](const StateSpace& sp, StateIndex s) {
+                return sp.get(s, gvar) == gval;
+            });
+        return Action::assign_const(*space, name, guard,
+                                    space->variable(tvar).name, tval);
+    };
+
+    Program p(space, "random");
+    const std::size_t num_actions = 2 + rng.below(4);
+    for (std::size_t i = 0; i < num_actions; ++i)
+        p.add_action(random_action("ac" + std::to_string(i)));
+
+    FaultClass f(space, "F");
+    f.add_action(random_action("fault0"));
+    if (rng.below(2) == 0) f.add_action(random_action("fault1"));
+
+    return RandomSystem{space, std::move(p), std::move(f)};
+}
+
+/// Asserts the CSR system and the reference system are identical:
+/// numbering, roots, parents, edge lists, witnesses.
+void expect_same_system(const TransitionSystem& ts,
+                        const reference::RefTransitionSystem& ref) {
+    ASSERT_EQ(ts.num_nodes(), ref.num_nodes());
+    ASSERT_EQ(ts.initial_nodes(), ref.initial_nodes());
+    ASSERT_EQ(ts.num_program_edges(), ref.num_program_edges());
+    for (NodeId n = 0; n < ts.num_nodes(); ++n) {
+        ASSERT_EQ(ts.state_of(n), ref.state_of(n)) << "node " << n;
+        const auto prog = ts.program_edges(n);
+        const auto& rprog = ref.program_edges(n);
+        ASSERT_EQ(prog.size(), rprog.size()) << "node " << n;
+        for (std::size_t i = 0; i < prog.size(); ++i) {
+            EXPECT_EQ(prog[i].action, rprog[i].action);
+            EXPECT_EQ(prog[i].to, rprog[i].to);
+        }
+        const auto fault = ts.fault_edges(n);
+        const auto& rfault = ref.fault_edges(n);
+        ASSERT_EQ(fault.size(), rfault.size()) << "node " << n;
+        for (std::size_t i = 0; i < fault.size(); ++i) {
+            EXPECT_EQ(fault[i].action, rfault[i].action);
+            EXPECT_EQ(fault[i].to, rfault[i].to);
+        }
+        EXPECT_EQ(ts.terminal(n), ref.terminal(n)) << "node " << n;
+        EXPECT_EQ(ts.witness_path(n), ref.witness_path(n)) << "node " << n;
+    }
+}
+
+class CsrDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsrDifferentialTest, MatchesReferenceProgramOnly) {
+    RandomSystem sys = random_system(GetParam());
+    const Predicate init = Predicate::var_eq(*sys.space, "a", 0);
+    const TransitionSystem ts(sys.program, nullptr, init, /*n_threads=*/1);
+    const reference::RefTransitionSystem ref(sys.program, nullptr, init);
+    expect_same_system(ts, ref);
+}
+
+TEST_P(CsrDifferentialTest, MatchesReferenceWithFaults) {
+    RandomSystem sys = random_system(GetParam());
+    const Predicate init = Predicate::var_eq(*sys.space, "b", 1);
+    const TransitionSystem ts(sys.program, &sys.faults, init, 1);
+    const reference::RefTransitionSystem ref(sys.program, &sys.faults, init);
+    expect_same_system(ts, ref);
+
+    // state_bits() marks exactly the node states — the fault span of init.
+    const BitVec bits = ts.state_bits();
+    EXPECT_EQ(bits.popcount(), ts.num_nodes());
+    for (NodeId n = 0; n < ts.num_nodes(); ++n)
+        EXPECT_TRUE(bits.test(ts.state_of(n)));
+    const StateSet reach =
+        reachable_states(sys.program, &sys.faults, init);
+    EXPECT_EQ(StateSet(ts.state_bits()), reach);
+}
+
+TEST_P(CsrDifferentialTest, ThreadCountDoesNotChangeTheSystem) {
+    RandomSystem sys = random_system(GetParam());
+    const Predicate init = Predicate::var_eq(*sys.space, "c", 0);
+    const TransitionSystem t1(sys.program, &sys.faults, init, 1);
+    const TransitionSystem t8(sys.program, &sys.faults, init, 8);
+    ASSERT_EQ(t1.num_nodes(), t8.num_nodes());
+    ASSERT_EQ(t1.initial_nodes(), t8.initial_nodes());
+    for (NodeId n = 0; n < t1.num_nodes(); ++n) {
+        ASSERT_EQ(t1.state_of(n), t8.state_of(n));
+        const auto p1 = t1.program_edges(n);
+        const auto p8 = t8.program_edges(n);
+        ASSERT_TRUE(std::equal(p1.begin(), p1.end(), p8.begin(), p8.end()));
+        const auto f1 = t1.fault_edges(n);
+        const auto f8 = t8.fault_edges(n);
+        ASSERT_TRUE(std::equal(f1.begin(), f1.end(), f8.begin(), f8.end()));
+        ASSERT_EQ(t1.witness_path(n), t8.witness_path(n));
+    }
+}
+
+TEST_P(CsrDifferentialTest, LeadsToAgreesWithReference) {
+    RandomSystem sys = random_system(GetParam());
+    const Predicate from = Predicate::var_eq(*sys.space, "a", 0);
+    const Predicate to = Predicate::var_eq(*sys.space, "b", 2);
+    const TransitionSystem ts(sys.program, &sys.faults, Predicate::top(), 1);
+    const reference::RefTransitionSystem ref(sys.program, &sys.faults,
+                                             Predicate::top());
+    for (const bool with_faults : {false, true}) {
+        const CheckResult a = check_leads_to(ts, from, to, with_faults);
+        const CheckResult b =
+            reference::ref_check_leads_to(ref, from, to, with_faults);
+        EXPECT_EQ(a.ok, b.ok) << "with_faults=" << with_faults;
+        EXPECT_EQ(a.reason, b.reason) << "with_faults=" << with_faults;
+    }
+}
+
+TEST_P(CsrDifferentialTest, ToleranceVerdictAgreesWithReference) {
+    RandomSystem sys = random_system(GetParam());
+    // A closed invariant: the program-reachable closure of a seed set.
+    auto reach = std::make_shared<StateSet>(reachable_states(
+        sys.program, nullptr, Predicate::var_eq(*sys.space, "a", 1)));
+    const Predicate inv = predicate_of(reach, "inv");
+    SafetySpec safety(
+        "diff-safety",
+        Predicate("bad",
+                  [](const StateSpace& sp, StateIndex s) {
+                      return sp.get(s, 0) == 3 && sp.get(s, 2) == 2;
+                  }),
+        [](const StateSpace& sp, StateIndex from, StateIndex to) {
+            return sp.get(from, 1) == 0 && sp.get(to, 1) == 2;
+        });
+    LivenessSpec liveness;
+    liveness.add(LeadsTo{Predicate::var_eq(*sys.space, "a", 1),
+                         Predicate::var_eq(*sys.space, "b", 0)});
+    const ProblemSpec spec("diff-spec", std::move(safety),
+                           std::move(liveness));
+    for (const Tolerance grade :
+         {Tolerance::FailSafe, Tolerance::Nonmasking, Tolerance::Masking}) {
+        const ToleranceReport a =
+            check_tolerance(sys.program, sys.faults, spec, inv, grade);
+        const ToleranceReport b = reference::ref_check_tolerance(
+            sys.program, sys.faults, spec, inv, grade);
+        EXPECT_EQ(a.ok(), b.ok()) << "grade " << static_cast<int>(grade);
+        EXPECT_EQ(a.in_absence.ok, b.in_absence.ok);
+        EXPECT_EQ(a.in_presence.ok, b.in_presence.ok);
+        EXPECT_EQ(a.invariant_size, b.invariant_size);
+        EXPECT_EQ(a.span_size, b.span_size);
+        // The span is the same *set* in both pipelines.
+        const StateSet sa = materialize(*sys.space, a.fault_span);
+        const StateSet sb = materialize(*sys.space, b.fault_span);
+        EXPECT_EQ(sa, sb);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrDifferentialTest,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+// App-sized systems whose first BFS level exceeds the parallel grain, so
+// the chunked expansion path (not just the fused serial one) is exercised
+// and must still match the purely sequential reference.
+TEST(CsrParallelPathTest, TokenRingMatchesReferenceAcrossThreadCounts) {
+    auto sys = apps::make_token_ring(6, 6);  // 46656 states, one big level
+    const reference::RefTransitionSystem ref(sys.ring, nullptr,
+                                             Predicate::top());
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        const TransitionSystem ts(sys.ring, nullptr, Predicate::top(),
+                                  threads);
+        expect_same_system(ts, ref);
+    }
+}
+
+TEST(CsrParallelPathTest, ByzantineWithFaultsMatchesReference) {
+    auto sys = apps::make_byzantine(4, 1);  // 23328 states
+    const reference::RefTransitionSystem ref(sys.masking,
+                                             &sys.byzantine_fault,
+                                             Predicate::top());
+    for (const unsigned threads : {1u, 8u}) {
+        const TransitionSystem ts(sys.masking, &sys.byzantine_fault,
+                                  Predicate::top(), threads);
+        expect_same_system(ts, ref);
+    }
+}
+
+}  // namespace
+}  // namespace dcft
