@@ -2,12 +2,18 @@
 //
 // Every bench binary prints a paper-shaped report first (the tables and
 // series EXPERIMENTS.md records), then runs its google-benchmark timings.
+// JSON series (BENCH_*.json) are emitted through obs::JsonWriter and the
+// shared dcft.report envelope ("kind": "bench"), so bench artifacts and
+// dcft_cli run reports parse with the same reader and validator.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <string>
+
+#include "obs/json.hpp"
+#include "obs/run_report.hpp"
 
 namespace dcft::bench {
 
@@ -20,6 +26,28 @@ inline void section(const std::string& name) {
 }
 
 inline const char* yn(bool b) { return b ? "yes" : "no"; }
+
+/// Opens the shared envelope for a BENCH_*.json artifact. The caller
+/// appends its payload members (e.g. "workloads") and then calls
+/// finish_bench_json.
+inline void begin_bench_json(obs::JsonWriter& w, std::string_view tool,
+                             std::string_view command) {
+    obs::begin_envelope(w, "bench", tool, command);
+}
+
+/// Appends the telemetry snapshot, closes the envelope, and writes the
+/// document to `path`. Returns false on I/O failure.
+inline bool finish_bench_json(obs::JsonWriter& w, const std::string& path) {
+    obs::write_telemetry(w);
+    w.end_object();
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) return false;
+    const std::string& doc = w.str();
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), out) == doc.size() &&
+        std::fputc('\n', out) != EOF;
+    return std::fclose(out) == 0 && ok;
+}
 
 /// Runs the report, then google-benchmark, from a bench binary's main().
 inline int run_bench_main(int argc, char** argv, void (*report)()) {

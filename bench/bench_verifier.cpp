@@ -253,68 +253,60 @@ Workload bench_verdict(const std::string& name, const std::string& system,
 
 void write_json(const std::string& path, const std::vector<Workload>& ws,
                 const std::vector<unsigned>& threads, bool smoke) {
-    std::FILE* out = std::fopen(path.c_str(), "w");
-    if (out == nullptr) {
-        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    // Same envelope as dcft_cli run reports (schema "dcft.report",
+    // "kind": "bench"); the payload keys below are unchanged from the
+    // original emitter so EXPERIMENTS.md readers keep working.
+    obs::JsonWriter w;
+    begin_bench_json(w, "bench_verifier",
+                     smoke ? "--json --smoke" : "--json");
+    w.kv("bench", "verifier");
+    w.kv("smoke", smoke);
+    w.kv("hardware_concurrency", std::thread::hardware_concurrency());
+    w.key("thread_counts");
+    w.begin_array();
+    for (const unsigned t : threads) w.value(t);
+    w.end_array();
+    w.kv("timing", "best-of-N wall clock, ms");
+    w.kv("reference",
+         "seed-era sequential implementation (src/verify/reference.hpp)");
+    w.key("workloads");
+    w.begin_array();
+    for (const Workload& wl : ws) {
+        w.begin_object();
+        w.kv("name", wl.name);
+        w.kv("kind", wl.kind);
+        w.kv("system", wl.system);
+        w.kv("states", wl.states);
+        if (wl.kind == "ts_build") {
+            w.kv("nodes", wl.nodes);
+            w.kv("program_edges", wl.program_edges);
+        }
+        if (wl.has_verdict) {
+            w.kv("verdict", wl.verdict_ok ? "pass" : "fail");
+            w.kv("invariant_size", wl.invariant_size);
+            w.kv("span_size", wl.span_size);
+        }
+        w.kv("reference_ms", wl.reference_ms);
+        w.key("ms_by_threads");
+        w.begin_object();
+        for (const auto& [t, ms] : wl.ms_by_threads)
+            w.kv(std::to_string(t), ms);
+        w.end_object();
+        const double best = wl.best_ms();
+        w.kv("best_ms", best);
+        w.kv("best_threads", wl.best_threads());
+        if (wl.kind == "ts_build")
+            w.kv("states_per_sec",
+                 best > 0 ? 1000.0 * static_cast<double>(wl.nodes) / best
+                          : 0.0);
+        w.kv("speedup_vs_reference", best > 0 ? wl.reference_ms / best : 0.0);
+        w.end_object();
+    }
+    w.end_array();
+    if (!finish_bench_json(w, path)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
         std::exit(1);
     }
-    std::fprintf(out, "{\n");
-    std::fprintf(out, "  \"bench\": \"verifier\",\n");
-    std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-    std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
-                 std::thread::hardware_concurrency());
-    std::fprintf(out, "  \"thread_counts\": [");
-    for (std::size_t i = 0; i < threads.size(); ++i)
-        std::fprintf(out, "%s%u", i ? ", " : "", threads[i]);
-    std::fprintf(out, "],\n");
-    std::fprintf(out, "  \"timing\": \"best-of-N wall clock, ms\",\n");
-    std::fprintf(out,
-                 "  \"reference\": \"seed-era sequential implementation "
-                 "(src/verify/reference.hpp)\",\n");
-    std::fprintf(out, "  \"workloads\": [\n");
-    for (std::size_t i = 0; i < ws.size(); ++i) {
-        const Workload& w = ws[i];
-        std::fprintf(out, "    {\n");
-        std::fprintf(out, "      \"name\": \"%s\",\n", w.name.c_str());
-        std::fprintf(out, "      \"kind\": \"%s\",\n", w.kind.c_str());
-        std::fprintf(out, "      \"system\": \"%s\",\n", w.system.c_str());
-        std::fprintf(out, "      \"states\": %llu,\n",
-                     static_cast<unsigned long long>(w.states));
-        if (w.kind == "ts_build") {
-            std::fprintf(out, "      \"nodes\": %llu,\n",
-                         static_cast<unsigned long long>(w.nodes));
-            std::fprintf(out, "      \"program_edges\": %llu,\n",
-                         static_cast<unsigned long long>(w.program_edges));
-        }
-        if (w.has_verdict) {
-            std::fprintf(out, "      \"verdict\": \"%s\",\n",
-                         w.verdict_ok ? "pass" : "fail");
-            std::fprintf(out, "      \"invariant_size\": %llu,\n",
-                         static_cast<unsigned long long>(w.invariant_size));
-            std::fprintf(out, "      \"span_size\": %llu,\n",
-                         static_cast<unsigned long long>(w.span_size));
-        }
-        std::fprintf(out, "      \"reference_ms\": %.3f,\n", w.reference_ms);
-        std::fprintf(out, "      \"ms_by_threads\": {");
-        for (std::size_t j = 0; j < w.ms_by_threads.size(); ++j)
-            std::fprintf(out, "%s\"%u\": %.3f", j ? ", " : "",
-                         w.ms_by_threads[j].first,
-                         w.ms_by_threads[j].second);
-        std::fprintf(out, "},\n");
-        const double best = w.best_ms();
-        std::fprintf(out, "      \"best_ms\": %.3f,\n", best);
-        std::fprintf(out, "      \"best_threads\": %u,\n", w.best_threads());
-        if (w.kind == "ts_build")
-            std::fprintf(out, "      \"states_per_sec\": %.0f,\n",
-                         best > 0 ? 1000.0 * static_cast<double>(w.nodes) /
-                                        best
-                                  : 0.0);
-        std::fprintf(out, "      \"speedup_vs_reference\": %.2f\n",
-                     best > 0 ? w.reference_ms / best : 0.0);
-        std::fprintf(out, "    }%s\n", i + 1 < ws.size() ? "," : "");
-    }
-    std::fprintf(out, "  ]\n}\n");
-    std::fclose(out);
 }
 
 int emit_json(const std::string& path, bool smoke) {

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/telemetry.hpp"
 
 namespace dcft {
 namespace {
@@ -31,7 +33,19 @@ unsigned default_verifier_threads() {
     // next to any bulk pass) so harnesses can sweep thread counts by
     // adjusting DCFT_VERIFIER_THREADS between measurements — bench_verifier
     // does exactly that for its BENCH_verifier.json series.
-    return env_threads();
+    const unsigned t = env_threads();
+    // Audit trail: record the first resolution once per process (gauge
+    // `config/verifier_threads`), plus the sweep's high-water mark, so run
+    // reports show which thread counts a measurement actually used.
+    static std::once_flag logged;
+    std::call_once(logged, [t] {
+        auto& reg = obs::Registry::global();
+        reg.counter("config/verifier_threads").set(t);
+        const unsigned hw = std::thread::hardware_concurrency();
+        reg.counter("config/hardware_concurrency").set(hw == 0 ? 1 : hw);
+    });
+    obs::count_max("config/verifier_threads_peak", t);
+    return t;
 }
 
 unsigned resolve_verifier_threads(unsigned requested) {

@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "obs/telemetry.hpp"
 
 namespace dcft {
 
@@ -153,8 +154,12 @@ BitVec eval_bits(const StateSpace& space, const Predicate& p,
     // Backed fast path: the answer already exists as words.
     if (const auto& bits = p.backing_bits();
         bits != nullptr && bits->size_bits() == n) {
+        obs::count("verify/predicate_eval/backed_hits");
         return *bits;
     }
+    const obs::ScopedSpan span("verify/predicate_eval");
+    obs::count("verify/predicate_eval/bulk_scans");
+    obs::count("verify/predicate_eval/states_scanned", n);
     BitVec out(n);
     const unsigned threads = resolve_verifier_threads(n_threads);
     // Chunks are aligned to 64 states so no two workers share a word.

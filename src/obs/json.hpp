@@ -1,0 +1,123 @@
+// Minimal JSON emitter and reader for dcft's observability artifacts.
+//
+// Every JSON file the repo produces — run reports (dcft_cli --report) and
+// benchmark series (bench_verifier --json) — goes through JsonWriter, so
+// escaping, number formatting, and indentation are uniform and the files
+// share one envelope (see obs/run_report.hpp). JsonValue/parse_json is the
+// matching reader used by the schema round-trip test and the report_check
+// validation tool; it is a strict recursive-descent parser for the subset
+// of JSON the writer emits (which is all of JSON minus exotic number
+// forms).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcft::obs {
+
+/// Streaming JSON writer with 2-space pretty printing. The caller drives
+/// nesting (begin_object/end_object, begin_array/end_array) and the writer
+/// tracks commas. Keys and string values are escaped per RFC 8259.
+class JsonWriter {
+public:
+    JsonWriter();
+
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+
+    /// Key of the next member (only valid directly inside an object).
+    JsonWriter& key(std::string_view k);
+
+    JsonWriter& value(std::string_view s);
+    JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+    JsonWriter& value(bool b);
+    JsonWriter& value(double d);
+    JsonWriter& value(std::uint64_t u);
+    JsonWriter& value(std::int64_t i);
+    JsonWriter& value(int i) { return value(static_cast<std::int64_t>(i)); }
+    JsonWriter& value(unsigned u) {
+        return value(static_cast<std::uint64_t>(u));
+    }
+    JsonWriter& null();
+
+    /// key(k) + value(v) in one call.
+    template <typename T>
+    JsonWriter& kv(std::string_view k, T&& v) {
+        key(k);
+        return value(std::forward<T>(v));
+    }
+
+    /// The document so far. Call after the outermost scope is closed.
+    const std::string& str() const { return out_; }
+
+    /// Escapes `s` as a JSON string literal (with quotes).
+    static std::string quote(std::string_view s);
+
+private:
+    void comma_and_indent(bool is_value);
+
+    std::string out_;
+    /// One frame per open scope: {array?, member_count, pending_key}.
+    struct Frame {
+        bool array = false;
+        std::size_t members = 0;
+        bool has_key = false;
+    };
+    std::vector<Frame> stack_;
+};
+
+/// Parsed JSON document: a tagged tree.
+class JsonValue {
+public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind() const { return kind_; }
+    bool is_null() const { return kind_ == Kind::Null; }
+    bool is_bool() const { return kind_ == Kind::Bool; }
+    bool is_number() const { return kind_ == Kind::Number; }
+    bool is_string() const { return kind_ == Kind::String; }
+    bool is_array() const { return kind_ == Kind::Array; }
+    bool is_object() const { return kind_ == Kind::Object; }
+
+    bool as_bool() const { return bool_; }
+    double as_number() const { return number_; }
+    const std::string& as_string() const { return string_; }
+    const std::vector<JsonValue>& as_array() const { return array_; }
+    const std::map<std::string, JsonValue>& as_object() const {
+        return object_;
+    }
+
+    /// Object member lookup; nullptr when absent or not an object.
+    const JsonValue* find(std::string_view key) const;
+    /// find() that also requires the member to be of `kind`.
+    const JsonValue* find(std::string_view key, Kind kind) const;
+
+    static JsonValue make_null() { return JsonValue(); }
+    static JsonValue make_bool(bool b);
+    static JsonValue make_number(double d);
+    static JsonValue make_string(std::string s);
+    static JsonValue make_array(std::vector<JsonValue> items);
+    static JsonValue make_object(std::map<std::string, JsonValue> members);
+
+private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::map<std::string, JsonValue> object_;
+};
+
+/// Parses a complete JSON document. On failure returns nullopt and, if
+/// `error` is non-null, stores a message with the byte offset.
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace dcft::obs

@@ -1,0 +1,158 @@
+#include "obs/run_report.hpp"
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "obs/telemetry.hpp"
+
+namespace dcft::obs {
+namespace {
+
+/// One node of the phase tree assembled from '/'-separated timer paths.
+/// Interior nodes that were never timed directly (e.g. "verify" when only
+/// "verify/explore" recorded) carry ns == calls == 0 but still appear, so
+/// readers can walk the hierarchy without special cases.
+struct SpanNode {
+    std::string name;  ///< last path segment
+    std::string path;  ///< full '/'-path
+    std::uint64_t ns = 0;
+    std::uint64_t calls = 0;
+    /// std::map keeps children sorted by name — emission is deterministic.
+    std::map<std::string, std::unique_ptr<SpanNode>> children;
+};
+
+SpanNode build_span_tree(const std::vector<Registry::TimerSample>& samples) {
+    SpanNode root;
+    for (const auto& sample : samples) {
+        SpanNode* node = &root;
+        std::string_view rest = sample.path;
+        std::string prefix;
+        while (!rest.empty()) {
+            const std::size_t slash = rest.find('/');
+            const std::string_view seg = rest.substr(0, slash);
+            rest = slash == std::string_view::npos ? std::string_view()
+                                                   : rest.substr(slash + 1);
+            if (!prefix.empty()) prefix += '/';
+            prefix += seg;
+            auto& child = node->children[std::string(seg)];
+            if (child == nullptr) {
+                child = std::make_unique<SpanNode>();
+                child->name = std::string(seg);
+                child->path = prefix;
+            }
+            node = child.get();
+        }
+        node->ns = sample.ns;
+        node->calls = sample.calls;
+    }
+    return root;
+}
+
+void write_span_children(JsonWriter& w, const SpanNode& node) {
+    w.begin_array();
+    for (const auto& [name, child] : node.children) {
+        w.begin_object();
+        w.kv("name", child->name);
+        w.kv("path", child->path);
+        w.kv("ns", child->ns);
+        w.kv("calls", child->calls);
+        w.key("children");
+        write_span_children(w, *child);
+        w.end_object();
+    }
+    w.end_array();
+}
+
+}  // namespace
+
+void begin_envelope(JsonWriter& w, std::string_view kind,
+                    std::string_view tool, std::string_view command) {
+    w.begin_object();
+    w.kv("schema", "dcft.report");
+    w.kv("schema_version", 1);
+    w.kv("kind", kind);
+    w.kv("tool", tool);
+    w.kv("command", command);
+}
+
+void write_telemetry(JsonWriter& w) {
+    w.key("telemetry");
+    w.begin_object();
+    w.kv("enabled", enabled());
+    w.key("counters");
+    w.begin_object();
+    for (const auto& sample : Registry::global().counters())
+        w.kv(sample.path, sample.value);
+    w.end_object();
+    w.key("spans");
+    const SpanNode root = build_span_tree(Registry::global().timers());
+    write_span_children(w, root);
+    w.end_object();
+}
+
+void write_witness(JsonWriter& w, const std::vector<WitnessStep>& trace) {
+    w.begin_array();
+    for (const WitnessStep& step : trace) {
+        w.begin_object();
+        w.kv("state", step.state);
+        w.kv("state_repr", step.state_repr);
+        w.kv("action", step.action);
+        w.kv("fault", step.fault);
+        w.end_object();
+    }
+    w.end_array();
+}
+
+RunReport::RunReport(std::string tool, std::string command)
+    : tool_(std::move(tool)), command_(std::move(command)) {}
+
+void RunReport::add_query(ReportQuery query) {
+    queries_.push_back(std::move(query));
+}
+
+std::string RunReport::to_json() const {
+    JsonWriter w;
+    begin_envelope(w, "run_report", tool_, command_);
+    w.key("queries");
+    w.begin_array();
+    for (const ReportQuery& q : queries_) {
+        w.begin_object();
+        w.kv("name", q.name);
+        w.kv("system", q.system);
+        w.kv("variant", q.variant);
+        w.kv("grade", q.grade);
+        w.kv("ok", q.ok);
+        w.kv("reason", q.reason);
+        w.kv("invariant_size", q.invariant_size);
+        w.kv("span_size", q.span_size);
+        w.key("witness");
+        w.begin_object();
+        w.kv("kind", q.witness_kind);
+        w.key("trace");
+        write_witness(w, q.witness);
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    write_telemetry(w);
+    w.end_object();
+    return w.str();
+}
+
+bool RunReport::write(const std::string& path, std::string* error) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        if (error != nullptr) *error = "cannot open '" + path + "' for write";
+        return false;
+    }
+    out << to_json() << '\n';
+    if (!out) {
+        if (error != nullptr) *error = "short write to '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+}  // namespace dcft::obs

@@ -1,0 +1,94 @@
+// Run-report emitter: serializes one tool invocation — phase tree, counter
+// registry, per-query tolerance verdicts, and witness traces — to a stable
+// JSON schema shared by every JSON artifact the repo produces.
+//
+// Envelope (schema_version 1):
+//   {
+//     "schema": "dcft.report",
+//     "schema_version": 1,
+//     "kind": "run_report" | "bench",
+//     "tool": "<binary name>",
+//     "command": "<reconstructed command line>",
+//     ...kind-specific payload...,
+//     "telemetry": {
+//       "enabled": true,
+//       "counters": { "<path>": <u64>, ... },          // sorted by path
+//       "spans": [ { "name", "path", "ns", "calls",    // phase tree built
+//                    "children": [...] }, ... ]        // from '/'-paths
+//     }
+//   }
+//
+// A run report's payload is "queries": one entry per tolerance query with
+// the verdict, invariant/span sizes, and a replayable witness trace:
+// failing queries carry the counterexample of the first failing obligation;
+// passing queries carry the exploration witness (BFS path to the deepest
+// fault-span state). bench_util.hpp reuses begin_envelope/write_telemetry
+// for "kind": "bench", so BENCH_*.json and run reports parse with the same
+// reader (obs/json.hpp) and validator (tools/report_check).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "verify/check_result.hpp"
+
+namespace dcft::obs {
+
+/// One tolerance query in a run report.
+struct ReportQuery {
+    std::string name;     ///< unique label, e.g. "token-ring/base/masking"
+    std::string system;   ///< system family, e.g. "token-ring"
+    std::string variant;  ///< program variant, e.g. "base", "corrected"
+    std::string grade;    ///< "failsafe" | "nonmasking" | "masking"
+    bool ok = false;
+    std::string reason;   ///< failure reason ("" when ok)
+    std::uint64_t invariant_size = 0;
+    std::uint64_t span_size = 0;
+    /// "counterexample" (failing query), "exploration" (passing query with
+    /// a deepest-trace witness), or "" (no witness available).
+    std::string witness_kind;
+    std::vector<WitnessStep> witness;
+};
+
+/// Accumulates queries and emits the run-report JSON document.
+class RunReport {
+public:
+    RunReport(std::string tool, std::string command);
+
+    void add_query(ReportQuery query);
+    const std::vector<ReportQuery>& queries() const { return queries_; }
+
+    /// The complete document, snapshotting Registry::global() for the
+    /// telemetry section at call time.
+    std::string to_json() const;
+
+    /// Writes to_json() to `path`. Returns false (and fills `error`) on
+    /// I/O failure.
+    bool write(const std::string& path, std::string* error = nullptr) const;
+
+private:
+    std::string tool_;
+    std::string command_;
+    std::vector<ReportQuery> queries_;
+};
+
+// -- shared-envelope building blocks (used by bench_util.hpp too) ----------
+
+/// Opens the envelope object and writes the schema/kind/tool/command
+/// members. The caller appends its payload members and must eventually
+/// call end_object().
+void begin_envelope(JsonWriter& w, std::string_view kind,
+                    std::string_view tool, std::string_view command);
+
+/// Writes the "telemetry" member from a point-in-time snapshot of
+/// Registry::global(): the enabled flag, the sorted counter map, and the
+/// phase tree assembled from '/'-separated timer paths.
+void write_telemetry(JsonWriter& w);
+
+/// Writes a witness trace as an array of step objects
+/// {"state","state_repr","action","fault"}.
+void write_witness(JsonWriter& w, const std::vector<WitnessStep>& trace);
+
+}  // namespace dcft::obs

@@ -1,0 +1,99 @@
+#include "obs/telemetry.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace dcft::obs {
+namespace {
+
+/// -1 = not yet resolved from the environment; 0/1 = off/on.
+std::atomic<int>& enabled_state() {
+    static std::atomic<int> state{-1};
+    return state;
+}
+
+int resolve_from_env() {
+    const char* env = std::getenv("DCFT_TELEMETRY");
+    const bool on = env != nullptr && env[0] != '\0' &&
+                    std::strcmp(env, "0") != 0;
+    return on ? 1 : 0;
+}
+
+}  // namespace
+
+bool enabled() {
+    int v = enabled_state().load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = resolve_from_env();
+        int expected = -1;
+        // First caller publishes; a concurrent set_enabled() wins.
+        enabled_state().compare_exchange_strong(expected, v,
+                                                std::memory_order_relaxed);
+        v = enabled_state().load(std::memory_order_relaxed);
+    }
+    return v == 1;
+}
+
+void set_enabled(bool on) {
+    enabled_state().store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+Registry& Registry::global() {
+    static Registry* registry = new Registry();  // never destroyed
+    return *registry;
+}
+
+Counter& Registry::counter(std::string_view path) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(path);
+    if (it == counters_.end()) {
+        it = counters_
+                 .emplace(std::string(path), std::make_unique<Counter>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Timer& Registry::timer(std::string_view path) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = timers_.find(path);
+    if (it == timers_.end()) {
+        it = timers_.emplace(std::string(path), std::make_unique<Timer>())
+                 .first;
+    }
+    return *it->second;
+}
+
+std::vector<Registry::CounterSample> Registry::counters() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<CounterSample> out;
+    out.reserve(counters_.size());
+    for (const auto& [path, counter] : counters_)
+        out.push_back(CounterSample{path, counter->value()});
+    return out;  // std::map iteration order is already sorted by path
+}
+
+std::vector<Registry::TimerSample> Registry::timers() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TimerSample> out;
+    out.reserve(timers_.size());
+    for (const auto& [path, timer] : timers_)
+        out.push_back(TimerSample{path, timer->nanos(), timer->calls()});
+    return out;
+}
+
+void Registry::reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [path, counter] : counters_) counter->set(0);
+    for (auto& [path, timer] : timers_) timer->reset();
+}
+
+}  // namespace dcft::obs

@@ -1,0 +1,172 @@
+// Unified telemetry: named atomic counters and scoped span timers with a
+// hierarchical phase tree (src/obs/, see DESIGN.md §8).
+//
+// Design constraints, in order:
+//  1. Near-zero overhead when disabled. Every recording helper first loads
+//     one relaxed atomic bool (`enabled()`); when telemetry is off that load
+//     is the *entire* cost, so the verifier's hot loops stay at their PR 1
+//     speeds. Hot paths additionally accumulate into local variables and
+//     flush once per phase, so even the enabled path never puts an atomic
+//     RMW inside a per-state loop.
+//  2. Thread-safe. The registry is a mutex-guarded map from path to a
+//     heap-stable Counter/Timer whose cells are std::atomic — concurrent
+//     checker threads and simulator workers record without coordination
+//     once they hold a reference.
+//  3. Deterministic where the verifier is deterministic. Exploration
+//     counters (levels, frontier sizes, interner hits/misses, edge counts)
+//     are derived from the canonical BFS, so their values are identical for
+//     every DCFT_VERIFIER_THREADS setting — a property the test suite
+//     pins (tests/obs/telemetry_test).
+//
+// Naming convention: '/'-separated lower_snake paths whose prefixes form
+// the phase tree, e.g. "verify/explore/level", "verify/closure",
+// "sim/step", "synth/fixpoint". RunReport (obs/run_report.hpp) serializes
+// the tree from these paths.
+//
+// Enabling: the DCFT_TELEMETRY environment variable (any value except
+// "0"/"" enables; read once, at first use) or set_enabled(true) from code
+// (dcft_cli --report does this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcft::obs {
+
+/// Is telemetry collection on? One relaxed atomic load (after the first
+/// call, which consults DCFT_TELEMETRY).
+bool enabled();
+
+/// Programmatic override of the DCFT_TELEMETRY toggle (tests, --report).
+void set_enabled(bool on);
+
+/// A named monotonic counter. Heap-stable: references returned by the
+/// registry stay valid for the process lifetime.
+class Counter {
+public:
+    void add(std::uint64_t delta = 1) {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    /// Records v if it exceeds the current value (high-water mark).
+    void record_max(std::uint64_t v) {
+        std::uint64_t cur = value_.load(std::memory_order_relaxed);
+        while (cur < v && !value_.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+    }
+    /// Overwrites the value (gauges, e.g. resolved thread counts).
+    void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+    std::uint64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Accumulated wall time and call count for one phase path.
+class Timer {
+public:
+    void add(std::uint64_t ns, std::uint64_t calls = 1) {
+        ns_.fetch_add(ns, std::memory_order_relaxed);
+        calls_.fetch_add(calls, std::memory_order_relaxed);
+    }
+    std::uint64_t nanos() const { return ns_.load(std::memory_order_relaxed); }
+    std::uint64_t calls() const {
+        return calls_.load(std::memory_order_relaxed);
+    }
+    /// Zeroes the accumulators (Registry::reset()).
+    void reset() {
+        ns_.store(0, std::memory_order_relaxed);
+        calls_.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> ns_{0};
+    std::atomic<std::uint64_t> calls_{0};
+};
+
+/// Process-wide registry of counters and timers, keyed by phase path.
+class Registry {
+public:
+    /// The process registry every recording helper targets.
+    static Registry& global();
+
+    /// Counter/timer at `path`, created on first use. Thread-safe; the
+    /// returned reference is stable for the registry's lifetime.
+    Counter& counter(std::string_view path);
+    Timer& timer(std::string_view path);
+
+    struct CounterSample {
+        std::string path;
+        std::uint64_t value = 0;
+    };
+    struct TimerSample {
+        std::string path;
+        std::uint64_t ns = 0;
+        std::uint64_t calls = 0;
+    };
+
+    /// Point-in-time snapshots, sorted by path (deterministic emission).
+    std::vector<CounterSample> counters() const;
+    std::vector<TimerSample> timers() const;
+
+    /// Zeroes every counter and timer (registrations survive). Tests use
+    /// this to compare runs; concurrent recorders see a clean slate.
+    void reset();
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+    std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+};
+
+// -- recording helpers (no-ops when disabled) ------------------------------
+
+/// Adds `delta` to the counter at `path` iff telemetry is enabled.
+inline void count(std::string_view path, std::uint64_t delta = 1) {
+    if (enabled()) Registry::global().counter(path).add(delta);
+}
+
+/// High-water-mark record iff enabled.
+inline void count_max(std::string_view path, std::uint64_t v) {
+    if (enabled()) Registry::global().counter(path).record_max(v);
+}
+
+/// Gauge write iff enabled.
+inline void record(std::string_view path, std::uint64_t v) {
+    if (enabled()) Registry::global().counter(path).set(v);
+}
+
+/// Monotonic clock reading in nanoseconds (steady).
+std::uint64_t now_ns();
+
+/// RAII span timer: measures its own lifetime into the timer at `path`.
+/// When telemetry is disabled at construction the span is inert (one
+/// relaxed load, no clock read).
+class ScopedSpan {
+public:
+    explicit ScopedSpan(std::string_view path) {
+        if (enabled()) {
+            timer_ = &Registry::global().timer(path);
+            start_ns_ = now_ns();
+        }
+    }
+    ~ScopedSpan() {
+        if (timer_ != nullptr) timer_->add(now_ns() - start_ns_);
+    }
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+private:
+    Timer* timer_ = nullptr;
+    std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace dcft::obs

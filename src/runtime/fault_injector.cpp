@@ -1,6 +1,7 @@
 #include "runtime/fault_injector.hpp"
 
 #include "common/check.hpp"
+#include "obs/telemetry.hpp"
 
 namespace dcft {
 
@@ -27,6 +28,8 @@ std::optional<StateIndex> FaultInjector::maybe_inject(const StateSpace& space,
         if (!fac.enabled(space, s)) continue;
         fac.successors(space, s, succ);
         ++injected_;
+        obs::count("sim/faults_injected");
+        obs::count("sim/faults_injected/scripted");
         return succ[rng.below(succ.size())];
     }
 
@@ -41,6 +44,8 @@ std::optional<StateIndex> FaultInjector::maybe_inject(const StateSpace& space,
     const auto& fac = faults_->actions()[enabled[rng.below(enabled.size())]];
     fac.successors(space, s, succ);
     ++injected_;
+    obs::count("sim/faults_injected");
+    obs::count("sim/faults_injected/random");
     return succ[rng.below(succ.size())];
 }
 

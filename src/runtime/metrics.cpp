@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -39,8 +40,10 @@ double SummaryStats::max() const {
 }
 
 double SummaryStats::percentile(double q) const {
-    DCFT_EXPECTS(!samples_.empty(), "percentile of empty stats");
     DCFT_EXPECTS(q >= 0.0 && q <= 1.0, "percentile requires q in [0,1]");
+    // An empty accumulator has no ranks; a quiet NaN lets callers emit the
+    // "no data" case without a pre-check (JSON writers render it as null).
+    if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
     ensure_sorted();
     const auto rank = static_cast<std::size_t>(
         std::ceil(q * static_cast<double>(samples_.size())));

@@ -16,8 +16,13 @@ public:
     double mean() const;
     double min() const;
     double max() const;
-    /// q in [0,1]; nearest-rank percentile. Precondition: not empty.
+    /// q in [0,1]; nearest-rank percentile. Empty stats yield a quiet NaN
+    /// (reports print it as null) instead of indexing out of range.
     double percentile(double q) const;
+    /// Common percentiles for run reports and experiment tables.
+    double p50() const { return percentile(0.50); }
+    double p90() const { return percentile(0.90); }
+    double p99() const { return percentile(0.99); }
 
     const std::vector<double>& samples() const { return samples_; }
 

@@ -1,6 +1,7 @@
 #include "runtime/simulator.hpp"
 
 #include "common/check.hpp"
+#include "obs/telemetry.hpp"
 
 namespace dcft {
 
@@ -20,6 +21,27 @@ void Simulator::set_fault_injector(FaultInjector* injector) {
 RunResult Simulator::run(StateIndex initial, const RunOptions& options) {
     const StateSpace& space = program_->space();
     DCFT_EXPECTS(initial < space.num_states(), "initial state out of range");
+
+    // Telemetry is sampled once per run; monitor hook time is accumulated
+    // locally and flushed at the end, so the per-step path never touches
+    // the registry. With telemetry off the only cost is one bool.
+    const bool telemetry = obs::enabled();
+    const obs::ScopedSpan run_span("sim/run");
+    std::uint64_t monitor_ns = 0;
+    std::uint64_t monitor_calls = 0;
+    const auto notify_step = [&](StateIndex from, StateIndex to, bool fault,
+                                 std::size_t step) {
+        if (telemetry && !monitors_.empty()) {
+            const std::uint64_t t0 = obs::now_ns();
+            for (Monitor* m : monitors_)
+                m->on_step(space, from, to, fault, step);
+            monitor_ns += obs::now_ns() - t0;
+            monitor_calls += monitors_.size();
+        } else {
+            for (Monitor* m : monitors_)
+                m->on_step(space, from, to, fault, step);
+        }
+    };
 
     scheduler_->reset();
     if (injector_ != nullptr) injector_->reset();
@@ -42,8 +64,7 @@ RunResult Simulator::run(StateIndex initial, const RunOptions& options) {
         if (injector_ != nullptr) {
             if (auto t = injector_->maybe_inject(space, s, result.steps,
                                                  rng_)) {
-                for (Monitor* m : monitors_)
-                    m->on_step(space, s, *t, /*fault=*/true, result.steps);
+                notify_step(s, *t, /*fault=*/true, result.steps);
                 if (options.record_trace)
                     result.trace.push_back(
                         TraceStep{*t, TraceStep::kFaultStep});
@@ -65,8 +86,7 @@ RunResult Simulator::run(StateIndex initial, const RunOptions& options) {
         succ.clear();
         program_->action(a).successors(space, s, succ);
         const StateIndex t = succ[rng_.below(succ.size())];
-        for (Monitor* m : monitors_)
-            m->on_step(space, s, t, /*fault=*/false, result.steps);
+        notify_step(s, t, /*fault=*/false, result.steps);
         if (options.record_trace) result.trace.push_back(TraceStep{t, a});
         s = t;
         ++result.steps;
@@ -75,6 +95,18 @@ RunResult Simulator::run(StateIndex initial, const RunOptions& options) {
 
     result.final_state = s;
     for (Monitor* m : monitors_) m->on_finish(space, s, result.steps);
+
+    if (telemetry) {
+        auto& reg = obs::Registry::global();
+        reg.counter("sim/runs").add(1);
+        reg.counter("sim/steps").add(result.steps);
+        reg.counter("sim/program_steps").add(result.program_steps);
+        reg.counter("sim/fault_steps").add(result.fault_steps);
+        if (result.deadlocked) reg.counter("sim/deadlocks").add(1);
+        if (result.stopped_early) reg.counter("sim/stopped_early").add(1);
+        if (monitor_calls > 0)
+            reg.timer("sim/run/monitor_hooks").add(monitor_ns, monitor_calls);
+    }
     return result;
 }
 

@@ -1,10 +1,14 @@
 #include "synth/add_failsafe.hpp"
 
+#include "obs/telemetry.hpp"
 #include "verify/detection_predicate.hpp"
 
 namespace dcft {
 
 FailsafeSynthesis add_failsafe(const Program& p, const SafetySpec& safety) {
+    const obs::ScopedSpan span("synth/failsafe");
+    obs::count("synth/failsafe/syntheses");
+    obs::count("synth/failsafe/detection_predicates", p.num_actions());
     Program out(p.space_ptr(), p.vars(), "failsafe(" + p.name() + ")");
     std::vector<Predicate> predicates;
     predicates.reserve(p.num_actions());

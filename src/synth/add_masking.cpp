@@ -1,11 +1,15 @@
 #include "synth/add_masking.hpp"
 
+#include "obs/telemetry.hpp"
+
 namespace dcft {
 
 MaskingSynthesis add_masking(const Program& p, const FaultClass& f,
                              const SafetySpec& safety,
                              const Predicate& invariant,
                              std::vector<std::string> writable) {
+    const obs::ScopedSpan span("synth/masking");
+    obs::count("synth/masking/syntheses");
     FailsafeSynthesis fs = add_failsafe(p, safety);
 
     NonmaskingOptions opts;

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "gc/composition.hpp"
+#include "obs/telemetry.hpp"
 #include "verify/fault_span.hpp"
 
 namespace dcft {
@@ -39,6 +40,8 @@ void for_each_recovery_pred(const StateSpace& space,
 NonmaskingSynthesis add_nonmasking(const Program& p, const FaultClass& f,
                                    const Predicate& invariant,
                                    const NonmaskingOptions& opts) {
+    const obs::ScopedSpan synth_span("synth/fixpoint");
+    obs::count("synth/fixpoint/syntheses");
     const StateSpace& space = p.space();
     const FaultSpan span =
         compute_fault_span(p, f, opts.span_from.value_or(invariant));
@@ -82,12 +85,16 @@ NonmaskingSynthesis add_nonmasking(const Program& p, const FaultClass& f,
         true,
         {}};
 
+    std::uint64_t unrecoverable_total = 0;
     span.states->for_each([&](StateIndex s) {
         if (ranked.contains(s)) return;
         result.complete = false;
+        ++unrecoverable_total;
         if (result.unrecoverable.size() < kMaxReportedUnrecoverable)
             result.unrecoverable.push_back(s);
     });
+    obs::count("synth/fixpoint/ranked_states", ranked.count());
+    obs::count("synth/fixpoint/unrecoverable_states", unrecoverable_total);
 
     // The corrector: guard = span /\ !S /\ has-a-hop; statement follows one
     // hop (single_step) or the whole path to S (atomic reset).

@@ -1,21 +1,47 @@
 // Verdict type returned by every checker in src/verify/.
 #pragma once
 
+#include <cstdint>
+#include <initializer_list>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace dcft {
 
+/// One step of a structured witness trace. The first step of a trace is a
+/// root (empty action, state only); each later step records the acting
+/// action's name (provenance) and whether it was a fault action. Traces
+/// are replayable: consecutive states are connected by the named action.
+struct WitnessStep {
+    std::uint64_t state = 0;   ///< packed StateIndex
+    std::string state_repr;    ///< StateSpace::format of `state`
+    std::string action;        ///< acting action name; "" at the root
+    bool fault = false;        ///< the step was a fault action
+
+    friend bool operator==(const WitnessStep&, const WitnessStep&) = default;
+};
+
 /// Outcome of a verification query. On failure, `reason` names the violated
-/// condition and, where available, a witness state or transition.
+/// condition and, where available, a witness state or transition; `witness`
+/// carries the same counterexample as a structured, replayable trace (for
+/// run-report export — see obs/run_report.hpp).
 struct CheckResult {
     bool ok = true;
     std::string reason;
+    /// Structured counterexample trace (empty on success, and for checkers
+    /// that predate trace export). Ends at the violating state/transition.
+    std::vector<WitnessStep> witness;
 
     explicit operator bool() const { return ok; }
 
     static CheckResult success() { return CheckResult{}; }
     static CheckResult failure(std::string reason) {
-        return CheckResult{false, std::move(reason)};
+        return CheckResult{false, std::move(reason), {}};
+    }
+    static CheckResult failure(std::string reason,
+                               std::vector<WitnessStep> witness) {
+        return CheckResult{false, std::move(reason), std::move(witness)};
     }
 
     /// First failure wins; success otherwise.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/telemetry.hpp"
+
 namespace dcft {
 namespace {
 
@@ -181,6 +183,8 @@ std::vector<char> fair_avoidance_set(const TransitionSystem& ts,
 
 CheckResult check_leads_to(const TransitionSystem& ts, const Predicate& p,
                            const Predicate& q, bool include_fault_edges) {
+    const obs::ScopedSpan span("verify/liveness");
+    obs::count("verify/obligations/liveness");
     const std::vector<char> target = eval_on_nodes(ts, q);
     std::vector<char> bad = fair_avoidance_set(ts, target);
 
@@ -211,10 +215,12 @@ CheckResult check_leads_to(const TransitionSystem& ts, const Predicate& p,
         if (!target[v] && bad[v] && p.eval(ts.space(), ts.state_of(v))) {
             return CheckResult::failure(
                 "leads-to violated: " + p.name() + " ~~> " + q.name() +
-                " fails from state " + ts.space().format(ts.state_of(v)) +
-                (ts.terminal(v) ? " (maximal/terminal state)"
-                                : " (fair computation avoids target)") +
-                "; reached via: " + ts.format_witness(v));
+                    " fails from state " +
+                    ts.space().format(ts.state_of(v)) +
+                    (ts.terminal(v) ? " (maximal/terminal state)"
+                                    : " (fair computation avoids target)") +
+                    "; reached via: " + ts.format_witness(v),
+                ts.witness_trace(v));
         }
     }
     return CheckResult::success();

@@ -1,11 +1,27 @@
 #include "verify/refinement.hpp"
 
 #include "common/bitvec.hpp"
+#include "obs/telemetry.hpp"
 #include "verify/closure.hpp"
 #include "verify/fairness.hpp"
 
 namespace dcft {
 namespace {
+
+/// witness_trace(n) extended by one final step (the violating transition
+/// itself, which need not be a BFS tree edge).
+std::vector<WitnessStep> trace_plus_step(const TransitionSystem& ts,
+                                         NodeId from, StateIndex to,
+                                         std::string action, bool fault) {
+    std::vector<WitnessStep> trace = ts.witness_trace(from);
+    WitnessStep step;
+    step.state = to;
+    step.state_repr = ts.space().format(to);
+    step.action = std::move(action);
+    step.fault = fault;
+    trace.push_back(std::move(step));
+    return trace;
+}
 
 /// Closure of `from` under the program (and preservation under the fault
 /// class, if any), checked against the *recorded* edges of ts instead of a
@@ -16,6 +32,8 @@ namespace {
 CheckResult check_closure_on(const TransitionSystem& ts,
                              const BitVec& from_bits, const Predicate& from,
                              const FaultClass* faults) {
+    const obs::ScopedSpan span("verify/closure");
+    obs::count("verify/obligations/closure");
     const StateSpace& space = ts.space();
     for (NodeId n = 0; n < ts.num_nodes(); ++n) {
         const StateIndex s = ts.state_of(n);
@@ -23,11 +41,14 @@ CheckResult check_closure_on(const TransitionSystem& ts,
         for (const auto& e : ts.program_edges(n)) {
             const StateIndex t = ts.state_of(e.to);
             if (!from_bits.test(t)) {
+                const std::string action =
+                    ts.program().action(e.action).name();
                 return CheckResult::failure(
                     "closed in " + ts.program().name() + ": predicate " +
-                    from.name() + " not preserved by action '" +
-                    ts.program().action(e.action).name() + "' from " +
-                    space.format(s) + " to " + space.format(t));
+                        from.name() + " not preserved by action '" + action +
+                        "' from " + space.format(s) + " to " +
+                        space.format(t),
+                    trace_plus_step(ts, n, t, action, /*fault=*/false));
             }
         }
     }
@@ -38,11 +59,14 @@ CheckResult check_closure_on(const TransitionSystem& ts,
             for (const auto& e : ts.fault_edges(n)) {
                 const StateIndex t = ts.state_of(e.to);
                 if (!from_bits.test(t)) {
+                    const std::string action =
+                        faults->actions()[e.action].name();
                     return CheckResult::failure(
                         "preserved by " + faults->name() + ": predicate " +
-                        from.name() + " not preserved by action '" +
-                        faults->actions()[e.action].name() + "' from " +
-                        space.format(s) + " to " + space.format(t));
+                            from.name() + " not preserved by action '" +
+                            action + "' from " + space.format(s) + " to " +
+                            space.format(t),
+                        trace_plus_step(ts, n, t, action, /*fault=*/true));
                 }
             }
         }
@@ -52,24 +76,29 @@ CheckResult check_closure_on(const TransitionSystem& ts,
 
 CheckResult check_safety_on(const TransitionSystem& ts, const SafetySpec& spec,
                             bool include_fault_edges) {
+    const obs::ScopedSpan span("verify/safety");
+    obs::count("verify/obligations/safety");
     const StateSpace& space = ts.space();
     for (NodeId n = 0; n < ts.num_nodes(); ++n) {
         const StateIndex s = ts.state_of(n);
         if (!spec.state_allowed(space, s)) {
             return CheckResult::failure(
                 "safety violated: state " + space.format(s) +
-                " is excluded by " + spec.name() + "; witness: " +
-                ts.format_witness(n));
+                    " is excluded by " + spec.name() + "; witness: " +
+                    ts.format_witness(n),
+                ts.witness_trace(n));
         }
         for (const auto& e : ts.program_edges(n)) {
             const StateIndex t = ts.state_of(e.to);
             if (!spec.transition_allowed(space, s, t)) {
+                const std::string action =
+                    ts.program().action(e.action).name();
                 return CheckResult::failure(
-                    "safety violated: transition " + space.format(s) + " -> " +
-                    space.format(t) + " (action '" +
-                    ts.program().action(e.action).name() +
-                    "') is excluded by " + spec.name() + "; witness: " +
-                    ts.format_witness(n));
+                    "safety violated: transition " + space.format(s) +
+                        " -> " + space.format(t) + " (action '" + action +
+                        "') is excluded by " + spec.name() + "; witness: " +
+                        ts.format_witness(n),
+                    trace_plus_step(ts, n, t, action, /*fault=*/false));
             }
         }
         if (include_fault_edges) {
@@ -78,8 +107,11 @@ CheckResult check_safety_on(const TransitionSystem& ts, const SafetySpec& spec,
                 if (!spec.transition_allowed(space, s, t)) {
                     return CheckResult::failure(
                         "safety violated by fault step: " + space.format(s) +
-                        " -> " + space.format(t) + " is excluded by " +
-                        spec.name());
+                            " -> " + space.format(t) + " is excluded by " +
+                            spec.name(),
+                        trace_plus_step(ts, n, t,
+                                        ts.fault_action_name(e.action),
+                                        /*fault=*/true));
                 }
             }
         }
@@ -101,16 +133,23 @@ CheckResult refines_spec(const Program& p, const ProblemSpec& spec,
 CheckResult refines_spec_on(const TransitionSystem& ts,
                             const FaultClass* faults, const ProblemSpec& spec,
                             const Predicate& from) {
+    const obs::ScopedSpan span("verify/refines_spec");
     const BitVec from_bits = eval_bits(ts.space(), from);
-    if (CheckResult r = check_closure_on(ts, from_bits, from, faults); !r)
+    if (CheckResult r = check_closure_on(ts, from_bits, from, faults); !r) {
+        obs::count("verify/obligations/failed");
         return r;
+    }
     const bool with_faults = faults != nullptr;
-    if (CheckResult r = check_safety_on(ts, spec.safety(), with_faults); !r)
+    if (CheckResult r = check_safety_on(ts, spec.safety(), with_faults); !r) {
+        obs::count("verify/obligations/failed");
         return r;
+    }
     for (const auto& ob : spec.liveness().obligations()) {
         if (CheckResult r = check_leads_to(ts, ob.from, ob.to, with_faults);
-            !r)
+            !r) {
+            obs::count("verify/obligations/failed");
             return r;
+        }
     }
     return CheckResult::success();
 }
@@ -173,7 +212,8 @@ CheckResult refines_weakened(const Program& p, const FaultClass* f,
             if (CheckResult r = converges(p, f, from, via); !r)
                 return CheckResult::failure(
                     "nonmasking: computations do not converge to " +
-                    via.name() + ": " + r.reason);
+                        via.name() + ": " + r.reason,
+                    std::move(r.witness));
             return refines_spec(p, spec, via, RefinesOptions{});
         }
     }

@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/telemetry.hpp"
 #include "verify/fairness.hpp"
 #include "verify/refinement.hpp"
 #include "verify/state_set.hpp"
@@ -30,12 +31,17 @@ namespace dcft {
 ToleranceReport check_tolerance(const Program& p, const FaultClass& f,
                                 const ProblemSpec& spec,
                                 const Predicate& invariant, Tolerance grade) {
+    const obs::ScopedSpan span("verify/check_tolerance");
+    obs::count("verify/tolerance_queries");
     const StateSpace& space = p.space();
     ToleranceReport report;
 
     // Materialize the invariant once; downstream checks probe bits.
-    auto inv_states = std::make_shared<StateSet>(
-        materialize_parallel(space, invariant));
+    auto inv_states = [&] {
+        const obs::ScopedSpan mspan("verify/check_tolerance/materialize");
+        return std::make_shared<StateSet>(
+            materialize_parallel(space, invariant));
+    }();
     const Predicate inv = predicate_of(inv_states, invariant.name());
     report.invariant_size = inv_states->count();
 
@@ -54,6 +60,13 @@ ToleranceReport check_tolerance(const Program& p, const FaultClass& f,
                          invariant.name() + ")");
     report.fault_span = span_pred;
     report.span_size = span_states->count();
+    // Exploration witness: the BFS path to the deepest (last-discovered)
+    // node of the p [] F system. Cheap (one parent-chain walk) and always
+    // replayable — run reports use it for passing queries.
+    if (ts_pf.num_nodes() > 0) {
+        report.deepest_trace = ts_pf.witness_trace(
+            static_cast<NodeId>(ts_pf.num_nodes() - 1));
+    }
 
     // In the presence of faults, from T, on the same graph.
     switch (grade) {
@@ -72,7 +85,8 @@ ToleranceReport check_tolerance(const Program& p, const FaultClass& f,
             if (CheckResult r = check_reaches(ts_pf, inv, true); !r) {
                 report.in_presence = CheckResult::failure(
                     "nonmasking: computations do not converge to " +
-                    inv.name() + ": " + r.reason);
+                        inv.name() + ": " + r.reason,
+                    std::move(r.witness));
             } else {
                 report.in_presence = report.in_absence;
             }

@@ -36,8 +36,18 @@ struct ToleranceReport {
     StateIndex span_size = 0;
     /// |S| (number of invariant states).
     StateIndex invariant_size = 0;
+    /// BFS path from the invariant to the deepest explored fault-span
+    /// state (replayable, with action provenance). Run reports export this
+    /// as the exploration witness of passing queries; failing queries
+    /// export the counterexample trace on in_absence/in_presence instead.
+    std::vector<WitnessStep> deepest_trace;
 
     bool ok() const { return in_absence.ok && in_presence.ok; }
+    /// The counterexample trace of the first failing obligation (empty
+    /// when ok()).
+    const std::vector<WitnessStep>& counterexample() const {
+        return in_absence.ok ? in_presence.witness : in_absence.witness;
+    }
     std::string reason() const {
         if (!in_absence.ok) return in_absence.reason;
         return in_presence.reason;

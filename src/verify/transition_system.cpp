@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "obs/telemetry.hpp"
 
 namespace dcft {
 namespace {
@@ -34,11 +35,18 @@ TransitionSystem::TransitionSystem(const Program& program,
                                    const FaultClass* faults,
                                    const Predicate& init, unsigned n_threads)
     : space_(program.space_ptr()), program_(program) {
+    if (faults != nullptr) {
+        fault_action_names_.reserve(faults->actions().size());
+        for (const auto& fac : faults->actions())
+            fault_action_names_.push_back(fac.name());
+    }
     explore(faults, init, resolve_verifier_threads(n_threads));
 }
 
 void TransitionSystem::explore(const FaultClass* faults,
                                const Predicate& init, unsigned n_threads) {
+    const bool telemetry = obs::enabled();
+    const obs::ScopedSpan span("verify/explore");
     const StateIndex n_states = space_->num_states();
     direct_mapped_ = n_states <= kDirectMapMax;
     if (direct_mapped_) {
@@ -79,7 +87,10 @@ void TransitionSystem::explore(const FaultClass* faults,
     // Seed: bulk-evaluate init over the space (each state exactly once,
     // chunked across workers) and intern the satisfying states in
     // ascending order — the canonical root numbering.
-    const BitVec init_bits = eval_bits(*space_, init, n_threads);
+    const BitVec init_bits = [&] {
+        const obs::ScopedSpan seed_span("verify/explore/seed");
+        return eval_bits(*space_, init, n_threads);
+    }();
     initial_.reserve(static_cast<std::size_t>(init_bits.popcount()));
     init_bits.for_each_set([&](std::uint64_t s) {
         const NodeId id =
@@ -100,10 +111,15 @@ void TransitionSystem::explore(const FaultClass* faults,
     // to the sequential FIFO exploration, for every thread count.
     std::vector<ChunkBuf> bufs;
     std::vector<StateIndex> succ;  // scratch for the fused serial path
+    std::uint64_t n_levels = 0;    // telemetry: BFS depth / frontier stats
+    std::uint64_t frontier_max = 0;
     std::size_t level_begin = 0;
     while (level_begin < states_.size()) {
+        const obs::ScopedSpan level_span("verify/explore/level");
         const std::size_t level_end = states_.size();
         const std::uint64_t level_size = level_end - level_begin;
+        ++n_levels;
+        frontier_max = std::max(frontier_max, level_size);
         const unsigned chunks =
             parallel_chunk_count(level_size, n_threads, /*align=*/1);
 
@@ -197,6 +213,29 @@ void TransitionSystem::explore(const FaultClass* faults,
                     "TransitionSystem: level merge out of sync");
         level_begin = level_end;
     }
+
+    // Telemetry flush: one registry access per exploration, never per
+    // state. All of these are functions of the canonical BFS, so their
+    // values are identical for every thread count (pinned by
+    // tests/obs/telemetry_test).
+    if (telemetry) {
+        auto& reg = obs::Registry::global();
+        reg.counter("verify/explorations").add(1);
+        reg.counter("verify/explore/levels").add(n_levels);
+        reg.counter("verify/explore/frontier_peak").record_max(frontier_max);
+        reg.counter("verify/explore/nodes").add(states_.size());
+        reg.counter("verify/explore/initial_states").add(initial_.size());
+        reg.counter("verify/explore/program_edges").add(prog_edges_.size());
+        reg.counter("verify/explore/fault_edges").add(fault_edges_.size());
+        // Every node is discovered by exactly one interning call; every
+        // interning call is an initial seed or an edge target.
+        const std::uint64_t intern_calls = initial_.size() +
+                                           prog_edges_.size() +
+                                           fault_edges_.size();
+        reg.counter("verify/explore/interner_misses").add(states_.size());
+        reg.counter("verify/explore/interner_hits")
+            .add(intern_calls - states_.size());
+    }
 }
 
 BitVec TransitionSystem::state_bits() const {
@@ -207,6 +246,8 @@ BitVec TransitionSystem::state_bits() const {
 
 void TransitionSystem::build_predecessors(CsrList& out,
                                           bool include_faults) const {
+    const obs::ScopedSpan span("verify/preds_csr");
+    obs::count("verify/preds_csr/builds");
     const std::size_t n = states_.size();
     out.offsets_.assign(n + 1, 0);
     for (const Edge& e : prog_edges_) ++out.offsets_[e.to + 1];
@@ -264,6 +305,55 @@ std::vector<StateIndex> TransitionSystem::witness_path(NodeId n) const {
     }
     std::reverse(path.begin(), path.end());
     return path;
+}
+
+std::vector<WitnessStep> TransitionSystem::witness_trace(NodeId n) const {
+    DCFT_EXPECTS(n < states_.size(), "witness_trace: node out of range");
+    std::vector<NodeId> chain;
+    for (NodeId cur = n;;) {
+        chain.push_back(cur);
+        if (parent_[cur] == cur) break;
+        cur = parent_[cur];
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    std::vector<WitnessStep> out;
+    out.reserve(chain.size());
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+        WitnessStep step;
+        step.state = states_[chain[i]];
+        step.state_repr = space_->format(step.state);
+        if (i > 0) {
+            // Recover the acting action of the BFS tree edge u -> v.
+            // Program edges are searched first, matching exploration order
+            // (a program edge that discovered v wins over a later fault
+            // edge to the same node).
+            const NodeId u = chain[i - 1];
+            const NodeId v = chain[i];
+            bool found = false;
+            for (const Edge& e : program_edges(u)) {
+                if (e.to == v) {
+                    step.action = program_.action(e.action).name();
+                    step.fault = false;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                for (const Edge& e : fault_edges(u)) {
+                    if (e.to == v) {
+                        step.action = fault_action_names_[e.action];
+                        step.fault = true;
+                        found = true;
+                        break;
+                    }
+                }
+            }
+            DCFT_ASSERT(found, "witness_trace: BFS tree edge not recorded");
+        }
+        out.push_back(std::move(step));
+    }
+    return out;
 }
 
 std::string TransitionSystem::format_witness(NodeId n) const {

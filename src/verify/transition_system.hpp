@@ -29,11 +29,13 @@
 #include <cstdint>
 #include <mutex>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bitvec.hpp"
 #include "gc/program.hpp"
+#include "verify/check_result.hpp"
 
 namespace dcft {
 
@@ -139,6 +141,17 @@ public:
     /// n (inclusive); used to report counterexample witnesses.
     std::vector<StateIndex> witness_path(NodeId n) const;
 
+    /// witness_path(n) as a structured, replayable trace: each step carries
+    /// the formatted state plus the provenance (name, fault flag) of the
+    /// action that produced it along the BFS tree.
+    std::vector<WitnessStep> witness_trace(NodeId n) const;
+
+    /// Name of fault action `a` (as recorded at construction; empty
+    /// FaultClass-less systems have none).
+    const std::string& fault_action_name(std::uint32_t a) const {
+        return fault_action_names_[a];
+    }
+
     /// "s0 -> s1 -> ... -> sk" rendering of witness_path(n), capped to the
     /// last few states for long paths.
     std::string format_witness(NodeId n) const;
@@ -150,6 +163,9 @@ private:
 
     std::shared_ptr<const StateSpace> space_;
     Program program_;
+    /// Names of the fault actions (index-aligned with fault edge action
+    /// ids), retained for witness-trace provenance.
+    std::vector<std::string> fault_action_names_;
     std::vector<StateIndex> states_;  ///< node -> state, BFS discovery order
     std::vector<NodeId> initial_;
     std::vector<NodeId> parent_;  ///< BFS tree; parent_[n] == n at roots

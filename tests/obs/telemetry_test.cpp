@@ -1,0 +1,294 @@
+// Telemetry subsystem tests: registry semantics, disabled no-ops,
+// exploration-counter determinism across thread counts, JSON writer/parser
+// round-trips, and the run-report schema.
+#include "obs/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/token_ring.hpp"
+#include "obs/json.hpp"
+#include "obs/run_report.hpp"
+#include "verify/tolerance_checker.hpp"
+#include "verify/transition_system.hpp"
+
+namespace dcft {
+namespace {
+
+/// Enables telemetry on a clean registry for the duration of one test and
+/// restores the disabled default afterwards (the flag and registry are
+/// process-wide).
+struct TelemetryGuard {
+    explicit TelemetryGuard(bool on = true) {
+        obs::set_enabled(on);
+        obs::Registry::global().reset();
+    }
+    ~TelemetryGuard() { obs::set_enabled(false); }
+};
+
+std::uint64_t counter_value(const std::string& path) {
+    for (const auto& c : obs::Registry::global().counters())
+        if (c.path == path) return c.value;
+    return 0;
+}
+
+bool counter_exists(const std::string& path) {
+    for (const auto& c : obs::Registry::global().counters())
+        if (c.path == path) return true;
+    return false;
+}
+
+TEST(TelemetryTest, CountersTimersAndSnapshotsSorted) {
+    TelemetryGuard guard;
+    obs::count("t/b", 2);
+    obs::count("t/a");
+    obs::count("t/a", 4);
+    obs::count_max("t/peak", 7);
+    obs::count_max("t/peak", 3);  // below the high-water mark: ignored
+    obs::record("t/gauge", 9);
+    obs::record("t/gauge", 5);  // gauge: overwritten
+    { const obs::ScopedSpan span("t/span/inner"); }
+
+    EXPECT_EQ(counter_value("t/a"), 5u);
+    EXPECT_EQ(counter_value("t/b"), 2u);
+    EXPECT_EQ(counter_value("t/peak"), 7u);
+    EXPECT_EQ(counter_value("t/gauge"), 5u);
+
+    const auto counters = obs::Registry::global().counters();
+    for (std::size_t i = 1; i < counters.size(); ++i)
+        EXPECT_LT(counters[i - 1].path, counters[i].path);
+
+    bool saw_span = false;
+    for (const auto& t : obs::Registry::global().timers())
+        if (t.path == "t/span/inner") {
+            saw_span = true;
+            EXPECT_EQ(t.calls, 1u);
+        }
+    EXPECT_TRUE(saw_span);
+}
+
+TEST(TelemetryTest, DisabledRecordingIsANoOp) {
+    obs::set_enabled(false);
+    obs::count("t/disabled/counter");
+    obs::record("t/disabled/gauge", 3);
+    { const obs::ScopedSpan span("t/disabled/span"); }
+    // Disabled helpers never touch the registry — the paths are not even
+    // registered.
+    EXPECT_FALSE(counter_exists("t/disabled/counter"));
+    EXPECT_FALSE(counter_exists("t/disabled/gauge"));
+    for (const auto& t : obs::Registry::global().timers())
+        EXPECT_NE(t.path, "t/disabled/span");
+}
+
+TEST(TelemetryTest, RegistryResetZeroesButKeepsRegistrations) {
+    TelemetryGuard guard;
+    obs::count("t/reset/c", 11);
+    obs::Registry::global().timer("t/reset/t").add(100, 2);
+    obs::Registry::global().reset();
+    EXPECT_TRUE(counter_exists("t/reset/c"));
+    EXPECT_EQ(counter_value("t/reset/c"), 0u);
+    for (const auto& t : obs::Registry::global().timers())
+        if (t.path == "t/reset/t") {
+            EXPECT_EQ(t.ns, 0u);
+            EXPECT_EQ(t.calls, 0u);
+        }
+}
+
+/// Exploration counters under one DCFT_VERIFIER_THREADS setting.
+std::vector<std::pair<std::string, std::uint64_t>> explore_counters(
+    unsigned threads) {
+    setenv("DCFT_VERIFIER_THREADS", std::to_string(threads).c_str(), 1);
+    obs::Registry::global().reset();
+    auto sys = apps::make_token_ring(4, 4);
+    const TransitionSystem ts(sys.ring, &sys.corrupt_any, Predicate::top());
+    EXPECT_GT(ts.num_nodes(), 0u);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (const auto& c : obs::Registry::global().counters())
+        if (c.path.rfind("verify/explore/", 0) == 0)
+            out.emplace_back(c.path, c.value);
+    unsetenv("DCFT_VERIFIER_THREADS");
+    return out;
+}
+
+TEST(TelemetryTest, ExplorationCountersDeterministicAcrossThreadCounts) {
+    TelemetryGuard guard;
+    const auto t1 = explore_counters(1);
+    const auto t2 = explore_counters(2);
+    const auto t8 = explore_counters(8);
+    ASSERT_FALSE(t1.empty());
+    // Levels, frontier peak, node/edge counts, interner hits/misses: all
+    // derived from the canonical BFS, hence identical per thread count.
+    EXPECT_EQ(t1, t2);
+    EXPECT_EQ(t1, t8);
+
+    auto value = [&](const char* path) -> std::uint64_t {
+        for (const auto& [p, v] : t1)
+            if (p == path) return v;
+        return 0;
+    };
+    EXPECT_GT(value("verify/explore/levels"), 0u);
+    EXPECT_GT(value("verify/explore/frontier_peak"), 0u);
+    EXPECT_GT(value("verify/explore/nodes"), 0u);
+    EXPECT_GT(value("verify/explore/program_edges"), 0u);
+    EXPECT_GT(value("verify/explore/fault_edges"), 0u);
+    // Every intern call is a hit or a miss; misses == discovered nodes.
+    EXPECT_EQ(value("verify/explore/interner_misses"),
+              value("verify/explore/nodes"));
+}
+
+TEST(JsonTest, WriterEscapingRoundTrips) {
+    obs::JsonWriter w;
+    const std::string nasty = "a\"b\\c\nd\te\rf\x01g";
+    w.begin_object();
+    w.kv("s", nasty);
+    w.kv("n", std::uint64_t{42});
+    w.kv("d", 1.5);
+    w.kv("b", true);
+    w.key("null_member");
+    w.null();
+    w.end_object();
+
+    std::string error;
+    const auto doc = obs::parse_json(w.str(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    ASSERT_TRUE(doc->is_object());
+    EXPECT_EQ(doc->find("s")->as_string(), nasty);
+    EXPECT_EQ(doc->find("n")->as_number(), 42.0);
+    EXPECT_EQ(doc->find("d")->as_number(), 1.5);
+    EXPECT_TRUE(doc->find("b")->as_bool());
+    EXPECT_TRUE(doc->find("null_member")->is_null());
+}
+
+TEST(JsonTest, ParserRejectsMalformedDocuments) {
+    for (const char* bad :
+         {"", "{", "[1,]", "{\"a\" 1}", "\"unterminated", "{} trailing",
+          "{\"a\": nul}", "[1 2]"}) {
+        std::string error;
+        EXPECT_FALSE(obs::parse_json(bad, &error).has_value())
+            << "accepted: " << bad;
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(RunReportTest, SchemaRoundTrips) {
+    TelemetryGuard guard;
+    obs::count("verify/explorations", 3);
+    { const obs::ScopedSpan span("verify/explore/level"); }
+
+    obs::RunReport report("dcft", "verify token-ring 4");
+    obs::ReportQuery pass;
+    pass.name = "token-ring/ring/nonmasking";
+    pass.system = "token-ring";
+    pass.variant = "ring";
+    pass.grade = "nonmasking";
+    pass.ok = true;
+    pass.invariant_size = 4;
+    pass.span_size = 256;
+    pass.witness_kind = "exploration";
+    pass.witness = {WitnessStep{0, "<t=0>", "", false},
+                    WitnessStep{7, "<t=3>", "corrupt", true}};
+    report.add_query(pass);
+    obs::ReportQuery fail;
+    fail.name = "token-ring/ring/failsafe";
+    fail.system = "token-ring";
+    fail.variant = "ring";
+    fail.grade = "failsafe";
+    fail.ok = false;
+    fail.reason = "safety violated: ...";
+    fail.witness_kind = "counterexample";
+    fail.witness = {WitnessStep{0, "<t=0>", "", false},
+                    WitnessStep{1, "<t=1>", "pass", false}};
+    report.add_query(fail);
+
+    std::string error;
+    const auto doc = obs::parse_json(report.to_json(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+
+    // Envelope.
+    EXPECT_EQ(doc->find("schema")->as_string(), "dcft.report");
+    EXPECT_EQ(doc->find("schema_version")->as_number(), 1.0);
+    EXPECT_EQ(doc->find("kind")->as_string(), "run_report");
+    EXPECT_EQ(doc->find("tool")->as_string(), "dcft");
+
+    // Queries and witnesses.
+    const auto* queries =
+        doc->find("queries", obs::JsonValue::Kind::Array);
+    ASSERT_NE(queries, nullptr);
+    ASSERT_EQ(queries->as_array().size(), 2u);
+    const auto& q0 = queries->as_array()[0];
+    EXPECT_TRUE(q0.find("ok")->as_bool());
+    EXPECT_EQ(q0.find("span_size")->as_number(), 256.0);
+    const auto* witness = q0.find("witness", obs::JsonValue::Kind::Object);
+    ASSERT_NE(witness, nullptr);
+    EXPECT_EQ(witness->find("kind")->as_string(), "exploration");
+    const auto& trace = witness->find("trace")->as_array();
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].find("action")->as_string(), "");
+    EXPECT_TRUE(trace[1].find("fault")->as_bool());
+    const auto& q1 = queries->as_array()[1];
+    EXPECT_FALSE(q1.find("ok")->as_bool());
+    EXPECT_EQ(q1.find("witness")->find("kind")->as_string(),
+              "counterexample");
+
+    // Telemetry: counters non-negative, spans nested by path.
+    const auto* telemetry =
+        doc->find("telemetry", obs::JsonValue::Kind::Object);
+    ASSERT_NE(telemetry, nullptr);
+    EXPECT_TRUE(telemetry->find("enabled")->as_bool());
+    const auto* counters =
+        telemetry->find("counters", obs::JsonValue::Kind::Object);
+    ASSERT_NE(counters, nullptr);
+    for (const auto& [path, v] : counters->as_object()) {
+        EXPECT_TRUE(v.is_number()) << path;
+        EXPECT_GE(v.as_number(), 0.0) << path;
+    }
+    EXPECT_EQ(counters->find("verify/explorations")->as_number(), 3.0);
+    const auto* spans = telemetry->find("spans", obs::JsonValue::Kind::Array);
+    ASSERT_NE(spans, nullptr);
+    bool found_level = false;
+    for (const auto& top : spans->as_array()) {
+        if (top.find("name")->as_string() != "verify") continue;
+        for (const auto& child : top.find("children")->as_array()) {
+            if (child.find("name")->as_string() != "explore") continue;
+            for (const auto& leaf : child.find("children")->as_array()) {
+                if (leaf.find("name")->as_string() == "level" &&
+                    leaf.find("path")->as_string() ==
+                        "verify/explore/level" &&
+                    leaf.find("calls")->as_number() >= 1.0)
+                    found_level = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found_level);
+}
+
+TEST(RunReportTest, ToleranceWitnessesAreReplayable) {
+    TelemetryGuard guard;
+    auto sys = apps::make_token_ring(4, 4);
+    // Nonmasking holds for the ring; its report carries an exploration
+    // witness. Fail-safe does not; its report carries a counterexample.
+    const ToleranceReport pass = check_nonmasking(
+        sys.ring, sys.corrupt_any, sys.spec, sys.legitimate);
+    ASSERT_TRUE(pass.ok());
+    ASSERT_FALSE(pass.deepest_trace.empty());
+    EXPECT_TRUE(pass.deepest_trace.front().action.empty());  // root
+    for (std::size_t i = 1; i < pass.deepest_trace.size(); ++i) {
+        EXPECT_FALSE(pass.deepest_trace[i].action.empty());
+        EXPECT_FALSE(pass.deepest_trace[i].state_repr.empty());
+    }
+
+    const ToleranceReport fail = check_failsafe(
+        sys.ring, sys.corrupt_any, sys.spec, sys.legitimate);
+    ASSERT_FALSE(fail.ok());
+    ASSERT_FALSE(fail.counterexample().empty());
+    EXPECT_TRUE(fail.counterexample().front().action.empty());
+    for (std::size_t i = 1; i < fail.counterexample().size(); ++i)
+        EXPECT_FALSE(fail.counterexample()[i].action.empty());
+}
+
+}  // namespace
+}  // namespace dcft

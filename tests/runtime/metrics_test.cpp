@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/check.hpp"
 
 namespace dcft {
@@ -13,7 +15,28 @@ TEST(SummaryStatsTest, EmptyStats) {
     EXPECT_EQ(stats.count(), 0u);
     EXPECT_THROW(stats.mean(), ContractError);
     EXPECT_THROW(stats.min(), ContractError);
-    EXPECT_THROW(stats.percentile(0.5), ContractError);
+}
+
+TEST(SummaryStatsTest, EmptyPercentileIsQuietNaN) {
+    // No ranks exist, so the percentile is NaN (not a throw, and certainly
+    // not an out-of-range read); the q-range contract still applies first.
+    SummaryStats stats;
+    EXPECT_TRUE(std::isnan(stats.percentile(0.5)));
+    EXPECT_TRUE(std::isnan(stats.p50()));
+    EXPECT_TRUE(std::isnan(stats.p90()));
+    EXPECT_TRUE(std::isnan(stats.p99()));
+    EXPECT_THROW(stats.percentile(2.0), ContractError);
+}
+
+TEST(SummaryStatsTest, NamedPercentileAccessors) {
+    SummaryStats stats;
+    for (int i = 1; i <= 100; ++i) stats.add(i);
+    EXPECT_DOUBLE_EQ(stats.p50(), stats.percentile(0.50));
+    EXPECT_DOUBLE_EQ(stats.p90(), stats.percentile(0.90));
+    EXPECT_DOUBLE_EQ(stats.p99(), stats.percentile(0.99));
+    EXPECT_DOUBLE_EQ(stats.p50(), 50.0);
+    EXPECT_DOUBLE_EQ(stats.p90(), 90.0);
+    EXPECT_DOUBLE_EQ(stats.p99(), 99.0);
 }
 
 TEST(SummaryStatsTest, BasicAggregates) {

@@ -1,0 +1,151 @@
+// Monitor hook contract: the simulator invokes on_start once per monitor in
+// registration order, on_step for every executed step (again in
+// registration order, with the fault flag distinguishing injector steps
+// from program steps), and on_finish exactly once, after the last step.
+// SafetyMonitor relies on that contract to attribute violations to fault
+// vs. program steps; the second half pins the attribution on a scripted
+// run.
+#include "runtime/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dcft {
+namespace {
+
+std::shared_ptr<const StateSpace> counter_space() {
+    return make_space({Variable{"v", 10, {}}});
+}
+
+Program incrementer(std::shared_ptr<const StateSpace> sp, Value limit) {
+    Program p(sp, "inc");
+    p.add_action(Action::assign(
+        *sp, "inc",
+        Predicate("v<lim",
+                  [limit](const StateSpace& space, StateIndex s) {
+                      return space.get(s, 0) < limit;
+                  }),
+        "v",
+        [](const StateSpace& space, StateIndex s) {
+            return space.get(s, 0) + 1;
+        }));
+    return p;
+}
+
+/// Appends one line per hook invocation to a shared log.
+class RecordingMonitor final : public Monitor {
+public:
+    RecordingMonitor(std::string name, std::vector<std::string>* log)
+        : name_(std::move(name)), log_(log) {}
+
+    void on_start(const StateSpace&, StateIndex initial) override {
+        log_->push_back("start:" + name_ + ":" + std::to_string(initial));
+    }
+    void on_step(const StateSpace&, StateIndex from, StateIndex to,
+                 bool fault, std::size_t step) override {
+        log_->push_back("step:" + name_ + ":" + std::to_string(from) + "->" +
+                        std::to_string(to) + (fault ? ":F" : ":P") + "@" +
+                        std::to_string(step));
+    }
+    void on_finish(const StateSpace&, StateIndex last,
+                   std::size_t steps) override {
+        log_->push_back("finish:" + name_ + ":" + std::to_string(last) + "@" +
+                        std::to_string(steps));
+    }
+
+private:
+    std::string name_;
+    std::vector<std::string>* log_;
+};
+
+TEST(MonitorOrderTest, HooksFireInRegistrationOrderAndFinishLast) {
+    auto sp = counter_space();
+    const Program p = incrementer(sp, 2);
+    RoundRobinScheduler sched;
+    Simulator sim(p, sched);
+    std::vector<std::string> log;
+    RecordingMonitor a("A", &log);
+    RecordingMonitor b("B", &log);
+    sim.add_monitor(&a);
+    sim.add_monitor(&b);
+    const RunResult r = sim.run(0);
+    EXPECT_TRUE(r.deadlocked);
+
+    const std::vector<std::string> expected = {
+        "start:A:0",      "start:B:0",       // registration order
+        "step:A:0->1:P@0", "step:B:0->1:P@0",  // A before B on every step
+        "step:A:1->2:P@1", "step:B:1->2:P@1",
+        "finish:A:2@2",   "finish:B:2@2",    // finish strictly last
+    };
+    EXPECT_EQ(log, expected);
+}
+
+TEST(MonitorOrderTest, FaultStepsAreFlaggedForMonitors) {
+    auto sp = counter_space();
+    const Program p = incrementer(sp, 3);
+    // Scripted fault: at step 2 (v==2) reset v to 0; no random faults.
+    FaultClass f(sp, "F");
+    f.add_action(Action::assign_const(
+        *sp, "reset", Predicate::var_eq(*sp, "v", 2), "v", 0));
+    FaultInjector inj(f, 0.0, 1);
+    inj.schedule(2, 0);
+
+    RoundRobinScheduler sched;
+    Simulator sim(p, sched);
+    sim.set_fault_injector(&inj);
+    std::vector<std::string> log;
+    RecordingMonitor rec("M", &log);
+    sim.add_monitor(&rec);
+    const RunResult r = sim.run(0);
+    EXPECT_EQ(r.fault_steps, 1u);
+
+    const std::vector<std::string> expected = {
+        "start:M:0",
+        "step:M:0->1:P@0",
+        "step:M:1->2:P@1",
+        "step:M:2->0:F@2",  // the scripted fault, flagged as such
+        "step:M:0->1:P@3",
+        "step:M:1->2:P@4",
+        "step:M:2->3:P@5",
+        "finish:M:3@6",
+    };
+    EXPECT_EQ(log, expected);
+}
+
+TEST(MonitorOrderTest, SafetyMonitorAttributesFaultVsProgramViolations) {
+    auto sp = counter_space();
+    const Program p = incrementer(sp, 5);
+    FaultClass f(sp, "F");
+    f.add_action(Action::assign_const(
+        *sp, "reset", Predicate::var_eq(*sp, "v", 2), "v", 0));
+    FaultInjector inj(f, 0.0, 1);
+    inj.schedule(2, 0);
+
+    // Bad transition: v decreases (only the fault reset does that).
+    // Bad state: v == 5 (only the final program step reaches it).
+    SafetySpec spec(
+        "no-decrease-and-never-5", Predicate::var_eq(*sp, "v", 5),
+        [](const StateSpace& space, StateIndex from, StateIndex to) {
+            return space.get(to, 0) < space.get(from, 0);
+        });
+
+    RoundRobinScheduler sched;
+    Simulator sim(p, sched);
+    sim.set_fault_injector(&inj);
+    SafetyMonitor mon(spec);
+    sim.add_monitor(&mon);
+    const RunResult r = sim.run(0);
+    EXPECT_TRUE(r.deadlocked);
+    EXPECT_EQ(r.fault_steps, 1u);
+
+    // Exactly one violating fault step (2 -> 0) and one violating program
+    // step (4 -> 5, a bad state): the attribution must not cross over.
+    EXPECT_EQ(mon.fault_violations(), 1u);
+    EXPECT_EQ(mon.program_violations(), 1u);
+    EXPECT_EQ(mon.bad_states(), 1u);
+}
+
+}  // namespace
+}  // namespace dcft

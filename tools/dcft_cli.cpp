@@ -2,9 +2,12 @@
 //
 //   dcft list
 //       Show the available systems and their program variants.
-//   dcft verify <system> [size]
+//   dcft verify <system> [size] [--report FILE]
 //       Run the fail-safe / nonmasking / masking checks for every variant
-//       of the system and print the verdict grid.
+//       of the system and print the verdict grid. With --report, enable
+//       telemetry and write a run report (schema dcft.report, see
+//       obs/run_report.hpp) with per-query verdicts, witness traces, the
+//       phase tree, and all counters.
 //   dcft simulate <system> [size] [--variant NAME] [--runs N]
 //                 [--fault-p P] [--max-faults K] [--steps N] [--seed S]
 //       Batch-simulate a variant under fault injection and print
@@ -25,6 +28,8 @@
 #include "apps/termination_detection.hpp"
 #include "apps/tmr.hpp"
 #include "apps/token_ring.hpp"
+#include "obs/run_report.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/experiment.hpp"
 #include "verify/invariant.hpp"
 #include "verify/tolerance_checker.hpp"
@@ -198,7 +203,43 @@ int cmd_list() {
     return 0;
 }
 
-int cmd_verify(const std::string& name, int size) {
+/// One ReportQuery from a tolerance verdict. Failing queries export the
+/// counterexample of the first failing obligation; passing queries export
+/// the exploration witness (BFS path to the deepest fault-span state).
+obs::ReportQuery make_query(const std::string& system,
+                            const std::string& variant,
+                            const std::string& grade,
+                            const ToleranceReport& report) {
+    obs::ReportQuery q;
+    q.name = system + "/" + variant + "/" + grade;
+    q.system = system;
+    q.variant = variant;
+    q.grade = grade;
+    q.ok = report.ok();
+    q.reason = report.reason();
+    q.invariant_size = report.invariant_size;
+    q.span_size = report.span_size;
+    if (!report.ok() && !report.counterexample().empty()) {
+        q.witness_kind = "counterexample";
+        q.witness = report.counterexample();
+    } else if (report.ok() && !report.deepest_trace.empty()) {
+        q.witness_kind = "exploration";
+        q.witness = report.deepest_trace;
+    }
+    return q;
+}
+
+int cmd_verify(const std::string& name, int size,
+               const std::map<std::string, std::string>& flags) {
+    const auto report_it = flags.find("report");
+    const bool reporting = report_it != flags.end();
+    // --report implies telemetry: the report embeds the phase tree and
+    // counter snapshot of exactly this invocation.
+    if (reporting) obs::set_enabled(true);
+    obs::RunReport report(
+        "dcft", "verify " + name + (size > 0 ? " " + std::to_string(size)
+                                             : std::string()));
+
     const SystemInstance sys = load(name, size);
     std::printf("%s: |space|=%llu, spec=%s, faults=%s\n", name.c_str(),
                 static_cast<unsigned long long>(sys.space->num_states()),
@@ -206,20 +247,32 @@ int cmd_verify(const std::string& name, int size) {
     std::printf("  %-14s %-10s %-11s %-8s\n", "variant", "fail-safe",
                 "nonmasking", "masking");
     for (const auto& [variant, program] : sys.variants) {
-        const bool fs =
-            check_failsafe(program, *sys.faults, sys.spec, sys.invariant)
-                .ok();
-        const bool nm =
-            check_nonmasking(program, *sys.faults, sys.spec, sys.invariant)
-                .ok();
+        const ToleranceReport fs =
+            check_failsafe(program, *sys.faults, sys.spec, sys.invariant);
+        const ToleranceReport nm =
+            check_nonmasking(program, *sys.faults, sys.spec, sys.invariant);
         const ToleranceReport mk = check_masking(program, *sys.faults,
                                                  sys.spec, sys.invariant);
         std::printf("  %-14s %-10s %-11s %-8s\n", variant.c_str(),
-                    fs ? "yes" : "no", nm ? "yes" : "no",
+                    fs.ok() ? "yes" : "no", nm.ok() ? "yes" : "no",
                     mk.ok() ? "yes" : "no");
         if (!mk.ok())
             std::printf("      masking fails because: %s\n",
                         mk.reason().c_str());
+        if (reporting) {
+            report.add_query(make_query(name, variant, "failsafe", fs));
+            report.add_query(make_query(name, variant, "nonmasking", nm));
+            report.add_query(make_query(name, variant, "masking", mk));
+        }
+    }
+    if (reporting) {
+        std::string error;
+        if (!report.write(report_it->second, &error)) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 1;
+        }
+        std::printf("run report written to %s (%zu queries)\n",
+                    report_it->second.c_str(), report.queries().size());
     }
     return 0;
 }
@@ -281,7 +334,8 @@ int main(int argc, char** argv) {
     try {
         if (argc < 2) {
             std::fprintf(stderr,
-                         "usage: dcft list | verify <system> [size] | "
+                         "usage: dcft list | verify <system> [size] "
+                         "[--report FILE] | "
                          "simulate <system> [size] [--key value ...]\n");
             return 2;
         }
@@ -304,7 +358,7 @@ int main(int argc, char** argv) {
             flags[key] = argv[arg + 1];
         }
 
-        if (command == "verify") return cmd_verify(system, size);
+        if (command == "verify") return cmd_verify(system, size, flags);
         if (command == "simulate") return cmd_simulate(system, size, flags);
         std::fprintf(stderr, "unknown command: %s\n", command.c_str());
         return 2;

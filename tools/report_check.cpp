@@ -1,0 +1,243 @@
+// report_check — end-to-end validator for dcft run reports.
+//
+//   report_check <path-to-dcft-cli> <system>[:size]...
+//
+// For each system it runs `dcft verify <system> [size] --report FILE`,
+// parses the emitted JSON with the same reader the tests use
+// (obs/json.hpp), and validates the schema: envelope keys, per-query
+// verdict fields, witness traces with action provenance, non-negative
+// counters, and a properly nested span tree. Exits non-zero on the first
+// malformed report. Registered as the ctest target `report_check` over the
+// token-ring and Byzantine examples, so the --report pipeline cannot rot
+// silently.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+using dcft::obs::JsonValue;
+
+namespace {
+
+struct Failure {
+    std::string message;
+};
+
+void require(bool ok, const std::string& what) {
+    if (!ok) throw Failure{what};
+}
+
+const JsonValue& member(const JsonValue& obj, const std::string& key,
+                        JsonValue::Kind kind) {
+    const JsonValue* v = obj.find(key, kind);
+    require(v != nullptr, "missing or mistyped member '" + key + "'");
+    return *v;
+}
+
+void check_nonneg_number(const JsonValue& obj, const std::string& key) {
+    const JsonValue& v = member(obj, key, JsonValue::Kind::Number);
+    require(v.as_number() >= 0.0, "member '" + key + "' is negative");
+}
+
+/// A span node: name/path/ns/calls plus recursively valid children whose
+/// paths extend the parent's path.
+void check_span(const JsonValue& span, const std::string& parent_path) {
+    const std::string name =
+        member(span, "name", JsonValue::Kind::String).as_string();
+    const std::string path =
+        member(span, "path", JsonValue::Kind::String).as_string();
+    require(!name.empty(), "span with empty name");
+    const std::string expected =
+        parent_path.empty() ? name : parent_path + "/" + name;
+    require(path == expected, "span path '" + path +
+                                  "' does not nest under '" + parent_path +
+                                  "'");
+    check_nonneg_number(span, "ns");
+    check_nonneg_number(span, "calls");
+    for (const JsonValue& child :
+         member(span, "children", JsonValue::Kind::Array).as_array())
+        check_span(child, path);
+}
+
+void check_witness_step(const JsonValue& step) {
+    check_nonneg_number(step, "state");
+    member(step, "state_repr", JsonValue::Kind::String);
+    member(step, "action", JsonValue::Kind::String);
+    member(step, "fault", JsonValue::Kind::Bool);
+}
+
+/// Validates one query; reports back whether it carried a non-trivial
+/// witness and whether it passed.
+void check_query(const JsonValue& q, bool* ok_out, bool* has_witness_out) {
+    for (const char* key : {"name", "system", "variant", "grade", "reason"})
+        member(q, key, JsonValue::Kind::String);
+    const bool ok = member(q, "ok", JsonValue::Kind::Bool).as_bool();
+    check_nonneg_number(q, "invariant_size");
+    check_nonneg_number(q, "span_size");
+    const JsonValue& witness =
+        member(q, "witness", JsonValue::Kind::Object);
+    const std::string kind =
+        member(witness, "kind", JsonValue::Kind::String).as_string();
+    const auto& trace =
+        member(witness, "trace", JsonValue::Kind::Array).as_array();
+    require(kind.empty() || kind == "counterexample" || kind == "exploration",
+            "unknown witness kind '" + kind + "'");
+    if (kind == "counterexample") require(!ok, "counterexample on a pass");
+    if (kind == "exploration") require(ok, "exploration witness on a fail");
+    if (!kind.empty()) require(!trace.empty(), "witness with empty trace");
+    for (const JsonValue& step : trace) check_witness_step(step);
+    // Replayability: the trace starts at a root (no acting action) and
+    // every later step names the action that produced it.
+    if (!trace.empty()) {
+        require(trace.front()
+                    .find("action", JsonValue::Kind::String)
+                    ->as_string()
+                    .empty(),
+                "witness root carries an action");
+        for (std::size_t i = 1; i < trace.size(); ++i)
+            require(!trace[i]
+                         .find("action", JsonValue::Kind::String)
+                         ->as_string()
+                         .empty(),
+                    "witness step without action provenance");
+    }
+    *ok_out = ok;
+    *has_witness_out = !trace.empty();
+}
+
+struct ReportSummary {
+    std::size_t queries = 0;
+    std::size_t passing_with_witness = 0;
+    std::size_t failing_with_witness = 0;
+};
+
+ReportSummary check_report(const JsonValue& doc) {
+    require(member(doc, "schema", JsonValue::Kind::String).as_string() ==
+                "dcft.report",
+            "wrong schema tag");
+    require(member(doc, "schema_version", JsonValue::Kind::Number)
+                    .as_number() == 1.0,
+            "unexpected schema_version");
+    require(member(doc, "kind", JsonValue::Kind::String).as_string() ==
+                "run_report",
+            "wrong kind");
+    member(doc, "tool", JsonValue::Kind::String);
+    member(doc, "command", JsonValue::Kind::String);
+
+    ReportSummary summary;
+    const auto& queries =
+        member(doc, "queries", JsonValue::Kind::Array).as_array();
+    require(!queries.empty(), "report with no queries");
+    summary.queries = queries.size();
+    for (const JsonValue& q : queries) {
+        bool ok = false, has_witness = false;
+        check_query(q, &ok, &has_witness);
+        if (has_witness) {
+            if (ok)
+                ++summary.passing_with_witness;
+            else
+                ++summary.failing_with_witness;
+        }
+    }
+
+    const JsonValue& telemetry =
+        member(doc, "telemetry", JsonValue::Kind::Object);
+    require(member(telemetry, "enabled", JsonValue::Kind::Bool).as_bool(),
+            "--report must enable telemetry");
+    const auto& counters =
+        member(telemetry, "counters", JsonValue::Kind::Object).as_object();
+    require(!counters.empty(), "telemetry with no counters");
+    for (const auto& [path, value] : counters) {
+        require(value.is_number() && value.as_number() >= 0.0,
+                "counter '" + path + "' is not a non-negative number");
+    }
+    const auto& spans =
+        member(telemetry, "spans", JsonValue::Kind::Array).as_array();
+    require(!spans.empty(), "telemetry with no spans");
+    for (const JsonValue& span : spans) check_span(span, "");
+    return summary;
+}
+
+int run_system(const std::string& cli, const std::string& spec,
+               ReportSummary* total) {
+    std::string system = spec;
+    std::string size;
+    if (const auto colon = spec.find(':'); colon != std::string::npos) {
+        system = spec.substr(0, colon);
+        size = spec.substr(colon + 1);
+    }
+    const std::string report_path = "report_check_" + system + ".json";
+    std::string command = "\"" + cli + "\" verify " + system;
+    if (!size.empty()) command += " " + size;
+    command += " --report " + report_path;
+    std::printf("report_check: %s\n", command.c_str());
+    if (std::system(command.c_str()) != 0) {
+        std::fprintf(stderr, "report_check: command failed: %s\n",
+                     command.c_str());
+        return 1;
+    }
+
+    std::ifstream in(report_path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "report_check: no report written at %s\n",
+                     report_path.c_str());
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    std::string error;
+    const auto doc = dcft::obs::parse_json(buffer.str(), &error);
+    if (!doc) {
+        std::fprintf(stderr, "report_check: %s is not valid JSON: %s\n",
+                     report_path.c_str(), error.c_str());
+        return 1;
+    }
+    try {
+        const ReportSummary summary = check_report(*doc);
+        total->queries += summary.queries;
+        total->passing_with_witness += summary.passing_with_witness;
+        total->failing_with_witness += summary.failing_with_witness;
+        std::printf(
+            "report_check: %s ok (%zu queries, %zu passing / %zu failing "
+            "with witnesses)\n",
+            report_path.c_str(), summary.queries,
+            summary.passing_with_witness, summary.failing_with_witness);
+    } catch (const Failure& failure) {
+        std::fprintf(stderr, "report_check: %s invalid: %s\n",
+                     report_path.c_str(), failure.message.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: report_check <dcft-cli> <system>[:size]...\n");
+        return 2;
+    }
+    const std::string cli = argv[1];
+    ReportSummary total;
+    for (int i = 2; i < argc; ++i)
+        if (const int rc = run_system(cli, argv[i], &total); rc != 0)
+            return rc;
+    // Across the validated systems there must be at least one passing and
+    // one failing query whose witness traces are replayable.
+    if (total.passing_with_witness == 0 || total.failing_with_witness == 0) {
+        std::fprintf(stderr,
+                     "report_check: expected both a passing and a failing "
+                     "query with witnesses (got %zu passing, %zu failing)\n",
+                     total.passing_with_witness, total.failing_with_witness);
+        return 1;
+    }
+    std::printf("report_check: all reports valid (%zu queries)\n",
+                total.queries);
+    return 0;
+}
