@@ -5,8 +5,10 @@
 #include "apps/memory_access.hpp"
 #include "apps/tmr.hpp"
 #include "bench_util.hpp"
+#include "obs/telemetry.hpp"
 #include "synth/add_masking.hpp"
 #include "verify/detection_predicate.hpp"
+#include "verify/exploration_cache.hpp"
 #include "verify/tolerance_checker.hpp"
 
 using namespace dcft;
@@ -62,6 +64,52 @@ void report() {
                     yn(check_masking(tmr.masking, tmr.corrupt_one_input,
                                      tmr.spec, tmr.invariant)
                            .ok()));
+    }
+
+    section("exploration sharing (one BFS per distinct graph per query)");
+    {
+        // A masking-synthesis query plus its check asks repeatedly for the
+        // same (program, faults, init) graphs; the exploration cache must
+        // collapse those to one BFS each. Verified via the
+        // verify/explorations counter: after the query, the number of
+        // actual explorations equals the number of cache misses (each
+        // distinct transition system was built at most once), and the hit
+        // count is the reuse the cache bought.
+        const bool was_enabled = obs::enabled();
+        obs::set_enabled(true);
+        auto& reg = obs::Registry::global();
+        ExplorationCache::global().clear();
+        const std::uint64_t expl0 = reg.counter("verify/explorations").value();
+        const std::uint64_t hits0 =
+            reg.counter("verify/explore_cache/hits").value();
+        const std::uint64_t miss0 =
+            reg.counter("verify/explore_cache/misses").value();
+
+        auto mem = apps::make_memory_access();
+        const MaskingSynthesis mk = add_masking(
+            mem.intolerant, mem.page_fault, mem.spec.safety(), mem.S);
+        bool ok =
+            check_masking(mk.program, mem.page_fault, mem.spec, mem.S).ok();
+        // Re-running the check must be pure cache hits: zero new BFS.
+        ok = ok &&
+             check_masking(mk.program, mem.page_fault, mem.spec, mem.S).ok();
+
+        const std::uint64_t expl =
+            reg.counter("verify/explorations").value() - expl0;
+        const std::uint64_t hits =
+            reg.counter("verify/explore_cache/hits").value() - hits0;
+        const std::uint64_t misses =
+            reg.counter("verify/explore_cache/misses").value() - miss0;
+        obs::set_enabled(was_enabled);
+
+        std::printf("  memory masking query: %llu explorations, "
+                    "%llu cache hits, %llu misses (verdict %s)\n",
+                    static_cast<unsigned long long>(expl),
+                    static_cast<unsigned long long>(hits),
+                    static_cast<unsigned long long>(misses), yn(ok));
+        std::printf("  each distinct TS built at most once: %s "
+                    "(explorations == misses)\n",
+                    yn(expl == misses));
     }
 
     section("weakest-detection-predicate sizes (states where each action "

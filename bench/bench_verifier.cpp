@@ -29,6 +29,7 @@
 #include "apps/byzantine.hpp"
 #include "apps/token_ring.hpp"
 #include "bench_util.hpp"
+#include "verify/exploration_cache.hpp"
 #include "verify/reachability.hpp"
 #include "verify/reference.hpp"
 #include "verify/refinement.hpp"
@@ -126,12 +127,14 @@ BENCHMARK(BM_MaskingVerdictByzantine)->Arg(3)->Arg(4);
 // reference. This is the evidence file EXPERIMENTS.md quotes.
 
 /// Best-of-N wall time in milliseconds. Repeats until ~0.3 s total (max 5
-/// reps) so short workloads are stable; smoke mode runs each once.
+/// reps) so short workloads are stable; smoke mode runs best-of-3 with no
+/// time floor (bench_compare diffs smoke best_ms against the committed
+/// baseline, so single-rep jitter would make that test flaky).
 template <typename Fn>
 double time_ms(Fn&& fn, bool smoke) {
     using clock = std::chrono::steady_clock;
-    const int max_reps = smoke ? 1 : 5;
-    const double min_total_ms = smoke ? 0.0 : 300.0;
+    const int max_reps = smoke ? 3 : 5;
+    const double min_total_ms = 300.0;
     double best = 0.0, total = 0.0;
     for (int rep = 0; rep < max_reps; ++rep) {
         const auto t0 = clock::now();
@@ -141,6 +144,7 @@ double time_ms(Fn&& fn, bool smoke) {
             std::chrono::duration<double, std::milli>(t1 - t0).count();
         best = rep == 0 ? ms : std::min(best, ms);
         total += ms;
+        if (smoke) continue;  // always best-of-3, however small
         if (total >= min_total_ms && rep > 0) break;
         if (total >= 4.0 * min_total_ms) break;  // one rep was plenty
     }
@@ -159,6 +163,7 @@ struct Workload {
     std::uint64_t invariant_size = 0;
     std::uint64_t span_size = 0;
     double reference_ms = 0.0;
+    double interpreted_ms = 0.0;  ///< DCFT_NO_COMPILE=1, 1 thread (ablation)
     std::vector<std::pair<unsigned, double>> ms_by_threads;
 
     double best_ms() const {
@@ -176,6 +181,32 @@ struct Workload {
 
 void set_verifier_threads(unsigned t) {
     setenv("DCFT_VERIFIER_THREADS", std::to_string(t).c_str(), 1);
+}
+
+/// RAII: forces the interpreted (DCFT_NO_COMPILE=1) path for one scope —
+/// the compiled-vs-interpreted ablation column of the JSON series.
+struct ScopedNoCompile {
+    ScopedNoCompile() { setenv("DCFT_NO_COMPILE", "1", 1); }
+    ~ScopedNoCompile() { unsetenv("DCFT_NO_COMPILE"); }
+};
+
+/// Thread counts actually swept: counts above hardware_concurrency are
+/// dropped (oversubscribed sweeps on a small host measure scheduler noise,
+/// not the verifier). The JSON records whether truncation happened.
+std::vector<unsigned> usable_thread_counts(
+    const std::vector<unsigned>& requested, bool& truncated) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    truncated = false;
+    if (hc == 0) return requested;  // unknown: sweep everything
+    std::vector<unsigned> out;
+    for (const unsigned t : requested) {
+        if (t <= hc)
+            out.push_back(t);
+        else
+            truncated = true;
+    }
+    if (out.empty()) out.push_back(1);
+    return out;
 }
 
 /// Raw exploration: optimized TransitionSystem vs the seed FIFO explorer.
@@ -200,6 +231,16 @@ Workload bench_ts_build(int n, const std::vector<unsigned>& threads,
             benchmark::DoNotOptimize(ref.num_nodes());
         },
         smoke);
+    {
+        const ScopedNoCompile interp;
+        w.interpreted_ms = time_ms(
+            [&] {
+                const TransitionSystem ts(sys.ring, nullptr,
+                                          Predicate::top(), 1);
+                benchmark::DoNotOptimize(ts.num_nodes());
+            },
+            smoke);
+    }
     for (const unsigned t : threads) {
         const double ms = time_ms(
             [&] {
@@ -237,10 +278,25 @@ Workload bench_verdict(const std::string& name, const std::string& system,
                 reference::ref_check_tolerance(p, f, spec, inv, grade));
         },
         smoke);
+    // The verdict pipeline shares explorations through the process-wide
+    // ExplorationCache; clearing it inside the timed region keeps every
+    // rep an honest cold-start build (otherwise rep 2+ would measure
+    // cache hits, not verification).
+    {
+        const ScopedNoCompile interp;
+        w.interpreted_ms = time_ms(
+            [&] {
+                ExplorationCache::global().clear();
+                benchmark::DoNotOptimize(
+                    check_tolerance(p, f, spec, inv, grade));
+            },
+            smoke);
+    }
     for (const unsigned t : threads) {
         set_verifier_threads(t);
         const double ms = time_ms(
             [&] {
+                ExplorationCache::global().clear();
                 benchmark::DoNotOptimize(
                     check_tolerance(p, f, spec, inv, grade));
             },
@@ -252,7 +308,8 @@ Workload bench_verdict(const std::string& name, const std::string& system,
 }
 
 void write_json(const std::string& path, const std::vector<Workload>& ws,
-                const std::vector<unsigned>& threads, bool smoke) {
+                const std::vector<unsigned>& threads, bool truncated,
+                bool smoke) {
     // Same envelope as dcft_cli run reports (schema "dcft.report",
     // "kind": "bench"); the payload keys below are unchanged from the
     // original emitter so EXPERIMENTS.md readers keep working.
@@ -266,6 +323,7 @@ void write_json(const std::string& path, const std::vector<Workload>& ws,
     w.begin_array();
     for (const unsigned t : threads) w.value(t);
     w.end_array();
+    w.kv("thread_sweep_truncated", truncated);
     w.kv("timing", "best-of-N wall clock, ms");
     w.kv("reference",
          "seed-era sequential implementation (src/verify/reference.hpp)");
@@ -287,6 +345,7 @@ void write_json(const std::string& path, const std::vector<Workload>& ws,
             w.kv("span_size", wl.span_size);
         }
         w.kv("reference_ms", wl.reference_ms);
+        w.kv("interpreted_ms", wl.interpreted_ms);
         w.key("ms_by_threads");
         w.begin_object();
         for (const auto& [t, ms] : wl.ms_by_threads)
@@ -300,6 +359,8 @@ void write_json(const std::string& path, const std::vector<Workload>& ws,
                  best > 0 ? 1000.0 * static_cast<double>(wl.nodes) / best
                           : 0.0);
         w.kv("speedup_vs_reference", best > 0 ? wl.reference_ms / best : 0.0);
+        w.kv("speedup_vs_interpreted",
+             best > 0 ? wl.interpreted_ms / best : 0.0);
         w.end_object();
     }
     w.end_array();
@@ -310,19 +371,29 @@ void write_json(const std::string& path, const std::vector<Workload>& ws,
 }
 
 int emit_json(const std::string& path, bool smoke) {
-    const std::vector<unsigned> threads =
+    const std::vector<unsigned> requested =
         smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
+    bool truncated = false;
+    const std::vector<unsigned> threads =
+        usable_thread_counts(requested, truncated);
+    if (truncated)
+        std::printf(
+            "thread sweep truncated to hardware_concurrency=%u\n",
+            std::thread::hardware_concurrency());
     std::vector<Workload> ws;
 
-    // Raw exploration throughput (token ring, program only).
-    for (const int n : smoke ? std::vector<int>{5} : std::vector<int>{6, 7}) {
+    // Raw exploration throughput (token ring, program only). The full
+    // series includes the smoke sizes so the bench_compare smoke target
+    // can diff smoke output against the committed full baseline.
+    for (const int n :
+         smoke ? std::vector<int>{5} : std::vector<int>{5, 6, 7}) {
         std::printf("ts_build: token ring n=%d ...\n", n);
         ws.push_back(bench_ts_build(n, threads, smoke));
     }
 
     // Nonmasking verdicts: Dijkstra's ring under arbitrary corruption.
     for (const int n :
-         smoke ? std::vector<int>{4} : std::vector<int>{5, 6, 7}) {
+         smoke ? std::vector<int>{4} : std::vector<int>{4, 5, 6, 7}) {
         std::printf("verdict: token ring n=%d nonmasking ...\n", n);
         auto sys = apps::make_token_ring(n, n);
         ws.push_back(bench_verdict(
@@ -345,12 +416,15 @@ int emit_json(const std::string& path, bool smoke) {
             Tolerance::Masking, threads, smoke));
     }
 
-    write_json(path, ws, threads, smoke);
+    write_json(path, ws, threads, truncated, smoke);
     std::printf("wrote %s (%zu workloads)\n", path.c_str(), ws.size());
     for (const Workload& w : ws)
-        std::printf("  %-40s ref=%9.2fms best=%9.2fms speedup=%.2fx\n",
-                    w.name.c_str(), w.reference_ms, w.best_ms(),
-                    w.best_ms() > 0 ? w.reference_ms / w.best_ms() : 0.0);
+        std::printf(
+            "  %-40s ref=%9.2fms interp=%9.2fms best=%9.2fms "
+            "speedup=%.2fx (vs interp %.2fx)\n",
+            w.name.c_str(), w.reference_ms, w.interpreted_ms, w.best_ms(),
+            w.best_ms() > 0 ? w.reference_ms / w.best_ms() : 0.0,
+            w.best_ms() > 0 ? w.interpreted_ms / w.best_ms() : 0.0);
     return 0;
 }
 

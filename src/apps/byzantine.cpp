@@ -91,11 +91,10 @@ ByzantineSystem make_byzantine(int n, int f) {
     builder->freeze();
     std::shared_ptr<const StateSpace> space = builder;
 
-    auto honest = [](VarId bvar, const std::string& who) {
-        return Predicate("!b." + who,
-                         [bvar](const StateSpace& sp, StateIndex s) {
-                             return sp.get(s, bvar) == 0;
-                         });
+    // Structured b-flag test (kVarEqConst): compiles to a word-level guard
+    // bitset in the verifier. The display name is unchanged.
+    auto honest = [&space](VarId bvar, const std::string& who) {
+        return Predicate::var_eq(*space, bvar, 0).renamed("!b." + who);
     };
 
     // --- BYZ: arbitrary behaviour of processes whose b flag is set. ---
@@ -103,33 +102,18 @@ ByzantineSystem make_byzantine(int n, int f) {
     // Byzantine process rewrites its decision to 0/1 (a decision — never
     // back to bot) and its output to anything, including revoking it.
     Program byz(space, "BYZ");
-    byz.add_action(Action::nondet(
-        "BYZ.g:d", !honest(b_g, "g"),
-        [d_g](const StateSpace& sp, StateIndex s,
-              std::vector<StateIndex>& sv) {
-            sv.push_back(sp.set(s, d_g, 0));
-            sv.push_back(sp.set(s, d_g, 1));
-        }));
+    byz.add_action(Action::assign_choice(*space, "BYZ.g:d", !honest(b_g, "g"),
+                                         d_g, {0, 1}));
     for (int j = 1; j < n; ++j) {
         const VarId dj = d[static_cast<std::size_t>(j - 1)];
         const VarId oj = out[static_cast<std::size_t>(j - 1)];
         const VarId bj = b[static_cast<std::size_t>(j - 1)];
         const std::string js = std::to_string(j);
-        byz.add_action(Action::nondet(
-            "BYZ." + js + ":d", !honest(bj, js),
-            [dj](const StateSpace& sp, StateIndex s,
-                 std::vector<StateIndex>& sv) {
-                sv.push_back(sp.set(s, dj, 0));
-                sv.push_back(sp.set(s, dj, 1));
-            }));
-        byz.add_action(Action::nondet(
-            "BYZ." + js + ":out", !honest(bj, js),
-            [oj](const StateSpace& sp, StateIndex s,
-                 std::vector<StateIndex>& sv) {
-                sv.push_back(sp.set(s, oj, 0));
-                sv.push_back(sp.set(s, oj, 1));
-                sv.push_back(sp.set(s, oj, kBot));
-            }));
+        byz.add_action(Action::assign_choice(*space, "BYZ." + js + ":d",
+                                             !honest(bj, js), dj, {0, 1}));
+        byz.add_action(Action::assign_choice(*space, "BYZ." + js + ":out",
+                                             !honest(bj, js), oj,
+                                             {0, 1, kBot}));
     }
 
     // --- IB: the intolerant agreement program. ---
@@ -137,23 +121,18 @@ ByzantineSystem make_byzantine(int n, int f) {
     std::vector<Action> ib2_actions;  // kept for gating below
     for (int j = 1; j < n; ++j) {
         const VarId dj = d[static_cast<std::size_t>(j - 1)];
+        const VarId oj = out[static_cast<std::size_t>(j - 1)];
         const VarId bj = b[static_cast<std::size_t>(j - 1)];
         const std::string js = std::to_string(j);
         Predicate hon = honest(bj, js);
-        ib.add_action(Action::assign(
+        ib.add_action(Action::assign_var(
             *space, "IB1." + js,
-            hon && Predicate::var_eq(*space, "d." + js, kBot), "d." + js,
-            [d_g](const StateSpace& sp, StateIndex s) {
-                return sp.get(s, d_g);
-            }));
-        Action ib2 = Action::assign(
+            hon && Predicate::var_eq(*space, "d." + js, kBot), dj, d_g));
+        Action ib2 = Action::assign_var(
             *space, "IB2." + js,
             hon && Predicate::var_ne(*space, "d." + js, kBot) &&
                 Predicate::var_eq(*space, "out." + js, kBot),
-            "out." + js,
-            [dj](const StateSpace& sp, StateIndex s) {
-                return sp.get(s, dj);
-            });
+            oj, dj);
         ib.add_action(ib2);
         ib2_actions.push_back(std::move(ib2));
     }

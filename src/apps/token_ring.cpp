@@ -49,48 +49,34 @@ TokenRingSystem make_token_ring(int n, Value k) {
     builder->freeze();
     std::shared_ptr<const StateSpace> space = builder;
 
+    // Structured guards (vars_eq/vars_ne) and effects (assign_add_mod /
+    // assign_var / corrupt_any): the verifier's action-kernel compiler
+    // lowers these to word-level guard bitsets and stride arithmetic. The
+    // display names and successor orders are exactly those of the previous
+    // lambda formulation, so diagnostics and traces are unchanged.
     Program ring(space, "token-ring(n=" + std::to_string(n) +
                             ",K=" + std::to_string(k) + ")");
     {
         const VarId x0 = x[0], xl = x[static_cast<std::size_t>(n - 1)];
-        ring.add_action(Action::assign(
+        ring.add_action(Action::assign_add_mod(
             *space, "move.0",
-            Predicate("x.0==x.last",
-                      [x0, xl](const StateSpace& sp, StateIndex s) {
-                          return sp.get(s, x0) == sp.get(s, xl);
-                      }),
-            "x.0",
-            [x0, k](const StateSpace& sp, StateIndex s) {
-                return (sp.get(s, x0) + 1) % k;
-            }));
+            Predicate::vars_eq(*space, x0, xl).renamed("x.0==x.last"), x0, x0,
+            1, k));
     }
     for (int i = 1; i < n; ++i) {
         const VarId xi = x[static_cast<std::size_t>(i)];
         const VarId xp = x[static_cast<std::size_t>(i - 1)];
-        ring.add_action(Action::assign(
+        ring.add_action(Action::assign_var(
             *space, "move." + std::to_string(i),
-            Predicate("x." + std::to_string(i) + "!=pred",
-                      [xi, xp](const StateSpace& sp, StateIndex s) {
-                          return sp.get(s, xi) != sp.get(s, xp);
-                      }),
-            "x." + std::to_string(i),
-            [xp](const StateSpace& sp, StateIndex s) {
-                return sp.get(s, xp);
-            }));
+            Predicate::vars_ne(*space, xi, xp)
+                .renamed("x." + std::to_string(i) + "!=pred"),
+            xi, xp));
     }
 
     // Transient faults: any counter is corrupted to any value.
     FaultClass fault(space, "corrupt-counter");
-    fault.add_action(Action::nondet(
-        "corrupt", Predicate::top(),
-        [x, k](const StateSpace& sp, StateIndex s,
-               std::vector<StateIndex>& out) {
-            for (VarId v : x) {
-                const Value cur = sp.get(s, v);
-                for (Value c = 0; c < k; ++c)
-                    if (c != cur) out.push_back(sp.set(s, v, c));
-            }
-        }));
+    fault.add_action(
+        Action::corrupt_any(*space, "corrupt", Predicate::top(), x));
 
     Predicate legitimate("one-privilege",
                          [x](const StateSpace& sp, StateIndex s) {

@@ -9,6 +9,10 @@ struct Action::Impl {
     Predicate guard;
     NondetEffect effect;
     std::shared_ptr<const Impl> base;  // provenance chain
+    /// Structural shape of `effect` (kGeneric when unknown). For
+    /// structured kinds, `effect` is generated from these fields, so the
+    /// two can never disagree.
+    EffectForm form;
 };
 
 namespace {
@@ -53,19 +57,120 @@ Action Action::assign_const(const StateSpace& space, std::string name,
     const VarId id = space.find(var);
     DCFT_EXPECTS(value >= 0 && value < space.variable(id).domain_size,
                  "assign_const: value out of domain");
-    return Action(std::move(name), std::move(guard),
-                  [id, value](const StateSpace& sp, StateIndex s) {
-                      return sp.set(s, id, value);
-                  });
+    EffectForm form;
+    form.kind = EffectForm::Kind::kAssignConst;
+    form.var = id;
+    form.value = value;
+    return Action(std::make_shared<Impl>(Impl{
+        std::move(name), std::move(guard),
+        lift([id, value](const StateSpace& sp, StateIndex s) {
+            return sp.set(s, id, value);
+        }),
+        nullptr, std::move(form)}));
+}
+
+Action Action::assign_var(const StateSpace& space, std::string name,
+                          Predicate guard, VarId var, VarId src) {
+    DCFT_EXPECTS(var < space.num_vars() && src < space.num_vars(),
+                 "assign_var: variable out of range");
+    DCFT_EXPECTS(space.variable(src).domain_size <=
+                     space.variable(var).domain_size,
+                 "assign_var: source domain exceeds target domain");
+    EffectForm form;
+    form.kind = EffectForm::Kind::kAssignVar;
+    form.var = var;
+    form.var2 = src;
+    return Action(std::make_shared<Impl>(Impl{
+        std::move(name), std::move(guard),
+        lift([var, src](const StateSpace& sp, StateIndex s) {
+            return sp.set(s, var, sp.get(s, src));
+        }),
+        nullptr, std::move(form)}));
+}
+
+Action Action::assign_add_mod(const StateSpace& space, std::string name,
+                              Predicate guard, VarId var, VarId src,
+                              Value addend, Value modulus) {
+    DCFT_EXPECTS(var < space.num_vars() && src < space.num_vars(),
+                 "assign_add_mod: variable out of range");
+    DCFT_EXPECTS(modulus > 0 && modulus <= space.variable(var).domain_size,
+                 "assign_add_mod: modulus out of target domain");
+    DCFT_EXPECTS(addend >= 0, "assign_add_mod: addend must be non-negative");
+    EffectForm form;
+    form.kind = EffectForm::Kind::kAssignAddMod;
+    form.var = var;
+    form.var2 = src;
+    form.value = addend;
+    form.modulus = modulus;
+    return Action(std::make_shared<Impl>(Impl{
+        std::move(name), std::move(guard),
+        lift([var, src, addend, modulus](const StateSpace& sp, StateIndex s) {
+            return sp.set(s, var, (sp.get(s, src) + addend) % modulus);
+        }),
+        nullptr, std::move(form)}));
+}
+
+Action Action::assign_choice(const StateSpace& space, std::string name,
+                             Predicate guard, VarId var,
+                             std::vector<Value> choices) {
+    DCFT_EXPECTS(var < space.num_vars(), "assign_choice: variable out of range");
+    DCFT_EXPECTS(!choices.empty(), "assign_choice: requires at least one value");
+    for (Value c : choices)
+        DCFT_EXPECTS(c >= 0 && c < space.variable(var).domain_size,
+                     "assign_choice: value out of domain");
+    EffectForm form;
+    form.kind = EffectForm::Kind::kAssignChoice;
+    form.var = var;
+    form.choices = choices;
+    return Action(std::make_shared<Impl>(Impl{
+        std::move(name), std::move(guard),
+        [var, choices = std::move(choices)](const StateSpace& sp, StateIndex s,
+                                            std::vector<StateIndex>& out) {
+            for (Value c : choices) out.push_back(sp.set(s, var, c));
+        },
+        nullptr, std::move(form)}));
+}
+
+Action Action::corrupt_any(const StateSpace& space, std::string name,
+                           Predicate guard, std::vector<VarId> vars) {
+    DCFT_EXPECTS(!vars.empty(), "corrupt_any: requires at least one variable");
+    bool some_choice = false;
+    for (VarId v : vars) {
+        DCFT_EXPECTS(v < space.num_vars(), "corrupt_any: variable out of range");
+        some_choice = some_choice || space.variable(v).domain_size > 1;
+    }
+    DCFT_EXPECTS(some_choice,
+                 "corrupt_any: every variable has a singleton domain");
+    EffectForm form;
+    form.kind = EffectForm::Kind::kCorruptAny;
+    form.vars = vars;
+    return Action(std::make_shared<Impl>(Impl{
+        std::move(name), std::move(guard),
+        [vars = std::move(vars)](const StateSpace& sp, StateIndex s,
+                                 std::vector<StateIndex>& out) {
+            for (VarId v : vars) {
+                const Value cur = sp.get(s, v);
+                const Value dom = sp.variable(v).domain_size;
+                for (Value c = 0; c < dom; ++c)
+                    if (c != cur) out.push_back(sp.set(s, v, c));
+            }
+        },
+        nullptr, std::move(form)}));
 }
 
 Action Action::skip(std::string name, Predicate guard) {
-    return Action(std::move(name), std::move(guard),
-                  [](const StateSpace&, StateIndex s) { return s; });
+    EffectForm form;
+    form.kind = EffectForm::Kind::kSkip;
+    return Action(std::make_shared<Impl>(Impl{
+        std::move(name), std::move(guard),
+        lift([](const StateSpace&, StateIndex s) { return s; }),
+        nullptr, std::move(form)}));
 }
 
 const std::string& Action::name() const { return impl_->name; }
 const Predicate& Action::guard() const { return impl_->guard; }
+
+const Action::EffectForm& Action::effect_form() const { return impl_->form; }
 
 bool Action::enabled(const StateSpace& space, StateIndex s) const {
     return impl_->guard.eval(space, s);
@@ -74,6 +179,14 @@ bool Action::enabled(const StateSpace& space, StateIndex s) const {
 void Action::successors(const StateSpace& space, StateIndex s,
                         std::vector<StateIndex>& out) const {
     if (!enabled(space, s)) return;
+    const std::size_t before = out.size();
+    impl_->effect(space, s, out);
+    DCFT_ASSERT(out.size() > before,
+                "enabled action '" + impl_->name + "' produced no successor");
+}
+
+void Action::apply_effect(const StateSpace& space, StateIndex s,
+                          std::vector<StateIndex>& out) const {
     const std::size_t before = out.size();
     impl_->effect(space, s, out);
     DCFT_ASSERT(out.size() > before,

@@ -44,6 +44,33 @@ public:
     using ExtraEffect = std::function<StateIndex(
         const StateSpace&, StateIndex before, StateIndex after)>;
 
+    /// Structural shape of a statement, retained alongside the effect
+    /// function wherever it is known. The action-kernel compiler
+    /// (verify/action_kernel.hpp) lowers structured effects to divmod-free
+    /// stride arithmetic on packed indices; kGeneric effects (arbitrary
+    /// lambdas) fall back to calling the std::function. Structure never
+    /// affects semantics: for structured kinds the interpreted effect is
+    /// itself generated from these fields, so compiled and interpreted
+    /// paths produce identical successor sequences.
+    struct EffectForm {
+        enum class Kind : std::uint8_t {
+            kGeneric,       ///< arbitrary effect; call the function
+            kSkip,          ///< s' = s
+            kAssignConst,   ///< var := value
+            kAssignVar,     ///< var := var2
+            kAssignAddMod,  ///< var := (var2 + value) mod modulus
+            kAssignChoice,  ///< var := c for each c in choices (nondet)
+            kCorruptAny,    ///< each v in vars := each c != cur (nondet)
+        };
+        Kind kind = Kind::kGeneric;
+        VarId var = 0;             ///< assigned variable (kAssign*)
+        VarId var2 = 0;            ///< source variable (kAssignVar/AddMod)
+        Value value = 0;           ///< constant / addend
+        Value modulus = 0;         ///< modulus of kAssignAddMod
+        std::vector<Value> choices;  ///< kAssignChoice targets, in order
+        std::vector<VarId> vars;     ///< kCorruptAny victims, in order
+    };
+
     /// Deterministic action.
     Action(std::string name, Predicate guard, DetEffect effect);
 
@@ -62,11 +89,37 @@ public:
                                Predicate guard, std::string_view var,
                                Value value);
 
+    /// `name :: guard --> var := src` (structured, compilable).
+    static Action assign_var(const StateSpace& space, std::string name,
+                             Predicate guard, VarId var, VarId src);
+
+    /// `name :: guard --> var := (src + addend) mod modulus` — the
+    /// increment shape of token-passing protocols. `var == src` is the
+    /// common self-increment case.
+    static Action assign_add_mod(const StateSpace& space, std::string name,
+                                 Predicate guard, VarId var, VarId src,
+                                 Value addend, Value modulus);
+
+    /// Nondeterministic `name :: guard --> var := c` for each c in
+    /// `choices`, in the given order (structured, compilable).
+    static Action assign_choice(const StateSpace& space, std::string name,
+                                Predicate guard, VarId var,
+                                std::vector<Value> choices);
+
+    /// Nondeterministic corruption: for each v in `vars` (in order), for
+    /// each value c != current value of v (ascending), emits the state
+    /// with v := c. The successor shape of the paper's transient faults.
+    static Action corrupt_any(const StateSpace& space, std::string name,
+                              Predicate guard, std::vector<VarId> vars);
+
     /// Skip action (self-loop); useful for stutter modelling in tests.
     static Action skip(std::string name, Predicate guard);
 
     const std::string& name() const;
     const Predicate& guard() const;
+
+    /// Structural shape of the statement (kGeneric when unknown).
+    const EffectForm& effect_form() const;
 
     bool enabled(const StateSpace& space, StateIndex s) const;
 
@@ -79,6 +132,12 @@ public:
     /// Convenience for the common deterministic case: the unique successor.
     /// Precondition: enabled(s) and the action is deterministic at s.
     StateIndex apply(const StateSpace& space, StateIndex s) const;
+
+    /// The raw statement: appends the successors of s WITHOUT checking the
+    /// guard. Precondition: enabled(space, s). Used by callers that have
+    /// already consulted a bulk enabled-bitset (verify/action_kernel.hpp).
+    void apply_effect(const StateSpace& space, StateIndex s,
+                      std::vector<StateIndex>& out) const;
 
     /// The paper's /\-composition for actions: Z /\ (g --> st) is
     /// (Z /\ g --> st). The result records this action as its base.

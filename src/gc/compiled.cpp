@@ -1,0 +1,68 @@
+#include "gc/compiled.hpp"
+
+#include <limits>
+
+namespace dcft {
+
+namespace {
+
+/// Lemire–Kaser magic multiplier for division by d (2 <= d <= 2^32):
+/// floor(2^64 / d) + 1. With M = magic(d), for any n < 2^32:
+///   n / d == mulhi(M, n)
+///   n % d == mulhi(M * n mod 2^64, d)
+std::uint64_t magic(std::uint64_t d) {
+    return std::numeric_limits<std::uint64_t>::max() / d + 1;
+}
+
+}  // namespace
+
+CompiledSpace::CompiledSpace(const StateSpace& space) : space_(&space) {
+    DCFT_EXPECTS(space.frozen(), "CompiledSpace requires a frozen space");
+    num_states_ = space.num_states();
+    // Lemire correctness bound: numerator and divisor below 2^32. The
+    // numerator is a packed state (< num_states); divisors are strides and
+    // domain sizes (<= num_states). 2^32 states on the boundary still work
+    // because every divisor that reaches 2^32 exactly hits a special case
+    // (power of two, or identity).
+    fast_ = num_states_ <= (StateIndex{1} << 32);
+    codes_.resize(space.num_vars());
+    StateIndex stride = 1;
+    for (VarId v = 0; v < space.num_vars(); ++v) {
+        VarCode& c = codes_[v];
+        const Value dom = space.variable(v).domain_size;
+        DCFT_ASSERT(dom >= 1, "CompiledSpace: empty domain");
+        c.stride = stride;
+        c.dom = dom;
+        c.stride_identity = stride == 1;
+        c.dom_identity = dom == 1;
+        c.dom_pow2 = dom >= 1 && (dom & (dom - 1)) == 0;
+        c.dom_mask = static_cast<std::uint64_t>(dom) - 1;
+        // The quotient s / stride is always < dom when this is the top of
+        // the radix chain (stride * dom covers the whole space).
+        c.mod_identity =
+            stride * static_cast<StateIndex>(dom) == num_states_;
+        if (!c.stride_identity)
+            c.stride_magic = magic(static_cast<std::uint64_t>(stride));
+        if (!c.dom_identity)
+            c.dom_magic = magic(static_cast<std::uint64_t>(dom));
+        stride *= static_cast<StateIndex>(dom);
+    }
+    DCFT_ASSERT(stride == num_states_, "CompiledSpace: stride mismatch");
+}
+
+std::shared_ptr<const CompiledSpace> compile_space(
+    std::shared_ptr<const StateSpace> space) {
+    DCFT_EXPECTS(space != nullptr, "compile_space: null space");
+    struct Holder {
+        std::shared_ptr<const StateSpace> keepalive;
+        CompiledSpace cs;
+        Holder(std::shared_ptr<const StateSpace> sp)
+            : keepalive(std::move(sp)), cs(*keepalive) {}
+    };
+    auto holder = std::make_shared<Holder>(std::move(space));
+    // Aliasing shared_ptr: points at the CompiledSpace, owns the holder
+    // (and through it the StateSpace).
+    return std::shared_ptr<const CompiledSpace>(holder, &holder->cs);
+}
+
+}  // namespace dcft

@@ -12,6 +12,13 @@ struct Predicate::Impl {
     /// Non-null iff the predicate is set-backed; then for every valid s,
     /// fn(space, s) == bits->test(s).
     std::shared_ptr<const BitVec> bits;
+    /// Structural metadata (see Predicate::NodeKind). `fn` remains the
+    /// semantic source of truth; structure is a compilation hint only.
+    NodeKind kind = NodeKind::kOpaque;
+    VarId var = 0;
+    VarId var2 = 0;
+    Value value = 0;
+    std::vector<Predicate> kids;
 };
 
 namespace {
@@ -39,12 +46,13 @@ const BitVec* backed_pair(const Predicate& a, const Predicate& b) {
 Predicate::Predicate()
     : impl_(std::make_shared<Impl>(
           Impl{"true", [](const StateSpace&, StateIndex) { return true; },
-               nullptr})) {}
+               nullptr, NodeKind::kTrue, 0, 0, 0, {}})) {}
 
 Predicate::Predicate(std::string name, Fn fn) {
     DCFT_EXPECTS(fn != nullptr, "Predicate requires an evaluation function");
     impl_ = std::make_shared<Impl>(
-        Impl{std::move(name), std::move(fn), nullptr});
+        Impl{std::move(name), std::move(fn), nullptr, NodeKind::kOpaque, 0, 0,
+             0, {}});
 }
 
 Predicate Predicate::from_bits(std::string name,
@@ -52,32 +60,84 @@ Predicate Predicate::from_bits(std::string name,
     DCFT_EXPECTS(bits != nullptr, "Predicate::from_bits requires bits");
     Predicate out;
     out.impl_ = std::make_shared<Impl>(
-        Impl{std::move(name), bits_fn(bits), std::move(bits)});
+        Impl{std::move(name), bits_fn(bits), std::move(bits),
+             NodeKind::kBacked, 0, 0, 0, {}});
     return out;
 }
 
 Predicate Predicate::top() { return Predicate(); }
 
 Predicate Predicate::bottom() {
-    return Predicate("false",
-                     [](const StateSpace&, StateIndex) { return false; });
+    Predicate out("false",
+                  [](const StateSpace&, StateIndex) { return false; });
+    const_cast<Impl*>(out.impl_.get())->kind = NodeKind::kFalse;
+    return out;
 }
 
 Predicate Predicate::var_eq(const StateSpace& space, std::string_view var,
                             Value value) {
-    const VarId id = space.find(var);
-    DCFT_EXPECTS(value >= 0 && value < space.variable(id).domain_size,
-                 "var_eq: value out of domain");
-    return Predicate(std::string(var) + "==" + std::to_string(value),
-                     [id, value](const StateSpace& sp, StateIndex s) {
-                         return sp.get(s, id) == value;
-                     });
+    return var_eq(space, space.find(var), value);
 }
 
 Predicate Predicate::var_ne(const StateSpace& space, std::string_view var,
                             Value value) {
-    return (!var_eq(space, var, value))
-        .renamed(std::string(var) + "!=" + std::to_string(value));
+    return var_ne(space, space.find(var), value);
+}
+
+Predicate Predicate::var_eq(const StateSpace& space, VarId var, Value value) {
+    DCFT_EXPECTS(value >= 0 && value < space.variable(var).domain_size,
+                 "var_eq: value out of domain");
+    Predicate out(space.variable(var).name + "==" + std::to_string(value),
+                  [var, value](const StateSpace& sp, StateIndex s) {
+                      return sp.get(s, var) == value;
+                  });
+    Impl* impl = const_cast<Impl*>(out.impl_.get());
+    impl->kind = NodeKind::kVarEqConst;
+    impl->var = var;
+    impl->value = value;
+    return out;
+}
+
+Predicate Predicate::var_ne(const StateSpace& space, VarId var, Value value) {
+    DCFT_EXPECTS(value >= 0 && value < space.variable(var).domain_size,
+                 "var_ne: value out of domain");
+    Predicate out(space.variable(var).name + "!=" + std::to_string(value),
+                  [var, value](const StateSpace& sp, StateIndex s) {
+                      return sp.get(s, var) != value;
+                  });
+    Impl* impl = const_cast<Impl*>(out.impl_.get());
+    impl->kind = NodeKind::kVarNeConst;
+    impl->var = var;
+    impl->value = value;
+    return out;
+}
+
+Predicate Predicate::vars_eq(const StateSpace& space, VarId a, VarId b) {
+    DCFT_EXPECTS(a < space.num_vars() && b < space.num_vars(),
+                 "vars_eq: variable out of range");
+    Predicate out(space.variable(a).name + "==" + space.variable(b).name,
+                  [a, b](const StateSpace& sp, StateIndex s) {
+                      return sp.get(s, a) == sp.get(s, b);
+                  });
+    Impl* impl = const_cast<Impl*>(out.impl_.get());
+    impl->kind = NodeKind::kVarEqVar;
+    impl->var = a;
+    impl->var2 = b;
+    return out;
+}
+
+Predicate Predicate::vars_ne(const StateSpace& space, VarId a, VarId b) {
+    DCFT_EXPECTS(a < space.num_vars() && b < space.num_vars(),
+                 "vars_ne: variable out of range");
+    Predicate out(space.variable(a).name + "!=" + space.variable(b).name,
+                  [a, b](const StateSpace& sp, StateIndex s) {
+                      return sp.get(s, a) != sp.get(s, b);
+                  });
+    Impl* impl = const_cast<Impl*>(out.impl_.get());
+    impl->kind = NodeKind::kVarNeVar;
+    impl->var = a;
+    impl->var2 = b;
+    return out;
 }
 
 bool Predicate::eval(const StateSpace& space, StateIndex s) const {
@@ -93,8 +153,26 @@ const std::shared_ptr<const BitVec>& Predicate::backing_bits() const {
 Predicate Predicate::renamed(std::string name) const {
     Predicate out = *this;
     out.impl_ = std::make_shared<Impl>(
-        Impl{std::move(name), impl_->fn, impl_->bits});
+        Impl{std::move(name), impl_->fn, impl_->bits, impl_->kind,
+             impl_->var, impl_->var2, impl_->value, impl_->kids});
     return out;
+}
+
+void Predicate::set_node(NodeKind kind, std::vector<Predicate> kids) {
+    // Only ever called on a predicate just built inside this translation
+    // unit, before it escapes: impl_ has a single owner, so mutating
+    // through const_cast is safe.
+    Impl* impl = const_cast<Impl*>(impl_.get());
+    impl->kind = kind;
+    impl->kids = std::move(kids);
+}
+
+Predicate::NodeKind Predicate::node_kind() const { return impl_->kind; }
+VarId Predicate::node_var() const { return impl_->var; }
+VarId Predicate::node_var2() const { return impl_->var2; }
+Value Predicate::node_value() const { return impl_->value; }
+std::span<const Predicate> Predicate::node_operands() const {
+    return impl_->kids;
 }
 
 Predicate operator&&(const Predicate& a, const Predicate& b) {
@@ -104,10 +182,12 @@ Predicate operator&&(const Predicate& a, const Predicate& b) {
         *bits &= *b.backing_bits();
         return Predicate::from_bits(std::move(name), std::move(bits));
     }
-    return Predicate(std::move(name),
-                     [a, b](const StateSpace& sp, StateIndex s) {
-                         return a.eval(sp, s) && b.eval(sp, s);
-                     });
+    Predicate out(std::move(name),
+                  [a, b](const StateSpace& sp, StateIndex s) {
+                      return a.eval(sp, s) && b.eval(sp, s);
+                  });
+    out.set_node(Predicate::NodeKind::kAnd, {a, b});
+    return out;
 }
 
 Predicate operator||(const Predicate& a, const Predicate& b) {
@@ -117,10 +197,12 @@ Predicate operator||(const Predicate& a, const Predicate& b) {
         *bits |= *b.backing_bits();
         return Predicate::from_bits(std::move(name), std::move(bits));
     }
-    return Predicate(std::move(name),
-                     [a, b](const StateSpace& sp, StateIndex s) {
-                         return a.eval(sp, s) || b.eval(sp, s);
-                     });
+    Predicate out(std::move(name),
+                  [a, b](const StateSpace& sp, StateIndex s) {
+                      return a.eval(sp, s) || b.eval(sp, s);
+                  });
+    out.set_node(Predicate::NodeKind::kOr, {a, b});
+    return out;
 }
 
 Predicate operator!(const Predicate& a) {
@@ -129,10 +211,12 @@ Predicate operator!(const Predicate& a) {
         auto bits = std::make_shared<BitVec>(a.backing_bits()->complemented());
         return Predicate::from_bits(std::move(name), std::move(bits));
     }
-    return Predicate(std::move(name),
-                     [a](const StateSpace& sp, StateIndex s) {
-                         return !a.eval(sp, s);
-                     });
+    Predicate out(std::move(name),
+                  [a](const StateSpace& sp, StateIndex s) {
+                      return !a.eval(sp, s);
+                  });
+    out.set_node(Predicate::NodeKind::kNot, {a});
+    return out;
 }
 
 Predicate implies(const Predicate& a, const Predicate& b) {

@@ -9,7 +9,9 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/bitvec.hpp"
 #include "gc/state_space.hpp"
@@ -32,10 +34,31 @@ class Predicate {
 public:
     using Fn = std::function<bool(const StateSpace&, StateIndex)>;
 
+    /// Structural shape of a predicate, retained alongside the evaluation
+    /// function wherever it is known. The action-kernel compiler
+    /// (verify/action_kernel.hpp) lowers structured predicates to a small
+    /// bytecode evaluated without std::function dispatch; kOpaque nodes
+    /// (arbitrary lambdas) fall back to calling `eval`. Structure never
+    /// affects semantics — `eval` is always the source of truth, and the
+    /// differential tests pin bytecode == eval on every state.
+    enum class NodeKind : std::uint8_t {
+        kTrue,        ///< constant true
+        kFalse,       ///< constant false
+        kVarEqConst,  ///< var(node_var) == node_value
+        kVarNeConst,  ///< var(node_var) != node_value
+        kVarEqVar,    ///< var(node_var) == var(node_var2)
+        kVarNeVar,    ///< var(node_var) != var(node_var2)
+        kAnd,         ///< conjunction of node_operands()
+        kOr,          ///< disjunction of node_operands()
+        kNot,         ///< negation of node_operands()[0]
+        kBacked,      ///< set-backed: backing_bits()->test(s)
+        kOpaque,      ///< arbitrary function; evaluate via eval()
+    };
+
     /// The predicate `true`.
     Predicate();
 
-    /// Named predicate from an evaluation function.
+    /// Named predicate from an evaluation function (kOpaque).
     Predicate(std::string name, Fn fn);
 
     /// Predicate backed by an explicit bit vector: holds at state s iff
@@ -54,6 +77,13 @@ public:
     /// var != value.
     static Predicate var_ne(const StateSpace& space, std::string_view var,
                             Value value);
+    /// var == value / var != value by VarId (structured, compilable).
+    static Predicate var_eq(const StateSpace& space, VarId var, Value value);
+    static Predicate var_ne(const StateSpace& space, VarId var, Value value);
+    /// var(a) == var(b) / var(a) != var(b) — the guard shape of
+    /// neighbour-comparing protocols (token rings, spanning trees).
+    static Predicate vars_eq(const StateSpace& space, VarId a, VarId b);
+    static Predicate vars_ne(const StateSpace& space, VarId a, VarId b);
 
     bool eval(const StateSpace& space, StateIndex s) const;
     bool operator()(const StateSpace& space, StateIndex s) const {
@@ -66,6 +96,17 @@ public:
     /// from_bits, or composed from backed operands); null otherwise.
     const std::shared_ptr<const BitVec>& backing_bits() const;
 
+    // -- structural introspection (for the action-kernel compiler) --------
+    NodeKind node_kind() const;
+    /// First variable of a kVar* node.
+    VarId node_var() const;
+    /// Second variable of a kVarEqVar / kVarNeVar node.
+    VarId node_var2() const;
+    /// Constant of a kVarEqConst / kVarNeConst node.
+    Value node_value() const;
+    /// Operand predicates of kAnd / kOr / kNot nodes (empty otherwise).
+    std::span<const Predicate> node_operands() const;
+
     /// Returns a copy carrying a different display name.
     Predicate renamed(std::string name) const;
 
@@ -75,6 +116,10 @@ public:
 
 private:
     struct Impl;
+
+    /// Stamps structural metadata onto a freshly built (sole-owner) impl.
+    void set_node(NodeKind kind, std::vector<Predicate> kids);
+
     std::shared_ptr<const Impl> impl_;
 };
 

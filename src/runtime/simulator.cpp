@@ -1,7 +1,10 @@
 #include "runtime/simulator.hpp"
 
+#include <memory>
+
 #include "common/check.hpp"
 #include "obs/telemetry.hpp"
+#include "verify/action_kernel.hpp"
 
 namespace dcft {
 
@@ -46,6 +49,16 @@ RunResult Simulator::run(StateIndex initial, const RunOptions& options) {
     scheduler_->reset();
     if (injector_ != nullptr) injector_->reset();
 
+    // Compile the program's guards and effects once per run (interpreted
+    // under DCFT_NO_COMPILE). The per-step enabled scan probes bytecode
+    // guards instead of virtual Predicate::eval; enabled-index order and
+    // successor order match the interpreted path exactly, so schedulers
+    // and the RNG see identical streams.
+    std::unique_ptr<CompiledActionSet> compiled;
+    if (!compile_disabled())
+        compiled = std::make_unique<CompiledActionSet>(program_->space_ptr(),
+                                                       program_->actions());
+
     RunResult result;
     result.initial = initial;
     StateIndex s = initial;
@@ -76,15 +89,24 @@ RunResult Simulator::run(StateIndex initial, const RunOptions& options) {
         }
 
         enabled.clear();
-        for (std::size_t a = 0; a < program_->num_actions(); ++a)
-            if (program_->action(a).enabled(space, s)) enabled.push_back(a);
+        if (compiled != nullptr) {
+            for (std::size_t a = 0; a < program_->num_actions(); ++a)
+                if ((*compiled)[a].enabled(s)) enabled.push_back(a);
+        } else {
+            for (std::size_t a = 0; a < program_->num_actions(); ++a)
+                if (program_->action(a).enabled(space, s))
+                    enabled.push_back(a);
+        }
         if (enabled.empty()) {
             result.deadlocked = true;
             break;
         }
         const std::size_t a = scheduler_->pick(enabled, rng_);
         succ.clear();
-        program_->action(a).successors(space, s, succ);
+        if (compiled != nullptr)
+            (*compiled)[a].successors(s, succ);
+        else
+            program_->action(a).successors(space, s, succ);
         const StateIndex t = succ[rng_.below(succ.size())];
         notify_step(s, t, /*fault=*/false, result.steps);
         if (options.record_trace) result.trace.push_back(TraceStep{t, a});

@@ -5,7 +5,9 @@
 
 #include "common/check.hpp"
 #include "gc/composition.hpp"
+#include "gc/compiled.hpp"
 #include "obs/telemetry.hpp"
+#include "verify/action_kernel.hpp"
 #include "verify/fault_span.hpp"
 
 namespace dcft {
@@ -15,17 +17,21 @@ constexpr std::size_t kMaxReportedUnrecoverable = 16;
 
 /// Enumerates the candidate-recovery neighbours of `u` in the *reverse*
 /// direction: states s (differing from u in exactly one writable variable)
-/// such that the recovery transition s -> u is admissible.
+/// such that the recovery transition s -> u is admissible. When a
+/// CompiledSpace is supplied the digit extraction and substitution run on
+/// the divmod-free fast path (set_digit is a single stride-delta add); the
+/// enumeration order is identical either way.
 template <typename Fn>
-void for_each_recovery_pred(const StateSpace& space,
+void for_each_recovery_pred(const StateSpace& space, const CompiledSpace* cs,
                             const std::vector<VarId>& writable,
                             const SafetySpec* safety, StateIndex u, Fn&& fn) {
     for (VarId v : writable) {
-        const Value current = space.get(u, v);
+        const Value current = cs != nullptr ? cs->get(u, v) : space.get(u, v);
         const Value domain = space.variable(v).domain_size;
         for (Value c = 0; c < domain; ++c) {
             if (c == current) continue;
-            const StateIndex s = space.set(u, v, c);
+            const StateIndex s = cs != nullptr ? cs->set_digit(u, v, current, c)
+                                               : space.set(u, v, c);
             if (safety != nullptr &&
                 (!safety->transition_allowed(space, s, u) ||
                  !safety->state_allowed(space, u)))
@@ -53,14 +59,24 @@ NonmaskingSynthesis add_nonmasking(const Program& p, const FaultClass& f,
         for (const auto& name : opts.writable) writable.push_back(space.find(name));
     }
 
+    // Compile the space once per synthesis (interpreted under
+    // DCFT_NO_COMPILE); the ranking fixpoint below does one get/set_digit
+    // pair per (state, writable var, value) triple.
+    std::shared_ptr<const CompiledSpace> cspace;
+    if (!compile_disabled()) cspace = compile_space(p.space_ptr());
+    const CompiledSpace* cs = cspace.get();
+
     // Multi-source backward BFS from the invariant along admissible
     // recovery transitions, restricted to the fault span. next_hop[s] is
-    // the chosen recovery successor of s (one rank closer to S).
+    // the chosen recovery successor of s (one rank closer to S). The seed
+    // membership test is bulk-evaluated once instead of calling the
+    // invariant's eval per span state.
     auto next_hop = std::make_shared<std::unordered_map<StateIndex, StateIndex>>();
     StateSet ranked(space.num_states());
     std::deque<StateIndex> frontier;
+    const BitVec inv_bits = eval_bits(space, invariant);
     span.states->for_each([&](StateIndex s) {
-        if (invariant.eval(space, s)) {
+        if (inv_bits.test(s)) {
             ranked.insert(s);
             frontier.push_back(s);
         }
@@ -68,7 +84,7 @@ NonmaskingSynthesis add_nonmasking(const Program& p, const FaultClass& f,
     while (!frontier.empty()) {
         const StateIndex u = frontier.front();
         frontier.pop_front();
-        for_each_recovery_pred(space, writable, opts.safety, u,
+        for_each_recovery_pred(space, cs, writable, opts.safety, u,
                                [&](StateIndex s) {
                                    if (!span.states->contains(s)) return;
                                    if (ranked.contains(s)) return;

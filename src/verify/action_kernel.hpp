@@ -1,0 +1,241 @@
+// Compiled action kernels: guard bytecode + divmod-free effects.
+//
+// The interpreted exploration path pays three indirections per successor:
+// a std::function guard (often a tree of captured lambdas), a
+// std::function effect, and mixed-radix divmod inside StateSpace::set.
+// This layer compiles a guarded command once per exploration:
+//
+//   * guards with structural metadata (Predicate::NodeKind) lower to a
+//     small postfix bytecode over CompiledSpace digit reads — no
+//     std::function dispatch; opaque subtrees fall back to a kCall op
+//     that invokes Predicate::eval for just that subtree;
+//   * the whole-space *guard bitset* fills word-level enabled masks per
+//     action (periodic range fills for var==const leaves, word algebra
+//     for and/or/not, word copies for set-backed operands), so the BFS
+//     inner loop tests one bit per (state, action);
+//   * effects with structural metadata (Action::EffectForm) become
+//     stride-delta arithmetic on the packed index; kGeneric effects call
+//     the original statement.
+//
+// Compiled and interpreted paths are semantically identical by
+// construction (structured effects generate their interpreted lambda from
+// the same fields; guards always agree with Predicate::eval) and the
+// differential tests pin successor sequences bit-for-bit. Set
+// DCFT_NO_COMPILE=1 to force every consumer back onto the interpreted
+// path — the differential oracle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "gc/action.hpp"
+#include "gc/compiled.hpp"
+#include "gc/predicate.hpp"
+#include "gc/program.hpp"
+
+namespace dcft {
+
+/// True iff DCFT_NO_COMPILE is set (non-empty, not "0"): consumers must
+/// use the interpreted Action/Predicate path. Re-read on every call so
+/// tests can flip it per scope.
+bool compile_disabled();
+
+/// Postfix bytecode for one guard predicate. Compiled from the structural
+/// metadata of a Predicate; opaque subtrees become kCall ops.
+class GuardCode {
+public:
+    /// Compiles p. Every structured node lowers to a dedicated op; kOpaque
+    /// (and pathological nesting deeper than the eval stack) lowers to
+    /// kCall on the subtree, which simply invokes Predicate::eval.
+    GuardCode(const CompiledSpace& cs, const Predicate& p);
+
+    /// Evaluates the guard at state s without std::function dispatch on
+    /// any structured node.
+    bool eval(const CompiledSpace& cs, StateIndex s) const;
+
+    /// Number of kCall fallback ops (0 = fully compiled).
+    std::size_t num_opaque_ops() const { return opaque_.size(); }
+
+private:
+    friend void fill_guard_bits(const CompiledSpace& cs, const Predicate& p,
+                                BitVec& out);
+
+    struct Op {
+        enum class K : std::uint8_t {
+            kTrue,
+            kFalse,
+            kVarEqConst,
+            kVarNeConst,
+            kVarEqVar,
+            kVarNeVar,
+            kTestBits,  ///< set-backed leaf: bits[idx].test(s)
+            kCall,      ///< opaque leaf: opaque[idx].eval(space, s)
+            kAnd,
+            kOr,
+            kNot,
+        };
+        K k;
+        VarId var = 0;
+        VarId var2 = 0;
+        Value value = 0;
+        std::uint32_t idx = 0;
+    };
+
+    static constexpr int kMaxStack = 64;
+
+    std::vector<Op> ops_;
+    std::vector<std::shared_ptr<const BitVec>> bits_;
+    std::vector<Predicate> opaque_;
+};
+
+/// Fills `out` (sized to the space) with the states satisfying p, using
+/// word-level algebra wherever p's structure allows: periodic range fills
+/// for var-vs-const leaves, word copies for set-backed leaves, word
+/// and/or/not for connectives. Unstructured subtrees fall back to a
+/// per-state scan of just that subtree. `out` is overwritten.
+void fill_guard_bits(const CompiledSpace& cs, const Predicate& p,
+                     BitVec& out);
+
+/// One compiled guarded command.
+class CompiledAction {
+public:
+    CompiledAction(std::shared_ptr<const CompiledSpace> cs, Action action);
+
+    const Action& action() const { return action_; }
+
+    /// Guard via bytecode (no std::function dispatch on structured nodes).
+    bool enabled(StateIndex s) const { return guard_.eval(*cs_, s); }
+
+    /// Appends the successors of s. Precondition: enabled(s). Structured
+    /// effects run on CompiledSpace stride arithmetic; kGeneric effects
+    /// call the original statement. The successor sequence is identical
+    /// to Action::successors at every enabled state.
+    ///
+    /// Defined inline: this is the per-edge hot path of every exploration
+    /// (millions of calls per build) and must not pay a cross-TU call. The
+    /// effect form is cached by value at construction for the same reason.
+    void successors(StateIndex s, std::vector<StateIndex>& out) const {
+        using EK = Action::EffectForm::Kind;
+        const CompiledSpace& cs = *cs_;
+        switch (form_.kind) {
+            case EK::kSkip:
+                out.push_back(s);
+                return;
+            case EK::kAssignConst:
+                out.push_back(cs.set(s, form_.var, form_.value));
+                return;
+            case EK::kAssignVar:
+                out.push_back(cs.set(s, form_.var, cs.get(s, form_.var2)));
+                return;
+            case EK::kAssignAddMod:
+                out.push_back(cs.set(
+                    s, form_.var,
+                    (cs.get(s, form_.var2) + form_.value) % form_.modulus));
+                return;
+            case EK::kAssignChoice: {
+                const Value cur = cs.get(s, form_.var);
+                for (const Value c : form_.choices)
+                    out.push_back(cs.set_digit(s, form_.var, cur, c));
+                return;
+            }
+            case EK::kCorruptAny: {
+                for (const VarId v : form_.vars) {
+                    const Value cur = cs.get(s, v);
+                    const Value dom = cs.domain(v);
+                    for (Value c = 0; c < dom; ++c)
+                        if (c != cur)
+                            out.push_back(cs.set_digit(s, v, cur, c));
+                }
+                return;
+            }
+            case EK::kGeneric:
+            default:
+                action_.apply_effect(cs.space(), s, out);
+                return;
+        }
+    }
+
+    /// Whole-space enabled bitset; built on first call (single-threaded),
+    /// read-only afterwards. Callers that will read concurrently must call
+    /// ensure_guard_bits() from one thread first.
+    const BitVec& guard_bits() const;
+
+    /// Builds the guard bitset now (idempotent). Call before sharing this
+    /// object across exploration workers.
+    void ensure_guard_bits() const;
+
+    /// Whether the guard compiled without kCall fallbacks.
+    bool guard_fully_compiled() const { return guard_.num_opaque_ops() == 0; }
+
+private:
+    std::shared_ptr<const CompiledSpace> cs_;
+    Action action_;
+    Action::EffectForm form_;  ///< cached copy — no accessor call per edge
+    GuardCode guard_;
+    mutable std::unique_ptr<BitVec> guard_bits_;  // lazy, built once
+};
+
+/// A compiled set of actions over one space (a program's actions, or a
+/// fault class's). Successor enumeration preserves the interpreted
+/// iteration order: actions in declaration order, each action's
+/// successors in its own order.
+class CompiledActionSet {
+public:
+    CompiledActionSet(std::shared_ptr<const StateSpace> space,
+                      std::span<const Action> actions);
+
+    /// Shares an existing compiled space (e.g. the program's) instead of
+    /// building a new one.
+    CompiledActionSet(std::shared_ptr<const CompiledSpace> cs,
+                      std::span<const Action> actions);
+
+    const CompiledSpace& cspace() const { return *cs_; }
+    std::shared_ptr<const CompiledSpace> cspace_ptr() const { return cs_; }
+
+    std::span<const CompiledAction> actions() const { return actions_; }
+    std::size_t size() const { return actions_.size(); }
+    bool empty() const { return actions_.empty(); }
+    const CompiledAction& operator[](std::size_t i) const {
+        return actions_[i];
+    }
+
+    /// Guard-checked successors of s under every action, in order —
+    /// matches Program::successors / FaultClass::successors exactly.
+    void successors(StateIndex s, std::vector<StateIndex>& out) const;
+
+    /// Precomputes every action's whole-space guard bitset (idempotent;
+    /// call single-threaded before concurrent exploration).
+    void ensure_guard_bits() const;
+
+private:
+    std::shared_ptr<const CompiledSpace> cs_;
+    std::vector<CompiledAction> actions_;
+};
+
+/// Compiled program + optional fault class sharing one CompiledSpace —
+/// the unit the transition-system builder and the fixpoint loops consume.
+class CompiledProgram {
+public:
+    /// Compiles `program` and, when non-null, `faults` over one shared
+    /// CompiledSpace.
+    CompiledProgram(const Program& program, const FaultClass* faults);
+
+    const CompiledSpace& cspace() const { return *cs_; }
+    std::shared_ptr<const CompiledSpace> cspace_ptr() const { return cs_; }
+    const CompiledActionSet& program_actions() const { return program_; }
+    bool has_faults() const { return faults_ != nullptr; }
+    const CompiledActionSet& fault_actions() const { return *faults_; }
+
+    /// Precomputes all guard bitsets (program + faults).
+    void ensure_guard_bits() const;
+
+private:
+    std::shared_ptr<const CompiledSpace> cs_;
+    CompiledActionSet program_;
+    std::unique_ptr<CompiledActionSet> faults_;
+};
+
+}  // namespace dcft

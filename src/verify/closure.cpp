@@ -1,6 +1,9 @@
 #include "verify/closure.hpp"
 
+#include <memory>
+
 #include "common/bitvec.hpp"
+#include "verify/action_kernel.hpp"
 
 namespace dcft {
 namespace {
@@ -10,20 +13,34 @@ CheckResult check_preserved_by(const StateSpace& space,
                                const Predicate& s, const char* what) {
     // Evaluate the predicate exactly once per state, then test membership
     // of every successor with bit probes instead of repeated evaluation.
+    // Guards and effects run compiled (bytecode + stride arithmetic)
+    // unless DCFT_NO_COMPILE forces the interpreted oracle.
     const BitVec s_bits = eval_bits(space, s);
+    std::unique_ptr<CompiledActionSet> compiled;
+    if (!compile_disabled()) {
+        // Non-owning alias: the set lives only inside this call.
+        std::shared_ptr<const StateSpace> sp(std::shared_ptr<void>{}, &space);
+        compiled = std::make_unique<CompiledActionSet>(std::move(sp), actions);
+    }
     std::vector<StateIndex> succ;
     CheckResult result = CheckResult::success();
     s_bits.for_each_set([&](std::uint64_t st_raw) {
         if (!result.ok) return;
         const StateIndex st = static_cast<StateIndex>(st_raw);
-        for (const auto& ac : actions) {
+        for (std::size_t ai = 0; ai < actions.size(); ++ai) {
             succ.clear();
-            ac.successors(space, st, succ);
+            if (compiled != nullptr) {
+                const CompiledAction& ka = (*compiled)[ai];
+                if (!ka.enabled(st)) continue;
+                ka.successors(st, succ);
+            } else {
+                actions[ai].successors(space, st, succ);
+            }
             for (StateIndex t : succ) {
                 if (!s_bits.test(t)) {
                     result = CheckResult::failure(
                         std::string(what) + ": predicate " + s.name() +
-                        " not preserved by action '" + ac.name() +
+                        " not preserved by action '" + actions[ai].name() +
                         "' from " + space.format(st) + " to " +
                         space.format(t));
                     return;

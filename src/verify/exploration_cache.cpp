@@ -1,0 +1,134 @@
+#include "verify/exploration_cache.hpp"
+
+#include <cstdlib>
+
+#include "obs/telemetry.hpp"
+
+namespace dcft {
+
+namespace {
+
+bool env_flag(const char* name) {
+    const char* v = std::getenv(name);
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+/// FNV-1a over the words of a bit vector (padding bits are always zero,
+/// so extensionally equal sets hash equally).
+std::uint64_t hash_bits(const BitVec& bits) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::size_t w = 0; w < bits.num_words(); ++w) {
+        h ^= bits.word(w);
+        h *= 1099511628211ULL;
+    }
+    h ^= bits.size_bits();
+    h *= 1099511628211ULL;
+    return h;
+}
+
+std::vector<const void*> action_ids(std::span<const Action> actions) {
+    std::vector<const void*> ids;
+    ids.reserve(actions.size());
+    for (const Action& a : actions) ids.push_back(a.id());
+    return ids;
+}
+
+}  // namespace
+
+bool exploration_cache_disabled() {
+    return env_flag("DCFT_NO_EXPLORE_CACHE");
+}
+
+ExplorationCache& ExplorationCache::global() {
+    static ExplorationCache cache;
+    return cache;
+}
+
+std::size_t ExplorationCache::capacity() {
+    const char* v = std::getenv("DCFT_EXPLORE_CACHE_CAP");
+    if (v != nullptr && v[0] != '\0') {
+        const long n = std::atol(v);
+        if (n > 0) return static_cast<std::size_t>(n);
+    }
+    return 8;
+}
+
+std::shared_ptr<const TransitionSystem> ExplorationCache::get_or_build(
+    const Program& program, const FaultClass* faults, const Predicate& init,
+    unsigned n_threads) {
+    if (exploration_cache_disabled()) {
+        obs::count("verify/explore_cache/bypass");
+        return std::make_shared<TransitionSystem>(program, faults, init,
+                                                  n_threads);
+    }
+    const obs::ScopedSpan span("verify/explore_cache");
+
+    // Materialize the initial set once: it is both the exact key
+    // component and — on a miss — the seed of the exploration (passed as
+    // a set-backed predicate, so the builder does not re-scan).
+    const StateSpace& space = program.space();
+    BitVec init_bits = [&] {
+        if (const auto& b = init.backing_bits();
+            b != nullptr && b->size_bits() == space.num_states())
+            return *b;
+        return eval_bits(space, init, n_threads);
+    }();
+    const std::uint64_t h = hash_bits(init_bits);
+    std::vector<const void*> prog_ids = action_ids(program.actions());
+    std::vector<const void*> fault_ids =
+        faults != nullptr ? action_ids(faults->actions())
+                          : std::vector<const void*>{};
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->space != &space || it->init_hash != h ||
+            it->program_name != program.name() ||
+            it->program_actions != prog_ids ||
+            it->has_faults != (faults != nullptr))
+            continue;
+        if (faults != nullptr && (it->fault_name != faults->name() ||
+                                  it->fault_actions != fault_ids))
+            continue;
+        if (!(it->init_bits == init_bits)) continue;  // collision guard
+        obs::count("verify/explore_cache/hits");
+        entries_.splice(entries_.begin(), entries_, it);  // LRU bump
+        return entries_.front().ts;
+    }
+    obs::count("verify/explore_cache/misses");
+
+    // Build under the lock: concurrent requests for the same key wait and
+    // then hit instead of exploring twice.
+    auto bits = std::make_shared<const BitVec>(init_bits);
+    const Predicate seeded = Predicate::from_bits(init.name(), bits);
+    auto ts = std::make_shared<const TransitionSystem>(program, faults,
+                                                       seeded, n_threads);
+
+    Entry e{&space,
+            program.name(),
+            std::move(prog_ids),
+            faults != nullptr,
+            faults != nullptr ? faults->name() : std::string{},
+            std::move(fault_ids),
+            h,
+            std::move(init_bits),
+            ts};
+    entries_.push_front(std::move(e));
+    const std::size_t cap = capacity();
+    while (entries_.size() > cap) {
+        obs::count("verify/explore_cache/evictions");
+        entries_.pop_back();
+    }
+    return ts;
+}
+
+void ExplorationCache::clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+}
+
+std::size_t ExplorationCache::size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+}  // namespace dcft

@@ -1,0 +1,85 @@
+// Process-wide memoization of explored transition systems.
+//
+// One tolerance verdict explores the same two graphs (p from S, p [] F
+// from S); `dcft verify` asks for three grades over the same pair; masking
+// synthesis re-checks candidates against the same fault class repeatedly.
+// Before this cache each of those calls re-ran the full BFS. The cache
+// keys a built TransitionSystem by *content identity*:
+//
+//   (space identity, program name, program action identities,
+//    fault-class name + action identities (or "no faults"),
+//    the exact initial-state bit set)
+//
+// Action identity is Action::id() — the shared immutable implementation
+// pointer — so any transformation that changes an action (restriction,
+// encapsulation, synthesis edits) produces new ids and therefore a new
+// key; renaming a program changes the program-name component. Both are
+// covered by the invalidation tests.
+//
+// The initial predicate is compared by its *materialized bit set* (hash
+// first, exact word comparison on candidate hits), so differently-named
+// but extensionally equal initial predicates share an entry, and hash
+// collisions cannot produce a wrong graph.
+//
+// Entries are LRU-evicted beyond DCFT_EXPLORE_CACHE_CAP (default 8).
+// DCFT_NO_EXPLORE_CACHE=1 bypasses the cache entirely (every call
+// builds); benches clear() inside timed loops so repeated queries measure
+// real exploration work.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "gc/program.hpp"
+#include "verify/transition_system.hpp"
+
+namespace dcft {
+
+/// True iff DCFT_NO_EXPLORE_CACHE is set (non-empty, not "0").
+bool exploration_cache_disabled();
+
+class ExplorationCache {
+public:
+    /// The process-wide cache used by the verdict and synthesis pipelines.
+    static ExplorationCache& global();
+
+    /// Returns the transition system of (program [, faults]) restricted to
+    /// the states reachable from `init`, building and caching it on miss.
+    /// Thread-safe; a miss builds under the cache lock (concurrent callers
+    /// of the same key wait and then hit).
+    std::shared_ptr<const TransitionSystem> get_or_build(
+        const Program& program, const FaultClass* faults,
+        const Predicate& init, unsigned n_threads = 0);
+
+    /// Drops every entry (benches use this to time real explorations).
+    void clear();
+
+    std::size_t size() const;
+
+    /// Maximum number of retained entries (DCFT_EXPLORE_CACHE_CAP,
+    /// default 8, re-read per insertion).
+    static std::size_t capacity();
+
+private:
+    struct Entry {
+        const StateSpace* space;
+        std::string program_name;
+        std::vector<const void*> program_actions;
+        bool has_faults;
+        std::string fault_name;
+        std::vector<const void*> fault_actions;
+        std::uint64_t init_hash;
+        BitVec init_bits;  ///< exact key component (collision-proof)
+        std::shared_ptr<const TransitionSystem> ts;
+    };
+
+    mutable std::mutex mutex_;
+    std::list<Entry> entries_;  ///< front = most recently used
+};
+
+}  // namespace dcft

@@ -1,14 +1,18 @@
 #include "verify/fault_span.hpp"
 
 #include "verify/closure.hpp"
+#include "verify/exploration_cache.hpp"
 #include "verify/reachability.hpp"
 
 namespace dcft {
 
 FaultSpan compute_fault_span(const Program& p, const FaultClass& f,
                              const Predicate& invariant) {
-    auto states = std::make_shared<StateSet>(
-        reachable_states(p, &f, invariant));
+    // The node set of the cached p [] F exploration *is* the canonical
+    // fault span; a prior (or later) tolerance query over the same triple
+    // shares the graph.
+    const auto ts = ExplorationCache::global().get_or_build(p, &f, invariant);
+    auto states = std::make_shared<StateSet>(ts->state_bits());
     Predicate pred = predicate_of(
         states, "span(" + p.name() + "," + f.name() + "," + invariant.name() +
                     ")");

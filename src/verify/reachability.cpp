@@ -1,8 +1,10 @@
 #include "verify/reachability.hpp"
 
+#include <memory>
 #include <utility>
 
 #include "common/parallel.hpp"
+#include "verify/action_kernel.hpp"
 
 namespace dcft {
 
@@ -11,6 +13,12 @@ StateSet reachable_states(const Program& p, const FaultClass* f,
     const StateSpace& space = p.space();
     const StateIndex n_states = space.num_states();
     const unsigned threads = resolve_verifier_threads(n_threads);
+
+    // Compile the guarded commands once per sweep (interpreted under
+    // DCFT_NO_COMPILE). Successor sets are identical on both paths.
+    std::unique_ptr<CompiledProgram> compiled;
+    if (!compile_disabled())
+        compiled = std::make_unique<CompiledProgram>(p, f);
 
     // Seed: bulk-evaluate the source predicate (each state exactly once).
     StateSet seen(eval_bits(space, from, threads));
@@ -34,8 +42,16 @@ StateSet reachable_states(const Program& p, const FaultClass* f,
                             out.clear();
                             for (std::uint64_t i = b; i < e; ++i) {
                                 const StateIndex s = frontier[i];
-                                p.successors(s, out);
-                                if (f != nullptr) f->successors(s, out);
+                                if (compiled != nullptr) {
+                                    compiled->program_actions().successors(
+                                        s, out);
+                                    if (compiled->has_faults())
+                                        compiled->fault_actions().successors(
+                                            s, out);
+                                } else {
+                                    p.successors(s, out);
+                                    if (f != nullptr) f->successors(s, out);
+                                }
                             }
                         });
         next.clear();

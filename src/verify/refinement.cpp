@@ -2,7 +2,9 @@
 
 #include "common/bitvec.hpp"
 #include "obs/telemetry.hpp"
+#include "verify/action_kernel.hpp"
 #include "verify/closure.hpp"
+#include "verify/exploration_cache.hpp"
 #include "verify/fairness.hpp"
 
 namespace dcft {
@@ -125,9 +127,13 @@ CheckResult refines_spec(const Program& p, const ProblemSpec& spec,
                          const Predicate& from, const RefinesOptions& opts) {
     // One exploration serves the closure check *and* the safety/liveness
     // obligations: the recorded edges of the roots are exactly the successor
-    // sets check_closed would enumerate.
-    const TransitionSystem ts(p, opts.faults, from);
-    return refines_spec_on(ts, opts.faults, spec, from);
+    // sets check_closed would enumerate. The exploration itself is shared
+    // through the process-wide cache, so repeated queries over the same
+    // (program, faults, init) triple replay recorded edges instead of
+    // re-exploring.
+    const auto ts =
+        ExplorationCache::global().get_or_build(p, opts.faults, from);
+    return refines_spec_on(*ts, opts.faults, spec, from);
 }
 
 CheckResult refines_spec_on(const TransitionSystem& ts,
@@ -160,7 +166,15 @@ CheckResult refines_program(const Program& p_prime, const Program& p,
 
     const StateSpace& space = p_prime.space();
     const VarSet& pvars = p.vars();
-    const TransitionSystem ts(p_prime, nullptr, from);
+    const auto ts_ptr =
+        ExplorationCache::global().get_or_build(p_prime, nullptr, from);
+    const TransitionSystem& ts = *ts_ptr;
+    // Compile the base program's actions once: the matching loop below
+    // enumerates their successors for every non-stuttering step of p'.
+    std::unique_ptr<CompiledActionSet> base_compiled;
+    if (!compile_disabled())
+        base_compiled =
+            std::make_unique<CompiledActionSet>(p.space_ptr(), p.actions());
     std::vector<StateIndex> base_succ;
     for (NodeId n = 0; n < ts.num_nodes(); ++n) {
         const StateIndex s = ts.state_of(n);
@@ -170,9 +184,14 @@ CheckResult refines_program(const Program& p_prime, const Program& p,
             const StateIndex tp = space.project(t, pvars);
             if (tp == sp) continue;  // stutter on p's variables
             bool matched = false;
-            for (const auto& ac : p.actions()) {
+            for (std::size_t ai = 0; ai < p.actions().size(); ++ai) {
                 base_succ.clear();
-                ac.successors(space, s, base_succ);
+                if (base_compiled != nullptr) {
+                    const CompiledAction& ka = (*base_compiled)[ai];
+                    if (ka.enabled(s)) ka.successors(s, base_succ);
+                } else {
+                    p.actions()[ai].successors(space, s, base_succ);
+                }
                 for (StateIndex u : base_succ) {
                     if (space.project(u, pvars) == tp) {
                         matched = true;
@@ -195,8 +214,8 @@ CheckResult refines_program(const Program& p_prime, const Program& p,
 
 CheckResult converges(const Program& p, const FaultClass* f,
                       const Predicate& from, const Predicate& to) {
-    const TransitionSystem ts(p, f, from);
-    return check_reaches(ts, to, f != nullptr);
+    const auto ts = ExplorationCache::global().get_or_build(p, f, from);
+    return check_reaches(*ts, to, f != nullptr);
 }
 
 CheckResult refines_weakened(const Program& p, const FaultClass* f,

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/telemetry.hpp"
+#include "verify/exploration_cache.hpp"
 #include "verify/fairness.hpp"
 #include "verify/refinement.hpp"
 #include "verify/state_set.hpp"
@@ -45,15 +46,20 @@ ToleranceReport check_tolerance(const Program& p, const FaultClass& f,
     const Predicate inv = predicate_of(inv_states, invariant.name());
     report.invariant_size = inv_states->count();
 
-    // In the absence of faults: p refines SPEC from S.
+    // In the absence of faults: p refines SPEC from S. Both explorations
+    // go through the process-wide cache, so the three grade queries of
+    // `dcft verify` (and synthesis re-checks over unchanged programs)
+    // build each distinct graph exactly once.
+    ExplorationCache& cache = ExplorationCache::global();
     {
-        const TransitionSystem ts_p(p, nullptr, inv);
-        report.in_absence = refines_spec_on(ts_p, nullptr, spec, inv);
+        const auto ts_p = cache.get_or_build(p, nullptr, inv);
+        report.in_absence = refines_spec_on(*ts_p, nullptr, spec, inv);
     }
 
     // One exploration of p [] F from the invariant; its node set is the
     // canonical fault span T.
-    const TransitionSystem ts_pf(p, &f, inv);
+    const auto ts_pf_ptr = cache.get_or_build(p, &f, inv);
+    const TransitionSystem& ts_pf = *ts_pf_ptr;
     auto span_states = std::make_shared<StateSet>(ts_pf.state_bits());
     Predicate span_pred = predicate_of(
         span_states, "span(" + p.name() + "," + f.name() + "," +

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "obs/telemetry.hpp"
+#include "verify/action_kernel.hpp"
 
 namespace dcft {
 namespace {
@@ -14,6 +15,16 @@ namespace {
 /// (4 bytes per state of the *whole* space). Beyond this we fall back to a
 /// hash map keyed by state index.
 constexpr StateIndex kDirectMapMax = StateIndex{1} << 25;
+
+/// Frontier levels smaller than this stay on the fused serial path even
+/// when multiple workers are available: for small levels the staging
+/// buffers + chunk dispatch of the parallel path cost more than the
+/// expansion itself (token_ring n=7 at 2 threads regressed 221ms -> 327ms
+/// before this threshold existed). Recorded in telemetry as the gauge
+/// verify/explore/parallel_threshold; the count of levels under it
+/// (verify/explore/levels_below_threshold) is a function of the canonical
+/// BFS only, hence identical for every thread count.
+constexpr std::uint64_t kParallelFrontierMin = 16384;
 
 /// Cap on speculative reserve() sizing (states) so pathological spaces do
 /// not pre-allocate unbounded memory.
@@ -48,6 +59,85 @@ void TransitionSystem::explore(const FaultClass* faults,
     const bool telemetry = obs::enabled();
     const obs::ScopedSpan span("verify/explore");
     const StateIndex n_states = space_->num_states();
+
+    // Compile the guarded commands once per exploration (guard bytecode,
+    // divmod-free effects, whole-space enabled bitsets for fully compiled
+    // guards). DCFT_NO_COMPILE=1 keeps everything on the interpreted
+    // Action/Predicate path — the differential oracle.
+    std::unique_ptr<CompiledProgram> compiled;
+    std::vector<const BitVec*> prog_gbits;
+    std::vector<const BitVec*> fault_gbits;
+    if (!compile_disabled()) {
+        const obs::ScopedSpan cspan("verify/compile");
+        compiled = std::make_unique<CompiledProgram>(program_, faults);
+        // Whole-space guard bitsets pay off only when they can be filled
+        // with word-level algebra; guards with opaque subtrees would need
+        // a full-space scan, so those stay on per-state bytecode instead
+        // (which touches only reachable states).
+        auto collect = [](const CompiledActionSet& set,
+                          std::vector<const BitVec*>& out) {
+            out.reserve(set.size());
+            for (const CompiledAction& a : set.actions()) {
+                if (a.guard_fully_compiled()) {
+                    a.ensure_guard_bits();
+                    out.push_back(&a.guard_bits());
+                } else {
+                    out.push_back(nullptr);
+                }
+            }
+        };
+        collect(compiled->program_actions(), prog_gbits);
+        if (compiled->has_faults())
+            collect(compiled->fault_actions(), fault_gbits);
+    }
+
+    // Expands one state: evaluates each guard (bitset probe, bytecode, or
+    // interpreted predicate) and appends each enabled action's successors
+    // via on_prog/on_fault(action index, target). Successor order is
+    // identical on both paths: actions in declaration order, each
+    // action's successors in its statement order.
+    auto expand = [&](StateIndex s, std::vector<StateIndex>& scratch,
+                      auto&& on_prog, auto&& on_fault) {
+        if (compiled != nullptr) {
+            const auto pacts = compiled->program_actions().actions();
+            for (std::uint32_t a = 0; a < pacts.size(); ++a) {
+                const CompiledAction& ka = pacts[a];
+                const BitVec* gb = prog_gbits[a];
+                if (gb != nullptr ? !gb->test(s) : !ka.enabled(s)) continue;
+                scratch.clear();
+                ka.successors(s, scratch);
+                for (StateIndex t : scratch) on_prog(a, t);
+            }
+            if (compiled->has_faults()) {
+                const auto facts = compiled->fault_actions().actions();
+                for (std::uint32_t a = 0; a < facts.size(); ++a) {
+                    const CompiledAction& ka = facts[a];
+                    const BitVec* gb = fault_gbits[a];
+                    if (gb != nullptr ? !gb->test(s) : !ka.enabled(s))
+                        continue;
+                    scratch.clear();
+                    ka.successors(s, scratch);
+                    for (StateIndex t : scratch) on_fault(a, t);
+                }
+            }
+            return;
+        }
+        for (std::uint32_t a = 0; a < program_.num_actions(); ++a) {
+            scratch.clear();
+            program_.action(a).successors(*space_, s, scratch);
+            for (StateIndex t : scratch) on_prog(a, t);
+        }
+        if (faults != nullptr) {
+            std::uint32_t a = 0;
+            for (const auto& fac : faults->actions()) {
+                scratch.clear();
+                fac.successors(*space_, s, scratch);
+                for (StateIndex t : scratch) on_fault(a, t);
+                ++a;
+            }
+        }
+    };
+
     direct_mapped_ = n_states <= kDirectMapMax;
     if (direct_mapped_) {
         node_map_.assign(static_cast<std::size_t>(n_states), kNoNode);
@@ -60,12 +150,34 @@ void TransitionSystem::explore(const FaultClass* faults,
     states_.reserve(guess);
     parent_.reserve(guess);
     prog_offsets_.reserve(guess + 1);
+    fault_offsets_.reserve(guess + 1);
     if (!direct_mapped_) node_hash_.reserve(guess);
+    // Edge vectors dominate the working set of dense explorations; growing
+    // them by doubling re-copies tens of MB mid-BFS. Reserve one slot per
+    // (state, action) — an upper bound for deterministic actions — capped.
+    // reserve() only allocates address space; untouched tail pages are
+    // never committed.
+    constexpr std::size_t kEdgeReserveCap = std::size_t{1} << 24;
+    prog_edges_.reserve(std::min<std::size_t>(
+        guess * std::max<std::size_t>(program_.num_actions(), 1),
+        kEdgeReserveCap));
+    if (faults != nullptr)
+        fault_edges_.reserve(std::min<std::size_t>(
+            guess * std::max<std::size_t>(faults->actions().size(), 1),
+            kEdgeReserveCap));
+
+    // When the seed covers the whole space, the ascending-order root
+    // interning makes node id == state index; every later intern is the
+    // identity and the map probe (a random access into a multi-MB array —
+    // the hottest memory traffic of dense explorations) can be skipped.
+    // Set after seeding.
+    bool identity_nodes = false;
 
     // Interns t (first discovery appends it to the next BFS level with
     // `from` as its BFS-tree parent). Serial — called only from the merge
     // pass, in canonical order.
     auto intern = [&](StateIndex t, NodeId from) -> NodeId {
+        if (identity_nodes) return static_cast<NodeId>(t);
         if (direct_mapped_) {
             NodeId& slot = node_map_[static_cast<std::size_t>(t)];
             if (slot == kNoNode) {
@@ -89,6 +201,11 @@ void TransitionSystem::explore(const FaultClass* faults,
     // ascending order — the canonical root numbering.
     const BitVec init_bits = [&] {
         const obs::ScopedSpan seed_span("verify/explore/seed");
+        if (compiled != nullptr) {
+            BitVec b(n_states);
+            fill_guard_bits(compiled->cspace(), init, b);
+            return b;
+        }
         return eval_bits(*space_, init, n_threads);
     }();
     initial_.reserve(static_cast<std::size_t>(init_bits.popcount()));
@@ -98,6 +215,8 @@ void TransitionSystem::explore(const FaultClass* faults,
         parent_[id] = id;  // roots are their own parent
         initial_.push_back(id);
     });
+
+    identity_nodes = states_.size() == static_cast<std::size_t>(n_states);
 
     prog_offsets_.push_back(0);
     fault_offsets_.push_back(0);
@@ -113,6 +232,7 @@ void TransitionSystem::explore(const FaultClass* faults,
     std::vector<StateIndex> succ;  // scratch for the fused serial path
     std::uint64_t n_levels = 0;    // telemetry: BFS depth / frontier stats
     std::uint64_t frontier_max = 0;
+    std::uint64_t levels_below_threshold = 0;
     std::size_t level_begin = 0;
     while (level_begin < states_.size()) {
         const obs::ScopedSpan level_span("verify/explore/level");
@@ -120,8 +240,14 @@ void TransitionSystem::explore(const FaultClass* faults,
         const std::uint64_t level_size = level_end - level_begin;
         ++n_levels;
         frontier_max = std::max(frontier_max, level_size);
+        // Small levels stay serial regardless of the worker budget: the
+        // staging/merge overhead dominates under the threshold.
+        const bool small_level = level_size < kParallelFrontierMin;
+        if (small_level) ++levels_below_threshold;
         const unsigned chunks =
-            parallel_chunk_count(level_size, n_threads, /*align=*/1);
+            small_level ? 1
+                        : parallel_chunk_count(level_size, n_threads,
+                                               /*align=*/1);
 
         if (chunks <= 1) {
             // Fused serial path: one worker would process the whole level,
@@ -130,23 +256,15 @@ void TransitionSystem::explore(const FaultClass* faults,
             for (std::size_t i = level_begin; i < level_end; ++i) {
                 const StateIndex s = states_[i];
                 const NodeId node = static_cast<NodeId>(i);
-                for (std::uint32_t a = 0; a < program_.num_actions(); ++a) {
-                    succ.clear();
-                    program_.action(a).successors(*space_, s, succ);
-                    for (StateIndex t : succ)
+                expand(
+                    s, succ,
+                    [&](std::uint32_t a, StateIndex t) {
                         prog_edges_.push_back(Edge{a, intern(t, node)});
-                }
+                    },
+                    [&](std::uint32_t a, StateIndex t) {
+                        fault_edges_.push_back(Edge{a, intern(t, node)});
+                    });
                 prog_offsets_.push_back(prog_edges_.size());
-                if (faults != nullptr) {
-                    std::uint32_t a = 0;
-                    for (const auto& fac : faults->actions()) {
-                        succ.clear();
-                        fac.successors(*space_, s, succ);
-                        for (StateIndex t : succ)
-                            fault_edges_.push_back(Edge{a, intern(t, node)});
-                        ++a;
-                    }
-                }
                 fault_offsets_.push_back(fault_edges_.size());
             }
             level_begin = level_end;
@@ -165,27 +283,16 @@ void TransitionSystem::explore(const FaultClass* faults,
                 for (std::uint64_t i = begin; i < end; ++i) {
                     const StateIndex s = states_[level_begin + i];
                     std::uint32_t n_prog = 0, n_fault = 0;
-                    for (std::uint32_t a = 0; a < program_.num_actions();
-                         ++a) {
-                        succ.clear();
-                        program_.action(a).successors(*space_, s, succ);
-                        for (StateIndex t : succ) {
+                    expand(
+                        s, succ,
+                        [&](std::uint32_t a, StateIndex t) {
                             buf.recs.emplace_back(a, t);
                             ++n_prog;
-                        }
-                    }
-                    if (faults != nullptr) {
-                        std::uint32_t a = 0;
-                        for (const auto& fac : faults->actions()) {
-                            succ.clear();
-                            fac.successors(*space_, s, succ);
-                            for (StateIndex t : succ) {
-                                buf.recs.emplace_back(a, t);
-                                ++n_fault;
-                            }
-                            ++a;
-                        }
-                    }
+                        },
+                        [&](std::uint32_t a, StateIndex t) {
+                            buf.recs.emplace_back(a, t);
+                            ++n_fault;
+                        });
                     buf.counts.emplace_back(n_prog, n_fault);
                 }
             });
@@ -221,6 +328,15 @@ void TransitionSystem::explore(const FaultClass* faults,
     if (telemetry) {
         auto& reg = obs::Registry::global();
         reg.counter("verify/explorations").add(1);
+        // Both threshold counters are functions of the canonical BFS (the
+        // level sizes), never of the worker budget, so they stay identical
+        // across thread counts like every other verify/explore/ counter.
+        reg.counter("verify/explore/parallel_threshold")
+            .set(kParallelFrontierMin);
+        reg.counter("verify/explore/levels_below_threshold")
+            .add(levels_below_threshold);
+        reg.counter("verify/explore/compiled")
+            .add(compiled != nullptr ? 1 : 0);
         reg.counter("verify/explore/levels").add(n_levels);
         reg.counter("verify/explore/frontier_peak").record_max(frontier_max);
         reg.counter("verify/explore/nodes").add(states_.size());

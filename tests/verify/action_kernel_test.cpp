@@ -1,0 +1,269 @@
+// Differential tests pinning the compiled exploration path (GuardCode
+// bytecode, guard bitsets, stride-delta effects) to the interpreted
+// Action/Predicate path. Every (state, action) of each system must agree
+// on enabledness AND produce the identical successor sequence — order
+// included — since the verifier's witness traces and the simulator's
+// schedules both depend on successor order.
+//
+// Systems covered: token ring (structured guards/effects), Byzantine
+// agreement (mix of structured and opaque), and randomized guarded-command
+// programs over >= 10k-state spaces that deliberately blend compilable
+// forms with opaque lambdas (kCall / kGeneric fallbacks).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/byzantine.hpp"
+#include "apps/token_ring.hpp"
+#include "common/rng.hpp"
+#include "gc/compiled.hpp"
+#include "gc/state_space.hpp"
+#include "verify/action_kernel.hpp"
+
+namespace dcft {
+namespace {
+
+/// Compares the compiled action set against the interpreted actions at
+/// every state (or a dense random sample when the space is larger than
+/// `exhaustive_limit`): guard verdicts, guard bitsets, per-action
+/// successor sequences, and whole-set successor sequences.
+void expect_differential(const Program& program,
+                         StateIndex exhaustive_limit = 1u << 17) {
+    const auto space = program.space_ptr();
+    const CompiledActionSet compiled(space, program.actions());
+    compiled.ensure_guard_bits();
+
+    const StateIndex n = space->num_states();
+    Rng rng(0xD1FFULL + n);
+    const bool exhaustive = n <= exhaustive_limit;
+    const StateIndex probes = exhaustive ? n : exhaustive_limit;
+
+    std::vector<StateIndex> got, want;
+    for (StateIndex i = 0; i < probes; ++i) {
+        const StateIndex s = exhaustive ? i : rng.below(n);
+        // Whole-set order must match Program::successors exactly.
+        got.clear();
+        want.clear();
+        compiled.successors(s, got);
+        program.successors(s, want);
+        ASSERT_EQ(got, want) << "program successors diverge at s=" << s;
+
+        for (std::size_t a = 0; a < program.num_actions(); ++a) {
+            const Action& ia = program.action(a);
+            const CompiledAction& ca = compiled[a];
+            const bool enabled = ia.guard().eval(*space, s);
+            ASSERT_EQ(ca.enabled(s), enabled)
+                << program.name() << "/" << ia.name() << " guard at s=" << s;
+            ASSERT_EQ(ca.guard_bits().test(s), enabled)
+                << program.name() << "/" << ia.name()
+                << " guard bitset at s=" << s;
+            if (!enabled) continue;
+            got.clear();
+            want.clear();
+            ca.successors(s, got);
+            ia.successors(*space, s, want);
+            ASSERT_EQ(got, want)
+                << program.name() << "/" << ia.name()
+                << " successors diverge at s=" << s;
+        }
+    }
+}
+
+TEST(ActionKernelTest, TokenRingDifferential) {
+    // 6^6 = 46656 states (>= 10k), fully structured: every guard should
+    // compile without kCall fallbacks.
+    auto sys = apps::make_token_ring(6, 6);
+    const CompiledActionSet compiled(sys.ring.space_ptr(),
+                                     sys.ring.actions());
+    for (std::size_t a = 0; a < compiled.size(); ++a)
+        EXPECT_TRUE(compiled[a].guard_fully_compiled())
+            << sys.ring.action(a).name();
+    expect_differential(sys.ring);
+}
+
+TEST(ActionKernelTest, TokenRingFaultDifferential) {
+    auto sys = apps::make_token_ring(5, 5);
+    // FaultClass actions go through the same compiled path.
+    Program as_program(sys.ring.space_ptr(), "corrupt-as-program");
+    for (const Action& a : sys.corrupt_any.actions())
+        as_program.add_action(a);
+    expect_differential(as_program);
+}
+
+TEST(ActionKernelTest, ByzantineDifferential) {
+    // n=4: 4 * 18^3 = 23328 states (>= 10k); witnesses/correctors are
+    // opaque lambdas, b-flag guards are structured — exercises both the
+    // bytecode fast ops and the kCall/kGeneric fallbacks in one system.
+    auto sys = apps::make_byzantine(4, 1);
+    expect_differential(sys.masking);
+    expect_differential(sys.intolerant);
+    Program faults(sys.space, "byz-faults-as-program");
+    for (const Action& a : sys.byzantine_fault.actions())
+        faults.add_action(a);
+    expect_differential(faults);
+}
+
+/// Random guarded-command program over a >= 10k-state space. Mixes every
+/// structured effect form with opaque guards and generic effects so the
+/// differential covers fallback seams, not just the fast paths.
+Program random_program(std::uint64_t seed) {
+    Rng rng(seed);
+    // 4 variables, domains in [3, 10]; resample until >= 10k states.
+    std::vector<Value> domains;
+    StateIndex states = 0;
+    while (states < 10000) {
+        domains.clear();
+        states = 1;
+        for (int i = 0; i < 4; ++i) {
+            const Value d = static_cast<Value>(3 + rng.below(8));
+            domains.push_back(d);
+            states *= static_cast<StateIndex>(d);
+        }
+    }
+    auto builder = std::make_shared<StateSpace>();
+    for (std::size_t i = 0; i < domains.size(); ++i)
+        builder->add_variable("v" + std::to_string(i), domains[i]);
+    builder->freeze();
+    std::shared_ptr<const StateSpace> space = builder;
+
+    auto random_guard = [&]() -> Predicate {
+        const VarId a = rng.below(4), b = rng.below(4);
+        const Value ca = static_cast<Value>(
+            rng.below(static_cast<std::uint64_t>(domains[a])));
+        switch (rng.below(7)) {
+            case 0: return Predicate::top();
+            case 1: return Predicate::var_eq(*space, a, ca);
+            case 2: return Predicate::var_ne(*space, a, ca);
+            case 3: return Predicate::vars_eq(*space, a, b);
+            case 4: return Predicate::vars_ne(*space, a, b);
+            case 5:
+                return Predicate::var_eq(*space, a, ca) ||
+                       Predicate::vars_ne(*space, a, b);
+            default:
+                // Opaque: structurally invisible, forces kCall fallback.
+                return Predicate(
+                    "opaque", [a, ca](const StateSpace& sp, StateIndex s) {
+                        return (sp.get(s, a) + 1) % 3 !=
+                               static_cast<Value>(ca % 3);
+                    });
+        }
+    };
+
+    Program p(space, "random-" + std::to_string(seed));
+    const std::size_t num_actions = 4 + rng.below(5);
+    for (std::size_t i = 0; i < num_actions; ++i) {
+        const std::string name = "a" + std::to_string(i);
+        Predicate g = random_guard();
+        if (rng.chance(0.3)) g = g && random_guard();
+        if (rng.chance(0.2)) g = !g;
+        const VarId tv = rng.below(4);
+        const Value dom = domains[tv];
+        const Value tc =
+            static_cast<Value>(rng.below(static_cast<std::uint64_t>(dom)));
+        switch (rng.below(7)) {
+            case 0:
+                p.add_action(Action::assign_const(
+                    *space, name, std::move(g), "v" + std::to_string(tv),
+                    tc));
+                break;
+            case 1:
+                p.add_action(Action::assign_var(*space, name, std::move(g),
+                                                tv, rng.below(4)));
+                break;
+            case 2:
+                p.add_action(Action::assign_add_mod(
+                    *space, name, std::move(g), tv, tv,
+                    static_cast<Value>(1 + rng.below(3)), dom));
+                break;
+            case 3:
+                p.add_action(Action::assign_choice(
+                    *space, name, std::move(g), tv,
+                    {0, tc, static_cast<Value>(dom - 1)}));
+                break;
+            case 4:
+                p.add_action(Action::corrupt_any(*space, name, std::move(g),
+                                                 {tv, rng.below(4)}));
+                break;
+            case 5:
+                p.add_action(Action::skip(name, std::move(g)));
+                break;
+            default:
+                // Generic effect: opaque value computation (kGeneric).
+                p.add_action(Action::assign(
+                    *space, name, std::move(g), "v" + std::to_string(tv),
+                    [tv, dom](const StateSpace& sp, StateIndex s) {
+                        return (sp.get(s, tv) * 2 + 1) % dom;
+                    }));
+                break;
+        }
+    }
+    return p;
+}
+
+class ActionKernelRandomTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ActionKernelRandomTest, RandomProgramDifferential) {
+    expect_differential(random_program(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ActionKernelRandomTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+TEST(ActionKernelTest, GuardBitsMatchPerStateEval) {
+    // fill_guard_bits word-algebra (periodic fills, tile replication, word
+    // and/or/not) against a plain per-state scan, on guards chosen to hit
+    // every lowering: small-stride var==c (tile path), top-variable var==c
+    // (range path), connectives, and an opaque leaf.
+    auto sys = apps::make_token_ring(6, 6);
+    const auto space = sys.ring.space_ptr();
+    const auto cs = compile_space(space);
+    const std::vector<Predicate> guards = {
+        Predicate::var_eq(*space, VarId{0}, 3),
+        Predicate::var_eq(*space, VarId{5}, 2),
+        Predicate::vars_eq(*space, VarId{0}, VarId{5}),
+        Predicate::var_ne(*space, VarId{2}, 0) &&
+            Predicate::vars_ne(*space, VarId{1}, VarId{3}),
+        !Predicate::var_eq(*space, VarId{4}, 1),
+        Predicate::var_eq(*space, VarId{1}, 1) ||
+            Predicate("odd-sum",
+                      [](const StateSpace& sp, StateIndex s) {
+                          Value sum = 0;
+                          for (VarId v = 0; v < sp.num_vars(); ++v)
+                              sum += sp.get(s, v);
+                          return sum % 2 == 1;
+                      }),
+    };
+    BitVec bits(space->num_states());
+    for (const Predicate& g : guards) {
+        fill_guard_bits(*cs, g, bits);
+        for (StateIndex s = 0; s < space->num_states(); ++s)
+            ASSERT_EQ(bits.test(s), g.eval(*space, s))
+                << g.name() << " at s=" << s;
+    }
+}
+
+TEST(ActionKernelTest, NoCompileEnvForcesInterpretedPath) {
+    // The whole suite may legitimately run under DCFT_NO_COMPILE=1 (the
+    // differential CI pass), so save and restore whatever is set.
+    const char* preset = std::getenv("DCFT_NO_COMPILE");
+    const std::string saved = preset != nullptr ? preset : "";
+
+    unsetenv("DCFT_NO_COMPILE");
+    EXPECT_FALSE(compile_disabled());
+    setenv("DCFT_NO_COMPILE", "1", 1);
+    EXPECT_TRUE(compile_disabled());
+    setenv("DCFT_NO_COMPILE", "0", 1);  // "0" counts as unset
+    EXPECT_FALSE(compile_disabled());
+
+    if (preset != nullptr)
+        setenv("DCFT_NO_COMPILE", saved.c_str(), 1);
+    else
+        unsetenv("DCFT_NO_COMPILE");
+}
+
+}  // namespace
+}  // namespace dcft

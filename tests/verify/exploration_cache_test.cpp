@@ -1,0 +1,157 @@
+// ExplorationCache behaviour: hits are pointer-identical, every key
+// component invalidates (program rename, action restriction, fault class,
+// initial set), extensionally equal initial predicates share an entry,
+// LRU eviction honours DCFT_EXPLORE_CACHE_CAP, and DCFT_NO_EXPLORE_CACHE
+// bypasses the cache entirely.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "apps/token_ring.hpp"
+#include "verify/exploration_cache.hpp"
+
+namespace dcft {
+namespace {
+
+/// The cache under test is the process-wide singleton (the object the
+/// verdict and synthesis pipelines actually share), so every test starts
+/// and ends with clear() + clean env to stay order-independent.
+class ExplorationCacheTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        unsetenv("DCFT_NO_EXPLORE_CACHE");
+        unsetenv("DCFT_EXPLORE_CACHE_CAP");
+        ExplorationCache::global().clear();
+    }
+    void TearDown() override {
+        unsetenv("DCFT_NO_EXPLORE_CACHE");
+        unsetenv("DCFT_EXPLORE_CACHE_CAP");
+        ExplorationCache::global().clear();
+    }
+};
+
+TEST_F(ExplorationCacheTest, RepeatQueryIsPointerIdenticalHit) {
+    auto sys = apps::make_token_ring(4, 4);
+    auto& cache = ExplorationCache::global();
+
+    const auto a =
+        cache.get_or_build(sys.ring, &sys.corrupt_any, Predicate::top());
+    EXPECT_EQ(cache.size(), 1u);
+    const auto b =
+        cache.get_or_build(sys.ring, &sys.corrupt_any, Predicate::top());
+    EXPECT_EQ(a.get(), b.get()) << "second query must hit, not rebuild";
+    EXPECT_EQ(cache.size(), 1u);
+
+    // The no-faults graph is a distinct key.
+    const auto c = cache.get_or_build(sys.ring, nullptr, Predicate::top());
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST_F(ExplorationCacheTest, ExtensionallyEqualInitPredicatesShareEntry) {
+    auto sys = apps::make_token_ring(4, 4);
+    auto& cache = ExplorationCache::global();
+
+    // Same bits, different name and different closure: must still hit —
+    // the key is the materialized initial set, not the predicate object.
+    const auto a = cache.get_or_build(sys.ring, nullptr, sys.legitimate);
+    const Predicate same_states(
+        "legit-by-another-name",
+        [inner = sys.legitimate](const StateSpace& sp, StateIndex s) {
+            return inner.eval(sp, s);
+        });
+    const auto b = cache.get_or_build(sys.ring, nullptr, same_states);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(cache.size(), 1u);
+
+    // A different initial set is a different graph.
+    const auto c = cache.get_or_build(sys.ring, nullptr, Predicate::top());
+    EXPECT_NE(a.get(), c.get());
+}
+
+TEST_F(ExplorationCacheTest, RenameInvalidates) {
+    auto sys = apps::make_token_ring(4, 4);
+    auto& cache = ExplorationCache::global();
+
+    const auto a = cache.get_or_build(sys.ring, nullptr, Predicate::top());
+    const Program renamed = sys.ring.renamed("ring-renamed");
+    const auto b = cache.get_or_build(renamed, nullptr, Predicate::top());
+    EXPECT_NE(a.get(), b.get())
+        << "renaming the program must change the cache key";
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST_F(ExplorationCacheTest, RestrictionInvalidates) {
+    auto sys = apps::make_token_ring(4, 4);
+    auto& cache = ExplorationCache::global();
+
+    const auto a = cache.get_or_build(sys.ring, nullptr, Predicate::top());
+
+    // Restricting an action produces a new Action::id() even under a
+    // vacuous (top) restriction — content identity is implementation
+    // identity, so the transformed program must rebuild.
+    Program restricted(sys.ring.space_ptr(), sys.ring.name());
+    for (std::size_t i = 0; i < sys.ring.num_actions(); ++i) {
+        const Action& ac = sys.ring.action(i);
+        restricted.add_action(i == 0 ? ac.restricted(Predicate::top()) : ac);
+    }
+    const auto b =
+        cache.get_or_build(restricted, nullptr, Predicate::top());
+    EXPECT_NE(a.get(), b.get())
+        << "restricted action must change the cache key";
+
+    // Same graph content either way (the restriction was vacuous).
+    EXPECT_EQ(a->num_nodes(), b->num_nodes());
+    EXPECT_EQ(a->num_program_edges(), b->num_program_edges());
+}
+
+TEST_F(ExplorationCacheTest, LruEvictionHonoursCap) {
+    auto sys = apps::make_token_ring(4, 4);
+    auto& cache = ExplorationCache::global();
+    setenv("DCFT_EXPLORE_CACHE_CAP", "2", 1);
+    EXPECT_EQ(ExplorationCache::capacity(), 2u);
+
+    const auto a = cache.get_or_build(sys.ring, nullptr, Predicate::top());
+    const auto a_ptr = a.get();
+    const auto b =
+        cache.get_or_build(sys.ring, &sys.corrupt_any, Predicate::top());
+    const auto c =
+        cache.get_or_build(sys.ring, nullptr, sys.legitimate);  // evicts a
+    EXPECT_LE(cache.size(), 2u);
+
+    // b and c are still resident (pointer-identical hits)...
+    EXPECT_EQ(
+        cache.get_or_build(sys.ring, &sys.corrupt_any, Predicate::top())
+            .get(),
+        b.get());
+    EXPECT_EQ(cache.get_or_build(sys.ring, nullptr, sys.legitimate).get(),
+              c.get());
+    // ...while the evicted entry rebuilds to a fresh object.
+    EXPECT_NE(
+        cache.get_or_build(sys.ring, nullptr, Predicate::top()).get(),
+        a_ptr);
+}
+
+TEST_F(ExplorationCacheTest, DisableEnvBypassesCache) {
+    auto sys = apps::make_token_ring(4, 4);
+    auto& cache = ExplorationCache::global();
+
+    setenv("DCFT_NO_EXPLORE_CACHE", "1", 1);
+    EXPECT_TRUE(exploration_cache_disabled());
+    const auto a = cache.get_or_build(sys.ring, nullptr, Predicate::top());
+    const auto b = cache.get_or_build(sys.ring, nullptr, Predicate::top());
+    EXPECT_NE(a.get(), b.get()) << "bypass must rebuild every call";
+    EXPECT_EQ(cache.size(), 0u) << "bypass must not populate the cache";
+    EXPECT_EQ(a->num_nodes(), b->num_nodes());
+
+    unsetenv("DCFT_NO_EXPLORE_CACHE");
+    EXPECT_FALSE(exploration_cache_disabled());
+    const auto c = cache.get_or_build(sys.ring, nullptr, Predicate::top());
+    EXPECT_EQ(
+        cache.get_or_build(sys.ring, nullptr, Predicate::top()).get(),
+        c.get());
+}
+
+}  // namespace
+}  // namespace dcft
