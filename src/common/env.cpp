@@ -1,0 +1,54 @@
+#include "common/env.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <string_view>
+
+namespace dcft {
+
+namespace {
+
+/// Case-insensitive comparison against an all-lowercase literal.
+bool iequals(std::string_view value, std::string_view lower_literal) {
+    if (value.size() != lower_literal.size()) return false;
+    for (std::size_t i = 0; i < value.size(); ++i) {
+        const char c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(value[i])));
+        if (c != lower_literal[i]) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+bool env_value_truthy(const char* value) {
+    if (value == nullptr) return false;
+    const std::string_view v(value);
+    if (v.empty()) return false;
+    if (iequals(v, "false") || iequals(v, "off") || iequals(v, "no"))
+        return false;
+    // "0", "00", "000", ... are all falsy; "0x", "01" are truthy (we only
+    // fold strings that are *entirely* zeros).
+    bool all_zero = true;
+    for (const char c : v)
+        if (c != '0') {
+            all_zero = false;
+            break;
+        }
+    return !all_zero;
+}
+
+bool env_flag_enabled(const char* name) {
+    return env_value_truthy(std::getenv(name));
+}
+
+std::optional<std::uint64_t> env_positive_u64(const char* name) {
+    const char* v = std::getenv(name);
+    if (v == nullptr || v[0] == '\0') return std::nullopt;
+    char* end = nullptr;
+    const long long n = std::strtoll(v, &end, 10);
+    if (end == v || *end != '\0' || n <= 0) return std::nullopt;
+    return static_cast<std::uint64_t>(n);
+}
+
+}  // namespace dcft

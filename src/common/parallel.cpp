@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 #include "obs/telemetry.hpp"
 
 namespace dcft {
@@ -18,10 +19,8 @@ namespace {
 constexpr std::uint64_t kMinGrain = 4096;
 
 unsigned env_threads() {
-    if (const char* env = std::getenv("DCFT_VERIFIER_THREADS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v > 0) return static_cast<unsigned>(v);
-    }
+    if (const auto v = env_positive_u64("DCFT_VERIFIER_THREADS"))
+        return static_cast<unsigned>(*v);
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : hw;
 }

@@ -1,0 +1,82 @@
+// Campaign driver: generate -> oracle -> shrink -> pin, in a loop.
+//
+// run_campaign() derives one independent program seed per iteration from
+// the campaign seed (SplitMix64 mixing, so `--seed S --programs N` covers
+// the same specs in any split of the range), runs the full oracle matrix,
+// and on divergence minimizes the spec with the delta-debugging shrinker
+// and serializes the reproducer into the corpus directory. Everything is
+// deterministic: the same campaign seed yields the same programs, the same
+// verdicts, and byte-identical minimized reproducer files.
+//
+// replay_corpus() is the regression half: it re-runs the oracles on every
+// corpus file (sorted by path), so each previously found-and-fixed bug
+// stays pinned — the fuzz_corpus_replay ctest target calls exactly this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/spec.hpp"
+
+namespace dcft::fuzz {
+
+/// One divergence found by a campaign, with its minimized reproducer.
+struct Finding {
+    std::uint64_t program_seed = 0;  ///< generate_spec seed of the original
+    std::size_t index = 0;           ///< iteration index within the campaign
+    std::vector<Divergence> divergences;  ///< oracle verdicts on the original
+    ProgramSpec minimized;           ///< shrunken reproducer (== original
+                                     ///< when shrinking is disabled)
+    std::string file;                ///< corpus path ("" if not persisted)
+};
+
+struct CampaignConfig {
+    std::uint64_t seed = 1;
+    std::size_t programs = 100;
+    GeneratorConfig generator;
+    OracleOptions oracle;
+    /// Directory minimized reproducers are written into ("" = don't write).
+    std::string corpus_dir;
+    /// Wall-clock budget in seconds (0 = unlimited). Checked between
+    /// programs; a campaign never aborts mid-oracle.
+    double time_budget_seconds = 0;
+    bool shrink = true;
+};
+
+struct CampaignResult {
+    std::size_t programs_run = 0;
+    std::vector<Finding> findings;
+    double elapsed_seconds = 0;
+    bool time_exhausted = false;  ///< stopped on budget, not on count
+};
+
+/// The per-iteration generator seed (SplitMix64 of campaign seed + index).
+std::uint64_t campaign_program_seed(std::uint64_t campaign_seed,
+                                    std::size_t index);
+
+/// Runs the campaign. Writes reproducers as
+/// `<corpus_dir>/fuzz-<seed>-<index>.json` (directories created on
+/// demand).
+CampaignResult run_campaign(const CampaignConfig& config);
+
+/// One corpus file failing to parse, validate, or pass the oracles.
+struct ReplayFailure {
+    std::string file;
+    std::string detail;
+};
+
+struct ReplayResult {
+    std::size_t files = 0;
+    std::vector<ReplayFailure> failures;
+    bool ok() const { return failures.empty(); }
+};
+
+/// Replays `path` — a spec JSON file, or a directory whose *.json files
+/// are replayed in sorted order — through the oracle matrix.
+ReplayResult replay_corpus(const std::string& path,
+                           const OracleOptions& options = {});
+
+}  // namespace dcft::fuzz

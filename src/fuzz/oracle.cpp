@@ -1,0 +1,478 @@
+#include "fuzz/oracle.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "runtime/fault_injector.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/simulator.hpp"
+#include "runtime/trace_checker.hpp"
+#include "verify/closure.hpp"
+#include "verify/exploration_cache.hpp"
+#include "verify/reachability.hpp"
+#include "verify/refinement.hpp"
+#include "verify/state_set.hpp"
+#include "verify/tolerance_checker.hpp"
+
+namespace dcft::fuzz {
+
+namespace {
+
+/// Sets an environment variable for the current scope and restores the
+/// previous value (or unsets) on destruction.
+class EnvGuard {
+public:
+    EnvGuard(const char* name, const char* value) : name_(name) {
+        if (const char* prev = std::getenv(name)) {
+            had_prev_ = true;
+            prev_ = prev;
+        }
+        ::setenv(name, value, 1);
+    }
+    ~EnvGuard() {
+        if (had_prev_)
+            ::setenv(name_, prev_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+    EnvGuard(const EnvGuard&) = delete;
+    EnvGuard& operator=(const EnvGuard&) = delete;
+
+private:
+    const char* name_;
+    bool had_prev_ = false;
+    std::string prev_;
+};
+
+std::string fmt_node(const TransitionSystem& ts, NodeId n) {
+    std::ostringstream os;
+    os << "node " << n << " (" << ts.space().format(ts.state_of(n)) << ")";
+    return os.str();
+}
+
+/// Index of the program action named `name`, or npos.
+std::size_t program_action_index(const Program& p, const std::string& name) {
+    for (std::size_t i = 0; i < p.num_actions(); ++i)
+        if (p.action(i).name() == name) return i;
+    return ~std::size_t{0};
+}
+
+/// Whether `action` can step prev -> cur.
+bool action_connects(const StateSpace& space, const Action& action,
+                     StateIndex prev, StateIndex cur) {
+    if (!action.enabled(space, prev)) return false;
+    std::vector<StateIndex> succ;
+    action.successors(space, prev, succ);
+    return std::find(succ.begin(), succ.end(), cur) != succ.end();
+}
+
+/// Replays one witness trace over the raw kernel: every consecutive pair
+/// must be connected by the named action (program or fault), and every
+/// formatted state must match. Appends at most one divergence.
+void validate_witness(const BuiltSystem& sys,
+                      const std::vector<WitnessStep>& trace,
+                      const std::string& where,
+                      std::vector<Divergence>& out) {
+    const StateSpace& space = *sys.space;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const WitnessStep& step = trace[i];
+        if (step.state_repr != space.format(step.state)) {
+            out.push_back({"witness/replay",
+                           where + ": step " + std::to_string(i) +
+                               " repr mismatch: '" + step.state_repr +
+                               "' vs '" + space.format(step.state) + "'"});
+            return;
+        }
+        if (i == 0) {
+            if (!step.action.empty()) {
+                out.push_back({"witness/replay",
+                               where + ": root step carries action '" +
+                                   step.action + "'"});
+                return;
+            }
+            continue;
+        }
+        const StateIndex prev = trace[i - 1].state;
+        const StateIndex cur = step.state;
+        bool connected = false;
+        if (step.fault) {
+            for (const Action& a : sys.faults.actions()) {
+                if (a.name() != step.action) continue;
+                if (action_connects(space, a, prev, cur)) connected = true;
+                break;
+            }
+        } else {
+            const std::size_t idx =
+                program_action_index(sys.program, step.action);
+            if (idx != ~std::size_t{0})
+                connected = action_connects(space, sys.program.action(idx),
+                                            prev, cur);
+        }
+        if (!connected) {
+            out.push_back(
+                {"witness/replay",
+                 where + ": step " + std::to_string(i) + " (" +
+                     (step.fault ? "fault " : "") + "'" + step.action +
+                     "') does not connect " + space.format(prev) + " -> " +
+                     space.format(cur)});
+            return;
+        }
+    }
+}
+
+/// Converts a witness trace to a recorded RunResult so the offline trace
+/// checker can consume it.
+RunResult witness_to_run(const BuiltSystem& sys,
+                         const std::vector<WitnessStep>& trace) {
+    RunResult run;
+    run.initial = trace.front().state;
+    run.final_state = trace.back().state;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        const WitnessStep& step = trace[i];
+        TraceStep ts;
+        ts.to = step.state;
+        if (step.fault) {
+            ts.action = TraceStep::kFaultStep;
+            ++run.fault_steps;
+        } else {
+            ts.action = program_action_index(sys.program, step.action);
+            ++run.program_steps;
+        }
+        run.trace.push_back(ts);
+    }
+    run.steps = run.trace.size();
+    return run;
+}
+
+/// Checks one simulated run against the explored graph: every step must
+/// be a recorded edge, and a deadlocked run must end on a terminal node.
+void check_run_against_graph(const BuiltSystem& sys,
+                             const TransitionSystem& ts, const RunResult& run,
+                             const std::string& where,
+                             std::vector<Divergence>& out) {
+    if (!ts.has_state(run.initial)) {
+        out.push_back({"sim/trace-edge",
+                       where + ": initial state " +
+                           sys.space->format(run.initial) +
+                           " is not a node of the explored graph"});
+        return;
+    }
+    NodeId node = ts.node_of(run.initial);
+    for (std::size_t i = 0; i < run.trace.size(); ++i) {
+        const TraceStep& step = run.trace[i];
+        if (!ts.has_state(step.to)) {
+            out.push_back({"sim/trace-edge",
+                           where + ": step " + std::to_string(i) +
+                               " reaches unexplored state " +
+                               sys.space->format(step.to)});
+            return;
+        }
+        const NodeId to = ts.node_of(step.to);
+        bool found = false;
+        if (step.is_fault()) {
+            for (const auto& e : ts.fault_edges(node))
+                if (e.to == to) {
+                    found = true;
+                    break;
+                }
+        } else {
+            for (const auto& e : ts.program_edges(node))
+                if (e.action == static_cast<std::uint32_t>(step.action) &&
+                    e.to == to) {
+                    found = true;
+                    break;
+                }
+        }
+        if (!found) {
+            out.push_back({"sim/trace-edge",
+                           where + ": step " + std::to_string(i) + " (" +
+                               (step.is_fault()
+                                    ? std::string("fault")
+                                    : "action " + std::to_string(step.action)) +
+                               ") " + fmt_node(ts, node) + " -> " +
+                               fmt_node(ts, to) +
+                               " is not a recorded edge"});
+            return;
+        }
+        node = to;
+    }
+    if (run.deadlocked && !ts.terminal(node)) {
+        out.push_back({"sim/deadlock",
+                       where + ": simulator deadlocked on non-terminal " +
+                           fmt_node(ts, node)});
+    }
+}
+
+}  // namespace
+
+std::optional<std::string> first_graph_difference(
+    const reference::RefTransitionSystem& ref, const TransitionSystem& ts) {
+    if (ref.num_nodes() != ts.num_nodes())
+        return "node count: ref " + std::to_string(ref.num_nodes()) +
+               " vs csr " + std::to_string(ts.num_nodes());
+    if (ref.states() !=
+        [&] {
+            std::vector<StateIndex> s(ts.num_nodes());
+            for (NodeId n = 0; n < ts.num_nodes(); ++n) s[n] = ts.state_of(n);
+            return s;
+        }())
+        return std::string("node -> state mapping differs");
+    if (ref.initial_nodes() != ts.initial_nodes())
+        return std::string("initial node sets differ");
+    for (NodeId n = 0; n < ts.num_nodes(); ++n) {
+        const auto& rp = ref.program_edges(n);
+        const auto tp = ts.program_edges(n);
+        if (rp.size() != tp.size())
+            return "program edge count at node " + std::to_string(n) +
+                   ": ref " + std::to_string(rp.size()) + " vs csr " +
+                   std::to_string(tp.size());
+        for (std::size_t i = 0; i < rp.size(); ++i)
+            if (rp[i].action != tp[i].action || rp[i].to != tp[i].to)
+                return "program edge " + std::to_string(i) + " at node " +
+                       std::to_string(n) + " differs";
+        const auto& rf = ref.fault_edges(n);
+        const auto tf = ts.fault_edges(n);
+        if (rf.size() != tf.size())
+            return "fault edge count at node " + std::to_string(n) +
+                   ": ref " + std::to_string(rf.size()) + " vs csr " +
+                   std::to_string(tf.size());
+        for (std::size_t i = 0; i < rf.size(); ++i)
+            if (rf[i].action != tf[i].action || rf[i].to != tf[i].to)
+                return "fault edge " + std::to_string(i) + " at node " +
+                       std::to_string(n) + " differs";
+        if (ref.terminal(n) != ts.terminal(n))
+            return "terminality at node " + std::to_string(n) + " differs";
+        if (ref.witness_path(n) != ts.witness_path(n))
+            return "witness path to node " + std::to_string(n) + " differs";
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string> first_ts_difference(const TransitionSystem& a,
+                                               const TransitionSystem& b) {
+    if (a.num_nodes() != b.num_nodes())
+        return "node count: " + std::to_string(a.num_nodes()) + " vs " +
+               std::to_string(b.num_nodes());
+    if (a.initial_nodes() != b.initial_nodes())
+        return std::string("initial node sets differ");
+    for (NodeId n = 0; n < a.num_nodes(); ++n) {
+        if (a.state_of(n) != b.state_of(n))
+            return "state of node " + std::to_string(n) + " differs";
+        const auto pa = a.program_edges(n), pb = b.program_edges(n);
+        if (!std::equal(pa.begin(), pa.end(), pb.begin(), pb.end()))
+            return "program edges at node " + std::to_string(n) + " differ";
+        const auto fa = a.fault_edges(n), fb = b.fault_edges(n);
+        if (!std::equal(fa.begin(), fa.end(), fb.begin(), fb.end()))
+            return "fault edges at node " + std::to_string(n) + " differ";
+        if (a.witness_path(n) != b.witness_path(n))
+            return "witness path to node " + std::to_string(n) + " differs";
+    }
+    return std::nullopt;
+}
+
+std::vector<Divergence> run_oracles(const ProgramSpec& spec,
+                                    const OracleOptions& options) {
+    std::vector<Divergence> out;
+    const BuiltSystem sys = build(spec);
+    const FaultClass* faults = sys.faults_ptr();
+
+    // -- graph oracles -----------------------------------------------------
+    const reference::RefTransitionSystem ref(sys.program, faults, sys.init);
+    const TransitionSystem ts1(sys.program, faults, sys.init, 1);
+    if (auto d = first_graph_difference(ref, ts1))
+        out.push_back({"graph/ref-vs-csr", *d});
+
+    const TransitionSystem tsN(sys.program, faults, sys.init,
+                               std::max(options.threads, 2u));
+    if (auto d = first_ts_difference(ts1, tsN))
+        out.push_back({"graph/threads-1-vs-N", *d});
+
+    {
+        const EnvGuard no_compile("DCFT_NO_COMPILE", "1");
+        const TransitionSystem interpreted(sys.program, faults, sys.init, 1);
+        if (auto d = first_ts_difference(ts1, interpreted))
+            out.push_back({"graph/compiled-vs-interpreted", *d});
+    }
+
+    // -- cache oracle ------------------------------------------------------
+    if (!exploration_cache_disabled()) {
+        ExplorationCache& cache = ExplorationCache::global();
+        cache.clear();
+        const auto first =
+            cache.get_or_build(sys.program, faults, sys.init, options.threads);
+        const auto second =
+            cache.get_or_build(sys.program, faults, sys.init, options.threads);
+        if (first.get() != second.get())
+            out.push_back({"cache/hit-shares-build",
+                           "second lookup of an identical key rebuilt the "
+                           "graph instead of sharing it"});
+        if (auto d = first_ts_difference(ts1, *first))
+            out.push_back({"cache/cached-vs-fresh", *d});
+        cache.clear();
+    }
+
+    // -- verdict oracles ---------------------------------------------------
+    {
+        const CheckResult a = check_closed(sys.program, sys.invariant);
+        const CheckResult b =
+            reference::ref_check_closed(sys.program, sys.invariant);
+        if (a.ok != b.ok)
+            out.push_back({"verdict/closed",
+                           std::string("optimized ok=") +
+                               (a.ok ? "true" : "false") + " vs reference ok=" +
+                               (b.ok ? "true" : "false") +
+                               (b.ok ? "" : " (" + b.reason + ")")});
+    }
+    {
+        const StateSet a = reachable_states(sys.program, faults, sys.init,
+                                            options.threads);
+        const StateSet b =
+            reference::ref_reachable_states(sys.program, faults, sys.init);
+        if (!(a == b))
+            out.push_back({"verdict/reachable",
+                           "reachable sets differ: optimized " +
+                               std::to_string(a.count()) + " states vs "
+                               "reference " + std::to_string(b.count())});
+    }
+    {
+        const CheckResult a =
+            converges(sys.program, faults, sys.init, sys.invariant);
+        const CheckResult b = reference::ref_converges(sys.program, faults,
+                                                       sys.init, sys.invariant);
+        if (a.ok != b.ok)
+            out.push_back({"verdict/converges",
+                           std::string("optimized ok=") +
+                               (a.ok ? "true" : "false") + " vs reference ok=" +
+                               (b.ok ? "true" : "false")});
+    }
+    {
+        const CheckResult a = refines_spec(sys.program, sys.problem, sys.init);
+        const CheckResult b = reference::ref_refines_spec(
+            sys.program, sys.problem, sys.init, nullptr);
+        if (a.ok != b.ok)
+            out.push_back({"verdict/refines",
+                           std::string("optimized ok=") +
+                               (a.ok ? "true" : "false") + " vs reference ok=" +
+                               (b.ok ? "true" : "false")});
+        if (faults != nullptr) {
+            const CheckResult af = refines_spec(sys.program, sys.problem,
+                                                sys.init, {faults});
+            const CheckResult bf = reference::ref_refines_spec(
+                sys.program, sys.problem, sys.init, faults);
+            if (af.ok != bf.ok)
+                out.push_back({"verdict/refines-with-faults",
+                               std::string("optimized ok=") +
+                                   (af.ok ? "true" : "false") +
+                                   " vs reference ok=" +
+                                   (bf.ok ? "true" : "false")});
+        }
+    }
+    const ToleranceReport graded = check_tolerance(
+        sys.program, sys.faults, sys.problem, sys.invariant, sys.grade);
+    {
+        const ToleranceReport refr = reference::ref_check_tolerance(
+            sys.program, sys.faults, sys.problem, sys.invariant, sys.grade);
+        if (graded.in_absence.ok != refr.in_absence.ok ||
+            graded.in_presence.ok != refr.in_presence.ok ||
+            graded.invariant_size != refr.invariant_size ||
+            graded.span_size != refr.span_size) {
+            std::ostringstream os;
+            os << "optimized (absence=" << graded.in_absence.ok
+               << ", presence=" << graded.in_presence.ok << ", |S|="
+               << graded.invariant_size << ", |T|=" << graded.span_size
+               << ") vs reference (absence=" << refr.in_absence.ok
+               << ", presence=" << refr.in_presence.ok << ", |S|="
+               << refr.invariant_size << ", |T|=" << refr.span_size << ")";
+            out.push_back({"verdict/tolerance", os.str()});
+        }
+    }
+
+    // -- witness replay oracles --------------------------------------------
+    const ToleranceReport failsafe = check_failsafe(sys.program, sys.faults,
+                                                    sys.problem, sys.invariant);
+    validate_witness(sys, graded.in_absence.witness,
+                     "tolerance/in_absence", out);
+    validate_witness(sys, graded.in_presence.witness,
+                     "tolerance/in_presence", out);
+    validate_witness(sys, graded.deepest_trace, "tolerance/deepest", out);
+    validate_witness(sys, failsafe.in_presence.witness,
+                     "failsafe/in_presence", out);
+    validate_witness(sys, failsafe.deepest_trace, "failsafe/deepest", out);
+
+    // -- trace-checker oracles ---------------------------------------------
+    if (failsafe.in_presence.ok && !failsafe.deepest_trace.empty()) {
+        // The exploration witness of a passing fail-safe query must itself
+        // be safe when replayed through the offline trace checker.
+        const RunResult run = witness_to_run(sys, failsafe.deepest_trace);
+        const TraceReport report =
+            check_trace_safety(*sys.space, run, sys.safety);
+        if (!report.ok())
+            out.push_back({"trace/safety-vs-verdict",
+                           "deepest exploration trace of a verified "
+                           "fail-safe span violates safety at step " +
+                               std::to_string(report.violations.front().step) +
+                               ": " + report.violations.front().what});
+    }
+
+    // -- simulation oracles ------------------------------------------------
+    if (options.include_sim && ts1.num_nodes() > 0 && options.sim_runs > 0) {
+        RandomScheduler scheduler;
+        const auto& roots = ts1.initial_nodes();
+        for (std::size_t r = 0; r < options.sim_runs; ++r) {
+            const NodeId root = roots[(r * 7919) % roots.size()];
+            Simulator sim(sys.program, scheduler,
+                          spec.seed ^ (0x51F7ULL + r));
+            FaultInjector injector(sys.faults, 0.2, 4);
+            if (faults != nullptr) sim.set_fault_injector(&injector);
+            RunOptions run_options;
+            run_options.max_steps = options.sim_steps;
+            run_options.record_trace = true;
+            const RunResult run = sim.run(ts1.state_of(root), run_options);
+            check_run_against_graph(sys, ts1, run,
+                                    "run " + std::to_string(r), out);
+        }
+    }
+    if (options.include_sim && failsafe.in_presence.ok &&
+        failsafe.invariant_size > 0 && options.sim_runs > 0) {
+        // Fault-injected runs from invariant states stay inside the span;
+        // a verified fail-safe span means the offline safety check on any
+        // such recorded trace must be clean.
+        std::vector<StateIndex> starts;
+        const StateSet inv = materialize(*sys.space, sys.invariant);
+        inv.for_each([&](StateIndex s) {
+            if (starts.size() < options.sim_runs) starts.push_back(s);
+        });
+        RandomScheduler scheduler;
+        for (std::size_t r = 0; r < starts.size(); ++r) {
+            Simulator sim(sys.program, scheduler,
+                          spec.seed ^ (0xFA57ULL + r));
+            FaultInjector injector(sys.faults, 0.2, 4);
+            if (faults != nullptr) sim.set_fault_injector(&injector);
+            RunOptions run_options;
+            run_options.max_steps = options.sim_steps;
+            run_options.record_trace = true;
+            const RunResult run = sim.run(starts[r], run_options);
+            const TraceReport report =
+                check_trace_safety(*sys.space, run, sys.safety);
+            if (!report.ok()) {
+                out.push_back(
+                    {"trace/safety-vs-verdict",
+                     "verified fail-safe span, but simulated run " +
+                         std::to_string(r) + " from " +
+                         sys.space->format(starts[r]) +
+                         " violates safety at step " +
+                         std::to_string(report.violations.front().step) +
+                         ": " + report.violations.front().what});
+                break;
+            }
+        }
+    }
+
+    // Leave no residue for the next campaign iteration.
+    if (!exploration_cache_disabled()) ExplorationCache::global().clear();
+    return out;
+}
+
+}  // namespace dcft::fuzz

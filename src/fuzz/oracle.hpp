@@ -1,0 +1,87 @@
+// The differential oracle matrix.
+//
+// run_oracles(spec) builds the spec once and cross-checks every pair of
+// redundant execution paths the repo maintains. A clean result is the
+// empty vector; each Divergence names the oracle that fired plus a
+// human-readable first difference. The oracle pairs:
+//
+//   graph/ref-vs-csr            RefTransitionSystem (seed-naive BFS) vs
+//                               the CSR TransitionSystem at 1 thread:
+//                               states, initial nodes, program and fault
+//                               edges, terminality, witness paths.
+//   graph/threads-1-vs-N        CSR exploration at 1 thread vs N threads
+//                               (the determinism contract).
+//   graph/compiled-vs-interpreted
+//                               exploration with compiled action kernels
+//                               vs DCFT_NO_COMPILE=1 (std::function path).
+//   cache/hit-shares-build      two ExplorationCache::get_or_build calls
+//                               for the same key return the same object.
+//   cache/cached-vs-fresh       the cached graph equals a cache-bypassing
+//                               fresh exploration.
+//   verdict/closed|reachable|converges|refines|refines-with-faults|
+//   verdict/tolerance           the optimized verdict pipeline vs the
+//                               ref_* reference pipeline (ok flags, state
+//                               sets, invariant/span sizes).
+//   sim/trace-edge, sim/deadlock
+//                               every step of a recorded simulation trace
+//                               (random scheduler, fault injection) is an
+//                               edge of the explored graph; a deadlocked
+//                               run ends on a terminal node.
+//   witness/replay              every witness trace the checkers emit
+//                               (counterexamples and exploration
+//                               witnesses) replays over the kernel:
+//                               consecutive states are connected by the
+//                               named program/fault action and the
+//                               formatted state matches.
+//   trace/safety-vs-verdict     when the fail-safe in-presence obligation
+//                               verifies, check_trace_safety finds no
+//                               violation on fault-injected simulation
+//                               runs from invariant states, nor on the
+//                               verifier's own deepest exploration trace
+//                               replayed as a RunResult.
+//
+// Everything is deterministic in (spec, options): simulator seeds derive
+// from spec.seed, and the global exploration cache is cleared afterwards
+// so campaign iterations cannot observe each other.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/spec.hpp"
+#include "verify/reference.hpp"
+#include "verify/transition_system.hpp"
+
+namespace dcft::fuzz {
+
+/// One observed disagreement between two redundant paths.
+struct Divergence {
+    std::string oracle;  ///< which pair fired, e.g. "graph/ref-vs-csr"
+    std::string detail;  ///< first difference, human-readable
+};
+
+/// Knobs for one oracle run.
+struct OracleOptions {
+    unsigned threads = 4;       ///< N of the threads-1-vs-N pair
+    bool include_sim = true;    ///< run the simulation-based oracles
+    std::size_t sim_runs = 3;   ///< simulated runs per entry point
+    std::size_t sim_steps = 160;  ///< max steps per simulated run
+};
+
+/// Runs the whole oracle matrix on one spec. Precondition: validate(spec).
+std::vector<Divergence> run_oracles(const ProgramSpec& spec,
+                                    const OracleOptions& options = {});
+
+/// First difference between the reference and optimized explorations
+/// (node states, initial nodes, edges, terminality, witness paths), or
+/// nullopt when identical. Exposed for the oracle unit tests.
+std::optional<std::string> first_graph_difference(
+    const reference::RefTransitionSystem& ref, const TransitionSystem& ts);
+
+/// First difference between two optimized explorations (used by the
+/// thread-count, compile-gate, and cache oracles).
+std::optional<std::string> first_ts_difference(const TransitionSystem& a,
+                                               const TransitionSystem& b);
+
+}  // namespace dcft::fuzz

@@ -1,0 +1,42 @@
+// Delta-debugging minimization of divergent fuzz specs.
+//
+// When the oracle matrix reports a divergence, the raw generated program
+// is rarely the smallest program that exhibits it. shrink() greedily
+// applies structure-aware reductions — drop fault actions, drop program
+// actions, drop channels (with their dependent actions), drop unreferenced
+// variables, shrink domains (clamping constants), simplify predicate trees
+// toward `true`, drop the leads-to obligation, thin choice/victim lists —
+// re-validating each candidate and keeping it only when the caller's
+// `still_diverges` predicate confirms the divergence survives. The
+// candidate order is fixed and the loop is greedy-first-accept, so
+// shrinking is deterministic: the same input spec and predicate always
+// produce the byte-identical minimized reproducer (which is what makes
+// corpus files stable across reruns).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fuzz/spec.hpp"
+
+namespace dcft::fuzz {
+
+/// Returns true when the candidate still exhibits the divergence being
+/// minimized (typically: !run_oracles(candidate).empty()).
+using StillDiverges = std::function<bool(const ProgramSpec&)>;
+
+/// All single-step reduction candidates of `spec`, in the fixed order the
+/// shrinker tries them. Every candidate is structurally smaller (or
+/// simpler) than `spec`; not all are valid — shrink() filters through
+/// validate(). Exposed for the shrinker unit tests.
+std::vector<ProgramSpec> shrink_candidates(const ProgramSpec& spec);
+
+/// Greedy fixpoint minimization: repeatedly applies the first valid,
+/// still-diverging candidate until none is accepted (or `max_accepts`
+/// reductions have been applied, as a safety bound). The result is valid
+/// and still diverges; if `spec` itself does not diverge the result is
+/// `spec` unchanged.
+ProgramSpec shrink(const ProgramSpec& spec, const StillDiverges& still_diverges,
+                   std::size_t max_accepts = 256);
+
+}  // namespace dcft::fuzz

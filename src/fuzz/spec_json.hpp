@@ -1,0 +1,36 @@
+// Corpus serialization of fuzz ProgramSpecs ("dcft.fuzz.program").
+//
+// Every minimized reproducer a campaign finds is written as one JSON file
+// under tests/fuzz/corpus/, and the corpus-replay ctest target re-runs the
+// oracles on every file — so each found bug stays pinned as a regression
+// test after its fix. The format goes through obs::JsonWriter/parse_json
+// like every other artifact of the repo, and the emission order is fixed,
+// so to_json is deterministic and from_json(to_json(s)) == s with
+// to_json(from_json(text)) byte-identical to a writer-produced `text`.
+//
+// Envelope:
+//   { "schema": "dcft.fuzz.program", "schema_version": 1,
+//     "name", "seed", "grade": "failsafe"|"nonmasking"|"masking",
+//     "vars": [{"name","domain"}], "channels": [...], "actions": [...],
+//     "fault_actions": [...], "init", "invariant", "bad",
+//     "leads": null | {"from", "to"} }
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "fuzz/spec.hpp"
+
+namespace dcft::fuzz {
+
+/// Serializes `spec` (deterministic member order, 2-space indentation).
+std::string to_json(const ProgramSpec& spec);
+
+/// Parses a document produced by to_json (or hand-written to the same
+/// schema). On failure returns nullopt and stores a message in *error
+/// when non-null. The result is structurally parsed but NOT validated —
+/// callers run validate() before build().
+std::optional<ProgramSpec> from_json(const std::string& text,
+                                     std::string* error = nullptr);
+
+}  // namespace dcft::fuzz

@@ -1,10 +1,35 @@
 #include "gc/state_space.hpp"
 
+#include <atomic>
 #include <limits>
 
 #include "common/check.hpp"
 
 namespace dcft {
+
+std::uint64_t StateSpace::next_uid() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+StateSpace::StateSpace() : uid_(next_uid()) {}
+
+StateSpace::StateSpace(const StateSpace& other)
+    : uid_(next_uid()),
+      vars_(other.vars_),
+      strides_(other.strides_),
+      num_states_(other.num_states_),
+      frozen_(other.frozen_) {}
+
+StateSpace& StateSpace::operator=(const StateSpace& other) {
+    if (this == &other) return *this;
+    uid_ = next_uid();  // new content, new identity
+    vars_ = other.vars_;
+    strides_ = other.strides_;
+    num_states_ = other.num_states_;
+    frozen_ = other.frozen_;
+    return *this;
+}
 
 void VarSet::add(VarId v) {
     DCFT_EXPECTS(v < bits_.size(), "VarSet::add: variable out of range");

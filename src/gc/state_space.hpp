@@ -69,7 +69,22 @@ private:
 /// predicate, and transition system built over it.
 class StateSpace {
 public:
-    StateSpace() = default;
+    StateSpace();
+
+    /// Copies take a *fresh* uid: a copy is a distinct object whose
+    /// identity must not alias the original in identity-keyed caches
+    /// (verify/exploration_cache.hpp). Moves carry the uid along — the
+    /// moved-from object is dead, so its identity transfers.
+    StateSpace(const StateSpace& other);
+    StateSpace& operator=(const StateSpace& other);
+    StateSpace(StateSpace&&) noexcept = default;
+    StateSpace& operator=(StateSpace&&) noexcept = default;
+
+    /// Process-unique, monotonically increasing identity of this object.
+    /// Never reused — unlike the address of a destroyed space, which the
+    /// allocator may hand to an unrelated new space (the ABA hazard the
+    /// exploration cache's stale-hit regression test pins).
+    std::uint64_t uid() const { return uid_; }
 
     /// Declares a variable with values {0, ..., domain_size-1}.
     VarId add_variable(std::string name, Value domain_size);
@@ -119,6 +134,9 @@ public:
     VarSet varset(std::initializer_list<std::string_view> names) const;
 
 private:
+    static std::uint64_t next_uid();
+
+    std::uint64_t uid_ = 0;
     std::vector<Variable> vars_;
     std::vector<StateIndex> strides_;  ///< strides_[v] = prod of domains < v
     StateIndex num_states_ = 1;

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env.hpp"
+
 namespace dcft::obs {
 namespace {
 
@@ -14,10 +16,7 @@ std::atomic<int>& enabled_state() {
 }
 
 int resolve_from_env() {
-    const char* env = std::getenv("DCFT_TELEMETRY");
-    const bool on = env != nullptr && env[0] != '\0' &&
-                    std::strcmp(env, "0") != 0;
-    return on ? 1 : 0;
+    return env_flag_enabled("DCFT_TELEMETRY") ? 1 : 0;
 }
 
 }  // namespace

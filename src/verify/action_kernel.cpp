@@ -5,14 +5,13 @@
 #include <numeric>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 #include "obs/telemetry.hpp"
 
 namespace dcft {
 
 bool compile_disabled() {
-    const char* v = std::getenv("DCFT_NO_COMPILE");
-    return v != nullptr && v[0] != '\0' &&
-           !(v[0] == '0' && v[1] == '\0');
+    return env_flag_enabled("DCFT_NO_COMPILE");
 }
 
 // ---------------------------------------------------------------------------

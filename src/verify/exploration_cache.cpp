@@ -1,17 +1,14 @@
 #include "verify/exploration_cache.hpp"
 
-#include <cstdlib>
+#include <exception>
+#include <utility>
 
+#include "common/env.hpp"
 #include "obs/telemetry.hpp"
 
 namespace dcft {
 
 namespace {
-
-bool env_flag(const char* name) {
-    const char* v = std::getenv(name);
-    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
-}
 
 /// FNV-1a over the words of a bit vector (padding bits are always zero,
 /// so extensionally equal sets hash equally).
@@ -26,17 +23,20 @@ std::uint64_t hash_bits(const BitVec& bits) {
     return h;
 }
 
-std::vector<const void*> action_ids(std::span<const Action> actions) {
-    std::vector<const void*> ids;
-    ids.reserve(actions.size());
-    for (const Action& a : actions) ids.push_back(a.id());
-    return ids;
+/// Element-wise Action::id() comparison between pinned key actions and a
+/// candidate action span.
+bool same_actions(const std::vector<Action>& pinned,
+                  std::span<const Action> actions) {
+    if (pinned.size() != actions.size()) return false;
+    for (std::size_t i = 0; i < pinned.size(); ++i)
+        if (pinned[i].id() != actions[i].id()) return false;
+    return true;
 }
 
 }  // namespace
 
 bool exploration_cache_disabled() {
-    return env_flag("DCFT_NO_EXPLORE_CACHE");
+    return env_flag_enabled("DCFT_NO_EXPLORE_CACHE");
 }
 
 ExplorationCache& ExplorationCache::global() {
@@ -45,11 +45,8 @@ ExplorationCache& ExplorationCache::global() {
 }
 
 std::size_t ExplorationCache::capacity() {
-    const char* v = std::getenv("DCFT_EXPLORE_CACHE_CAP");
-    if (v != nullptr && v[0] != '\0') {
-        const long n = std::atol(v);
-        if (n > 0) return static_cast<std::size_t>(n);
-    }
+    if (const auto cap = env_positive_u64("DCFT_EXPLORE_CACHE_CAP"))
+        return static_cast<std::size_t>(*cap);
     return 8;
 }
 
@@ -74,56 +71,93 @@ std::shared_ptr<const TransitionSystem> ExplorationCache::get_or_build(
         return eval_bits(space, init, n_threads);
     }();
     const std::uint64_t h = hash_bits(init_bits);
-    std::vector<const void*> prog_ids = action_ids(program.actions());
-    std::vector<const void*> fault_ids =
-        faults != nullptr ? action_ids(faults->actions())
-                          : std::vector<const void*>{};
 
+    std::promise<std::shared_ptr<const TransitionSystem>> builder;
+    std::uint64_t token = 0;
+    std::shared_future<std::shared_ptr<const TransitionSystem>> resident;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            const Key& k = it->key;
+            if (k.space_uid != space.uid() || k.init_hash != h ||
+                k.program_name != program.name() ||
+                !same_actions(k.program_actions, program.actions()) ||
+                k.has_faults != (faults != nullptr))
+                continue;
+            if (faults != nullptr &&
+                (k.fault_name != faults->name() ||
+                 !same_actions(k.fault_actions, faults->actions())))
+                continue;
+            if (!(k.init_bits == init_bits)) continue;  // collision guard
+            obs::count("verify/explore_cache/hits");
+            entries_.splice(entries_.begin(), entries_, it);  // LRU bump
+            resident = it->ts;
+            break;
+        }
+        if (!resident.valid()) {
+            obs::count("verify/explore_cache/misses");
+
+            // Miss: insert an in-flight entry so concurrent requests for
+            // this key dedup onto our build, then release the lock and
+            // explore.
+            Key key{space.uid(),
+                    program.name(),
+                    {program.actions().begin(), program.actions().end()},
+                    faults != nullptr,
+                    faults != nullptr ? faults->name() : std::string{},
+                    faults != nullptr
+                        ? std::vector<Action>{faults->actions().begin(),
+                                              faults->actions().end()}
+                        : std::vector<Action>{},
+                    h,
+                    init_bits};
+            token = ++next_token_;
+            entries_.push_front(
+                Entry{std::move(key), token, builder.get_future().share()});
+            const std::size_t cap = capacity();
+            while (entries_.size() > cap) {
+                obs::count("verify/explore_cache/evictions");
+                entries_.pop_back();
+            }
+        }
+    }
+    // Hit (possibly on an in-flight entry): wait outside the lock.
+    if (resident.valid()) return resident.get();
+
+    // Build outside the lock: one large exploration never blocks hits or
+    // unrelated builds.
+    try {
+        auto bits = std::make_shared<const BitVec>(std::move(init_bits));
+        const Predicate seeded = Predicate::from_bits(init.name(), bits);
+        auto ts = std::make_shared<const TransitionSystem>(program, faults,
+                                                           seeded, n_threads);
+        builder.set_value(ts);
+        return ts;
+    } catch (...) {
+        builder.set_exception(std::current_exception());
+        remove_entry(token);
+        throw;
+    }
+}
+
+void ExplorationCache::remove_entry(std::uint64_t token) {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-        if (it->space != &space || it->init_hash != h ||
-            it->program_name != program.name() ||
-            it->program_actions != prog_ids ||
-            it->has_faults != (faults != nullptr))
-            continue;
-        if (faults != nullptr && (it->fault_name != faults->name() ||
-                                  it->fault_actions != fault_ids))
-            continue;
-        if (!(it->init_bits == init_bits)) continue;  // collision guard
-        obs::count("verify/explore_cache/hits");
-        entries_.splice(entries_.begin(), entries_, it);  // LRU bump
-        return entries_.front().ts;
+        if (it->token == token) {
+            entries_.erase(it);
+            return;
+        }
     }
-    obs::count("verify/explore_cache/misses");
-
-    // Build under the lock: concurrent requests for the same key wait and
-    // then hit instead of exploring twice.
-    auto bits = std::make_shared<const BitVec>(init_bits);
-    const Predicate seeded = Predicate::from_bits(init.name(), bits);
-    auto ts = std::make_shared<const TransitionSystem>(program, faults,
-                                                       seeded, n_threads);
-
-    Entry e{&space,
-            program.name(),
-            std::move(prog_ids),
-            faults != nullptr,
-            faults != nullptr ? faults->name() : std::string{},
-            std::move(fault_ids),
-            h,
-            std::move(init_bits),
-            ts};
-    entries_.push_front(std::move(e));
-    const std::size_t cap = capacity();
-    while (entries_.size() > cap) {
-        obs::count("verify/explore_cache/evictions");
-        entries_.pop_back();
-    }
-    return ts;
 }
 
 void ExplorationCache::clear() {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    entries_.clear();
+    // Destroy entries outside the lock: an entry's future may be the last
+    // reference to a TransitionSystem whose destructor is nontrivial.
+    std::list<Entry> doomed;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        doomed.swap(entries_);
+    }
 }
 
 std::size_t ExplorationCache::size() const {

@@ -6,20 +6,39 @@
 // Before this cache each of those calls re-ran the full BFS. The cache
 // keys a built TransitionSystem by *content identity*:
 //
-//   (space identity, program name, program action identities,
+//   (space uid, program name, program action identities,
 //    fault-class name + action identities (or "no faults"),
 //    the exact initial-state bit set)
 //
-// Action identity is Action::id() — the shared immutable implementation
-// pointer — so any transformation that changes an action (restriction,
-// encapsulation, synthesis edits) produces new ids and therefore a new
-// key; renaming a program changes the program-name component. Both are
-// covered by the invalidation tests.
+// Identity is ABA-proof by construction:
+//  * The space component is StateSpace::uid() — a process-unique,
+//    monotonically increasing generation id assigned per object — never
+//    the raw address. A destroyed space whose storage the allocator hands
+//    to a new space can therefore never resurrect a stale entry.
+//  * Action identity is Action::id() (the shared immutable implementation
+//    pointer), and the key stores the Action *values* themselves, pinning
+//    the implementations alive for the entry's lifetime so their ids
+//    cannot be recycled either. This matters for fault classes in
+//    particular: a TransitionSystem does not retain its FaultClass, so
+//    without pinning, a rebuilt fault class could reuse a freed id and
+//    collide with a stale entry (the regression test rebuilds fault
+//    classes in a loop to pin this).
+//  * Any transformation that changes an action (restriction,
+//    encapsulation, synthesis edits) produces new ids and therefore a new
+//    key; renaming a program changes the program-name component.
 //
 // The initial predicate is compared by its *materialized bit set* (hash
 // first, exact word comparison on candidate hits), so differently-named
 // but extensionally equal initial predicates share an entry, and hash
 // collisions cannot produce a wrong graph.
+//
+// Concurrency: the mutex guards only the entry list. A miss inserts an
+// in-flight entry carrying a std::shared_future and runs the BFS *outside*
+// the lock; concurrent requests for the same key park on the future (one
+// build per key), while unrelated keys build fully concurrently — one
+// large exploration no longer serializes the verdict pipelines (the
+// concurrency regression test pins this). A build that throws removes its
+// entry and propagates the exception to every waiter.
 //
 // Entries are LRU-evicted beyond DCFT_EXPLORE_CACHE_CAP (default 8).
 // DCFT_NO_EXPLORE_CACHE=1 bypasses the cache entirely (every call
@@ -28,6 +47,7 @@
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -40,7 +60,8 @@
 
 namespace dcft {
 
-/// True iff DCFT_NO_EXPLORE_CACHE is set (non-empty, not "0").
+/// True iff DCFT_NO_EXPLORE_CACHE is set to a truthy value (see
+/// common/env.hpp for the shared DCFT_* truthiness rule).
 bool exploration_cache_disabled();
 
 class ExplorationCache {
@@ -50,15 +71,19 @@ public:
 
     /// Returns the transition system of (program [, faults]) restricted to
     /// the states reachable from `init`, building and caching it on miss.
-    /// Thread-safe; a miss builds under the cache lock (concurrent callers
-    /// of the same key wait and then hit).
+    /// Thread-safe; the lock covers map operations only. Concurrent
+    /// requests for the same key share one build (all callers receive the
+    /// same shared_ptr); requests for different keys build concurrently.
     std::shared_ptr<const TransitionSystem> get_or_build(
         const Program& program, const FaultClass* faults,
         const Predicate& init, unsigned n_threads = 0);
 
     /// Drops every entry (benches use this to time real explorations).
+    /// In-flight builds complete normally for their waiters; they are
+    /// simply forgotten.
     void clear();
 
+    /// Number of entries, including in-flight builds.
     std::size_t size() const;
 
     /// Maximum number of retained entries (DCFT_EXPLORE_CACHE_CAP,
@@ -66,20 +91,32 @@ public:
     static std::size_t capacity();
 
 private:
-    struct Entry {
-        const StateSpace* space;
+    struct Key {
+        std::uint64_t space_uid = 0;
         std::string program_name;
-        std::vector<const void*> program_actions;
-        bool has_faults;
+        /// Pinned copies: keep the Action implementations (and through
+        /// them their ids) alive for the entry's lifetime.
+        std::vector<Action> program_actions;
+        bool has_faults = false;
         std::string fault_name;
-        std::vector<const void*> fault_actions;
-        std::uint64_t init_hash;
+        std::vector<Action> fault_actions;
+        std::uint64_t init_hash = 0;
         BitVec init_bits;  ///< exact key component (collision-proof)
-        std::shared_ptr<const TransitionSystem> ts;
     };
+
+    struct Entry {
+        Key key;
+        std::uint64_t token;  ///< identifies this entry for error removal
+        std::shared_future<std::shared_ptr<const TransitionSystem>> ts;
+    };
+
+    /// Removes the entry carrying `token` if it is still present (used
+    /// when a build fails; waiters get the exception via the future).
+    void remove_entry(std::uint64_t token);
 
     mutable std::mutex mutex_;
     std::list<Entry> entries_;  ///< front = most recently used
+    std::uint64_t next_token_ = 0;
 };
 
 }  // namespace dcft

@@ -1,0 +1,118 @@
+// Generator and corpus-format tests: seed determinism, state-space
+// budgets, buildability of everything the generator emits, and the
+// byte-identical JSON round trip the corpus depends on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fuzz/campaign.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/spec_json.hpp"
+
+namespace dcft::fuzz {
+namespace {
+
+TEST(FuzzGeneratorTest, SameSeedYieldsIdenticalSpecs) {
+    const GeneratorConfig config;
+    for (std::uint64_t seed : {1ULL, 7ULL, 42ULL, 991ULL, 123456789ULL}) {
+        const ProgramSpec a = generate_spec(seed, config);
+        const ProgramSpec b = generate_spec(seed, config);
+        EXPECT_EQ(a, b) << "seed " << seed;
+        EXPECT_EQ(to_json(a), to_json(b)) << "seed " << seed;
+    }
+}
+
+TEST(FuzzGeneratorTest, DifferentSeedsExploreDifferentSpecs) {
+    const GeneratorConfig config;
+    std::set<std::string> distinct;
+    for (std::uint64_t seed = 0; seed < 40; ++seed)
+        distinct.insert(to_json(generate_spec(seed, config)));
+    // Not all 40 need be unique, but a generator collapsing to a handful
+    // of shapes would be useless as a fuzzer.
+    EXPECT_GT(distinct.size(), 30u);
+}
+
+TEST(FuzzGeneratorTest, RespectsStateBudget) {
+    GeneratorConfig config;
+    config.max_states = 64;
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+        const ProgramSpec spec = generate_spec(seed, config);
+        EXPECT_LE(num_states(spec), 64u) << "seed " << seed;
+    }
+}
+
+TEST(FuzzGeneratorTest, EverythingGeneratedValidatesAndBuilds) {
+    const GeneratorConfig config;
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+        const ProgramSpec spec = generate_spec(seed, config);
+        std::string error;
+        ASSERT_TRUE(validate(spec, &error))
+            << "seed " << seed << ": " << error;
+        const BuiltSystem sys = build(spec);
+        EXPECT_EQ(sys.space->num_states(), num_states(spec));
+        EXPECT_EQ(sys.program.num_actions(), spec.actions.size());
+        EXPECT_EQ(sys.faults.actions().size(), spec.fault_actions.size());
+    }
+}
+
+TEST(FuzzGeneratorTest, JsonRoundTripIsByteIdentical) {
+    const GeneratorConfig config;
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+        const ProgramSpec spec = generate_spec(seed, config);
+        const std::string text = to_json(spec);
+        std::string error;
+        const std::optional<ProgramSpec> parsed = from_json(text, &error);
+        ASSERT_TRUE(parsed.has_value()) << "seed " << seed << ": " << error;
+        EXPECT_EQ(*parsed, spec) << "seed " << seed;
+        EXPECT_EQ(to_json(*parsed), text) << "seed " << seed;
+    }
+}
+
+TEST(FuzzGeneratorTest, FromJsonRejectsGarbage) {
+    std::string error;
+    EXPECT_FALSE(from_json("not json", &error).has_value());
+    EXPECT_FALSE(from_json("{}", &error).has_value());
+    EXPECT_FALSE(
+        from_json(R"({"schema":"something.else","schema_version":1})", &error)
+            .has_value());
+}
+
+TEST(FuzzGeneratorTest, ValidateCatchesStructuralBreakage) {
+    ProgramSpec spec = generate_spec(3, GeneratorConfig{});
+    ASSERT_TRUE(validate(spec));
+
+    ProgramSpec broken = spec;
+    broken.vars.clear();
+    EXPECT_FALSE(validate(broken));
+
+    broken = spec;
+    broken.init.kind = PredNode::Kind::kVarEqConst;
+    broken.init.var = 99;
+    EXPECT_FALSE(validate(broken));
+
+    broken = spec;
+    ActionDecl bad_action;
+    bad_action.name = "dup";
+    broken.actions.push_back(bad_action);
+    broken.actions.push_back(bad_action);
+    EXPECT_FALSE(validate(broken));
+
+    broken = spec;
+    bad_action.name = "oob";
+    bad_action.effect.kind = EffectNode::Kind::kAssignConst;
+    bad_action.effect.var = 0;
+    bad_action.effect.value = broken.vars[0].domain;  // out of domain
+    broken.actions.push_back(bad_action);
+    EXPECT_FALSE(validate(broken));
+}
+
+TEST(FuzzGeneratorTest, CampaignSeedsAreStableAndSpread) {
+    EXPECT_EQ(campaign_program_seed(1, 0), campaign_program_seed(1, 0));
+    std::set<std::uint64_t> seeds;
+    for (std::size_t i = 0; i < 1000; ++i)
+        seeds.insert(campaign_program_seed(1, i));
+    EXPECT_EQ(seeds.size(), 1000u);  // no collisions in a small range
+}
+
+}  // namespace
+}  // namespace dcft::fuzz

@@ -1,0 +1,174 @@
+// Oracle-matrix tests: generated specs must come back clean across every
+// oracle pair, the graph-difference finders must be sound (no false
+// positives on identical explorations) and sensitive (real differences
+// are reported), and run_oracles must be deterministic in (spec, options).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/spec.hpp"
+#include "verify/reference.hpp"
+#include "verify/transition_system.hpp"
+
+namespace dcft::fuzz {
+namespace {
+
+std::string joined(const std::vector<Divergence>& ds) {
+    std::string s;
+    for (const Divergence& d : ds) s += d.oracle + ": " + d.detail + "\n";
+    return s;
+}
+
+/// One mod-3 counter: `inc` cycles x through 0 -> 1 -> 2 -> 0; init x==0.
+ProgramSpec counter_spec() {
+    ProgramSpec spec;
+    spec.name = "counter";
+    spec.vars.push_back({"x", 3});
+    ActionDecl inc;
+    inc.name = "inc";
+    inc.effect.kind = EffectNode::Kind::kAssignAddMod;
+    inc.effect.var = 0;
+    inc.effect.var2 = 0;
+    inc.effect.value = 1;
+    inc.effect.modulus = 3;
+    spec.actions.push_back(inc);
+    spec.init.kind = PredNode::Kind::kVarEqConst;
+    spec.init.var = 0;
+    spec.init.value = 0;
+    spec.bad.kind = PredNode::Kind::kFalse;
+    return spec;
+}
+
+/// Counter plus a bounded channel, a channel-loss fault, and a corruption
+/// fault — exercises the channel build path and the graded queries.
+ProgramSpec channel_spec() {
+    ProgramSpec spec = counter_spec();
+    spec.name = "channel";
+    spec.grade = 2;
+    spec.channels.push_back({"ch", 1, 2});
+
+    ActionDecl send;
+    send.name = "send";
+    send.guard.kind = PredNode::Kind::kVarEqConst;
+    send.guard.var = 0;
+    send.guard.value = 0;
+    send.effect.kind = EffectNode::Kind::kChanSendConst;
+    send.effect.chan = 0;
+    send.effect.value = 1;
+    spec.actions.push_back(send);
+
+    ActionDecl recv;
+    recv.name = "recv";
+    recv.effect.kind = EffectNode::Kind::kChanRecvToVar;
+    recv.effect.chan = 0;
+    recv.effect.var = 0;
+    spec.actions.push_back(recv);
+
+    ActionDecl lose;
+    lose.name = "lose";
+    lose.effect.kind = EffectNode::Kind::kChanLose;
+    lose.effect.chan = 0;
+    spec.fault_actions.push_back(lose);
+
+    ActionDecl flip;
+    flip.name = "flip";
+    flip.effect.kind = EffectNode::Kind::kCorruptAny;
+    flip.effect.vars = {0};
+    spec.fault_actions.push_back(flip);
+    return spec;
+}
+
+TEST(FuzzOracleTest, GeneratedSpecsAreCleanAcrossTheMatrix) {
+    GeneratorConfig config;
+    config.max_states = 512;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        const ProgramSpec spec = generate_spec(seed, config);
+        const std::vector<Divergence> ds = run_oracles(spec);
+        EXPECT_TRUE(ds.empty())
+            << "seed " << seed << " (" << describe(spec) << ")\n" << joined(ds);
+    }
+}
+
+TEST(FuzzOracleTest, CleanOnHandBuiltFaultFreeSpec) {
+    const ProgramSpec spec = counter_spec();
+    ASSERT_TRUE(validate(spec));
+    const std::vector<Divergence> ds = run_oracles(spec);
+    EXPECT_TRUE(ds.empty()) << joined(ds);
+}
+
+TEST(FuzzOracleTest, CleanOnHandBuiltChannelSpecWithFaults) {
+    const ProgramSpec spec = channel_spec();
+    ASSERT_TRUE(validate(spec));
+    const std::vector<Divergence> ds = run_oracles(spec);
+    EXPECT_TRUE(ds.empty()) << joined(ds);
+}
+
+TEST(FuzzOracleTest, FirstGraphDifferenceAcceptsIdenticalExplorations) {
+    const BuiltSystem sys = build(counter_spec());
+    const reference::RefTransitionSystem ref(sys.program, sys.faults_ptr(),
+                                             sys.init);
+    const TransitionSystem ts(sys.program, sys.faults_ptr(), sys.init, 1);
+    EXPECT_FALSE(first_graph_difference(ref, ts).has_value());
+}
+
+TEST(FuzzOracleTest, FirstTsDifferenceAcceptsAllThreadCounts) {
+    const BuiltSystem sys = build(channel_spec());
+    const TransitionSystem a(sys.program, sys.faults_ptr(), sys.init, 1);
+    for (unsigned threads : {2u, 4u, 8u}) {
+        const TransitionSystem b(sys.program, sys.faults_ptr(), sys.init,
+                                 threads);
+        EXPECT_FALSE(first_ts_difference(a, b).has_value())
+            << threads << " threads";
+    }
+}
+
+TEST(FuzzOracleTest, DifferenceFindersReportRealDivergence) {
+    // Same init, different dynamics: the counter reaches all three states,
+    // the `reset` variant (x := 0) never leaves state 0.
+    ProgramSpec reset = counter_spec();
+    reset.actions[0].effect = EffectNode{};
+    reset.actions[0].effect.kind = EffectNode::Kind::kAssignConst;
+    reset.actions[0].effect.var = 0;
+    reset.actions[0].effect.value = 0;
+    ASSERT_TRUE(validate(reset));
+
+    const BuiltSystem a = build(counter_spec());
+    const BuiltSystem b = build(reset);
+    const TransitionSystem ts_a(a.program, a.faults_ptr(), a.init, 1);
+    const TransitionSystem ts_b(b.program, b.faults_ptr(), b.init, 1);
+    EXPECT_TRUE(first_ts_difference(ts_a, ts_b).has_value());
+
+    const reference::RefTransitionSystem ref_a(a.program, a.faults_ptr(),
+                                               a.init);
+    EXPECT_TRUE(first_graph_difference(ref_a, ts_b).has_value());
+}
+
+TEST(FuzzOracleTest, RunOraclesIsDeterministic) {
+    const ProgramSpec spec = generate_spec(7, GeneratorConfig{});
+    const std::vector<Divergence> a = run_oracles(spec);
+    const std::vector<Divergence> b = run_oracles(spec);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].oracle, b[i].oracle);
+        EXPECT_EQ(a[i].detail, b[i].detail);
+    }
+}
+
+TEST(FuzzOracleTest, SimulationOraclesCanBeDisabled) {
+    GeneratorConfig config;
+    config.max_states = 256;
+    OracleOptions options;
+    options.include_sim = false;
+    for (std::uint64_t seed = 20; seed < 30; ++seed) {
+        const ProgramSpec spec = generate_spec(seed, config);
+        const std::vector<Divergence> ds = run_oracles(spec, options);
+        EXPECT_TRUE(ds.empty())
+            << "seed " << seed << "\n" << joined(ds);
+    }
+}
+
+}  // namespace
+}  // namespace dcft::fuzz

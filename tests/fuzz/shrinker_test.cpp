@@ -1,0 +1,125 @@
+// Shrinker tests: the delta-debugging loop must be deterministic, only
+// offer valid candidates to the divergence predicate, leave non-diverging
+// specs untouched, and actually minimize — synthetic "divergence"
+// properties must shrink to small fixpoint specs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/shrinker.hpp"
+#include "fuzz/spec_json.hpp"
+
+namespace dcft::fuzz {
+namespace {
+
+/// First generated seed whose spec satisfies `property` (for building
+/// shrink inputs without hand-writing large specs).
+template <typename Property>
+ProgramSpec first_spec_with(const Property& property,
+                            const GeneratorConfig& config = {}) {
+    for (std::uint64_t seed = 0; seed < 500; ++seed) {
+        ProgramSpec spec = generate_spec(seed, config);
+        if (property(spec)) return spec;
+    }
+    ADD_FAILURE() << "no generated spec satisfies the property";
+    return ProgramSpec{};
+}
+
+TEST(FuzzShrinkerTest, NonDivergingSpecIsReturnedUnchanged) {
+    const ProgramSpec spec = generate_spec(11, GeneratorConfig{});
+    const ProgramSpec result =
+        shrink(spec, [](const ProgramSpec&) { return false; });
+    EXPECT_EQ(result, spec);
+    EXPECT_EQ(to_json(result), to_json(spec));
+}
+
+TEST(FuzzShrinkerTest, CandidatesAreProducedAndStructurallyDifferent) {
+    const ProgramSpec spec = first_spec_with([](const ProgramSpec& s) {
+        return !s.fault_actions.empty() && s.actions.size() > 1;
+    });
+    const std::vector<ProgramSpec> candidates = shrink_candidates(spec);
+    ASSERT_FALSE(candidates.empty());
+    for (const ProgramSpec& c : candidates) EXPECT_NE(c, spec);
+}
+
+TEST(FuzzShrinkerTest, OnlyValidCandidatesReachThePredicate) {
+    const ProgramSpec spec = generate_spec(23, GeneratorConfig{});
+    std::size_t seen = 0;
+    shrink(spec, [&](const ProgramSpec& candidate) {
+        ++seen;
+        std::string error;
+        EXPECT_TRUE(validate(candidate, &error)) << error;
+        return false;  // reject everything: probe the full candidate list
+    });
+    EXPECT_GT(seen, 0u);
+}
+
+TEST(FuzzShrinkerTest, MinimizesFaultPropertyToAFixpoint) {
+    const auto has_fault = [](const ProgramSpec& s) {
+        return !s.fault_actions.empty();
+    };
+    const ProgramSpec spec = first_spec_with([&](const ProgramSpec& s) {
+        return has_fault(s) && s.actions.size() > 2;
+    });
+    const ProgramSpec result = shrink(spec, has_fault);
+
+    EXPECT_TRUE(validate(result));
+    EXPECT_TRUE(has_fault(result));
+    // Everything the property does not pin must have been stripped.
+    EXPECT_EQ(result.fault_actions.size(), 1u);
+    EXPECT_TRUE(result.actions.empty());
+    EXPECT_FALSE(result.has_leads);
+    EXPECT_EQ(result.grade, 0);
+    for (const VarDecl& v : result.vars) EXPECT_EQ(v.domain, 2);
+    EXPECT_EQ(result.init.kind, PredNode::Kind::kTrue);
+    EXPECT_EQ(result.invariant.kind, PredNode::Kind::kTrue);
+    EXPECT_EQ(result.bad.kind, PredNode::Kind::kTrue);
+    EXPECT_EQ(result.fault_actions[0].guard.kind, PredNode::Kind::kTrue);
+    EXPECT_LE(num_states(result), num_states(spec));
+}
+
+TEST(FuzzShrinkerTest, StateCountPropertyShrinksToAFixpoint) {
+    const auto big = [](const ProgramSpec& s) { return num_states(s) >= 8; };
+    const ProgramSpec spec = first_spec_with([&](const ProgramSpec& s) {
+        return num_states(s) >= 64;
+    });
+    const ProgramSpec result = shrink(spec, big);
+
+    EXPECT_TRUE(validate(result));
+    EXPECT_TRUE(big(result));
+    EXPECT_LT(num_states(result), num_states(spec));
+    // Fixpoint: no remaining candidate is both valid and still "diverges".
+    for (const ProgramSpec& c : shrink_candidates(result))
+        EXPECT_FALSE(validate(c) && big(c) && c != result);
+}
+
+TEST(FuzzShrinkerTest, ShrinkIsDeterministic) {
+    const auto has_fault = [](const ProgramSpec& s) {
+        return !s.fault_actions.empty();
+    };
+    const ProgramSpec spec = first_spec_with(has_fault);
+    const ProgramSpec a = shrink(spec, has_fault);
+    const ProgramSpec b = shrink(spec, has_fault);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(to_json(a), to_json(b));
+}
+
+TEST(FuzzShrinkerTest, MaxAcceptsBoundsTheGreedyLoop) {
+    const ProgramSpec spec = generate_spec(31, GeneratorConfig{});
+    const ProgramSpec one_step =
+        shrink(spec, [](const ProgramSpec&) { return true; }, 1);
+
+    // Greedy-first-accept: with every candidate "diverging", one accepted
+    // reduction is exactly the first valid candidate.
+    for (const ProgramSpec& c : shrink_candidates(spec)) {
+        if (!validate(c)) continue;
+        EXPECT_EQ(one_step, c);
+        return;
+    }
+    // No valid candidate at all: the spec must come back unchanged.
+    EXPECT_EQ(one_step, spec);
+}
+
+}  // namespace
+}  // namespace dcft::fuzz

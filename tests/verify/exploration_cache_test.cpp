@@ -1,12 +1,20 @@
 // ExplorationCache behaviour: hits are pointer-identical, every key
 // component invalidates (program rename, action restriction, fault class,
 // initial set), extensionally equal initial predicates share an entry,
-// LRU eviction honours DCFT_EXPLORE_CACHE_CAP, and DCFT_NO_EXPLORE_CACHE
-// bypasses the cache entirely.
+// LRU eviction honours DCFT_EXPLORE_CACHE_CAP, DCFT_NO_EXPLORE_CACHE
+// bypasses the cache entirely, identity keys survive object destruction
+// and allocator address reuse (the ABA regression), and builds of
+// unrelated keys proceed concurrently while same-key builds dedup.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <future>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
 
 #include "apps/token_ring.hpp"
 #include "verify/exploration_cache.hpp"
@@ -151,6 +159,180 @@ TEST_F(ExplorationCacheTest, DisableEnvBypassesCache) {
     EXPECT_EQ(
         cache.get_or_build(sys.ring, nullptr, Predicate::top()).get(),
         c.get());
+}
+
+// ---------------------------------------------------------------------------
+// Regression: identity-keyed entries must survive object destruction.
+//
+// The original cache keyed entries on raw pointers (&space, Action::id())
+// without keeping the keyed objects alive. A cached entry pins the space
+// and the *program* actions through its TransitionSystem, but not the
+// fault class: destroy the FaultClass and the allocator may hand its
+// action Impl address to a brand-new, semantically different fault action
+// — whose key then collides with the stale entry and returns the wrong
+// graph (classic ABA). The fix keys on a per-space generation uid and
+// pins Action values (ids can never be recycled while an entry lives).
+
+TEST_F(ExplorationCacheTest, RebuiltFaultClassNeverStaleHits) {
+    auto& cache = ExplorationCache::global();
+    auto space = make_space({Variable{"x", 4, {}}, Variable{"y", 4, {}}});
+    Program p(space, "aba");  // kept alive: program identity is constant
+    p.add_action(Action::assign_var(*space, "copy",
+                                    Predicate::vars_ne(*space, 0, 1), 0, 1));
+
+    // Expected fault-edge counts, computed once from fresh builds.
+    const auto fresh_fault_edges = [&](const FaultClass& f) {
+        return TransitionSystem(p, &f, Predicate::top()).num_fault_edges();
+    };
+    // Three rotating fault semantics under one name, so an entry whose key
+    // collides with a *later* fault class always has different content
+    // (a two-phase rotation can align with period-2 allocator reuse).
+    const auto make_faults = [&](int phase) {
+        auto f = std::make_unique<FaultClass>(space, "F");
+        std::vector<VarId> victims;
+        if (phase == 0) victims = {0};
+        else if (phase == 1) victims = {1};
+        else victims = {0, 1};
+        f->add_action(Action::corrupt_any(*space, "hit", Predicate::top(),
+                                          std::move(victims)));
+        return f;
+    };
+    std::size_t expected[3];
+    for (int phase = 0; phase < 3; ++phase)
+        expected[phase] = fresh_fault_edges(*make_faults(phase));
+    cache.clear();
+
+    // Destroy and rebuild the fault class back-to-back every iteration so
+    // the freed action Impl chunk is the first allocation candidate for
+    // its successor.
+    std::size_t mismatches = 0;
+    std::unique_ptr<FaultClass> f;
+    for (int i = 0; i < 48; ++i) {
+        const int phase = i % 3;
+        f.reset();
+        f = make_faults(phase);
+        const auto ts = cache.get_or_build(p, f.get(), Predicate::top());
+        if (ts->num_fault_edges() != expected[phase]) ++mismatches;
+    }
+    EXPECT_EQ(mismatches, 0u)
+        << "stale cache hits returned a graph built from a destroyed "
+           "fault class's semantics";
+}
+
+TEST_F(ExplorationCacheTest, RebuiltSpacesInALoopGetDistinctEntries) {
+    // The ISSUE's literal scenario: construct/destroy spaces in a loop.
+    // Every space (even one the allocator placed at a recycled address)
+    // must key its own entry — the per-space uid makes that true by
+    // construction, independent of what a cached TransitionSystem happens
+    // to pin internally.
+    auto& cache = ExplorationCache::global();
+    for (int i = 0; i < 24; ++i) {
+        const Value dom = 2 + (i % 3);
+        auto space =
+            make_space({Variable{"v", dom, {}}, Variable{"w", 2, {}}});
+        Program p(space, "loop");  // zero actions: graph == init states
+        const auto ts = cache.get_or_build(p, nullptr, Predicate::top());
+        ASSERT_EQ(ts->num_nodes(),
+                  static_cast<std::size_t>(space->num_states()))
+            << "iteration " << i
+            << ": cache returned a graph from a different (destroyed) "
+               "space";
+    }
+}
+
+TEST_F(ExplorationCacheTest, CopiedSpaceHasFreshIdentity) {
+    auto space = make_space({Variable{"x", 3, {}}});
+    const StateSpace copy(*space);
+    EXPECT_NE(space->uid(), copy.uid())
+        << "copies are distinct objects and must not alias in "
+           "identity-keyed caches";
+    StateSpace tmp(copy);
+    const auto tmp_uid = tmp.uid();
+    const StateSpace moved(std::move(tmp));
+    EXPECT_EQ(moved.uid(), tmp_uid)
+        << "moves transfer identity (the moved-from object is dead)";
+}
+
+// ---------------------------------------------------------------------------
+// Regression: a large build must not serialize unrelated keys.
+//
+// The original get_or_build ran the whole BFS under the global cache
+// mutex, so one slow exploration blocked every other key. The fix keeps
+// the lock for map operations only and parks waiters on a per-entry
+// shared_future, so (a) unrelated keys build concurrently and (b)
+// concurrent requests for the same key still build exactly once.
+
+TEST_F(ExplorationCacheTest, UnrelatedKeysBuildConcurrently) {
+    auto& cache = ExplorationCache::global();
+    auto space = make_space({Variable{"a", 2, {}}, Variable{"b", 2, {}}});
+
+    // Shared latch state for the slow build's guard: on first evaluation
+    // it signals "building has started" and then waits (bounded) for the
+    // fast key's build to complete.
+    struct Latch {
+        std::promise<void> started;
+        std::shared_future<void> fast_done;
+        std::once_flag once;
+        std::atomic<bool> saw_fast_finish{false};
+    };
+    auto latch = std::make_shared<Latch>();
+    std::promise<void> fast_done_promise;
+    latch->fast_done = fast_done_promise.get_future().share();
+
+    Program slow(space, "slow-build");
+    slow.add_action(Action::skip(
+        "wait", Predicate("latch", [latch](const StateSpace&, StateIndex) {
+            std::call_once(latch->once, [&] {
+                latch->started.set_value();
+                const auto status = latch->fast_done.wait_for(
+                    std::chrono::seconds(10));
+                latch->saw_fast_finish =
+                    status == std::future_status::ready;
+            });
+            return false;
+        })));
+
+    Program fast(space, "fast-build");
+    fast.add_action(Action::assign_const(*space, "set", Predicate::top(),
+                                         "a", 1));
+
+    std::thread slow_thread([&] {
+        (void)cache.get_or_build(slow, nullptr, Predicate::top());
+    });
+    // Wait until the slow build is inside its exploration, then request an
+    // unrelated key on this thread. With the historical whole-build lock
+    // this request would block until the slow build timed out.
+    latch->started.get_future().wait();
+    (void)cache.get_or_build(fast, nullptr, Predicate::top());
+    fast_done_promise.set_value();
+    slow_thread.join();
+
+    EXPECT_TRUE(latch->saw_fast_finish.load())
+        << "an unrelated key could not build while a slow build was in "
+           "flight — the cache serialized builds under its global lock";
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST_F(ExplorationCacheTest, SameKeyConcurrentRequestsBuildOnce) {
+    auto& cache = ExplorationCache::global();
+    auto sys = apps::make_token_ring(5, 5);
+
+    constexpr int kThreads = 8;
+    std::vector<std::shared_ptr<const TransitionSystem>> results(kThreads);
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (int t = 0; t < kThreads; ++t)
+            threads.emplace_back([&, t] {
+                results[static_cast<std::size_t>(t)] = cache.get_or_build(
+                    sys.ring, &sys.corrupt_any, Predicate::top());
+            });
+        for (auto& th : threads) th.join();
+    }
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(results[0].get(), results[static_cast<std::size_t>(t)].get())
+            << "concurrent same-key requests must share one build";
+    EXPECT_EQ(cache.size(), 1u);
 }
 
 }  // namespace

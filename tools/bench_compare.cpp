@@ -1,6 +1,7 @@
 // bench_compare: regression gate over BENCH_verifier.json series.
 //
 //   bench_compare <baseline.json> <candidate.json> [--tolerance=PCT]
+//                 [--min-delta-ms=MS] [--json-out=FILE]
 //
 // Reads the `workloads` array of both files, matches workloads by `name`,
 // and fails (exit 1) when any matched workload's candidate `best_ms`
@@ -19,6 +20,13 @@
 // so a perf regression in the verifier core fails `ctest` without a full
 // (minutes-long) benchmark run. Smoke timings are best-of-3; the 25%
 // default leaves headroom for scheduler jitter on small workloads.
+//
+// --json-out=FILE additionally writes a machine-readable summary in the
+// shared dcft.report envelope (kind "bench_compare"): the per-workload
+// base/cand/ratio/regressed rows plus the gate verdict. The tool stays
+// standalone (no dcft dependency) so it can run against committed
+// artifacts on machines without a build tree; the envelope fields are
+// kept in sync with obs/run_report.hpp by report_check.
 //
 // The parser below handles exactly the JSON subset our writer emits
 // (objects, arrays, strings without surrogate escapes, numbers, bools,
@@ -265,22 +273,114 @@ bool load_best_ms(const std::string& path,
     return true;
 }
 
+// ---------------------------------------------------------------------------
+// JSON summary (dcft.report envelope, kind "bench_compare").
+
+/// One comparison row. Workloads on only one side have base_ms or cand_ms
+/// < 0 (emitted as null).
+struct Row {
+    std::string name;
+    double base_ms = -1.0;
+    double cand_ms = -1.0;
+    double ratio = 0.0;
+    bool regressed = false;
+};
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    return out;
+}
+
+/// Mirrors obs::begin_envelope's field layout without linking dcft — this
+/// tool must stay runnable against committed artifacts on any machine.
+bool write_json_report(const std::string& path, const std::string& command,
+                       const std::string& baseline_path,
+                       const std::string& candidate_path, double tolerance_pct,
+                       double min_delta_ms, const std::vector<Row>& rows,
+                       std::size_t compared, std::size_t regressions) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return false;
+    out << "{\n";
+    out << "  \"schema\": \"dcft.report\",\n";
+    out << "  \"schema_version\": 1,\n";
+    out << "  \"kind\": \"bench_compare\",\n";
+    out << "  \"tool\": \"bench_compare\",\n";
+    out << "  \"command\": \"" << json_escape(command) << "\",\n";
+    out << "  \"baseline\": \"" << json_escape(baseline_path) << "\",\n";
+    out << "  \"candidate\": \"" << json_escape(candidate_path) << "\",\n";
+    out << "  \"tolerance_pct\": " << tolerance_pct << ",\n";
+    out << "  \"min_delta_ms\": " << min_delta_ms << ",\n";
+    out << "  \"workloads\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        out << (i > 0 ? "," : "") << "\n    {\"name\": \""
+            << json_escape(r.name) << "\", \"base_ms\": ";
+        if (r.base_ms < 0.0)
+            out << "null";
+        else
+            out << r.base_ms;
+        out << ", \"cand_ms\": ";
+        if (r.cand_ms < 0.0)
+            out << "null";
+        else
+            out << r.cand_ms;
+        out << ", \"ratio\": ";
+        if (r.base_ms < 0.0 || r.cand_ms < 0.0)
+            out << "null";
+        else
+            out << r.ratio;
+        out << ", \"regressed\": " << (r.regressed ? "true" : "false") << "}";
+    }
+    out << "\n  ],\n";
+    out << "  \"summary\": {\"compared\": " << compared
+        << ", \"regressions\": " << regressions
+        << ", \"ok\": " << (compared > 0 && regressions == 0 ? "true" : "false")
+        << "}\n";
+    out << "}\n";
+    return out.good();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     double tolerance_pct = 25.0;
     double min_delta_ms = 0.25;
+    std::string json_out;
     std::vector<std::string> paths;
+    std::string command;
+    for (int i = 0; i < argc; ++i) {
+        if (i > 0) command += ' ';
+        command += argv[i];
+    }
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--tolerance=", 0) == 0) {
             tolerance_pct = std::strtod(arg.c_str() + 12, nullptr);
         } else if (arg.rfind("--min-delta-ms=", 0) == 0) {
             min_delta_ms = std::strtod(arg.c_str() + 15, nullptr);
+        } else if (arg.rfind("--json-out=", 0) == 0) {
+            json_out = arg.substr(11);
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: bench_compare <baseline.json> <candidate.json> "
-                "[--tolerance=PCT] [--min-delta-ms=MS]\n");
+                "[--tolerance=PCT] [--min-delta-ms=MS] [--json-out=FILE]\n");
             return 0;
         } else {
             paths.push_back(arg);
@@ -289,7 +389,8 @@ int main(int argc, char** argv) {
     if (paths.size() != 2) {
         std::fprintf(stderr,
                      "usage: bench_compare <baseline.json> <candidate.json> "
-                     "[--tolerance=PCT] [--min-delta-ms=MS]\n");
+                     "[--tolerance=PCT] [--min-delta-ms=MS] "
+                     "[--json-out=FILE]\n");
         return 2;
     }
 
@@ -299,6 +400,7 @@ int main(int argc, char** argv) {
 
     const double limit = 1.0 + tolerance_pct / 100.0;
     std::size_t compared = 0, regressions = 0;
+    std::vector<Row> rows;
     std::printf(
         "bench_compare: tolerance %+.0f%% (and > %.2f ms absolute) on "
         "best_ms\n",
@@ -310,6 +412,7 @@ int main(int argc, char** argv) {
         if (it == candidate.end()) {
             std::printf("  %-42s %10.3f %10s %8s  (baseline only)\n",
                         name.c_str(), base_ms, "-", "-");
+            rows.push_back({name, base_ms, -1.0, 0.0, false});
             continue;
         }
         ++compared;
@@ -321,11 +424,23 @@ int main(int argc, char** argv) {
         std::printf("  %-42s %10.3f %10.3f %7.2fx  %s\n", name.c_str(),
                     base_ms, cand_ms, ratio,
                     regressed ? "REGRESSION" : "ok");
+        rows.push_back({name, base_ms, cand_ms, ratio, regressed});
     }
     for (const auto& [name, cand_ms] : candidate) {
-        if (baseline.find(name) == baseline.end())
+        if (baseline.find(name) == baseline.end()) {
             std::printf("  %-42s %10s %10.3f %8s  (candidate only)\n",
                         name.c_str(), "-", cand_ms, "-");
+            rows.push_back({name, -1.0, cand_ms, 0.0, false});
+        }
+    }
+
+    if (!json_out.empty() &&
+        !write_json_report(json_out, command, paths[0], paths[1],
+                           tolerance_pct, min_delta_ms, rows, compared,
+                           regressions)) {
+        std::fprintf(stderr, "bench_compare: cannot write %s\n",
+                     json_out.c_str());
+        return 2;
     }
 
     if (compared == 0) {
