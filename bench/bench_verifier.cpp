@@ -16,11 +16,31 @@
 //   bench_verifier --json --smoke       reduced sizes / single rep — the
 //                                       ctest smoke target
 //
+//   bench_verifier --json --large       additionally runs the
+//                                       large-instance tier (token ring
+//                                       n=8: 16.7M states; Byzantine n=5;
+//                                       forced-sparse interner; early-exit
+//                                       vs full fail-safe query), single
+//                                       rep, with states/sec and peak-RSS
+//                                       columns
+//   --threads=A,B,...                   explicit thread-sweep override: the
+//                                       listed counts are swept verbatim,
+//                                       bypassing the hardware_concurrency
+//                                       truncation (DCFT_VERIFIER_THREADS
+//                                       set to a count or comma list at
+//                                       startup acts the same way) — on a
+//                                       1-core CI box the sweep would
+//                                       otherwise collapse to {1}
+//
 // Thread sweeps work by setting DCFT_VERIFIER_THREADS between
 // measurements; default_verifier_threads() re-reads the environment on
 // every call for exactly this purpose.
+#include <malloc.h>
+
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -151,6 +171,71 @@ double time_ms(Fn&& fn, bool smoke) {
     return best;
 }
 
+/// Single-shot wall time for the --large tier (those workloads run
+/// seconds to tens of seconds; best-of-N would triple the tier's runtime
+/// for no extra signal).
+template <typename Fn>
+double time_once_ms(Fn&& fn) {
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    fn();
+    const auto t1 = clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Peak resident set size (VmHWM) in MiB from /proc/self/status, or -1
+/// when the file is unreadable (non-Linux).
+double peak_rss_mb() {
+    std::FILE* f = std::fopen("/proc/self/status", "r");
+    if (!f) return -1.0;
+    char line[256];
+    double mb = -1.0;
+    while (std::fgets(line, sizeof line, f)) {
+        if (std::strncmp(line, "VmHWM:", 6) == 0) {
+            long kb = 0;
+            if (std::sscanf(line + 6, "%ld", &kb) == 1)
+                mb = static_cast<double>(kb) / 1024.0;
+            break;
+        }
+    }
+    std::fclose(f);
+    return mb;
+}
+
+/// Best-effort reset of the peak-RSS watermark so each large workload
+/// reports its own peak: release free heap pages back to the kernel,
+/// then clear VmHWM (writing "5" to /proc/self/clear_refs, see proc(5)).
+/// If either step fails the next reading is an over-estimate taken over
+/// the whole process lifetime — never an under-estimate.
+void reset_peak_rss() {
+    malloc_trim(0);
+    if (std::FILE* f = std::fopen("/proc/self/clear_refs", "w")) {
+        std::fputs("5", f);
+        std::fclose(f);
+    }
+}
+
+/// Parses a comma-separated thread list ("1,2,8") for the --threads
+/// override / DCFT_VERIFIER_THREADS startup value. Empty vector on any
+/// malformed token.
+std::vector<unsigned> parse_thread_list(const std::string& s) {
+    std::vector<unsigned> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos) comma = s.size();
+        const std::string tok = s.substr(pos, comma - pos);
+        if (tok.empty()) return {};
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || v == 0 || v > 1024) return {};
+        out.push_back(static_cast<unsigned>(v));
+        if (comma == s.size()) break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
 struct Workload {
     std::string name;    ///< stable key, e.g. "verdict/token_ring_n7_nonmasking"
     std::string kind;    ///< "ts_build" | "tolerance_verdict"
@@ -164,6 +249,9 @@ struct Workload {
     std::uint64_t span_size = 0;
     double reference_ms = 0.0;
     double interpreted_ms = 0.0;  ///< DCFT_NO_COMPILE=1, 1 thread (ablation)
+    double peak_rss_mb = -1.0;    ///< VmHWM across the sweep (large tier only)
+    double full_ms = 0.0;         ///< kind "early_exit": full exploration
+    double early_exit_ms = 0.0;   ///< kind "early_exit": stop-predicate run
     std::vector<std::pair<unsigned, double>> ms_by_threads;
 
     double best_ms() const {
@@ -307,23 +395,100 @@ Workload bench_verdict(const std::string& name, const std::string& system,
     return w;
 }
 
+// ---------------------------------------------------------------------------
+// Large-instance tier (--large): 10^7-state explorations, the forced-sparse
+// interner, and the early-exit fail-safe query. One rep per point (seconds
+// to tens of seconds each), peak-RSS sampled across the sweep.
+
+/// Raw exploration of a large system, one rep per thread count.
+Workload bench_large_ts_build(const std::string& name,
+                              const std::string& system, const Program& p,
+                              const FaultClass* f, const Predicate& init,
+                              const std::vector<unsigned>& threads) {
+    Workload w;
+    w.name = name;
+    w.kind = "ts_build";
+    w.system = system;
+    w.states = p.space().num_states();
+    reset_peak_rss();
+    for (const unsigned t : threads) {
+        const double ms = time_once_ms([&] {
+            const TransitionSystem ts(p, f, init, t);
+            benchmark::DoNotOptimize(ts.num_nodes());
+            if (w.nodes == 0) {
+                w.nodes = ts.num_nodes();
+                w.program_edges = ts.num_program_edges();
+            }
+        });
+        w.ms_by_threads.emplace_back(t, ms);
+    }
+    w.peak_rss_mb = peak_rss_mb();
+    return w;
+}
+
+/// The failing fail-safe query on the n=8 ring (16.7M states), with and
+/// without ToleranceOptions::early_exit. The bad predicate is reachable
+/// at fault depth 1 from the legitimate states, so the early-exit run
+/// stops after a handful of BFS levels while the full pipeline explores
+/// the entire p[]F graph; the acceptance bar is a >=10x gap. Peak RSS is
+/// sampled after the full run (the early-exit fragment's footprint is
+/// negligible by comparison).
+Workload bench_large_early_exit(const std::vector<unsigned>& threads) {
+    auto sys = apps::make_token_ring(8, 8);
+    Workload w;
+    w.name = "large/earlyexit/token_ring_n8_failsafe";
+    w.kind = "early_exit";
+    w.system =
+        "token ring (n=8, K=8), corrupt-any faults, fail-safe verdict "
+        "from the legitimate states (verdict: fail)";
+    w.states = sys.space->num_states();
+    const unsigned t = threads.empty() ? 1 : threads.front();
+    set_verifier_threads(t);
+    reset_peak_rss();
+    w.early_exit_ms = time_once_ms([&] {
+        ExplorationCache::global().clear();
+        const ToleranceReport r = check_tolerance(
+            sys.ring, sys.corrupt_any, sys.spec, sys.legitimate,
+            Tolerance::FailSafe, ToleranceOptions{.early_exit = true});
+        w.verdict_ok = r.ok();
+        w.invariant_size = r.invariant_size;
+        w.span_size = r.span_size;  // prefix lower bound on early exit
+    });
+    w.has_verdict = true;
+    w.full_ms = time_once_ms([&] {
+        ExplorationCache::global().clear();
+        benchmark::DoNotOptimize(
+            check_tolerance(sys.ring, sys.corrupt_any, sys.spec,
+                            sys.legitimate, Tolerance::FailSafe));
+    });
+    ExplorationCache::global().clear();
+    unsetenv("DCFT_VERIFIER_THREADS");
+    w.peak_rss_mb = peak_rss_mb();
+    w.ms_by_threads.emplace_back(t, w.early_exit_ms);
+    return w;
+}
+
 void write_json(const std::string& path, const std::vector<Workload>& ws,
                 const std::vector<unsigned>& threads, bool truncated,
-                bool smoke) {
+                bool overridden, bool smoke, bool large) {
     // Same envelope as dcft_cli run reports (schema "dcft.report",
     // "kind": "bench"); the payload keys below are unchanged from the
     // original emitter so EXPERIMENTS.md readers keep working.
+    std::string args = "--json";
+    if (smoke) args += " --smoke";
+    if (large) args += " --large";
     obs::JsonWriter w;
-    begin_bench_json(w, "bench_verifier",
-                     smoke ? "--json --smoke" : "--json");
+    begin_bench_json(w, "bench_verifier", args);
     w.kv("bench", "verifier");
     w.kv("smoke", smoke);
+    w.kv("large", large);
     w.kv("hardware_concurrency", std::thread::hardware_concurrency());
     w.key("thread_counts");
     w.begin_array();
     for (const unsigned t : threads) w.value(t);
     w.end_array();
     w.kv("thread_sweep_truncated", truncated);
+    w.kv("thread_sweep_overridden", overridden);
     w.kv("timing", "best-of-N wall clock, ms");
     w.kv("reference",
          "seed-era sequential implementation (src/verify/reference.hpp)");
@@ -344,8 +509,11 @@ void write_json(const std::string& path, const std::vector<Workload>& ws,
             w.kv("invariant_size", wl.invariant_size);
             w.kv("span_size", wl.span_size);
         }
-        w.kv("reference_ms", wl.reference_ms);
-        w.kv("interpreted_ms", wl.interpreted_ms);
+        // Large-tier workloads skip the seed reference / interpreted
+        // ablations (the seed explorer on 16.7M states would dominate the
+        // whole run); their keys are simply absent rather than zero.
+        if (wl.reference_ms > 0) w.kv("reference_ms", wl.reference_ms);
+        if (wl.interpreted_ms > 0) w.kv("interpreted_ms", wl.interpreted_ms);
         w.key("ms_by_threads");
         w.begin_object();
         for (const auto& [t, ms] : wl.ms_by_threads)
@@ -358,9 +526,19 @@ void write_json(const std::string& path, const std::vector<Workload>& ws,
             w.kv("states_per_sec",
                  best > 0 ? 1000.0 * static_cast<double>(wl.nodes) / best
                           : 0.0);
-        w.kv("speedup_vs_reference", best > 0 ? wl.reference_ms / best : 0.0);
-        w.kv("speedup_vs_interpreted",
-             best > 0 ? wl.interpreted_ms / best : 0.0);
+        if (wl.kind == "early_exit") {
+            w.kv("full_ms", wl.full_ms);
+            w.kv("early_exit_ms", wl.early_exit_ms);
+            w.kv("speedup_early_exit",
+                 wl.early_exit_ms > 0 ? wl.full_ms / wl.early_exit_ms : 0.0);
+        }
+        if (wl.peak_rss_mb >= 0) w.kv("peak_rss_mb", wl.peak_rss_mb);
+        if (wl.reference_ms > 0)
+            w.kv("speedup_vs_reference",
+                 best > 0 ? wl.reference_ms / best : 0.0);
+        if (wl.interpreted_ms > 0)
+            w.kv("speedup_vs_interpreted",
+                 best > 0 ? wl.interpreted_ms / best : 0.0);
         w.end_object();
     }
     w.end_array();
@@ -370,16 +548,29 @@ void write_json(const std::string& path, const std::vector<Workload>& ws,
     }
 }
 
-int emit_json(const std::string& path, bool smoke) {
+int emit_json(const std::string& path, bool smoke, bool large,
+              const std::vector<unsigned>& thread_override) {
     const std::vector<unsigned> requested =
         smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
     bool truncated = false;
-    const std::vector<unsigned> threads =
-        usable_thread_counts(requested, truncated);
-    if (truncated)
-        std::printf(
-            "thread sweep truncated to hardware_concurrency=%u\n",
-            std::thread::hardware_concurrency());
+    const bool overridden = !thread_override.empty();
+    std::vector<unsigned> threads;
+    if (overridden) {
+        // Explicit list (--threads or DCFT_VERIFIER_THREADS at startup):
+        // swept verbatim, no hardware_concurrency truncation. On a 1-core
+        // CI box the default sweep collapses to {1}; the override is how
+        // the committed multi-thread baseline is produced there.
+        threads = thread_override;
+        std::printf("thread sweep override: ");
+        for (const unsigned t : threads) std::printf("%u ", t);
+        std::printf("\n");
+    } else {
+        threads = usable_thread_counts(requested, truncated);
+        if (truncated)
+            std::printf(
+                "thread sweep truncated to hardware_concurrency=%u\n",
+                std::thread::hardware_concurrency());
+    }
     std::vector<Workload> ws;
 
     // Raw exploration throughput (token ring, program only). The full
@@ -416,7 +607,52 @@ int emit_json(const std::string& path, bool smoke) {
             Tolerance::Masking, threads, smoke));
     }
 
-    write_json(path, ws, threads, truncated, smoke);
+    // Large-instance tier: only on request — these run seconds to tens of
+    // seconds per point and allocate gigabytes.
+    if (large) {
+        {
+            std::printf("large: ts_build token ring n=8 (16.7M states) ...\n");
+            auto sys = apps::make_token_ring(8, 8);
+            ws.push_back(bench_large_ts_build(
+                "large/ts_build/token_ring_n8",
+                "token ring (n=8, K=8), program only, init=true",
+                sys.ring, nullptr, Predicate::top(), threads));
+        }
+        {
+            std::printf("large: ts_build byzantine n=5 ...\n");
+            auto sys = apps::make_byzantine(5, 1);
+            ws.push_back(bench_large_ts_build(
+                "large/ts_build/byzantine_n5",
+                "Byzantine agreement (n=5, f=1), masking program with "
+                "Byzantine faults, init=true",
+                sys.masking, &sys.byzantine_fault, Predicate::top(),
+                threads));
+        }
+        {
+            // Interner ablation: the same fault-closed exploration with
+            // the direct-mapped tier (default) and with the sparse
+            // sharded table forced via DCFT_DIRECT_MAP_MAX=1024.
+            std::printf("large: interner sparse-vs-direct n=7 ...\n");
+            auto sys = apps::make_token_ring(7, 7);
+            ws.push_back(bench_large_ts_build(
+                "large/ts_build/token_ring_n7_faults_direct",
+                "token ring (n=7, K=7), corrupt-any faults from the "
+                "legitimate states, direct-mapped interner",
+                sys.ring, &sys.corrupt_any, sys.legitimate, threads));
+            setenv("DCFT_DIRECT_MAP_MAX", "1024", 1);
+            ws.push_back(bench_large_ts_build(
+                "large/ts_build/token_ring_n7_faults_sparse",
+                "token ring (n=7, K=7), corrupt-any faults from the "
+                "legitimate states, sparse sharded interner "
+                "(DCFT_DIRECT_MAP_MAX=1024)",
+                sys.ring, &sys.corrupt_any, sys.legitimate, threads));
+            unsetenv("DCFT_DIRECT_MAP_MAX");
+        }
+        std::printf("large: early-exit vs full fail-safe n=8 ...\n");
+        ws.push_back(bench_large_early_exit(threads));
+    }
+
+    write_json(path, ws, threads, truncated, overridden, smoke, large);
     std::printf("wrote %s (%zu workloads)\n", path.c_str(), ws.size());
     for (const Workload& w : ws)
         std::printf(
@@ -433,6 +669,8 @@ int emit_json(const std::string& path, bool smoke) {
 int main(int argc, char** argv) {
     std::string json_path;
     bool smoke = false;
+    bool large = false;
+    std::vector<unsigned> thread_override;
     std::vector<char*> rest{argv[0]};
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -442,11 +680,32 @@ int main(int argc, char** argv) {
             json_path = "BENCH_verifier.json";
         } else if (arg.rfind("--json=", 0) == 0) {
             json_path = arg.substr(7);
+        } else if (arg == "--large") {
+            large = true;
+        } else if (arg.rfind("--threads=", 0) == 0 ||
+                   (arg == "--threads" && i + 1 < argc)) {
+            const std::string list =
+                arg == "--threads" ? argv[++i] : arg.substr(10);
+            thread_override = parse_thread_list(list);
+            if (thread_override.empty()) {
+                std::fprintf(stderr, "bad --threads list: %s\n",
+                             list.c_str());
+                return 2;
+            }
         } else {
             rest.push_back(argv[i]);
         }
     }
-    if (!json_path.empty()) return emit_json(json_path, smoke);
+    // DCFT_VERIFIER_THREADS at startup acts like --threads (the sweeps
+    // below mutate the variable, so it must be captured now). The flag
+    // wins when both are given.
+    if (thread_override.empty()) {
+        if (const char* env = std::getenv("DCFT_VERIFIER_THREADS"))
+            thread_override = parse_thread_list(env);
+    }
+    if (large && json_path.empty()) json_path = "BENCH_verifier.json";
+    if (!json_path.empty())
+        return emit_json(json_path, smoke, large, thread_override);
     int rest_argc = static_cast<int>(rest.size());
     return dcft::bench::run_bench_main(rest_argc, rest.data(), &report);
 }

@@ -313,6 +313,68 @@ std::vector<Divergence> run_oracles(const ProgramSpec& spec,
         cache.clear();
     }
 
+    // -- interner oracle ---------------------------------------------------
+    {
+        // A tiny DCFT_DIRECT_MAP_MAX forces the sparse sharded interner at
+        // every size; the graph must stay bit-identical, serial and
+        // chunked alike.
+        const EnvGuard tiny_map("DCFT_DIRECT_MAP_MAX", "64");
+        const TransitionSystem sparse1(sys.program, faults, sys.init, 1);
+        if (auto d = first_ts_difference(ts1, sparse1))
+            out.push_back({"interner/sparse-vs-direct", *d});
+        const TransitionSystem sparseN(sys.program, faults, sys.init,
+                                       std::max(options.threads, 2u));
+        if (auto d = first_ts_difference(ts1, sparseN))
+            out.push_back({"interner/sparse-vs-direct",
+                           "(threads=N) " + *d});
+    }
+
+    // -- early-exit oracles ------------------------------------------------
+    {
+        // check_unreachable (stop-predicate exploration) vs the canonical
+        // scan of the full graph: same verdict, same message, same witness
+        // trace — with the exploration cache in play and bypassed.
+        if (!exploration_cache_disabled()) ExplorationCache::global().clear();
+        const NodeId bn = ts1.first_bad_node(sys.bad);
+        const bool reachable = bn != TransitionSystem::kNoNode;
+        const CheckResult a =
+            check_unreachable(sys.program, faults, sys.init, sys.bad, 1);
+        if (a.ok == reachable) {
+            out.push_back({"earlyexit/unreachable-vs-full",
+                           std::string("early-exit ok=") +
+                               (a.ok ? "true" : "false") +
+                               " but full-graph first_bad_node says "
+                               "reachable=" +
+                               (reachable ? "true" : "false")});
+        } else if (reachable) {
+            const std::string expect_reason =
+                "reachable: state " +
+                sys.space->format(ts1.state_of(bn)) + " satisfies " +
+                sys.bad.name() + "; witness: " + ts1.format_witness(bn);
+            if (a.reason != expect_reason)
+                out.push_back({"earlyexit/unreachable-vs-full",
+                               "reason differs: early-exit '" + a.reason +
+                                   "' vs full '" + expect_reason + "'"});
+            if (a.witness != ts1.witness_trace(bn))
+                out.push_back({"earlyexit/unreachable-vs-full",
+                               "witness trace differs from full-graph "
+                               "trace to node " + std::to_string(bn)});
+            validate_witness(sys, a.witness, "earlyexit/unreachable", out);
+        }
+        {
+            // Cache-bypass equivalence at a different thread count.
+            const EnvGuard no_cache("DCFT_NO_EXPLORE_CACHE", "1");
+            const CheckResult c = check_unreachable(
+                sys.program, faults, sys.init, sys.bad, options.threads);
+            if (a.ok != c.ok || a.reason != c.reason ||
+                a.witness != c.witness)
+                out.push_back({"earlyexit/unreachable-vs-full",
+                               "cache-bypassed run diverges from cached "
+                               "run (ok/reason/witness)"});
+        }
+        if (!exploration_cache_disabled()) ExplorationCache::global().clear();
+    }
+
     // -- verdict oracles ---------------------------------------------------
     {
         const CheckResult a = check_closed(sys.program, sys.invariant);
@@ -400,6 +462,62 @@ std::vector<Divergence> run_oracles(const ProgramSpec& spec,
     validate_witness(sys, failsafe.in_presence.witness,
                      "failsafe/in_presence", out);
     validate_witness(sys, failsafe.deepest_trace, "failsafe/deepest", out);
+
+    // -- early-exit tolerance oracle ---------------------------------------
+    {
+        // Fail-safe with ToleranceOptions::early_exit vs the default full
+        // pipeline: identical verdicts, and on failure the identical
+        // in-presence counterexample (closure of the span on its own graph
+        // is trivially true, so the first full-pipeline failure is exactly
+        // the least bad node the stop predicate fires on). Fuzz specs use
+        // never(bad) safety, so the early path is always applicable.
+        if (!exploration_cache_disabled()) ExplorationCache::global().clear();
+        ToleranceOptions early;
+        early.early_exit = true;
+        const ToleranceReport fast = check_tolerance(
+            sys.program, sys.faults, sys.problem, sys.invariant,
+            Tolerance::FailSafe, early);
+        if (fast.in_absence.ok != failsafe.in_absence.ok ||
+            fast.in_presence.ok != failsafe.in_presence.ok) {
+            std::ostringstream os;
+            os << "early-exit (absence=" << fast.in_absence.ok
+               << ", presence=" << fast.in_presence.ok << ") vs full (absence="
+               << failsafe.in_absence.ok << ", presence="
+               << failsafe.in_presence.ok << ")";
+            out.push_back({"earlyexit/tolerance-failsafe", os.str()});
+        } else if (!failsafe.in_presence.ok) {
+            if (fast.in_presence.reason != failsafe.in_presence.reason)
+                out.push_back({"earlyexit/tolerance-failsafe",
+                               "in-presence reason differs: early-exit '" +
+                                   fast.in_presence.reason + "' vs full '" +
+                                   failsafe.in_presence.reason + "'"});
+            if (fast.in_presence.witness != failsafe.in_presence.witness)
+                out.push_back({"earlyexit/tolerance-failsafe",
+                               "in-presence witness trace differs"});
+            if (fast.span_complete)
+                out.push_back({"earlyexit/tolerance-failsafe",
+                               "failing early-exit query reported a "
+                               "complete span"});
+            if (fast.span_size > failsafe.span_size)
+                out.push_back({"earlyexit/tolerance-failsafe",
+                               "early-exit span exceeds the full span: " +
+                                   std::to_string(fast.span_size) + " vs " +
+                                   std::to_string(failsafe.span_size)});
+            validate_witness(sys, fast.in_presence.witness,
+                             "earlyexit/tolerance-failsafe", out);
+        } else if (!fast.span_complete ||
+                   fast.span_size != failsafe.span_size) {
+            out.push_back({"earlyexit/tolerance-failsafe",
+                           "passing query must materialize the full span ("
+                           "complete=" +
+                               std::string(fast.span_complete ? "true"
+                                                              : "false") +
+                               ", size " + std::to_string(fast.span_size) +
+                               " vs " + std::to_string(failsafe.span_size) +
+                               ")"});
+        }
+        if (!exploration_cache_disabled()) ExplorationCache::global().clear();
+    }
 
     // -- trace-checker oracles ---------------------------------------------
     if (failsafe.in_presence.ok && !failsafe.deepest_trace.empty()) {

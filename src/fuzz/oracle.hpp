@@ -18,6 +18,23 @@
 //                               for the same key return the same object.
 //   cache/cached-vs-fresh       the cached graph equals a cache-bypassing
 //                               fresh exploration.
+//   interner/sparse-vs-direct   exploration under DCFT_DIRECT_MAP_MAX=64
+//                               (sparse sharded interner forced at every
+//                               size, serial and chunked) vs the default
+//                               direct-mapped tier.
+//   earlyexit/unreachable-vs-full
+//                               check_unreachable (stop-predicate
+//                               exploration) vs first_bad_node on the full
+//                               graph: verdict, message, and witness trace
+//                               must agree, with the exploration cache in
+//                               play and bypassed (DCFT_NO_EXPLORE_CACHE).
+//   earlyexit/tolerance-failsafe
+//                               check_tolerance with
+//                               ToleranceOptions::early_exit vs the
+//                               default pipeline: same verdicts; on
+//                               failure the identical in-presence
+//                               reason/witness and a strictly partial
+//                               span; on success the full span.
 //   verdict/closed|reachable|converges|refines|refines-with-faults|
 //   verdict/tolerance           the optimized verdict pipeline vs the
 //                               ref_* reference pipeline (ok flags, state

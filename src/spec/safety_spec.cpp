@@ -53,12 +53,13 @@ SafetySpec SafetySpec::conjunction(std::vector<SafetySpec> parts,
                                    std::string name) {
     auto impl = std::make_shared<Impl>();
     if (name.empty()) {
-        name = "(";
+        std::string joined = "(";
         for (std::size_t i = 0; i < parts.size(); ++i) {
-            if (i > 0) name += " && ";
-            name += parts[i].name();
+            if (i > 0) joined += " && ";
+            joined += parts[i].name();
         }
-        name += ")";
+        joined += ")";
+        name = std::move(joined);
     }
     impl->name = std::move(name);
     impl->parts = std::move(parts);
@@ -83,6 +84,31 @@ bool SafetySpec::transition_allowed(const StateSpace& space, StateIndex from,
     for (const auto& part : impl_->parts)
         if (!part.transition_allowed(space, from, to)) return false;
     return true;
+}
+
+bool SafetySpec::state_only() const {
+    if (impl_->bad_transition) return false;
+    for (const auto& part : impl_->parts)
+        if (!part.state_only()) return false;
+    return true;
+}
+
+Predicate SafetySpec::bad_states() const {
+    bool have = false;
+    Predicate out = Predicate::bottom();
+    if (impl_->has_bad_state) {
+        out = impl_->bad_state;
+        have = true;
+    }
+    for (const auto& part : impl_->parts) {
+        // Only fold in parts that can actually contribute a bad state, so
+        // the common never(P) case keeps its clean predicate name.
+        if (!part.impl_->has_bad_state && part.impl_->parts.empty()) continue;
+        Predicate p = part.bad_states();
+        out = have ? (out || p) : std::move(p);
+        have = true;
+    }
+    return out;
 }
 
 bool SafetySpec::maintains(const StateSpace& space,

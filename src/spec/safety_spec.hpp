@@ -67,6 +67,20 @@ public:
     bool maintains(const StateSpace& space,
                    std::span<const StateIndex> states) const;
 
+    /// Whether the specification is transition-free: no bad-transition
+    /// relation anywhere (recursively through conjunctions). For such
+    /// specs a computation violates safety iff it *reaches* a state
+    /// satisfying bad_states() — the shape the early-exit exploration
+    /// exploits (a violation is then a reachability fact, independent of
+    /// the path taken). never() specs and their conjunctions qualify;
+    /// pair()/closure() specs do not.
+    bool state_only() const;
+
+    /// Disjunction of every bad-state predicate (recursively through
+    /// conjunctions); Predicate::bottom() when there is none. For
+    /// state_only() specifications this is the exact violation set.
+    Predicate bad_states() const;
+
 private:
     struct Impl;
     std::shared_ptr<const Impl> impl_;

@@ -1,5 +1,6 @@
 #include "verify/exploration_cache.hpp"
 
+#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -37,6 +38,41 @@ bool same_actions(const std::vector<Action>& pinned,
 
 bool exploration_cache_disabled() {
     return env_flag_enabled("DCFT_NO_EXPLORE_CACHE");
+}
+
+bool ExplorationCache::matches(const Key& k, const StateSpace& space,
+                               const Program& program,
+                               const FaultClass* faults,
+                               std::uint64_t init_hash,
+                               const BitVec& init_bits) {
+    if (k.space_uid != space.uid() || k.init_hash != init_hash ||
+        k.program_name != program.name() ||
+        !same_actions(k.program_actions, program.actions()) ||
+        k.has_faults != (faults != nullptr))
+        return false;
+    if (faults != nullptr &&
+        (k.fault_name != faults->name() ||
+         !same_actions(k.fault_actions, faults->actions())))
+        return false;
+    return k.init_bits == init_bits;  // collision guard
+}
+
+ExplorationCache::Key ExplorationCache::make_key(const StateSpace& space,
+                                                 const Program& program,
+                                                 const FaultClass* faults,
+                                                 std::uint64_t init_hash,
+                                                 BitVec init_bits) {
+    return Key{space.uid(),
+               program.name(),
+               {program.actions().begin(), program.actions().end()},
+               faults != nullptr,
+               faults != nullptr ? faults->name() : std::string{},
+               faults != nullptr
+                   ? std::vector<Action>{faults->actions().begin(),
+                                         faults->actions().end()}
+                   : std::vector<Action>{},
+               init_hash,
+               std::move(init_bits)};
 }
 
 ExplorationCache& ExplorationCache::global() {
@@ -78,17 +114,8 @@ std::shared_ptr<const TransitionSystem> ExplorationCache::get_or_build(
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-            const Key& k = it->key;
-            if (k.space_uid != space.uid() || k.init_hash != h ||
-                k.program_name != program.name() ||
-                !same_actions(k.program_actions, program.actions()) ||
-                k.has_faults != (faults != nullptr))
+            if (!matches(it->key, space, program, faults, h, init_bits))
                 continue;
-            if (faults != nullptr &&
-                (k.fault_name != faults->name() ||
-                 !same_actions(k.fault_actions, faults->actions())))
-                continue;
-            if (!(k.init_bits == init_bits)) continue;  // collision guard
             obs::count("verify/explore_cache/hits");
             entries_.splice(entries_.begin(), entries_, it);  // LRU bump
             resident = it->ts;
@@ -100,17 +127,7 @@ std::shared_ptr<const TransitionSystem> ExplorationCache::get_or_build(
             // Miss: insert an in-flight entry so concurrent requests for
             // this key dedup onto our build, then release the lock and
             // explore.
-            Key key{space.uid(),
-                    program.name(),
-                    {program.actions().begin(), program.actions().end()},
-                    faults != nullptr,
-                    faults != nullptr ? faults->name() : std::string{},
-                    faults != nullptr
-                        ? std::vector<Action>{faults->actions().begin(),
-                                              faults->actions().end()}
-                        : std::vector<Action>{},
-                    h,
-                    init_bits};
+            Key key = make_key(space, program, faults, h, init_bits);
             token = ++next_token_;
             entries_.push_front(
                 Entry{std::move(key), token, builder.get_future().share()});
@@ -138,6 +155,98 @@ std::shared_ptr<const TransitionSystem> ExplorationCache::get_or_build(
         remove_entry(token);
         throw;
     }
+}
+
+std::shared_ptr<const TransitionSystem>
+ExplorationCache::get_or_build_early_exit(const Program& program,
+                                          const FaultClass* faults,
+                                          const Predicate& init,
+                                          const Predicate& stop_on,
+                                          unsigned n_threads) {
+    if (exploration_cache_disabled()) {
+        obs::count("verify/explore_cache/bypass");
+        ExploreOptions opts;
+        opts.n_threads = n_threads;
+        opts.stop_on = &stop_on;
+        return std::make_shared<TransitionSystem>(program, faults, init,
+                                                  opts);
+    }
+    const obs::ScopedSpan span("verify/explore_cache/early_exit");
+
+    const StateSpace& space = program.space();
+    BitVec init_bits = [&] {
+        if (const auto& b = init.backing_bits();
+            b != nullptr && b->size_bits() == space.num_states())
+            return *b;
+        return eval_bits(space, init, n_threads);
+    }();
+    const std::uint64_t h = hash_bits(init_bits);
+
+    // Serve only already-*completed* resident builds: parking an early-exit
+    // query on an in-flight full exploration could cost far more than the
+    // fragment it wants, so an in-flight key match is treated as a miss.
+    std::shared_future<std::shared_ptr<const TransitionSystem>> resident;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (!matches(it->key, space, program, faults, h, init_bits))
+                continue;
+            if (it->ts.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready) {
+                obs::count("verify/explore_cache/early_exit_hits");
+                entries_.splice(entries_.begin(), entries_, it);  // LRU
+                resident = it->ts;
+            }
+            break;
+        }
+    }
+    if (resident.valid()) return resident.get();  // full graph; caller scans
+    obs::count("verify/explore_cache/early_exit_misses");
+
+    // Build outside the lock, seeded from the materialized bits exactly as
+    // get_or_build would, so a run-to-exhaustion result IS the graph the
+    // full path builds (and can be published in its place).
+    auto bits = std::make_shared<const BitVec>(std::move(init_bits));
+    const Predicate seeded = Predicate::from_bits(init.name(), bits);
+    ExploreOptions opts;
+    opts.n_threads = n_threads;
+    opts.stop_on = &stop_on;
+    auto ts = std::make_shared<const TransitionSystem>(program, faults,
+                                                       seeded, opts);
+    if (!ts->complete()) {
+        // Early-exit fragment: NEVER cached (a later get_or_build for this
+        // key must not be served an incomplete graph).
+        obs::count("verify/explore_cache/early_exit_fragments");
+        return ts;
+    }
+
+    // The stop predicate never fired: this is the full graph. Publish it
+    // (unless a racing build of the same key got there first).
+    std::promise<std::shared_ptr<const TransitionSystem>> ready;
+    ready.set_value(ts);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        bool present = false;
+        for (const auto& e : entries_) {
+            if (matches(e.key, space, program, faults, h, *bits)) {
+                present = true;
+                break;
+            }
+        }
+        if (!present) {
+            obs::count("verify/explore_cache/early_exit_published");
+            entries_.push_front(Entry{make_key(space, program, faults, h,
+                                               *bits),
+                                      ++next_token_,
+                                      ready.get_future().share()});
+            const std::size_t cap = capacity();
+            while (entries_.size() > cap) {
+                obs::count("verify/explore_cache/evictions");
+                entries_.pop_back();
+            }
+        }
+    }
+    return ts;
 }
 
 void ExplorationCache::remove_entry(std::uint64_t token) {

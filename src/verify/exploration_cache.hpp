@@ -78,6 +78,23 @@ public:
         const Program& program, const FaultClass* faults,
         const Predicate& init, unsigned n_threads = 0);
 
+    /// Early-exit variant for safety-style obligations. Returns either
+    ///  * the cached *complete* graph of (program [, faults], init) when
+    ///    one is already resident (callers then use first_bad_node), or
+    ///  * a fresh exploration with `stop_on` registered: the result is an
+    ///    early-exit fragment when the predicate fired (bad_node() set) or
+    ///    the full graph when it never fired.
+    /// Cache discipline: fragments are NEVER inserted — a subsequent
+    /// get_or_build for the same key can therefore never be served an
+    /// incomplete graph — while a fresh build that ran to exhaustion IS
+    /// published (it is exactly the graph get_or_build would have built).
+    /// An in-flight full build of the same key is not waited on: the
+    /// fragment is typically far cheaper than parking on a large BFS.
+    std::shared_ptr<const TransitionSystem> get_or_build_early_exit(
+        const Program& program, const FaultClass* faults,
+        const Predicate& init, const Predicate& stop_on,
+        unsigned n_threads = 0);
+
     /// Drops every entry (benches use this to time real explorations).
     /// In-flight builds complete normally for their waiters; they are
     /// simply forgotten.
@@ -113,6 +130,17 @@ private:
     /// Removes the entry carrying `token` if it is still present (used
     /// when a build fails; waiters get the exception via the future).
     void remove_entry(std::uint64_t token);
+
+    /// Whether `k` identifies (program [, faults], init_bits) — the one
+    /// key comparison, shared by the full and early-exit lookups.
+    static bool matches(const Key& k, const StateSpace& space,
+                        const Program& program, const FaultClass* faults,
+                        std::uint64_t init_hash, const BitVec& init_bits);
+
+    /// Builds the pinned key for (program [, faults], init_bits).
+    static Key make_key(const StateSpace& space, const Program& program,
+                        const FaultClass* faults, std::uint64_t init_hash,
+                        BitVec init_bits);
 
     mutable std::mutex mutex_;
     std::list<Entry> entries_;  ///< front = most recently used

@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "common/parallel.hpp"
+#include "obs/telemetry.hpp"
 #include "verify/action_kernel.hpp"
+#include "verify/exploration_cache.hpp"
 
 namespace dcft {
 
@@ -62,6 +64,28 @@ StateSet reachable_states(const Program& p, const FaultClass* f,
     }
     (void)n_states;
     return seen;
+}
+
+CheckResult check_unreachable(const Program& p, const FaultClass* f,
+                              const Predicate& from, const Predicate& bad,
+                              unsigned n_threads) {
+    const obs::ScopedSpan span("verify/reachability");
+    obs::count("verify/obligations/reachability");
+    const auto ts = ExplorationCache::global().get_or_build_early_exit(
+        p, f, from, bad, n_threads);
+    // Fragment: the stop predicate fired and bad_node() is the canonical
+    // first violation. Complete graph (cache hit, or `bad` unreachable):
+    // first_bad_node scans for exactly the node the early exit would have
+    // reported.
+    const NodeId b =
+        ts->complete() ? ts->first_bad_node(bad) : ts->bad_node();
+    if (b == TransitionSystem::kNoNode) return CheckResult::success();
+    obs::count("verify/obligations/failed");
+    return CheckResult::failure(
+        "reachable: state " + ts->space().format(ts->state_of(b)) +
+            " satisfies " + bad.name() + "; witness: " +
+            ts->format_witness(b),
+        ts->witness_trace(b));
 }
 
 }  // namespace dcft

@@ -1,9 +1,12 @@
 #include "verify/transition_system.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 #include "common/parallel.hpp"
 #include "obs/telemetry.hpp"
 #include "verify/action_kernel.hpp"
@@ -12,9 +15,16 @@ namespace dcft {
 namespace {
 
 /// Largest space for which the interner is a direct-mapped NodeId array
-/// (4 bytes per state of the *whole* space). Beyond this we fall back to a
-/// hash map keyed by state index.
-constexpr StateIndex kDirectMapMax = StateIndex{1} << 25;
+/// (4 bytes per state of the *whole* space). Beyond this the sharded
+/// sparse table takes over. Overridable via DCFT_DIRECT_MAP_MAX so the
+/// sparse path is exercisable (tests, fuzzing, benches) at any size.
+constexpr StateIndex kDefaultDirectMapMax = StateIndex{1} << 25;
+
+StateIndex direct_map_max() {
+    if (const auto v = env_positive_u64("DCFT_DIRECT_MAP_MAX"))
+        return static_cast<StateIndex>(*v);
+    return kDefaultDirectMapMax;
+}
 
 /// Frontier levels smaller than this stay on the fused serial path even
 /// when multiple workers are available: for small levels the staging
@@ -30,32 +40,238 @@ constexpr std::uint64_t kParallelFrontierMin = 16384;
 /// not pre-allocate unbounded memory.
 constexpr std::size_t kReserveCap = std::size_t{1} << 22;
 
-/// Chunk-private successor records produced by one worker for one slice of
-/// a BFS level. For each node of the slice, in order: `counts` holds
+/// Claim markers of the parallel merge: chunk c writes kClaimBase + c into
+/// an interner slot to tentatively own a newly discovered state. Real node
+/// ids must stay below kClaimBase (checked per level); kNoNode (all-ones)
+/// is "absent" and compares greater than every marker.
+constexpr NodeId kClaimBase = 0xFFFF0000u;
+
+/// Chunk-private buffers produced by one worker for one slice of a BFS
+/// level. For each node of the slice, in order: `counts` holds
 /// (#program successors, #fault successors) and `recs` holds those
 /// successors contiguously — program records first, then fault records,
-/// each as (action index, target state).
+/// each as (action index, target state). `claims` holds the (target,
+/// parent) pairs this chunk tentatively claimed, in first-local-occurrence
+/// order — after the filter pass this is exactly the canonical new-node
+/// subsequence the chunk contributes.
 struct ChunkBuf {
     std::vector<std::pair<std::uint32_t, StateIndex>> recs;
     std::vector<std::pair<std::uint32_t, std::uint32_t>> counts;
+    std::vector<std::pair<StateIndex, NodeId>> claims;
+    std::uint64_t prog_total = 0;   ///< program records in recs
+    std::uint64_t fault_total = 0;  ///< fault records in recs
+    std::uint64_t begin = 0;        ///< slice start within the level
 };
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// SparseNodeTable: the interner tier for spaces beyond DCFT_DIRECT_MAP_MAX.
+//
+// An open-addressing (linear probing) table sharded by a splitmix64
+// fingerprint of the packed state index: the low bits of the fingerprint
+// select one of 64 shards, the high bits the probe start inside the shard.
+// Keys are stored biased by one (0 = empty slot) so membership needs no
+// separate occupancy bitmap; values are NodeIds — or, transiently during
+// the parallel merge's claim phase, kClaimBase+chunk markers.
+//
+// Concurrency contract, phase by phase:
+//   * serial exploration path: find_or_insert, single-threaded, lock-free;
+//   * claim phase (parallel):  claim() under a per-shard mutex — the only
+//     phase that inserts, so growth is confined here;
+//   * filter/publish phases:   keys are frozen; find() is a lock-free
+//     read and publish() overwrites only the caller-owned value slot;
+//   * consumers (has_state, node_of, edge resolution): find(), lock-free.
+class SparseNodeTable {
+public:
+    static constexpr unsigned kShardBits = 6;
+    static constexpr std::size_t kNumShards = std::size_t{1} << kShardBits;
+
+    /// Sizes every shard for ~`expected` total entries (load factor 0.7)
+    /// up front — the reserve that keeps large explorations from
+    /// rehashing level after level.
+    explicit SparseNodeTable(std::size_t expected) {
+        const std::size_t per_shard = expected / kNumShards + 1;
+        for (Shard& sh : shards_) sh.rehash(slots_for(per_shard));
+    }
+
+    static std::uint64_t fingerprint(StateIndex s) {
+        // splitmix64 finalizer: full-avalanche, cheap, and stable — the
+        // shard/probe layout is a pure function of the state index.
+        std::uint64_t z =
+            static_cast<std::uint64_t>(s) + 0x9E3779B97F4A7C15ULL;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+    /// Lock-free lookup (no concurrent inserts allowed). kNoNode if
+    /// absent; during the merge the returned value may be a claim marker.
+    NodeId find(StateIndex s) const {
+        const std::uint64_t h = fingerprint(s);
+        const Shard& sh = shards_[h & (kNumShards - 1)];
+        const std::uint64_t key = static_cast<std::uint64_t>(s) + 1;
+        std::size_t i = (h >> kShardBits) & sh.mask;
+        for (;;) {
+            const std::uint64_t k = sh.keys[i];
+            if (k == key) return sh.vals[i];
+            if (k == 0) return TransitionSystem::kNoNode;
+            i = (i + 1) & sh.mask;
+        }
+    }
+
+    /// Serial find-or-insert: returns the resident id, or installs `id`
+    /// and returns it. Single-threaded callers only.
+    NodeId find_or_insert(StateIndex s, NodeId id) {
+        const std::uint64_t h = fingerprint(s);
+        Shard& sh = shards_[h & (kNumShards - 1)];
+        maybe_grow(sh);
+        const std::uint64_t key = static_cast<std::uint64_t>(s) + 1;
+        std::size_t i = (h >> kShardBits) & sh.mask;
+        for (;;) {
+            ++sh.probes;
+            const std::uint64_t k = sh.keys[i];
+            if (k == key) return sh.vals[i];
+            if (k == 0) {
+                sh.keys[i] = key;
+                sh.vals[i] = id;
+                ++sh.size;
+                return id;
+            }
+            i = (i + 1) & sh.mask;
+        }
+    }
+
+    /// Claim protocol of the parallel merge (thread-safe, per-shard lock).
+    /// Returns true iff this call installed `mark`: the slot was absent or
+    /// held a *larger* chunk's marker — min-chunk-wins, which makes the
+    /// final owner of every new state the canonically first chunk that
+    /// produced it, independent of thread timing.
+    bool claim(StateIndex s, NodeId mark) {
+        const std::uint64_t h = fingerprint(s);
+        Shard& sh = shards_[h & (kNumShards - 1)];
+        const std::lock_guard<std::mutex> lock(sh.mu);
+        maybe_grow(sh);
+        const std::uint64_t key = static_cast<std::uint64_t>(s) + 1;
+        std::size_t i = (h >> kShardBits) & sh.mask;
+        for (;;) {
+            ++sh.probes;
+            const std::uint64_t k = sh.keys[i];
+            if (k == key) {
+                NodeId& v = sh.vals[i];
+                if (v < kClaimBase || v <= mark) return false;
+                v = mark;
+                return true;
+            }
+            if (k == 0) {
+                sh.keys[i] = key;
+                sh.vals[i] = mark;
+                ++sh.size;
+                return true;
+            }
+            i = (i + 1) & sh.mask;
+        }
+    }
+
+    /// Publishes the final id of a claim the caller won (keys frozen, one
+    /// writer per slot — lock-free by construction).
+    void publish(StateIndex s, NodeId id) {
+        const std::uint64_t h = fingerprint(s);
+        Shard& sh = shards_[h & (kNumShards - 1)];
+        const std::uint64_t key = static_cast<std::uint64_t>(s) + 1;
+        std::size_t i = (h >> kShardBits) & sh.mask;
+        while (sh.keys[i] != key) i = (i + 1) & sh.mask;
+        sh.vals[i] = id;
+    }
+
+    std::uint64_t probes() const {
+        std::uint64_t p = 0;
+        for (const Shard& sh : shards_) p += sh.probes;
+        return p;
+    }
+    std::uint64_t resizes() const {
+        std::uint64_t r = 0;
+        for (const Shard& sh : shards_) r += sh.resizes;
+        return r;
+    }
+    std::uint64_t bytes() const {
+        std::uint64_t b = 0;
+        for (const Shard& sh : shards_)
+            b += sh.keys.capacity() * sizeof(std::uint64_t) +
+                 sh.vals.capacity() * sizeof(NodeId);
+        return b;
+    }
+
+private:
+    struct Shard {
+        std::vector<std::uint64_t> keys;  ///< state index + 1; 0 = empty
+        std::vector<NodeId> vals;
+        std::size_t size = 0;
+        std::size_t mask = 0;
+        std::uint64_t probes = 0;
+        std::uint64_t resizes = 0;
+        std::mutex mu;
+
+        void rehash(std::size_t new_cap) {
+            std::vector<std::uint64_t> old_keys = std::move(keys);
+            std::vector<NodeId> old_vals = std::move(vals);
+            keys.assign(new_cap, 0);
+            vals.assign(new_cap, TransitionSystem::kNoNode);
+            mask = new_cap - 1;
+            for (std::size_t j = 0; j < old_keys.size(); ++j) {
+                const std::uint64_t k = old_keys[j];
+                if (k == 0) continue;
+                const std::uint64_t h = fingerprint(
+                    static_cast<StateIndex>(k - 1));
+                std::size_t i = (h >> kShardBits) & mask;
+                while (keys[i] != 0) i = (i + 1) & mask;
+                keys[i] = k;
+                vals[i] = old_vals[j];
+            }
+        }
+    };
+
+    static std::size_t slots_for(std::size_t entries) {
+        // Smallest power of two keeping load factor <= 0.7, min 16 slots.
+        std::size_t cap = 16;
+        while (cap * 7 < entries * 10) cap <<= 1;
+        return cap;
+    }
+
+    void maybe_grow(Shard& sh) {
+        if ((sh.size + 1) * 10 < (sh.mask + 1) * 7) return;
+        sh.rehash((sh.mask + 1) * 2);
+        ++sh.resizes;
+    }
+
+    std::array<Shard, kNumShards> shards_;
+};
+
 TransitionSystem::TransitionSystem(const Program& program,
                                    const FaultClass* faults,
                                    const Predicate& init, unsigned n_threads)
+    : TransitionSystem(program, faults, init,
+                       ExploreOptions{n_threads, nullptr}) {}
+
+TransitionSystem::TransitionSystem(const Program& program,
+                                   const FaultClass* faults,
+                                   const Predicate& init,
+                                   const ExploreOptions& options)
     : space_(program.space_ptr()), program_(program) {
     if (faults != nullptr) {
         fault_action_names_.reserve(faults->actions().size());
         for (const auto& fac : faults->actions())
             fault_action_names_.push_back(fac.name());
     }
-    explore(faults, init, resolve_verifier_threads(n_threads));
+    explore(faults, init, resolve_verifier_threads(options.n_threads),
+            options.stop_on);
 }
 
+TransitionSystem::~TransitionSystem() = default;
+
 void TransitionSystem::explore(const FaultClass* faults,
-                               const Predicate& init, unsigned n_threads) {
+                               const Predicate& init, unsigned n_threads,
+                               const Predicate* stop_on) {
     const bool telemetry = obs::enabled();
     const obs::ScopedSpan span("verify/explore");
     const StateIndex n_states = space_->num_states();
@@ -90,6 +306,18 @@ void TransitionSystem::explore(const FaultClass* faults,
         if (compiled->has_faults())
             collect(compiled->fault_actions(), fault_gbits);
     }
+
+    // The early-exit stop predicate, compiled to guard bytecode when the
+    // exploration itself is compiled (opaque subtrees fall back to eval).
+    std::unique_ptr<GuardCode> stop_code;
+    if (stop_on != nullptr && compiled != nullptr)
+        stop_code = std::make_unique<GuardCode>(compiled->cspace(), *stop_on);
+    std::uint64_t stop_scans = 0;
+    auto stop_at = [&](StateIndex s) {
+        ++stop_scans;
+        return stop_code != nullptr ? stop_code->eval(compiled->cspace(), s)
+                                    : stop_on->eval(*space_, s);
+    };
 
     // Expands one state: evaluates each guard (bitset probe, bytecode, or
     // interpreted predicate) and appends each enabled action's successors
@@ -138,20 +366,55 @@ void TransitionSystem::explore(const FaultClass* faults,
         }
     };
 
-    direct_mapped_ = n_states <= kDirectMapMax;
-    if (direct_mapped_) {
-        node_map_.assign(static_cast<std::size_t>(n_states), kNoNode);
+    // Seed: bulk-evaluate init over the space (each state exactly once,
+    // chunked across workers). Done before the interner is chosen so the
+    // initial-set cardinality can size it.
+    const BitVec init_bits = [&] {
+        const obs::ScopedSpan seed_span("verify/explore/seed");
+        if (compiled != nullptr) {
+            BitVec b(n_states);
+            fill_guard_bits(compiled->cspace(), init, b);
+            return b;
+        }
+        return eval_bits(*space_, init, n_threads);
+    }();
+    const std::uint64_t init_pop = init_bits.popcount();
+
+    // Interner tier selection. When the seed covers the whole space the
+    // ascending-order root interning makes node id == state index; every
+    // lookup is the identity and no reverse map is allocated at all (the
+    // hottest memory traffic of dense explorations, and ~4 bytes/state of
+    // allocation, both gone). Otherwise: direct-mapped NodeId array up to
+    // DCFT_DIRECT_MAP_MAX states, sharded open-addressing table beyond —
+    // reserved from the init-set cardinality times a growth estimate so
+    // large explorations do not rehash level after level.
+    identity_nodes_ = init_pop == n_states;
+    if (!identity_nodes_) {
+        direct_mapped_ = n_states <= direct_map_max();
+        if (direct_mapped_) {
+            node_map_.assign(static_cast<std::size_t>(n_states), kNoNode);
+        } else {
+            constexpr std::uint64_t kGrowthEstimate = 8;
+            const std::uint64_t expected = std::min<std::uint64_t>(
+                std::max<std::uint64_t>(init_pop * kGrowthEstimate, 4096),
+                n_states);
+            sparse_ = std::make_unique<SparseNodeTable>(
+                static_cast<std::size_t>(expected));
+        }
     }
 
-    // Reserve from space-size heuristics: explicit-state instances are
-    // usually mostly reachable, so size to the space (capped).
+    // Reserve node/edge storage. Identity explorations have a known exact
+    // node count; otherwise size to the space (capped) — explicit-state
+    // instances are usually mostly reachable.
     const std::size_t guess =
-        static_cast<std::size_t>(std::min<StateIndex>(n_states, kReserveCap));
+        identity_nodes_
+            ? static_cast<std::size_t>(n_states)
+            : static_cast<std::size_t>(
+                  std::min<StateIndex>(n_states, kReserveCap));
     states_.reserve(guess);
     parent_.reserve(guess);
     prog_offsets_.reserve(guess + 1);
     fault_offsets_.reserve(guess + 1);
-    if (!direct_mapped_) node_hash_.reserve(guess);
     // Edge vectors dominate the working set of dense explorations; growing
     // them by doubling re-copies tens of MB mid-BFS. Reserve one slot per
     // (state, action) — an upper bound for deterministic actions — capped.
@@ -166,18 +429,11 @@ void TransitionSystem::explore(const FaultClass* faults,
             guess * std::max<std::size_t>(faults->actions().size(), 1),
             kEdgeReserveCap));
 
-    // When the seed covers the whole space, the ascending-order root
-    // interning makes node id == state index; every later intern is the
-    // identity and the map probe (a random access into a multi-MB array —
-    // the hottest memory traffic of dense explorations) can be skipped.
-    // Set after seeding.
-    bool identity_nodes = false;
-
     // Interns t (first discovery appends it to the next BFS level with
-    // `from` as its BFS-tree parent). Serial — called only from the merge
-    // pass, in canonical order.
+    // `from` as its BFS-tree parent). Serial — called only from the fused
+    // serial path, in canonical order.
     auto intern = [&](StateIndex t, NodeId from) -> NodeId {
-        if (identity_nodes) return static_cast<NodeId>(t);
+        if (identity_nodes_) return static_cast<NodeId>(t);
         if (direct_mapped_) {
             NodeId& slot = node_map_[static_cast<std::size_t>(t)];
             if (slot == kNoNode) {
@@ -187,54 +443,105 @@ void TransitionSystem::explore(const FaultClass* faults,
             }
             return slot;
         }
-        auto [it, inserted] =
-            node_hash_.emplace(t, static_cast<NodeId>(states_.size()));
-        if (inserted) {
+        const NodeId fresh = static_cast<NodeId>(states_.size());
+        const NodeId got = sparse_->find_or_insert(t, fresh);
+        if (got == fresh) {
             states_.push_back(t);
             parent_.push_back(from);
         }
-        return it->second;
+        return got;
     };
 
-    // Seed: bulk-evaluate init over the space (each state exactly once,
-    // chunked across workers) and intern the satisfying states in
-    // ascending order — the canonical root numbering.
-    const BitVec init_bits = [&] {
-        const obs::ScopedSpan seed_span("verify/explore/seed");
-        if (compiled != nullptr) {
-            BitVec b(n_states);
-            fill_guard_bits(compiled->cspace(), init, b);
-            return b;
-        }
-        return eval_bits(*space_, init, n_threads);
-    }();
-    initial_.reserve(static_cast<std::size_t>(init_bits.popcount()));
-    init_bits.for_each_set([&](std::uint64_t s) {
-        const NodeId id =
-            intern(static_cast<StateIndex>(s), static_cast<NodeId>(0));
-        parent_[id] = id;  // roots are their own parent
-        initial_.push_back(id);
-    });
+    // Resolves a state that is known to be interned (merge phase B and
+    // consumers within this function). Lock-free on every tier.
+    auto lookup = [&](StateIndex t) -> NodeId {
+        if (identity_nodes_) return static_cast<NodeId>(t);
+        if (direct_mapped_) return node_map_[static_cast<std::size_t>(t)];
+        return sparse_->find(t);
+    };
 
-    identity_nodes = states_.size() == static_cast<std::size_t>(n_states);
+    // Intern the satisfying seed states in ascending order — the
+    // canonical root numbering. Identity seeds fill directly.
+    initial_.reserve(static_cast<std::size_t>(init_pop));
+    if (identity_nodes_) {
+        states_.resize(static_cast<std::size_t>(n_states));
+        parent_.resize(static_cast<std::size_t>(n_states));
+        initial_.resize(static_cast<std::size_t>(n_states));
+        for (StateIndex s = 0; s < n_states; ++s) {
+            states_[static_cast<std::size_t>(s)] = s;
+            parent_[static_cast<std::size_t>(s)] = static_cast<NodeId>(s);
+            initial_[static_cast<std::size_t>(s)] = static_cast<NodeId>(s);
+        }
+    } else {
+        init_bits.for_each_set([&](std::uint64_t s) {
+            const NodeId id =
+                intern(static_cast<StateIndex>(s), static_cast<NodeId>(0));
+            parent_[id] = id;  // roots are their own parent
+            initial_.push_back(id);
+        });
+    }
 
     prog_offsets_.push_back(0);
     fault_offsets_.push_back(0);
 
-    // Level-synchronous BFS. Workers expand disjoint contiguous slices of
-    // the current level into chunk-private buffers; the merge pass then
-    // walks the buffers in slice order, interning targets and appending
-    // CSR rows. Because nodes are expanded in id order and their successor
-    // records are merged in expansion order, discovery order — and with it
-    // node numbering, edge order, and the BFS parent tree — is identical
-    // to the sequential FIFO exploration, for every thread count.
-    std::vector<ChunkBuf> bufs;
-    std::vector<StateIndex> succ;  // scratch for the fused serial path
-    std::uint64_t n_levels = 0;    // telemetry: BFS depth / frontier stats
+    // Scans the newly discovered nodes [from_id, states_.size()) in id
+    // order against the stop predicate; on a hit records the canonically
+    // least bad node and flips the fragment incomplete. Scanning whole
+    // levels (never mid-level) keeps the discovered prefix — numbering,
+    // edges, parents — identical for every thread count.
+    auto scan_new_nodes = [&](std::size_t from_id) -> bool {
+        if (stop_on == nullptr) return false;
+        for (std::size_t i = from_id; i < states_.size(); ++i) {
+            if (stop_at(states_[i])) {
+                bad_node_ = static_cast<NodeId>(i);
+                complete_ = false;
+                return true;
+            }
+        }
+        return false;
+    };
+
+    // On early exit the last level's nodes are never expanded; give them
+    // empty CSR rows so the accessors stay total.
+    auto pad_offsets = [&] {
+        prog_offsets_.resize(states_.size() + 1, prog_edges_.size());
+        fault_offsets_.resize(states_.size() + 1, fault_edges_.size());
+    };
+
+    std::uint64_t n_levels = 0;  // telemetry: BFS depth / frontier stats
     std::uint64_t frontier_max = 0;
     std::uint64_t levels_below_threshold = 0;
+
+    bool stopped = scan_new_nodes(0);  // a bad root ends it before level 1
+
+    // Level-synchronous BFS. Workers expand disjoint contiguous slices of
+    // the current level into chunk-private buffers; a deterministic
+    // two-pass merge then interns and appends without any serial section:
+    //
+    //   A  (parallel) expand + claim: every successor record is staged;
+    //      uninterned targets are claimed min-chunk-wins (CAS on the
+    //      direct map, per-shard lock on the sparse table), and each chunk
+    //      keeps its first-local-occurrence claims in order;
+    //   A2 (parallel) filter: drop claims lost to a smaller chunk — what
+    //      remains per chunk is its canonical new-node subsequence;
+    //   —  (serial, O(chunks)) prefix sums over per-chunk new-node and
+    //      edge counts in canonical chunk order; pre-size states_/parent_/
+    //      edge/offset arrays for the level;
+    //   A3 (parallel) publish: assign ids base[c]+j, overwrite markers
+    //      with real ids, write states_/parent_;
+    //   B  (parallel) resolve every record to its final id and write
+    //      edges + per-node offsets into the pre-sized CSR slices.
+    //
+    // Because a new node's owner is the canonically first chunk that
+    // produced it and chunks are concatenated in slice order, discovery
+    // order — and with it node numbering, edge order, and the BFS parent
+    // tree — is identical to the sequential FIFO exploration, for every
+    // thread count.
+    std::vector<ChunkBuf> bufs;
+    std::vector<std::uint64_t> base_new, base_prog, base_fault;
+    std::vector<StateIndex> succ;  // scratch for the fused serial path
     std::size_t level_begin = 0;
-    while (level_begin < states_.size()) {
+    while (!stopped && level_begin < states_.size()) {
         const obs::ScopedSpan level_span("verify/explore/level");
         const std::size_t level_end = states_.size();
         const std::uint64_t level_size = level_end - level_begin;
@@ -267,64 +574,188 @@ void TransitionSystem::explore(const FaultClass* faults,
                 prog_offsets_.push_back(prog_edges_.size());
                 fault_offsets_.push_back(fault_edges_.size());
             }
+            stopped = scan_new_nodes(level_end);
             level_begin = level_end;
             continue;
         }
 
+        DCFT_ASSERT(chunks < (kNoNode - kClaimBase),
+                    "TransitionSystem: chunk count exceeds claim markers");
         if (bufs.size() < chunks) bufs.resize(chunks);
-
-        parallel_chunks(
-            level_size, n_threads, /*align=*/1,
-            [&](unsigned c, std::uint64_t begin, std::uint64_t end) {
-                ChunkBuf& buf = bufs[c];
-                buf.recs.clear();
-                buf.counts.clear();
-                std::vector<StateIndex> succ;
-                for (std::uint64_t i = begin; i < end; ++i) {
-                    const StateIndex s = states_[level_begin + i];
-                    std::uint32_t n_prog = 0, n_fault = 0;
-                    expand(
-                        s, succ,
-                        [&](std::uint32_t a, StateIndex t) {
-                            buf.recs.emplace_back(a, t);
-                            ++n_prog;
-                        },
-                        [&](std::uint32_t a, StateIndex t) {
-                            buf.recs.emplace_back(a, t);
-                            ++n_fault;
-                        });
-                    buf.counts.emplace_back(n_prog, n_fault);
-                }
-            });
-
-        // Serial merge in canonical order.
-        NodeId node = static_cast<NodeId>(level_begin);
-        for (unsigned c = 0; c < chunks; ++c) {
-            const ChunkBuf& buf = bufs[c];
-            std::size_t r = 0;
-            for (const auto& [n_prog, n_fault] : buf.counts) {
-                for (std::uint32_t k = 0; k < n_prog; ++k, ++r) {
-                    const auto& [a, t] = buf.recs[r];
-                    prog_edges_.push_back(Edge{a, intern(t, node)});
-                }
-                prog_offsets_.push_back(prog_edges_.size());
-                for (std::uint32_t k = 0; k < n_fault; ++k, ++r) {
-                    const auto& [a, t] = buf.recs[r];
-                    fault_edges_.push_back(Edge{a, intern(t, node)});
-                }
-                fault_offsets_.push_back(fault_edges_.size());
-                ++node;
-            }
+        if (base_new.size() < chunks) {
+            base_new.resize(chunks);
+            base_prog.resize(chunks);
+            base_fault.resize(chunks);
         }
-        DCFT_ASSERT(node == static_cast<NodeId>(level_end),
-                    "TransitionSystem: level merge out of sync");
+
+        // Phase A: parallel expand + claim.
+        {
+            const obs::ScopedSpan pspan("verify/explore/expand_claim");
+            parallel_chunks(
+                level_size, n_threads, /*align=*/1,
+                [&](unsigned c, std::uint64_t begin, std::uint64_t end) {
+                    ChunkBuf& buf = bufs[c];
+                    buf.recs.clear();
+                    buf.counts.clear();
+                    buf.claims.clear();
+                    buf.prog_total = 0;
+                    buf.fault_total = 0;
+                    buf.begin = begin;
+                    const NodeId mark = kClaimBase + c;
+                    auto try_claim = [&](StateIndex t, NodeId from) {
+                        if (identity_nodes_) return;  // everything interned
+                        if (direct_mapped_) {
+                            std::atomic_ref<NodeId> slot(
+                                node_map_[static_cast<std::size_t>(t)]);
+                            NodeId cur =
+                                slot.load(std::memory_order_relaxed);
+                            for (;;) {
+                                // Real id, or a smaller/equal chunk's
+                                // marker: nothing to do.
+                                if (cur < kClaimBase || cur <= mark) return;
+                                if (slot.compare_exchange_weak(
+                                        cur, mark,
+                                        std::memory_order_relaxed)) {
+                                    buf.claims.emplace_back(t, from);
+                                    return;
+                                }
+                            }
+                        }
+                        if (sparse_->claim(t, mark))
+                            buf.claims.emplace_back(t, from);
+                    };
+                    std::vector<StateIndex> succ;
+                    for (std::uint64_t i = begin; i < end; ++i) {
+                        const StateIndex s = states_[level_begin + i];
+                        const NodeId node =
+                            static_cast<NodeId>(level_begin + i);
+                        std::uint32_t n_prog = 0, n_fault = 0;
+                        expand(
+                            s, succ,
+                            [&](std::uint32_t a, StateIndex t) {
+                                buf.recs.emplace_back(a, t);
+                                ++n_prog;
+                                try_claim(t, node);
+                            },
+                            [&](std::uint32_t a, StateIndex t) {
+                                buf.recs.emplace_back(a, t);
+                                ++n_fault;
+                                try_claim(t, node);
+                            });
+                        buf.counts.emplace_back(n_prog, n_fault);
+                        buf.prog_total += n_prog;
+                        buf.fault_total += n_fault;
+                    }
+                });
+        }
+
+        // Phase A2: drop claims lost to a smaller chunk. What survives,
+        // in order, is the chunk's canonical new-node subsequence.
+        {
+            const obs::ScopedSpan pspan("verify/explore/claim_filter");
+            parallel_chunks(
+                chunks, n_threads, /*align=*/1,
+                [&](unsigned, std::uint64_t cb, std::uint64_t ce) {
+                    for (std::uint64_t c = cb; c < ce; ++c) {
+                        auto& cl = bufs[c].claims;
+                        const NodeId mark =
+                            kClaimBase + static_cast<NodeId>(c);
+                        std::size_t kept = 0;
+                        for (const auto& [t, from] : cl)
+                            if (lookup(t) == mark) cl[kept++] = {t, from};
+                        cl.resize(kept);
+                    }
+                });
+        }
+
+        // Serial prefix sums in canonical chunk order; pre-size the level.
+        std::uint64_t total_new = 0, prog_total = 0, fault_total = 0;
+        for (unsigned c = 0; c < chunks; ++c) {
+            base_new[c] = level_end + total_new;
+            base_prog[c] = prog_edges_.size() + prog_total;
+            base_fault[c] = fault_edges_.size() + fault_total;
+            total_new += bufs[c].claims.size();
+            prog_total += bufs[c].prog_total;
+            fault_total += bufs[c].fault_total;
+        }
+        DCFT_ASSERT(level_end + total_new < kClaimBase,
+                    "TransitionSystem: node count exceeds claim base");
+        states_.resize(level_end + total_new);
+        parent_.resize(level_end + total_new);
+        prog_edges_.resize(prog_edges_.size() + prog_total);
+        fault_edges_.resize(fault_edges_.size() + fault_total);
+        prog_offsets_.resize(level_end + 1);
+        fault_offsets_.resize(level_end + 1);
+
+        // Phase A3: publish ids — overwrite the winning markers with the
+        // final node ids and record states/parents. Each slot has exactly
+        // one writer (its owner chunk), so this is race-free without
+        // locks; the join below orders it before phase B's reads.
+        {
+            const obs::ScopedSpan pspan("verify/explore/publish");
+            parallel_chunks(
+                chunks, n_threads, /*align=*/1,
+                [&](unsigned, std::uint64_t cb, std::uint64_t ce) {
+                    for (std::uint64_t c = cb; c < ce; ++c) {
+                        const auto& cl = bufs[c].claims;
+                        for (std::size_t j = 0; j < cl.size(); ++j) {
+                            const auto& [t, from] = cl[j];
+                            const NodeId id =
+                                static_cast<NodeId>(base_new[c] + j);
+                            if (direct_mapped_)
+                                node_map_[static_cast<std::size_t>(t)] = id;
+                            else
+                                sparse_->publish(t, id);
+                            states_[id] = t;
+                            parent_[id] = from;
+                        }
+                    }
+                });
+        }
+
+        // Phase B: resolve every record to its final id and write edges +
+        // per-node offsets into the pre-sized slices.
+        {
+            const obs::ScopedSpan pspan("verify/explore/edge_write");
+            parallel_chunks(
+                chunks, n_threads, /*align=*/1,
+                [&](unsigned, std::uint64_t cb, std::uint64_t ce) {
+                    for (std::uint64_t c = cb; c < ce; ++c) {
+                        const ChunkBuf& buf = bufs[c];
+                        std::uint64_t pc = base_prog[c];
+                        std::uint64_t fc = base_fault[c];
+                        std::size_t r = 0;
+                        NodeId node =
+                            static_cast<NodeId>(level_begin + buf.begin);
+                        for (const auto& [n_prog, n_fault] : buf.counts) {
+                            for (std::uint32_t k = 0; k < n_prog;
+                                 ++k, ++r) {
+                                const auto& [a, t] = buf.recs[r];
+                                prog_edges_[pc++] = Edge{a, lookup(t)};
+                            }
+                            prog_offsets_[node + 1] = pc;
+                            for (std::uint32_t k = 0; k < n_fault;
+                                 ++k, ++r) {
+                                const auto& [a, t] = buf.recs[r];
+                                fault_edges_[fc++] = Edge{a, lookup(t)};
+                            }
+                            fault_offsets_[node + 1] = fc;
+                            ++node;
+                        }
+                    }
+                });
+        }
+
+        stopped = scan_new_nodes(level_end);
         level_begin = level_end;
     }
+    if (stopped) pad_offsets();
 
     // Telemetry flush: one registry access per exploration, never per
-    // state. All of these are functions of the canonical BFS, so their
-    // values are identical for every thread count (pinned by
-    // tests/obs/telemetry_test).
+    // state. Everything under verify/explore/ is a function of the
+    // canonical BFS, so the values are identical for every thread count
+    // (pinned by tests/obs/telemetry_test); timing- or layout-dependent
+    // interner statistics live under verify/interner/ and verify/mem/.
     if (telemetry) {
         auto& reg = obs::Registry::global();
         reg.counter("verify/explorations").add(1);
@@ -343,15 +774,67 @@ void TransitionSystem::explore(const FaultClass* faults,
         reg.counter("verify/explore/initial_states").add(initial_.size());
         reg.counter("verify/explore/program_edges").add(prog_edges_.size());
         reg.counter("verify/explore/fault_edges").add(fault_edges_.size());
-        // Every node is discovered by exactly one interning call; every
-        // interning call is an initial seed or an edge target.
+        // Every node is discovered by exactly one interning decision;
+        // every decision is an initial seed or an edge target.
         const std::uint64_t intern_calls = initial_.size() +
                                            prog_edges_.size() +
                                            fault_edges_.size();
         reg.counter("verify/explore/interner_misses").add(states_.size());
         reg.counter("verify/explore/interner_hits")
             .add(intern_calls - states_.size());
+        if (stop_on != nullptr) {
+            reg.counter("verify/explore/stop_scans").add(stop_scans);
+            reg.counter("verify/explore/early_exit").add(stopped ? 1 : 0);
+            if (stopped)
+                reg.counter("verify/explore/early_exit_depth")
+                    .record_max(n_levels);
+        }
+        // Interner tier + peak-bytes gauges. Probe/resize counts depend
+        // on claim timing and slot layout, byte capacities on the growth
+        // pattern of the chosen path — thread-variant by nature, hence
+        // the separate prefixes.
+        reg.counter(identity_nodes_
+                        ? "verify/interner/identity"
+                        : direct_mapped_ ? "verify/interner/direct"
+                                         : "verify/interner/sparse")
+            .add(1);
+        std::uint64_t interner_bytes =
+            node_map_.capacity() * sizeof(NodeId);
+        if (sparse_ != nullptr) {
+            interner_bytes += sparse_->bytes();
+            reg.counter("verify/interner/probes").add(sparse_->probes());
+            reg.counter("verify/interner/resizes").add(sparse_->resizes());
+        }
+        reg.counter("verify/mem/interner_bytes").record_max(interner_bytes);
+        reg.counter("verify/mem/nodes_bytes")
+            .record_max(states_.capacity() * sizeof(StateIndex) +
+                        parent_.capacity() * sizeof(NodeId));
+        reg.counter("verify/mem/edges_bytes")
+            .record_max((prog_edges_.capacity() + fault_edges_.capacity()) *
+                            sizeof(Edge) +
+                        (prog_offsets_.capacity() +
+                         fault_offsets_.capacity()) *
+                            sizeof(std::uint64_t));
     }
+}
+
+NodeId TransitionSystem::bad_node() const {
+    DCFT_EXPECTS(!complete_ && bad_node_ != kNoNode,
+                 "TransitionSystem::bad_node: exploration completed");
+    return bad_node_;
+}
+
+NodeId TransitionSystem::first_bad_node(const Predicate& bad) const {
+    const std::size_t n = states_.size();
+    if (const auto& bits = bad.backing_bits();
+        bits != nullptr && bits->size_bits() == space_->num_states()) {
+        for (std::size_t i = 0; i < n; ++i)
+            if (bits->test(states_[i])) return static_cast<NodeId>(i);
+        return kNoNode;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        if (bad.eval(*space_, states_[i])) return static_cast<NodeId>(i);
+    return kNoNode;
 }
 
 BitVec TransitionSystem::state_bits() const {
@@ -386,23 +869,29 @@ void TransitionSystem::build_predecessors(CsrList& out,
 }
 
 bool TransitionSystem::has_state(StateIndex s) const {
+    if (identity_nodes_) return s < space_->num_states();
     if (direct_mapped_)
         return s < node_map_.size() &&
                node_map_[static_cast<std::size_t>(s)] != kNoNode;
-    return node_hash_.count(s) != 0;
+    return sparse_->find(s) != kNoNode;
 }
 
 NodeId TransitionSystem::node_of(StateIndex s) const {
+    if (identity_nodes_) {
+        DCFT_EXPECTS(s < space_->num_states(),
+                     "TransitionSystem::node_of: state not reachable");
+        return static_cast<NodeId>(s);
+    }
     if (direct_mapped_) {
         DCFT_EXPECTS(s < node_map_.size() &&
                          node_map_[static_cast<std::size_t>(s)] != kNoNode,
                      "TransitionSystem::node_of: state not reachable");
         return node_map_[static_cast<std::size_t>(s)];
     }
-    auto it = node_hash_.find(s);
-    DCFT_EXPECTS(it != node_hash_.end(),
+    const NodeId id = sparse_->find(s);
+    DCFT_EXPECTS(id != kNoNode,
                  "TransitionSystem::node_of: state not reachable");
-    return it->second;
+    return id;
 }
 
 bool TransitionSystem::enabled(NodeId n, std::uint32_t a) const {

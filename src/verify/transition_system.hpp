@@ -6,19 +6,31 @@
 // because the paper treats them asymmetrically — computations are p-fair
 // and p-maximal, and fault actions occur only finitely often (Section 2.3).
 //
-// Performance architecture (see DESIGN.md):
+// Performance architecture (see DESIGN.md §7):
 //  * Exploration is level-synchronous parallel BFS: each frontier level is
 //    split into contiguous chunks whose successor sets are computed by
-//    worker threads into chunk-private buffers; a serial merge pass then
-//    interns newly discovered states in canonical order. Node numbering,
-//    edge order, and witness paths are therefore bit-for-bit identical to
-//    the sequential FIFO BFS for every thread count.
-//  * The interner is a direct-mapped std::vector<NodeId> over the packed
-//    state indices (O(1) array lookup per successor) for spaces up to
-//    ~2^26 states, falling back to a hash map beyond that.
+//    worker threads into chunk-private buffers. Newly discovered states
+//    are interned by a two-pass deterministic merge (parallel per-chunk
+//    claim + dedup, a serial prefix sum over chunk counts in canonical
+//    chunk order, then parallel id publication and edge writes into
+//    pre-sized CSR slices) — there is no serial intern/append section.
+//    Node numbering, edge order, and witness paths are bit-for-bit
+//    identical to the sequential FIFO BFS for every thread count.
+//  * The interner is three-tiered: when the initial set covers the whole
+//    space, node id == state index and no reverse map is allocated at all;
+//    spaces up to DCFT_DIRECT_MAP_MAX states (default 2^25) use a
+//    direct-mapped NodeId array (O(1) array probe per successor); larger
+//    spaces use a sharded open-addressing fingerprint table
+//    (SparseNodeTable) sized from the initial-set cardinality.
+//  * Safety-style obligations may register a stop predicate
+//    (ExploreOptions::stop_on): the exploration then terminates at the
+//    first — canonically least node id, hence deterministic — discovered
+//    state satisfying it, instead of materializing the full graph. The
+//    resulting fragment keeps the canonical node numbering as a prefix of
+//    the full graph's, so witnesses agree with full-graph scans.
 //  * Edges are stored CSR (compressed sparse row): flat offsets[] /
-//    edges[] arrays built append-only during the merge, giving
-//    cache-friendly iteration everywhere the checkers consume adjacency.
+//    edges[] arrays, giving cache-friendly iteration everywhere the
+//    checkers consume adjacency.
 //  * The predecessor CSRs (program-only and program+fault) are built
 //    lazily on first request, guarded by a std::once_flag, so checkers
 //    that never walk edges backwards (e.g. safety scans) do not pay for
@@ -27,10 +39,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bitvec.hpp"
@@ -42,10 +54,30 @@ namespace dcft {
 /// Node identifier inside one TransitionSystem (dense, 0-based).
 using NodeId = std::uint32_t;
 
+class SparseNodeTable;  // sharded open-addressing interner (internal)
+
+/// Exploration knobs beyond the (program, faults, init) triple.
+struct ExploreOptions {
+    /// Worker-thread bound (0 = the process default, see
+    /// default_verifier_threads()). The resulting system is identical for
+    /// every thread count.
+    unsigned n_threads = 0;
+
+    /// When non-null, the exploration stops at the first discovered state
+    /// satisfying this predicate (checked once per newly interned state,
+    /// in canonical node-id order at each BFS level). The stop state and
+    /// every node of its level are retained; nodes past the last expanded
+    /// level carry empty edge rows. Must outlive the constructor call.
+    const Predicate* stop_on = nullptr;
+};
+
 /// Explicit-state transition graph of p (optionally p [] F) restricted to
 /// the states reachable from an initial set.
 class TransitionSystem {
 public:
+    /// Sentinel node id ("absent"), also returned by first_bad_node.
+    static constexpr NodeId kNoNode = ~NodeId{0};
+
     struct Edge {
         std::uint32_t action;  ///< index into actions() / fault_actions()
         NodeId to;
@@ -79,11 +111,37 @@ public:
     TransitionSystem(const Program& program, const FaultClass* faults,
                      const Predicate& init, unsigned n_threads = 0);
 
+    /// As above with explicit options (early-exit stop predicate).
+    TransitionSystem(const Program& program, const FaultClass* faults,
+                     const Predicate& init, const ExploreOptions& options);
+
+    ~TransitionSystem();
+
     const StateSpace& space() const { return *space_; }
     const Program& program() const { return program_; }
 
     std::size_t num_nodes() const { return states_.size(); }
     StateIndex state_of(NodeId n) const { return states_[n]; }
+
+    /// Whether the exploration ran to exhaustion. Always true when no stop
+    /// predicate was registered; false iff the stop predicate fired.
+    /// Incomplete systems are early-exit fragments: every discovered node
+    /// and its canonical numbering is a prefix of the full graph's, but
+    /// nodes of the last level carry no outgoing edges and terminal() is
+    /// meaningless for them.
+    bool complete() const { return complete_; }
+
+    /// The node the stop predicate fired on. Only valid when !complete();
+    /// this is the least node id of any state satisfying the stop
+    /// predicate in the *full* graph (the canonical first violation), so
+    /// witnesses agree with full-graph scans (see first_bad_node).
+    NodeId bad_node() const;
+
+    /// Least node id whose state satisfies `bad`, or kNoNode. On a
+    /// complete graph this is exactly the node an early-exit exploration
+    /// with stop_on = &bad would have reported — the scan the early-exit
+    /// consumers use when the cache already holds the full graph.
+    NodeId first_bad_node(const Predicate& bad) const;
 
     /// Node of a state, if the state is in the reachable fragment.
     bool has_state(StateIndex s) const;
@@ -107,6 +165,8 @@ public:
     bool enabled(NodeId n, std::uint32_t a) const;
 
     /// Whether no program action is enabled at node n (p-maximal end state).
+    /// Only meaningful on complete() systems (an early-exit fragment has
+    /// unexpanded frontier nodes with empty rows).
     bool terminal(NodeId n) const {
         return prog_offsets_[n] == prog_offsets_[n + 1];
     }
@@ -158,7 +218,7 @@ public:
 
 private:
     void explore(const FaultClass* faults, const Predicate& init,
-                 unsigned n_threads);
+                 unsigned n_threads, const Predicate* stop_on);
     void build_predecessors(CsrList& out, bool include_faults) const;
 
     std::shared_ptr<const StateSpace> space_;
@@ -178,12 +238,18 @@ private:
     std::vector<std::uint64_t> fault_offsets_;
     std::vector<Edge> fault_edges_;
 
-    // Interner / reverse lookup. Direct-mapped for small spaces (node_map_
-    // has space_->num_states() entries, kNoNode = absent); hash map beyond.
-    static constexpr NodeId kNoNode = ~NodeId{0};
-    std::vector<NodeId> node_map_;
-    std::unordered_map<StateIndex, NodeId> node_hash_;
+    // Interner / reverse lookup — one of three tiers (see file comment):
+    // identity (init covered the space: node id == state index, nothing
+    // allocated), direct-mapped (node_map_ has space_->num_states()
+    // entries, kNoNode = absent), or the sharded sparse table.
+    bool identity_nodes_ = false;
     bool direct_mapped_ = false;
+    std::vector<NodeId> node_map_;
+    std::unique_ptr<SparseNodeTable> sparse_;
+
+    // Early-exit state (see complete() / bad_node()).
+    bool complete_ = true;
+    NodeId bad_node_ = kNoNode;
 
     // Lazily built predecessor CSRs, one once_flag each so asking for the
     // program-only reverse graph never pays for the (often much larger)
