@@ -23,6 +23,15 @@
 //                                       vs full fail-safe query), single
 //                                       rep, with states/sec and peak-RSS
 //                                       columns
+//   bench_verifier --json --huge        additionally runs the out-of-core
+//                                       tier: token ring n=9 (40.4M
+//                                       states, above the 2^25 direct-map
+//                                       ceiling) built with
+//                                       ExploreOptions::spill, reporting
+//                                       spill volume and peak RSS, plus an
+//                                       in-core-vs-spill differential on
+//                                       the n=8 ring proving the spilled
+//                                       graph is bit-identical
 //   --threads=A,B,...                   explicit thread-sweep override: the
 //                                       listed counts are swept verbatim,
 //                                       bypassing the hardware_concurrency
@@ -37,6 +46,7 @@
 // every call for exactly this purpose.
 #include <malloc.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -252,6 +262,9 @@ struct Workload {
     double peak_rss_mb = -1.0;    ///< VmHWM across the sweep (large tier only)
     double full_ms = 0.0;         ///< kind "early_exit": full exploration
     double early_exit_ms = 0.0;   ///< kind "early_exit": stop-predicate run
+    std::uint64_t spill_bytes = 0;           ///< huge tier: spill volume
+    std::uint64_t spill_released_bytes = 0;  ///< huge tier: RSS released
+    int differential_identical = -1;  ///< "spill_differential": 1 ok, 0 not
     std::vector<std::pair<unsigned, double>> ms_by_threads;
 
     double best_ms() const {
@@ -468,20 +481,106 @@ Workload bench_large_early_exit(const std::vector<unsigned>& threads) {
     return w;
 }
 
+// ---------------------------------------------------------------------------
+// Out-of-core tier (--huge): an instance above the in-core direct-map
+// ceiling (DCFT_DIRECT_MAP_MAX defaults to 2^25 = 33.6M states) built with
+// ExploreOptions::spill, plus a bit-identity differential proving the
+// spilled CSR equals the in-core one on an instance small enough to build
+// both ways.
+
+/// Token ring n=9, K=7: 7^9 = 40.35M states, ~283M program edges (~2.3 GB
+/// of CSR) — past the direct-map ceiling, built out-of-core. Records the
+/// spill volume and the bytes advised out of RSS alongside the usual
+/// throughput columns; peak RSS shows the resident window, not the graph.
+Workload bench_huge_spill(const std::vector<unsigned>& threads) {
+    auto sys = apps::make_token_ring(9, 7);
+    Workload w;
+    w.name = "huge/ts_build/token_ring_n9_spill";
+    w.kind = "ts_build";
+    w.system =
+        "token ring (n=9, K=7), program only, init=true, out-of-core "
+        "(ExploreOptions::spill)";
+    w.states = sys.space->num_states();
+    const unsigned t = threads.empty() ? 1 : threads.front();
+    reset_peak_rss();
+    const double ms = time_once_ms([&] {
+        ExploreOptions opts;
+        opts.n_threads = t;
+        opts.spill = true;
+        const TransitionSystem ts(sys.ring, nullptr, Predicate::top(), opts);
+        benchmark::DoNotOptimize(ts.num_nodes());
+        w.nodes = ts.num_nodes();
+        w.program_edges = ts.num_program_edges();
+        w.spill_bytes = ts.spill_bytes();
+        w.spill_released_bytes = ts.spill_released_bytes();
+    });
+    w.ms_by_threads.emplace_back(t, ms);
+    w.peak_rss_mb = peak_rss_mb();
+    return w;
+}
+
+/// In-core vs out-of-core differential on the n=8 ring (5.76M states):
+/// both builds must agree on numbering and every CSR row bit-for-bit —
+/// the spill evidence that makes the n=9 number trustworthy. The recorded
+/// time is the spilled build; differential_identical lands in the JSON.
+Workload bench_huge_differential(const std::vector<unsigned>& threads) {
+    auto sys = apps::make_token_ring(8, 7);
+    Workload w;
+    w.name = "huge/spill_differential/token_ring_n8";
+    w.kind = "spill_differential";
+    w.system =
+        "token ring (n=8, K=7), program only, init=true: out-of-core build "
+        "vs in-core build, bit-identity check";
+    w.states = sys.space->num_states();
+    const unsigned t = threads.empty() ? 1 : threads.front();
+    const TransitionSystem in_core(sys.ring, nullptr, Predicate::top(), t);
+    ExploreOptions opts;
+    opts.n_threads = t;
+    opts.spill = true;
+    double spilled_ms = 0.0;
+    std::unique_ptr<TransitionSystem> spilled;
+    spilled_ms = time_once_ms([&] {
+        spilled = std::make_unique<TransitionSystem>(sys.ring, nullptr,
+                                                     Predicate::top(), opts);
+    });
+    w.nodes = in_core.num_nodes();
+    w.program_edges = in_core.num_program_edges();
+    w.spill_bytes = spilled->spill_bytes();
+    bool same = in_core.num_nodes() == spilled->num_nodes() &&
+                in_core.num_program_edges() == spilled->num_program_edges();
+    for (NodeId n = 0; same && n < in_core.num_nodes(); ++n) {
+        if (in_core.state_of(n) != spilled->state_of(n)) same = false;
+        const auto a = in_core.program_edges(n);
+        const auto b = spilled->program_edges(n);
+        if (a.size() != b.size() ||
+            !std::equal(a.begin(), a.end(), b.begin()))
+            same = false;
+    }
+    w.differential_identical = same ? 1 : 0;
+    if (!same)
+        std::fprintf(stderr,
+                     "huge: SPILL DIFFERENTIAL MISMATCH on %s\n",
+                     w.name.c_str());
+    w.ms_by_threads.emplace_back(t, spilled_ms);
+    return w;
+}
+
 void write_json(const std::string& path, const std::vector<Workload>& ws,
                 const std::vector<unsigned>& threads, bool truncated,
-                bool overridden, bool smoke, bool large) {
+                bool overridden, bool smoke, bool large, bool huge) {
     // Same envelope as dcft_cli run reports (schema "dcft.report",
     // "kind": "bench"); the payload keys below are unchanged from the
     // original emitter so EXPERIMENTS.md readers keep working.
     std::string args = "--json";
     if (smoke) args += " --smoke";
     if (large) args += " --large";
+    if (huge) args += " --huge";
     obs::JsonWriter w;
     begin_bench_json(w, "bench_verifier", args);
     w.kv("bench", "verifier");
     w.kv("smoke", smoke);
     w.kv("large", large);
+    w.kv("huge", huge);
     w.kv("hardware_concurrency", std::thread::hardware_concurrency());
     w.key("thread_counts");
     w.begin_array();
@@ -500,10 +599,16 @@ void write_json(const std::string& path, const std::vector<Workload>& ws,
         w.kv("kind", wl.kind);
         w.kv("system", wl.system);
         w.kv("states", wl.states);
-        if (wl.kind == "ts_build") {
+        if (wl.kind == "ts_build" || wl.kind == "spill_differential") {
             w.kv("nodes", wl.nodes);
             w.kv("program_edges", wl.program_edges);
         }
+        if (wl.spill_bytes > 0) {
+            w.kv("spill_bytes", wl.spill_bytes);
+            w.kv("spill_released_bytes", wl.spill_released_bytes);
+        }
+        if (wl.differential_identical >= 0)
+            w.kv("identical", wl.differential_identical == 1);
         if (wl.has_verdict) {
             w.kv("verdict", wl.verdict_ok ? "pass" : "fail");
             w.kv("invariant_size", wl.invariant_size);
@@ -548,7 +653,7 @@ void write_json(const std::string& path, const std::vector<Workload>& ws,
     }
 }
 
-int emit_json(const std::string& path, bool smoke, bool large,
+int emit_json(const std::string& path, bool smoke, bool large, bool huge,
               const std::vector<unsigned>& thread_override) {
     const std::vector<unsigned> requested =
         smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
@@ -652,7 +757,18 @@ int emit_json(const std::string& path, bool smoke, bool large,
         ws.push_back(bench_large_early_exit(threads));
     }
 
-    write_json(path, ws, threads, truncated, overridden, smoke, large);
+    // Out-of-core tier: one instance past the direct-map ceiling built
+    // with spilling, plus the in-core-vs-spill bit-identity differential.
+    int huge_mismatch = 0;
+    if (huge) {
+        std::printf("huge: ts_build token ring n=9 spilled (40.4M states) ...\n");
+        ws.push_back(bench_huge_spill(threads));
+        std::printf("huge: spill differential token ring n=8 ...\n");
+        ws.push_back(bench_huge_differential(threads));
+        if (ws.back().differential_identical != 1) huge_mismatch = 1;
+    }
+
+    write_json(path, ws, threads, truncated, overridden, smoke, large, huge);
     std::printf("wrote %s (%zu workloads)\n", path.c_str(), ws.size());
     for (const Workload& w : ws)
         std::printf(
@@ -661,7 +777,7 @@ int emit_json(const std::string& path, bool smoke, bool large,
             w.name.c_str(), w.reference_ms, w.interpreted_ms, w.best_ms(),
             w.best_ms() > 0 ? w.reference_ms / w.best_ms() : 0.0,
             w.best_ms() > 0 ? w.interpreted_ms / w.best_ms() : 0.0);
-    return 0;
+    return huge_mismatch;
 }
 
 }  // namespace
@@ -670,6 +786,7 @@ int main(int argc, char** argv) {
     std::string json_path;
     bool smoke = false;
     bool large = false;
+    bool huge = false;
     std::vector<unsigned> thread_override;
     std::vector<char*> rest{argv[0]};
     for (int i = 1; i < argc; ++i) {
@@ -682,6 +799,8 @@ int main(int argc, char** argv) {
             json_path = arg.substr(7);
         } else if (arg == "--large") {
             large = true;
+        } else if (arg == "--huge") {
+            huge = true;
         } else if (arg.rfind("--threads=", 0) == 0 ||
                    (arg == "--threads" && i + 1 < argc)) {
             const std::string list =
@@ -703,9 +822,10 @@ int main(int argc, char** argv) {
         if (const char* env = std::getenv("DCFT_VERIFIER_THREADS"))
             thread_override = parse_thread_list(env);
     }
-    if (large && json_path.empty()) json_path = "BENCH_verifier.json";
+    if ((large || huge) && json_path.empty())
+        json_path = "BENCH_verifier.json";
     if (!json_path.empty())
-        return emit_json(json_path, smoke, large, thread_override);
+        return emit_json(json_path, smoke, large, huge, thread_override);
     int rest_argc = static_cast<int>(rest.size());
     return dcft::bench::run_bench_main(rest_argc, rest.data(), &report);
 }

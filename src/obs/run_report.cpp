@@ -136,9 +136,31 @@ std::string RunReport::to_json() const {
         w.end_object();
     }
     w.end_array();
+    // Kernel-compilation coverage per program variant: which programs run
+    // fully compiled / batch-swept and which pay interpreter fallbacks.
+    w.key("programs");
+    w.begin_array();
+    for (const ReportProgram& p : programs_) {
+        w.begin_object();
+        w.kv("name", p.name);
+        w.kv("system", p.system);
+        w.kv("variant", p.variant);
+        w.kv("actions", p.actions);
+        w.kv("fully_compiled", p.fully_compiled);
+        w.kv("structured_effects", p.structured_effects);
+        w.kv("batchable_actions", p.batchable_actions);
+        w.kv("kcall_ops", p.kcall_ops);
+        w.kv("batchable", p.batchable);
+        w.end_object();
+    }
+    w.end_array();
     write_telemetry(w);
     w.end_object();
     return w.str();
+}
+
+void RunReport::add_program(ReportProgram program) {
+    programs_.push_back(std::move(program));
 }
 
 bool RunReport::write(const std::string& path, std::string* error) const {

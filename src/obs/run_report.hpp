@@ -22,7 +22,9 @@
 // the verdict, invariant/span sizes, and a replayable witness trace:
 // failing queries carry the counterexample of the first failing obligation;
 // passing queries carry the exploration witness (BFS path to the deepest
-// fault-span state). bench_util.hpp reuses begin_envelope/write_telemetry
+// fault-span state). A "programs" array follows with per-variant kernel
+// coverage (fully compiled vs interpreter-fallback actions, batch
+// eligibility). bench_util.hpp reuses begin_envelope/write_telemetry
 // for "kind": "bench", so BENCH_*.json and run reports parse with the same
 // reader (obs/json.hpp) and validator (tools/report_check).
 #pragma once
@@ -52,6 +54,23 @@ struct ReportQuery {
     std::vector<WitnessStep> witness;
 };
 
+/// Per-program kernel-compilation coverage in a run report: how much of
+/// the program (and its fault class) the compiled/batched exploration
+/// layers actually cover, and how much falls back to interpretation
+/// (kCall guard ops, generic effects). Mirrors verify/kernel/* telemetry
+/// but attributed to a named program variant.
+struct ReportProgram {
+    std::string name;     ///< "<system>/<variant>"
+    std::string system;
+    std::string variant;
+    std::uint64_t actions = 0;             ///< program + fault actions
+    std::uint64_t fully_compiled = 0;      ///< guards without kCall ops
+    std::uint64_t structured_effects = 0;  ///< non-generic effect forms
+    std::uint64_t batchable_actions = 0;   ///< both of the above
+    std::uint64_t kcall_ops = 0;           ///< total guard fallback ops
+    bool batchable = false;  ///< whole program on the batch sweep path
+};
+
 /// Accumulates queries and emits the run-report JSON document.
 class RunReport {
 public:
@@ -59,6 +78,9 @@ public:
 
     void add_query(ReportQuery query);
     const std::vector<ReportQuery>& queries() const { return queries_; }
+
+    void add_program(ReportProgram program);
+    const std::vector<ReportProgram>& programs() const { return programs_; }
 
     /// The complete document, snapshotting Registry::global() for the
     /// telemetry section at call time.
@@ -72,6 +94,7 @@ private:
     std::string tool_;
     std::string command_;
     std::vector<ReportQuery> queries_;
+    std::vector<ReportProgram> programs_;
 };
 
 // -- shared-envelope building blocks (used by bench_util.hpp too) ----------

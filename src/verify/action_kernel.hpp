@@ -170,6 +170,14 @@ public:
     /// Whether the guard compiled without kCall fallbacks.
     bool guard_fully_compiled() const { return guard_.num_opaque_ops() == 0; }
 
+    /// Number of kCall fallback ops in the compiled guard (telemetry:
+    /// verify/kernel/kcall_fallbacks; 0 = fully compiled).
+    std::size_t guard_opaque_ops() const { return guard_.num_opaque_ops(); }
+
+    /// The cached structural effect form (kGeneric = opaque effect). The
+    /// batch kernel lowers non-generic forms to flat stride arithmetic.
+    const Action::EffectForm& effect_form() const { return form_; }
+
 private:
     std::shared_ptr<const CompiledSpace> cs_;
     Action action_;

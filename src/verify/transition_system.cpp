@@ -10,6 +10,7 @@
 #include "common/parallel.hpp"
 #include "obs/telemetry.hpp"
 #include "verify/action_kernel.hpp"
+#include "verify/batch_kernel.hpp"
 
 namespace dcft {
 namespace {
@@ -26,15 +27,37 @@ StateIndex direct_map_max() {
     return kDefaultDirectMapMax;
 }
 
-/// Frontier levels smaller than this stay on the fused serial path even
-/// when multiple workers are available: for small levels the staging
-/// buffers + chunk dispatch of the parallel path cost more than the
-/// expansion itself (token_ring n=7 at 2 threads regressed 221ms -> 327ms
-/// before this threshold existed). Recorded in telemetry as the gauge
-/// verify/explore/parallel_threshold; the count of levels under it
-/// (verify/explore/levels_below_threshold) is a function of the canonical
-/// BFS only, hence identical for every thread count.
-constexpr std::uint64_t kParallelFrontierMin = 16384;
+/// Levels whose *work* — frontier size × total action count — falls below
+/// this stay on the fused serial path even when multiple workers are
+/// available: the staging buffers, claim traffic, and chunk dispatch of
+/// the parallel merge cost more than the expansion itself. The old
+/// heuristic thresholded on frontier size alone (16384 states), which let
+/// medium levels with few actions go parallel and regress 1.7–2.4×
+/// (token_ring n6/n7 ts_build at 2 threads in BENCH_verifier.json); a
+/// work-based threshold keeps them serial while still parallelizing
+/// genuinely large levels (token_ring n8: 1.3e8 work units). Recorded in
+/// telemetry as the gauge verify/explore/parallel_threshold; the count of
+/// levels under it (verify/explore/levels_below_threshold) is a function
+/// of the canonical BFS and the program only — never of the worker
+/// budget — hence identical for every thread count.
+constexpr std::uint64_t kParallelWorkMin = std::uint64_t{1} << 23;
+
+/// The effective threshold: DCFT_PARALLEL_WORK_MIN overrides the default,
+/// so tests can force the parallel merge onto workloads far below the
+/// production cutoff (mirrors DCFT_DIRECT_MAP_MAX for the interner tiers).
+std::uint64_t parallel_work_min() {
+    if (const auto v = env_positive_u64("DCFT_PARALLEL_WORK_MIN")) return *v;
+    return kParallelWorkMin;
+}
+
+/// Segment length (states) of the identity sweep when spilling: after
+/// each segment the sealed CSR/offset/node prefixes are advised out of
+/// RSS, bounding the resident window to ~one segment's output.
+constexpr StateIndex kSweepSegment = StateIndex{1} << 22;
+
+/// Serial-path block size fed to BatchKernel::expand_frontier (one guard
+/// word's worth of states).
+constexpr std::size_t kExpandBlock = 64;
 
 /// Cap on speculative reserve() sizing (states) so pathological spaces do
 /// not pre-allocate unbounded memory.
@@ -264,17 +287,30 @@ TransitionSystem::TransitionSystem(const Program& program,
             fault_action_names_.push_back(fac.name());
     }
     explore(faults, init, resolve_verifier_threads(options.n_threads),
-            options.stop_on);
+            options.stop_on, options.spill || spill_enabled());
 }
 
 TransitionSystem::~TransitionSystem() = default;
 
 void TransitionSystem::explore(const FaultClass* faults,
                                const Predicate& init, unsigned n_threads,
-                               const Predicate* stop_on) {
+                               const Predicate* stop_on, bool spill) {
     const bool telemetry = obs::enabled();
     const obs::ScopedSpan span("verify/explore");
     const StateIndex n_states = space_->num_states();
+
+    // Out-of-core mode: the node and CSR arrays go to mmap-backed spill
+    // files (decided before anything is written). Graphs are bit-for-bit
+    // identical either way; only residency changes.
+    spilled_ = spill;
+    if (spill) {
+        states_.enable_spill();
+        parent_.enable_spill();
+        prog_offsets_.enable_spill();
+        prog_edges_.enable_spill();
+        fault_offsets_.enable_spill();
+        fault_edges_.enable_spill();
+    }
 
     // Compile the guarded commands once per exploration (guard bytecode,
     // divmod-free effects, whole-space enabled bitsets for fully compiled
@@ -305,6 +341,17 @@ void TransitionSystem::explore(const FaultClass* faults,
         collect(compiled->program_actions(), prog_gbits);
         if (compiled->has_faults())
             collect(compiled->fault_actions(), fault_gbits);
+    }
+
+    // Batch layer on top of the compiled program: fused guard+successor
+    // kernels over blocks of states (see batch_kernel.hpp). Only engaged
+    // when every action is batchable; DCFT_NO_BATCH=1 pins the scalar
+    // path — the differential oracle for this layer.
+    std::unique_ptr<BatchKernel> batch;
+    if (compiled != nullptr && !batch_disabled()) {
+        auto bk =
+            std::make_unique<BatchKernel>(*compiled, prog_gbits, fault_gbits);
+        if (bk->batchable()) batch = std::move(bk);
     }
 
     // The early-exit stop predicate, compiled to guard bytecode when the
@@ -464,13 +511,20 @@ void TransitionSystem::explore(const FaultClass* faults,
     // canonical root numbering. Identity seeds fill directly.
     initial_.reserve(static_cast<std::size_t>(init_pop));
     if (identity_nodes_) {
-        states_.resize(static_cast<std::size_t>(n_states));
-        parent_.resize(static_cast<std::size_t>(n_states));
+        // resize_overwrite: the loop below writes every slot immediately.
+        states_.resize_overwrite(static_cast<std::size_t>(n_states));
+        parent_.resize_overwrite(static_cast<std::size_t>(n_states));
         initial_.resize(static_cast<std::size_t>(n_states));
         for (StateIndex s = 0; s < n_states; ++s) {
             states_[static_cast<std::size_t>(s)] = s;
             parent_[static_cast<std::size_t>(s)] = static_cast<NodeId>(s);
             initial_[static_cast<std::size_t>(s)] = static_cast<NodeId>(s);
+            // Seal the filled prefix as we go: the sweep never reads these
+            // arrays, so spilled identity builds keep a bounded window.
+            if (spill && (s & (kSweepSegment - 1)) == kSweepSegment - 1) {
+                states_.release_prefix(static_cast<std::size_t>(s));
+                parent_.release_prefix(static_cast<std::size_t>(s));
+            }
         }
     } else {
         init_bits.for_each_set([&](std::uint64_t s) {
@@ -511,6 +565,14 @@ void TransitionSystem::explore(const FaultClass* faults,
     std::uint64_t n_levels = 0;  // telemetry: BFS depth / frontier stats
     std::uint64_t frontier_max = 0;
     std::uint64_t levels_below_threshold = 0;
+    // Cost model input of the serial/parallel decision: expanding one
+    // state costs ~one guard probe + successor emission per action, so
+    // level work scales with frontier size × action count.
+    const std::uint64_t actions_per_state = std::max<std::uint64_t>(
+        program_.num_actions() +
+            (faults != nullptr ? faults->actions().size() : 0),
+        1);
+    const std::uint64_t work_min = parallel_work_min();
 
     bool stopped = scan_new_nodes(0);  // a bad root ends it before level 1
 
@@ -540,6 +602,9 @@ void TransitionSystem::explore(const FaultClass* faults,
     std::vector<ChunkBuf> bufs;
     std::vector<std::uint64_t> base_new, base_prog, base_fault;
     std::vector<StateIndex> succ;  // scratch for the fused serial path
+    std::vector<BatchKernel::Rec> brecs;      // batch serial-path staging
+    std::vector<BatchKernel::Counts> bcounts;
+    std::uint64_t sweep_states = 0;  // telemetry: states via identity sweep
     std::size_t level_begin = 0;
     while (!stopped && level_begin < states_.size()) {
         const obs::ScopedSpan level_span("verify/explore/level");
@@ -547,32 +612,164 @@ void TransitionSystem::explore(const FaultClass* faults,
         const std::uint64_t level_size = level_end - level_begin;
         ++n_levels;
         frontier_max = std::max(frontier_max, level_size);
-        // Small levels stay serial regardless of the worker budget: the
-        // staging/merge overhead dominates under the threshold.
-        const bool small_level = level_size < kParallelFrontierMin;
+        // Levels with too little work stay serial regardless of the worker
+        // budget: the staging/merge overhead dominates under the
+        // threshold. Work = frontier size × actions — a function of the
+        // canonical BFS and the program only, so the telemetry stays
+        // thread-count-invariant.
+        const bool small_level =
+            level_size * actions_per_state < work_min;
         if (small_level) ++levels_below_threshold;
         const unsigned chunks =
             small_level ? 1
                         : parallel_chunk_count(level_size, n_threads,
                                                /*align=*/1);
 
+        // Identity fast path: the one level of an identity exploration is
+        // the whole space in ascending contiguous order, so the batch
+        // kernel sweeps it with odometer digits and exact pre-counted CSR
+        // slices — no interning, no staging, no per-state scratch. Output
+        // positions are pure prefix sums of guard-bitset popcounts, hence
+        // bit-identical for every thread count.
+        if (batch != nullptr && identity_nodes_ && level_begin == 0 &&
+            level_end == n_states) {
+            const obs::ScopedSpan sweep_span("verify/explore/sweep");
+            sweep_states = n_states;
+            const auto [prog_total, fault_total] =
+                batch->count_edges(0, n_states);
+            // resize_overwrite: the sweep writes every edge slot and every
+            // offsets entry past index 0 ([0] was pushed as 0 above) —
+            // exactly once, positions pre-counted.
+            prog_edges_.resize_overwrite(prog_total);
+            fault_edges_.resize_overwrite(fault_total);
+            prog_offsets_.resize_overwrite(static_cast<std::size_t>(n_states) +
+                                           1);
+            fault_offsets_.resize_overwrite(
+                static_cast<std::size_t>(n_states) + 1);
+            // Segmenting bounds the resident window in spill mode (each
+            // sealed segment is advised out); in-core runs use one
+            // segment. Within a segment, chunks sweep disjoint pre-sized
+            // slices.
+            const StateIndex seg_step = spill ? kSweepSegment : n_states;
+            std::uint64_t pcur = 0, fcur = 0;
+            std::vector<std::pair<std::uint64_t, std::uint64_t>> ccnt, cbase;
+            for (StateIndex seg = 0; seg < n_states; seg += seg_step) {
+                const StateIndex seg_end =
+                    std::min<StateIndex>(n_states, seg + seg_step);
+                const std::uint64_t seg_words = ((seg_end - seg) + 63) >> 6;
+                const unsigned seg_chunks =
+                    chunks <= 1
+                        ? 1
+                        : parallel_chunk_count(seg_words, n_threads,
+                                               /*align=*/1);
+                if (seg_chunks <= 1) {
+                    const auto [sp, sf] = batch->count_edges(seg, seg_end);
+                    batch->sweep(seg, seg_end,
+                                 {prog_edges_.data(), fault_edges_.data(),
+                                  prog_offsets_.data(),
+                                  fault_offsets_.data(), pcur, fcur});
+                    pcur += sp;
+                    fcur += sf;
+                } else {
+                    // Two deterministic passes over identical chunk
+                    // bounds: count, prefix, sweep into disjoint slices.
+                    ccnt.assign(seg_chunks, {0, 0});
+                    parallel_chunks(
+                        seg_words, n_threads, /*align=*/1,
+                        [&](unsigned c, std::uint64_t wb, std::uint64_t we) {
+                            const StateIndex b = seg + (wb << 6);
+                            const StateIndex e = std::min<StateIndex>(
+                                seg_end, seg + (we << 6));
+                            ccnt[c] = batch->count_edges(b, e);
+                        });
+                    cbase.assign(seg_chunks, {0, 0});
+                    for (unsigned c = 0; c < seg_chunks; ++c) {
+                        cbase[c] = {pcur, fcur};
+                        pcur += ccnt[c].first;
+                        fcur += ccnt[c].second;
+                    }
+                    parallel_chunks(
+                        seg_words, n_threads, /*align=*/1,
+                        [&](unsigned c, std::uint64_t wb, std::uint64_t we) {
+                            const StateIndex b = seg + (wb << 6);
+                            const StateIndex e = std::min<StateIndex>(
+                                seg_end, seg + (we << 6));
+                            batch->sweep(b, e,
+                                         {prog_edges_.data(),
+                                          fault_edges_.data(),
+                                          prog_offsets_.data(),
+                                          fault_offsets_.data(),
+                                          cbase[c].first, cbase[c].second});
+                        });
+                }
+                if (spill) {
+                    prog_edges_.release_prefix(pcur);
+                    fault_edges_.release_prefix(fcur);
+                    prog_offsets_.release_prefix(seg_end);
+                    fault_offsets_.release_prefix(seg_end);
+                }
+            }
+            stopped = scan_new_nodes(level_end);
+            level_begin = level_end;
+            continue;
+        }
+
         if (chunks <= 1) {
             // Fused serial path: one worker would process the whole level,
             // so skip the staging buffers and intern/append inline. This is
             // exactly the sequential FIFO BFS, hence trivially canonical.
-            for (std::size_t i = level_begin; i < level_end; ++i) {
-                const StateIndex s = states_[i];
-                const NodeId node = static_cast<NodeId>(i);
-                expand(
-                    s, succ,
-                    [&](std::uint32_t a, StateIndex t) {
-                        prog_edges_.push_back(Edge{a, intern(t, node)});
-                    },
-                    [&](std::uint32_t a, StateIndex t) {
-                        fault_edges_.push_back(Edge{a, intern(t, node)});
-                    });
-                prog_offsets_.push_back(prog_edges_.size());
-                fault_offsets_.push_back(fault_edges_.size());
+            if (batch != nullptr) {
+                // Block-batched expansion: guard masks + specialized
+                // successor emission into flat records (no per-state
+                // scratch vector), then intern in record order — the same
+                // FIFO sequence the per-state loop produces.
+                for (std::size_t i = level_begin; i < level_end;
+                     i += kExpandBlock) {
+                    const std::size_t bn =
+                        std::min(kExpandBlock, level_end - i);
+                    brecs.clear();
+                    bcounts.clear();
+                    batch->expand_frontier(states_.data() + i, bn, brecs,
+                                           bcounts);
+                    std::size_t r = 0;
+                    for (std::size_t j = 0; j < bn; ++j) {
+                        const NodeId node = static_cast<NodeId>(i + j);
+                        const auto [n_prog, n_fault] = bcounts[j];
+                        for (std::uint32_t k = 0; k < n_prog; ++k, ++r) {
+                            const auto [a, t] = brecs[r];
+                            prog_edges_.push_back(Edge{a, intern(t, node)});
+                        }
+                        prog_offsets_.push_back(prog_edges_.size());
+                        for (std::uint32_t k = 0; k < n_fault; ++k, ++r) {
+                            const auto [a, t] = brecs[r];
+                            fault_edges_.push_back(Edge{a, intern(t, node)});
+                        }
+                        fault_offsets_.push_back(fault_edges_.size());
+                    }
+                }
+            } else {
+                for (std::size_t i = level_begin; i < level_end; ++i) {
+                    const StateIndex s = states_[i];
+                    const NodeId node = static_cast<NodeId>(i);
+                    expand(
+                        s, succ,
+                        [&](std::uint32_t a, StateIndex t) {
+                            prog_edges_.push_back(Edge{a, intern(t, node)});
+                        },
+                        [&](std::uint32_t a, StateIndex t) {
+                            fault_edges_.push_back(Edge{a, intern(t, node)});
+                        });
+                    prog_offsets_.push_back(prog_edges_.size());
+                    fault_offsets_.push_back(fault_edges_.size());
+                }
+            }
+            if (spill) {
+                states_.release_prefix(level_end);
+                parent_.release_prefix(level_end);
+                prog_edges_.release_prefix(prog_edges_.size());
+                fault_edges_.release_prefix(fault_edges_.size());
+                prog_offsets_.release_prefix(level_end);
+                fault_offsets_.release_prefix(level_end);
             }
             stopped = scan_new_nodes(level_end);
             level_begin = level_end;
@@ -624,6 +821,40 @@ void TransitionSystem::explore(const FaultClass* faults,
                         if (sparse_->claim(t, mark))
                             buf.claims.emplace_back(t, from);
                     };
+                    if (batch != nullptr) {
+                        // Block-batched expansion straight into the claim
+                        // buffers: records land in buf.recs in canonical
+                        // order, then the claim pass walks them with the
+                        // correct parent — the same first-local-occurrence
+                        // claim sequence the per-state loop produces.
+                        for (std::uint64_t i = begin; i < end;
+                             i += kExpandBlock) {
+                            const std::uint64_t bn =
+                                std::min<std::uint64_t>(kExpandBlock,
+                                                        end - i);
+                            const std::size_t rec_base = buf.recs.size();
+                            const std::size_t cnt_base = buf.counts.size();
+                            const auto [pt, ft] = batch->expand_frontier(
+                                states_.data() + level_begin + i,
+                                static_cast<std::size_t>(bn), buf.recs,
+                                buf.counts);
+                            buf.prog_total += pt;
+                            buf.fault_total += ft;
+                            std::size_t r = rec_base;
+                            for (std::uint64_t j = 0; j < bn; ++j) {
+                                const NodeId node = static_cast<NodeId>(
+                                    level_begin + i + j);
+                                const auto [n_prog, n_fault] =
+                                    buf.counts[cnt_base + j];
+                                const std::uint32_t total =
+                                    n_prog + n_fault;
+                                for (std::uint32_t k = 0; k < total;
+                                     ++k, ++r)
+                                    try_claim(buf.recs[r].second, node);
+                            }
+                        }
+                        return;
+                    }
                     std::vector<StateIndex> succ;
                     for (std::uint64_t i = begin; i < end; ++i) {
                         const StateIndex s = states_[level_begin + i];
@@ -746,6 +977,14 @@ void TransitionSystem::explore(const FaultClass* faults,
                 });
         }
 
+        if (spill) {
+            states_.release_prefix(level_end);
+            parent_.release_prefix(level_end);
+            prog_edges_.release_prefix(prog_edges_.size());
+            fault_edges_.release_prefix(fault_edges_.size());
+            prog_offsets_.release_prefix(level_end);
+            fault_offsets_.release_prefix(level_end);
+        }
         stopped = scan_new_nodes(level_end);
         level_begin = level_end;
     }
@@ -762,12 +1001,21 @@ void TransitionSystem::explore(const FaultClass* faults,
         // Both threshold counters are functions of the canonical BFS (the
         // level sizes), never of the worker budget, so they stay identical
         // across thread counts like every other verify/explore/ counter.
-        reg.counter("verify/explore/parallel_threshold")
-            .set(kParallelFrontierMin);
+        reg.counter("verify/explore/parallel_threshold").set(work_min);
         reg.counter("verify/explore/levels_below_threshold")
             .add(levels_below_threshold);
         reg.counter("verify/explore/compiled")
             .add(compiled != nullptr ? 1 : 0);
+        reg.counter("verify/explore/batched").add(batch != nullptr ? 1 : 0);
+        reg.counter("verify/explore/sweep_states").add(sweep_states);
+        if (compiled != nullptr) {
+            // kCall fallback ops across the compiled guards: how much of
+            // the program escaped full guard compilation (and with it the
+            // batch layer). A pure function of the program, so it stays
+            // thread-count-invariant.
+            reg.counter("verify/kernel/kcall_fallbacks")
+                .add(batch_coverage(*compiled).kcall_ops);
+        }
         reg.counter("verify/explore/levels").add(n_levels);
         reg.counter("verify/explore/frontier_peak").record_max(frontier_max);
         reg.counter("verify/explore/nodes").add(states_.size());
@@ -815,7 +1063,29 @@ void TransitionSystem::explore(const FaultClass* faults,
                         (prog_offsets_.capacity() +
                          fault_offsets_.capacity()) *
                             sizeof(std::uint64_t));
+        if (spill) {
+            // Out-of-core watermarks: bytes living in the spill files and
+            // bytes advised out of the resident set during the build.
+            reg.counter("verify/explorations_spilled").add(1);
+            reg.counter("verify/mem/spill_bytes").record_max(spill_bytes());
+            reg.counter("verify/mem/spill_released_bytes")
+                .record_max(spill_released_bytes());
+        }
     }
+}
+
+std::uint64_t TransitionSystem::spill_bytes() const {
+    return states_.spill_bytes() + parent_.spill_bytes() +
+           prog_offsets_.spill_bytes() + prog_edges_.spill_bytes() +
+           fault_offsets_.spill_bytes() + fault_edges_.spill_bytes();
+}
+
+std::uint64_t TransitionSystem::spill_released_bytes() const {
+    return states_.spill_released_bytes() + parent_.spill_released_bytes() +
+           prog_offsets_.spill_released_bytes() +
+           prog_edges_.spill_released_bytes() +
+           fault_offsets_.spill_released_bytes() +
+           fault_edges_.spill_released_bytes();
 }
 
 NodeId TransitionSystem::bad_node() const {
@@ -848,6 +1118,19 @@ void TransitionSystem::build_predecessors(CsrList& out,
     const obs::ScopedSpan span("verify/preds_csr");
     obs::count("verify/preds_csr/builds");
     const std::size_t n = states_.size();
+    if (spilled_) {
+        // The reverse CSR inherits the out-of-core mode, and the two
+        // sequential passes below over the (possibly advised-out) forward
+        // edges benefit from explicit readahead.
+        out.offsets_.enable_spill();
+        out.items_.enable_spill();
+        prog_offsets_.prefetch();
+        prog_edges_.prefetch();
+        if (include_faults) {
+            fault_offsets_.prefetch();
+            fault_edges_.prefetch();
+        }
+    }
     out.offsets_.assign(n + 1, 0);
     for (const Edge& e : prog_edges_) ++out.offsets_[e.to + 1];
     if (include_faults)

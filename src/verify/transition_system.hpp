@@ -48,6 +48,7 @@
 #include "common/bitvec.hpp"
 #include "gc/program.hpp"
 #include "verify/check_result.hpp"
+#include "verify/spill.hpp"
 
 namespace dcft {
 
@@ -69,6 +70,13 @@ struct ExploreOptions {
     /// every node of its level are retained; nodes past the last expanded
     /// level carry empty edge rows. Must outlive the constructor call.
     const Predicate* stop_on = nullptr;
+
+    /// Out-of-core mode: node and CSR arrays live in mmap-backed spill
+    /// files and sealed BFS levels are advised out of RSS, so peak
+    /// resident memory tracks the active frontier window instead of the
+    /// whole graph (see DESIGN.md §7). The resulting graph is bit-for-bit
+    /// identical to an in-core build. DCFT_SPILL=1 forces this on.
+    bool spill = false;
 };
 
 /// Explicit-state transition graph of p (optionally p [] F) restricted to
@@ -96,8 +104,8 @@ public:
 
     private:
         friend class TransitionSystem;
-        std::vector<std::uint64_t> offsets_;  ///< size num_nodes() + 1
-        std::vector<NodeId> items_;
+        SpillVector<std::uint64_t> offsets_;  ///< size num_nodes() + 1
+        SpillVector<NodeId> items_;
     };
 
     /// Builds the reachable fragment from all states satisfying `init`.
@@ -176,6 +184,14 @@ public:
     /// Total number of fault edges.
     std::size_t num_fault_edges() const { return fault_edges_.size(); }
 
+    /// Whether this system was built out-of-core (ExploreOptions::spill
+    /// or DCFT_SPILL).
+    bool spilled() const { return spilled_; }
+    /// Total bytes currently held in spill files (0 for in-core systems).
+    std::uint64_t spill_bytes() const;
+    /// Bytes advised out of resident memory during the build (0 in-core).
+    std::uint64_t spill_released_bytes() const;
+
     /// Reverse adjacency over program edges (and fault edges if requested).
     /// Built lazily on first request behind a std::once_flag, so concurrent
     /// calls on a const TransitionSystem are safe and the cost is only paid
@@ -218,7 +234,7 @@ public:
 
 private:
     void explore(const FaultClass* faults, const Predicate& init,
-                 unsigned n_threads, const Predicate* stop_on);
+                 unsigned n_threads, const Predicate* stop_on, bool spill);
     void build_predecessors(CsrList& out, bool include_faults) const;
 
     std::shared_ptr<const StateSpace> space_;
@@ -226,17 +242,21 @@ private:
     /// Names of the fault actions (index-aligned with fault edge action
     /// ids), retained for witness-trace provenance.
     std::vector<std::string> fault_action_names_;
-    std::vector<StateIndex> states_;  ///< node -> state, BFS discovery order
+    /// node -> state, BFS discovery order. Spillable: sealed levels are
+    /// the "cold frontier segments" advised out of RSS in spill mode.
+    SpillVector<StateIndex> states_;
     std::vector<NodeId> initial_;
-    std::vector<NodeId> parent_;  ///< BFS tree; parent_[n] == n at roots
+    SpillVector<NodeId> parent_;  ///< BFS tree; parent_[n] == n at roots
 
     // CSR edge storage: offsets have num_nodes()+1 entries; edges of node n
     // are [offsets[n], offsets[n+1]). Program edges of a node are ordered
     // by action index then successor order; fault edges likewise.
-    std::vector<std::uint64_t> prog_offsets_;
-    std::vector<Edge> prog_edges_;
-    std::vector<std::uint64_t> fault_offsets_;
-    std::vector<Edge> fault_edges_;
+    // Spillable: completed levels stream to the mmap arena in spill mode.
+    SpillVector<std::uint64_t> prog_offsets_;
+    SpillVector<Edge> prog_edges_;
+    SpillVector<std::uint64_t> fault_offsets_;
+    SpillVector<Edge> fault_edges_;
+    bool spilled_ = false;
 
     // Interner / reverse lookup — one of three tiers (see file comment):
     // identity (init covered the space: node id == state index, nothing

@@ -394,6 +394,23 @@ int main(int argc, char** argv) {
         return 2;
     }
 
+    // The regression gate compares against a baseline recorded in the
+    // *default* configuration. Oracle/diagnostic env modes deliberately
+    // trade speed for checking (interpreted path, scalar path, out-of-core
+    // storage), so comparing under them would only ever report the mode's
+    // own overhead.
+    for (const char* flag : {"DCFT_NO_COMPILE", "DCFT_NO_BATCH", "DCFT_SPILL",
+                             "DCFT_NO_EXPLORE_CACHE"}) {
+        const char* v = std::getenv(flag);
+        if (v != nullptr && *v != '\0' && std::string(v) != "0") {
+            std::printf(
+                "bench_compare: %s is set — perf gate skipped (only "
+                "meaningful in the default configuration)\n",
+                flag);
+            return 0;
+        }
+    }
+
     std::map<std::string, double> baseline, candidate;
     if (!load_best_ms(paths[0], baseline)) return 2;
     if (!load_best_ms(paths[1], candidate)) return 2;

@@ -31,6 +31,7 @@
 #include "obs/run_report.hpp"
 #include "obs/telemetry.hpp"
 #include "runtime/experiment.hpp"
+#include "verify/batch_kernel.hpp"
 #include "verify/invariant.hpp"
 #include "verify/tolerance_checker.hpp"
 
@@ -259,10 +260,33 @@ int cmd_verify(const std::string& name, int size,
         if (!mk.ok())
             std::printf("      masking fails because: %s\n",
                         mk.reason().c_str());
+        // Kernel-compilation coverage: which exploration tier this variant
+        // actually runs on (batch sweep / compiled scalar / interpreter
+        // fallbacks). Guard bitsets are not built for this — it is a
+        // static scan of the compiled actions.
+        const CompiledProgram cp(program, sys.faults.get());
+        const BatchCoverage cov = batch_coverage(cp);
+        std::printf(
+            "      kernel: %zu/%zu actions fully compiled, %zu kCall "
+            "fallback op%s — %s\n",
+            cov.batchable_actions, cov.actions, cov.kcall_ops,
+            cov.kcall_ops == 1 ? "" : "s",
+            cov.batchable ? "batch sweep eligible" : "scalar path");
         if (reporting) {
             report.add_query(make_query(name, variant, "failsafe", fs));
             report.add_query(make_query(name, variant, "nonmasking", nm));
             report.add_query(make_query(name, variant, "masking", mk));
+            obs::ReportProgram rp;
+            rp.name = name + "/" + variant;
+            rp.system = name;
+            rp.variant = variant;
+            rp.actions = cov.actions;
+            rp.fully_compiled = cov.fully_compiled;
+            rp.structured_effects = cov.structured_effects;
+            rp.batchable_actions = cov.batchable_actions;
+            rp.kcall_ops = cov.kcall_ops;
+            rp.batchable = cov.batchable;
+            report.add_program(std::move(rp));
         }
     }
     if (reporting) {

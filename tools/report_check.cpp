@@ -144,6 +144,32 @@ ReportSummary check_report(const JsonValue& doc) {
         }
     }
 
+    // Kernel-coverage section: one entry per program variant, counts must
+    // be internally consistent (compiled subsets cannot exceed the action
+    // count; a batch-eligible program has no uncovered actions).
+    const auto& programs =
+        member(doc, "programs", JsonValue::Kind::Array).as_array();
+    require(!programs.empty(), "report with no program coverage entries");
+    for (const JsonValue& p : programs) {
+        member(p, "name", JsonValue::Kind::String);
+        auto count = [&](const char* key) {
+            check_nonneg_number(p, key);
+            return member(p, key, JsonValue::Kind::Number).as_number();
+        };
+        const double actions = count("actions");
+        const double compiled = count("fully_compiled");
+        const double structured = count("structured_effects");
+        const double batchable_actions = count("batchable_actions");
+        count("kcall_ops");
+        require(compiled <= actions && structured <= actions &&
+                    batchable_actions <= compiled &&
+                    batchable_actions <= structured,
+                "inconsistent kernel coverage counts");
+        if (member(p, "batchable", JsonValue::Kind::Bool).as_bool())
+            require(batchable_actions == actions,
+                    "batchable program with uncovered actions");
+    }
+
     const JsonValue& telemetry =
         member(doc, "telemetry", JsonValue::Kind::Object);
     require(member(telemetry, "enabled", JsonValue::Kind::Bool).as_bool(),
