@@ -32,6 +32,9 @@
 //                                       in-core-vs-spill differential on
 //                                       the n=8 ring proving the spilled
 //                                       graph is bit-identical
+//   --trace=FILE                        record the whole run with
+//                                       obs/trace.hpp and write Chrome
+//                                       trace-event JSON to FILE
 //   --threads=A,B,...                   explicit thread-sweep override: the
 //                                       listed counts are swept verbatim,
 //                                       bypassing the hardware_concurrency
@@ -44,13 +47,10 @@
 // Thread sweeps work by setting DCFT_VERIFIER_THREADS between
 // measurements; default_verifier_threads() re-reads the environment on
 // every call for exactly this purpose.
-#include <malloc.h>
-
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -59,6 +59,8 @@
 #include "apps/byzantine.hpp"
 #include "apps/token_ring.hpp"
 #include "bench_util.hpp"
+#include "obs/proc_stats.hpp"
+#include "obs/trace.hpp"
 #include "verify/exploration_cache.hpp"
 #include "verify/reachability.hpp"
 #include "verify/reference.hpp"
@@ -193,37 +195,16 @@ double time_once_ms(Fn&& fn) {
     return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
-/// Peak resident set size (VmHWM) in MiB from /proc/self/status, or -1
-/// when the file is unreadable (non-Linux).
-double peak_rss_mb() {
-    std::FILE* f = std::fopen("/proc/self/status", "r");
-    if (!f) return -1.0;
-    char line[256];
-    double mb = -1.0;
-    while (std::fgets(line, sizeof line, f)) {
-        if (std::strncmp(line, "VmHWM:", 6) == 0) {
-            long kb = 0;
-            if (std::sscanf(line + 6, "%ld", &kb) == 1)
-                mb = static_cast<double>(kb) / 1024.0;
-            break;
-        }
-    }
-    std::fclose(f);
-    return mb;
-}
+/// Peak resident set size (VmHWM) in MiB, or -1 when unavailable
+/// (non-Linux). Thin shim over obs/proc_stats.hpp keeping the -1
+/// sentinel the JSON emitter expects.
+double peak_rss_mb() { return obs::peak_rss_mb().value_or(-1.0); }
 
 /// Best-effort reset of the peak-RSS watermark so each large workload
-/// reports its own peak: release free heap pages back to the kernel,
-/// then clear VmHWM (writing "5" to /proc/self/clear_refs, see proc(5)).
-/// If either step fails the next reading is an over-estimate taken over
-/// the whole process lifetime — never an under-estimate.
-void reset_peak_rss() {
-    malloc_trim(0);
-    if (std::FILE* f = std::fopen("/proc/self/clear_refs", "w")) {
-        std::fputs("5", f);
-        std::fclose(f);
-    }
-}
+/// reports its own peak (obs::reset_peak_rss: malloc_trim + clear_refs).
+/// On failure the next reading is an over-estimate taken over the whole
+/// process lifetime — never an under-estimate.
+void reset_peak_rss() { obs::reset_peak_rss(); }
 
 /// Parses a comma-separated thread list ("1,2,8") for the --threads
 /// override / DCFT_VERIFIER_THREADS startup value. Empty vector on any
@@ -784,6 +765,7 @@ int emit_json(const std::string& path, bool smoke, bool large, bool huge,
 
 int main(int argc, char** argv) {
     std::string json_path;
+    std::string trace_path;
     bool smoke = false;
     bool large = false;
     bool huge = false;
@@ -797,6 +779,8 @@ int main(int argc, char** argv) {
             json_path = "BENCH_verifier.json";
         } else if (arg.rfind("--json=", 0) == 0) {
             json_path = arg.substr(7);
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            trace_path = arg.substr(8);
         } else if (arg == "--large") {
             large = true;
         } else if (arg == "--huge") {
@@ -824,8 +808,24 @@ int main(int argc, char** argv) {
     }
     if ((large || huge) && json_path.empty())
         json_path = "BENCH_verifier.json";
-    if (!json_path.empty())
-        return emit_json(json_path, smoke, large, huge, thread_override);
-    int rest_argc = static_cast<int>(rest.size());
-    return dcft::bench::run_bench_main(rest_argc, rest.data(), &report);
+    // --trace records the whole bench run (all repetitions) as one Chrome
+    // trace — useful for seeing where a slow workload's time actually
+    // goes without re-running it under dcft verify.
+    if (!trace_path.empty()) obs::set_trace_enabled(true);
+    int rc;
+    if (!json_path.empty()) {
+        rc = emit_json(json_path, smoke, large, huge, thread_override);
+    } else {
+        int rest_argc = static_cast<int>(rest.size());
+        rc = dcft::bench::run_bench_main(rest_argc, rest.data(), &report);
+    }
+    if (!trace_path.empty()) {
+        std::string error;
+        if (!obs::write_chrome_trace(trace_path, &error)) {
+            std::fprintf(stderr, "trace write failed: %s\n", error.c_str());
+            return rc == 0 ? 1 : rc;
+        }
+        std::fprintf(stderr, "trace written to %s\n", trace_path.c_str());
+    }
+    return rc;
 }

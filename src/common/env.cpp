@@ -42,6 +42,12 @@ bool env_flag_enabled(const char* name) {
     return env_value_truthy(std::getenv(name));
 }
 
+std::optional<bool> env_flag_state(const char* name) {
+    const char* v = std::getenv(name);
+    if (v == nullptr) return std::nullopt;
+    return env_value_truthy(v);
+}
+
 std::optional<std::uint64_t> env_positive_u64(const char* name) {
     const char* v = std::getenv(name);
     if (v == nullptr || v[0] == '\0') return std::nullopt;

@@ -31,6 +31,13 @@ bool env_flag_enabled(const char* name);
 /// the process environment.
 bool env_value_truthy(const char* value);
 
+/// Three-way read of a boolean toggle: nullopt when `name` is unset,
+/// otherwise the truthiness rule applied to its value. Lets callers tell
+/// "the user never said" apart from "the user explicitly said off" — dcft
+/// rejects --trace/--report when DCFT_TELEMETRY is explicitly falsy
+/// instead of silently overriding the environment.
+std::optional<bool> env_flag_state(const char* name);
+
 /// Parses `name` as a strictly positive decimal integer; returns nullopt
 /// when unset, empty, malformed, zero, or negative.
 std::optional<std::uint64_t> env_positive_u64(const char* name);

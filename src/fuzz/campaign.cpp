@@ -8,7 +8,9 @@
 
 #include "fuzz/shrinker.hpp"
 #include "fuzz/spec_json.hpp"
+#include "obs/progress.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace dcft::fuzz {
 
@@ -49,9 +51,14 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         const std::uint64_t seed = campaign_program_seed(config.seed, i);
         const ProgramSpec spec = generate_spec(seed, config.generator);
         obs::count("fuzz/programs");
+        static const std::uint32_t trace_id = obs::trace_name("fuzz/program");
+        const obs::TraceSpan program_tspan(trace_id, i);
         std::vector<Divergence> divergences =
             run_oracles(spec, config.oracle);
         ++result.programs_run;
+        if (obs::progress_enabled())
+            obs::progress_items("fuzz", result.programs_run,
+                                config.programs);
         if (divergences.empty()) continue;
 
         obs::count("fuzz/divergent");

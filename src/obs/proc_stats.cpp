@@ -1,0 +1,67 @@
+#include "obs/proc_stats.hpp"
+
+#if defined(__linux__)
+#include <malloc.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#endif
+
+namespace dcft::obs {
+
+#if defined(__linux__)
+
+std::optional<std::uint64_t> current_rss_bytes() {
+    FILE* f = std::fopen("/proc/self/statm", "r");
+    if (!f) return std::nullopt;
+    unsigned long long vm_pages = 0, rss_pages = 0;
+    const int matched = std::fscanf(f, "%llu %llu", &vm_pages, &rss_pages);
+    std::fclose(f);
+    if (matched != 2) return std::nullopt;
+    const long page = sysconf(_SC_PAGESIZE);
+    if (page <= 0) return std::nullopt;
+    return rss_pages * static_cast<std::uint64_t>(page);
+}
+
+std::optional<std::uint64_t> peak_rss_bytes() {
+    FILE* f = std::fopen("/proc/self/status", "r");
+    if (!f) return std::nullopt;
+    char line[256];
+    std::optional<std::uint64_t> peak;
+    while (std::fgets(line, sizeof line, f)) {
+        unsigned long long kb = 0;
+        if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+            peak = kb * 1024ull;
+            break;
+        }
+    }
+    std::fclose(f);
+    return peak;
+}
+
+void reset_peak_rss() {
+    // Return freed heap pages to the OS first so the next watermark
+    // reflects the upcoming workload, not this process's history.
+    malloc_trim(0);
+    FILE* f = std::fopen("/proc/self/clear_refs", "w");
+    if (!f) return;
+    std::fputs("5", f);  // 5 = reset peak RSS watermark
+    std::fclose(f);
+}
+
+#else  // !__linux__
+
+std::optional<std::uint64_t> current_rss_bytes() { return std::nullopt; }
+std::optional<std::uint64_t> peak_rss_bytes() { return std::nullopt; }
+void reset_peak_rss() {}
+
+#endif
+
+std::optional<double> peak_rss_mb() {
+    const auto bytes = peak_rss_bytes();
+    if (!bytes) return std::nullopt;
+    return static_cast<double>(*bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace dcft::obs

@@ -1,0 +1,38 @@
+// Process-level resource statistics from the kernel.
+//
+// The verifier's memory story (three-tier interner, CSR arrays, mmap spill)
+// is only auditable if every tool measures RSS the same way. This header
+// centralises the /proc parsing that used to live in bench_verifier: current
+// resident set (statm), peak resident set (VmHWM from /proc/self/status),
+// and the clear_refs reset that lets one process measure per-workload peaks.
+// Consumers: the bench_verifier memory columns and the live progress
+// heartbeat (obs/progress.hpp).
+//
+// On non-Linux platforms every query returns nullopt and the reset is a
+// no-op; callers are expected to omit the field (the heartbeat simply
+// prints no rss=… segment) rather than fail.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace dcft::obs {
+
+/// Current resident set size in bytes (/proc/self/statm, second field,
+/// times the page size). nullopt when the file is unavailable.
+std::optional<std::uint64_t> current_rss_bytes();
+
+/// Peak resident set size in bytes (VmHWM from /proc/self/status).
+/// nullopt when the file or the field is unavailable.
+std::optional<std::uint64_t> peak_rss_bytes();
+
+/// peak_rss_bytes() in MiB, for human-facing tables.
+std::optional<double> peak_rss_mb();
+
+/// Resets the kernel's peak-RSS watermark (writes "5" to
+/// /proc/self/clear_refs) after returning freed arenas to the OS via
+/// malloc_trim, so successive workloads in one process measure their own
+/// peaks. Best-effort: silently does nothing where unsupported.
+void reset_peak_rss();
+
+}  // namespace dcft::obs

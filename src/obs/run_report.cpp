@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace dcft::obs {
 namespace {
@@ -92,6 +93,42 @@ void write_telemetry(JsonWriter& w) {
     w.end_object();
 }
 
+void write_timeline(JsonWriter& w) {
+    w.key("timeline");
+    w.begin_array();
+    for (const ExplorationTimeline& tl : timeline_snapshot()) {
+        w.begin_object();
+        w.kv("id", tl.id);
+        w.kv("space_states", tl.space_states);
+        w.kv("total_ns", tl.total_ns);
+        w.kv("complete", tl.complete);
+        w.kv("spilled", tl.spilled);
+        w.key("levels");
+        w.begin_array();
+        for (const LevelStat& ls : tl.levels) {
+            w.begin_object();
+            w.kv("level", ls.level);
+            w.kv("frontier", ls.frontier);
+            w.kv("new_nodes", ls.new_nodes);
+            w.kv("program_edges", ls.program_edges);
+            w.kv("fault_edges", ls.fault_edges);
+            w.kv("level_ns", ls.level_ns);
+            w.kv("expand_claim_ns", ls.expand_claim_ns);
+            w.kv("claim_filter_ns", ls.claim_filter_ns);
+            w.kv("publish_ns", ls.publish_ns);
+            w.kv("edge_write_ns", ls.edge_write_ns);
+            w.kv("rss_bytes", ls.rss_bytes);
+            w.kv("spill_bytes", ls.spill_bytes);
+            w.kv("spill_released_bytes", ls.spill_released_bytes);
+            w.kv("parallel", ls.parallel);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+}
+
 void write_witness(JsonWriter& w, const std::vector<WitnessStep>& trace) {
     w.begin_array();
     for (const WitnessStep& step : trace) {
@@ -154,6 +191,7 @@ std::string RunReport::to_json() const {
         w.end_object();
     }
     w.end_array();
+    write_timeline(w);
     write_telemetry(w);
     w.end_object();
     return w.str();

@@ -10,6 +10,14 @@
 //     "tool": "<binary name>",
 //     "command": "<reconstructed command line>",
 //     ...kind-specific payload...,
+//     "timeline": [ { "id", "space_states", "total_ns", "complete",
+//                     "spilled",               // run_report kind only:
+//                     "levels": [ {            // one row per BFS level
+//                       "level", "frontier", "new_nodes", "program_edges",
+//                       "fault_edges", "level_ns", "expand_claim_ns",
+//                       "claim_filter_ns", "publish_ns", "edge_write_ns",
+//                       "rss_bytes", "spill_bytes", "spill_released_bytes",
+//                       "parallel" }, ... ] }, ... ],
 //     "telemetry": {
 //       "enabled": true,
 //       "counters": { "<path>": <u64>, ... },          // sorted by path
@@ -113,5 +121,9 @@ void write_telemetry(JsonWriter& w);
 /// Writes a witness trace as an array of step objects
 /// {"state","state_repr","action","fault"}.
 void write_witness(JsonWriter& w, const std::vector<WitnessStep>& trace);
+
+/// Writes the "timeline" member: every per-level exploration timeline
+/// published so far (obs/trace.hpp), one object per exploration.
+void write_timeline(JsonWriter& w);
 
 }  // namespace dcft::obs

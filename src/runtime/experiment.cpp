@@ -1,10 +1,12 @@
 #include "runtime/experiment.hpp"
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <thread>
 
 #include "common/check.hpp"
+#include "obs/progress.hpp"
 
 namespace dcft {
 namespace {
@@ -12,12 +14,18 @@ namespace {
 /// Runs the slice [begin, end) of the experiment's runs and merges into
 /// `total` under `mutex`.
 void run_slice(const Experiment& ex, std::size_t begin, std::size_t end,
-               BatchResult& total, std::mutex& mutex) {
+               BatchResult& total, std::mutex& mutex,
+               std::atomic<std::size_t>& done) {
     std::unique_ptr<Scheduler> scheduler =
         ex.make_scheduler ? ex.make_scheduler()
                           : std::make_unique<RandomScheduler>();
+    const bool progress_on = obs::progress_enabled();
     BatchResult local;
     for (std::size_t i = begin; i < end; ++i) {
+        if (progress_on)
+            obs::progress_items(
+                "experiment",
+                done.fetch_add(1, std::memory_order_relaxed) + 1, ex.runs);
         Simulator sim(*ex.program, *scheduler, ex.base_seed + i);
         std::optional<FaultInjector> injector;
         if (ex.faults != nullptr) {
@@ -89,8 +97,9 @@ BatchResult run_experiment(const Experiment& ex) {
 
     BatchResult total;
     std::mutex mutex;
+    std::atomic<std::size_t> done{0};
     if (threads <= 1) {
-        run_slice(ex, 0, ex.runs, total, mutex);
+        run_slice(ex, 0, ex.runs, total, mutex, done);
         return total;
     }
 
@@ -100,8 +109,8 @@ BatchResult run_experiment(const Experiment& ex) {
         const std::size_t begin = t * chunk;
         const std::size_t end = std::min(ex.runs, begin + chunk);
         if (begin >= end) break;
-        pool.emplace_back([&ex, begin, end, &total, &mutex] {
-            run_slice(ex, begin, end, total, mutex);
+        pool.emplace_back([&ex, begin, end, &total, &mutex, &done] {
+            run_slice(ex, begin, end, total, mutex, done);
         });
     }
     for (auto& worker : pool) worker.join();

@@ -1,6 +1,8 @@
 #include "synth/add_masking.hpp"
 
+#include "obs/progress.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace dcft {
 
@@ -9,6 +11,9 @@ MaskingSynthesis add_masking(const Program& p, const FaultClass& f,
                              const Predicate& invariant,
                              std::vector<std::string> writable) {
     const obs::ScopedSpan span("synth/masking");
+    static const std::uint32_t trace_id = obs::trace_name("synth/masking");
+    const obs::TraceSpan tspan(trace_id);
+    if (obs::progress_enabled()) obs::progress_phase("synth/masking");
     obs::count("synth/masking/syntheses");
     FailsafeSynthesis fs = add_failsafe(p, safety);
 

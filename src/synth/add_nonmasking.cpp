@@ -6,7 +6,9 @@
 #include "common/check.hpp"
 #include "gc/composition.hpp"
 #include "gc/compiled.hpp"
+#include "obs/progress.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "verify/action_kernel.hpp"
 #include "verify/fault_span.hpp"
 
@@ -47,6 +49,9 @@ NonmaskingSynthesis add_nonmasking(const Program& p, const FaultClass& f,
                                    const Predicate& invariant,
                                    const NonmaskingOptions& opts) {
     const obs::ScopedSpan synth_span("synth/fixpoint");
+    static const std::uint32_t trace_id = obs::trace_name("synth/fixpoint");
+    const obs::TraceSpan tspan(trace_id);
+    if (obs::progress_enabled()) obs::progress_phase("synth/fixpoint");
     obs::count("synth/fixpoint/syntheses");
     const StateSpace& space = p.space();
     const FaultSpan span =

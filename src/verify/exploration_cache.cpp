@@ -6,6 +6,7 @@
 
 #include "common/env.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace dcft {
 
@@ -117,12 +118,22 @@ std::shared_ptr<const TransitionSystem> ExplorationCache::get_or_build(
             if (!matches(it->key, space, program, faults, h, init_bits))
                 continue;
             obs::count("verify/explore_cache/hits");
+            if (obs::trace_enabled()) {
+                static const std::uint32_t id =
+                    obs::trace_name("verify/explore_cache/hit");
+                obs::trace_instant(id);
+            }
             entries_.splice(entries_.begin(), entries_, it);  // LRU bump
             resident = it->ts;
             break;
         }
         if (!resident.valid()) {
             obs::count("verify/explore_cache/misses");
+            if (obs::trace_enabled()) {
+                static const std::uint32_t id =
+                    obs::trace_name("verify/explore_cache/miss");
+                obs::trace_instant(id);
+            }
 
             // Miss: insert an in-flight entry so concurrent requests for
             // this key dedup onto our build, then release the lock and
@@ -149,6 +160,11 @@ std::shared_ptr<const TransitionSystem> ExplorationCache::get_or_build(
         auto ts = std::make_shared<const TransitionSystem>(program, faults,
                                                            seeded, n_threads);
         builder.set_value(ts);
+        if (obs::trace_enabled()) {
+            static const std::uint32_t id =
+                obs::trace_name("verify/explore_cache/publish");
+            obs::trace_instant(id, ts->num_nodes());
+        }
         return ts;
     } catch (...) {
         builder.set_exception(std::current_exception());
@@ -194,6 +210,11 @@ ExplorationCache::get_or_build_early_exit(const Program& program,
             if (it->ts.wait_for(std::chrono::seconds(0)) ==
                 std::future_status::ready) {
                 obs::count("verify/explore_cache/early_exit_hits");
+                if (obs::trace_enabled()) {
+                    static const std::uint32_t id = obs::trace_name(
+                        "verify/explore_cache/early_exit_hit");
+                    obs::trace_instant(id);
+                }
                 entries_.splice(entries_.begin(), entries_, it);  // LRU
                 resident = it->ts;
             }
@@ -202,6 +223,11 @@ ExplorationCache::get_or_build_early_exit(const Program& program,
     }
     if (resident.valid()) return resident.get();  // full graph; caller scans
     obs::count("verify/explore_cache/early_exit_misses");
+    if (obs::trace_enabled()) {
+        static const std::uint32_t id =
+            obs::trace_name("verify/explore_cache/early_exit_miss");
+        obs::trace_instant(id);
+    }
 
     // Build outside the lock, seeded from the materialized bits exactly as
     // get_or_build would, so a run-to-exhaustion result IS the graph the
@@ -235,6 +261,11 @@ ExplorationCache::get_or_build_early_exit(const Program& program,
         }
         if (!present) {
             obs::count("verify/explore_cache/early_exit_published");
+            if (obs::trace_enabled()) {
+                static const std::uint32_t id =
+                    obs::trace_name("verify/explore_cache/publish");
+                obs::trace_instant(id, ts->num_nodes());
+            }
             entries_.push_front(Entry{make_key(space, program, faults, h,
                                                *bits),
                                       ++next_token_,

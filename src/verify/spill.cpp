@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/env.hpp"
+#include "obs/trace.hpp"
 
 namespace dcft {
 namespace {
@@ -158,6 +159,13 @@ std::size_t SpillFile::release_prefix(std::size_t bytes) {
     if (upto > cap_) upto = cap_;
     if (upto < released_mark_ + kReleaseChunk) return 0;
     const std::size_t begin = released_mark_;
+    // Seal: this prefix is now immutable and about to leave the resident
+    // set. Both instants are functions of the byte layout only, so their
+    // counts stay identical across thread counts (pinned by trace_test).
+    if (obs::trace_enabled()) {
+        static const std::uint32_t id = obs::trace_name("verify/spill/seal");
+        obs::trace_instant(id, upto);
+    }
     // MAP_SHARED file pages: DONTNEED only unmaps them from this process —
     // dirty contents move to the page cache, nothing is discarded.
     if (::madvise(static_cast<char*>(base_) + begin, upto - begin,
@@ -165,6 +173,11 @@ std::size_t SpillFile::release_prefix(std::size_t bytes) {
         return 0;
     released_mark_ = upto;
     released_total_ += upto - begin;
+    if (obs::trace_enabled()) {
+        static const std::uint32_t id =
+            obs::trace_name("verify/spill/release");
+        obs::trace_instant(id, upto - begin);
+    }
     return upto - begin;
 }
 

@@ -8,7 +8,10 @@
 #include "common/check.hpp"
 #include "common/env.hpp"
 #include "common/parallel.hpp"
+#include "obs/proc_stats.hpp"
+#include "obs/progress.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "verify/action_kernel.hpp"
 #include "verify/batch_kernel.hpp"
 
@@ -292,12 +295,57 @@ TransitionSystem::TransitionSystem(const Program& program,
 
 TransitionSystem::~TransitionSystem() = default;
 
+namespace {
+
+/// Interned trace-event name ids, resolved once per process. The span
+/// names mirror the telemetry span paths exactly, so a Perfetto timeline
+/// and the aggregated span tree in a run report line up term for term.
+struct ExploreTraceIds {
+    std::uint32_t explore = obs::trace_name("verify/explore");
+    std::uint32_t compile = obs::trace_name("verify/compile");
+    std::uint32_t seed = obs::trace_name("verify/explore/seed");
+    std::uint32_t level = obs::trace_name("verify/explore/level");
+    std::uint32_t level_done = obs::trace_name("verify/explore/level_done");
+    std::uint32_t sweep = obs::trace_name("verify/explore/sweep");
+    std::uint32_t sweep_chunk =
+        obs::trace_name("verify/explore/sweep/chunk");
+    std::uint32_t expand = obs::trace_name("verify/explore/expand_claim");
+    std::uint32_t expand_chunk =
+        obs::trace_name("verify/explore/expand_claim/chunk");
+    std::uint32_t filter = obs::trace_name("verify/explore/claim_filter");
+    std::uint32_t filter_chunk =
+        obs::trace_name("verify/explore/claim_filter/chunk");
+    std::uint32_t publish = obs::trace_name("verify/explore/publish");
+    std::uint32_t publish_chunk =
+        obs::trace_name("verify/explore/publish/chunk");
+    std::uint32_t edge_write = obs::trace_name("verify/explore/edge_write");
+    std::uint32_t edge_write_chunk =
+        obs::trace_name("verify/explore/edge_write/chunk");
+    std::uint32_t tier = obs::trace_name("verify/interner/tier");
+    std::uint32_t early_exit =
+        obs::trace_name("verify/explore/early_exit_stop");
+};
+
+const ExploreTraceIds& tr() {
+    static const ExploreTraceIds* ids = new ExploreTraceIds();
+    return *ids;
+}
+
+}  // namespace
+
 void TransitionSystem::explore(const FaultClass* faults,
                                const Predicate& init, unsigned n_threads,
                                const Predicate* stop_on, bool spill) {
     const bool telemetry = obs::enabled();
+    const bool tracing = obs::trace_enabled();
+    // The per-level timeline rides on either structured-output mode:
+    // run reports (telemetry) embed it, traces cross-reference it.
+    const bool timeline = telemetry || tracing;
+    const bool progress_on = obs::progress_enabled();
     const obs::ScopedSpan span("verify/explore");
+    const obs::TraceSpan tspan(tracing ? tr().explore : 0);
     const StateIndex n_states = space_->num_states();
+    const std::uint64_t explore_t0 = timeline ? obs::now_ns() : 0;
 
     // Out-of-core mode: the node and CSR arrays go to mmap-backed spill
     // files (decided before anything is written). Graphs are bit-for-bit
@@ -321,6 +369,7 @@ void TransitionSystem::explore(const FaultClass* faults,
     std::vector<const BitVec*> fault_gbits;
     if (!compile_disabled()) {
         const obs::ScopedSpan cspan("verify/compile");
+        const obs::TraceSpan ctspan(tracing ? tr().compile : 0);
         compiled = std::make_unique<CompiledProgram>(program_, faults);
         // Whole-space guard bitsets pay off only when they can be filled
         // with word-level algebra; guards with opaque subtrees would need
@@ -418,6 +467,7 @@ void TransitionSystem::explore(const FaultClass* faults,
     // initial-set cardinality can size it.
     const BitVec init_bits = [&] {
         const obs::ScopedSpan seed_span("verify/explore/seed");
+        const obs::TraceSpan seed_tspan(tracing ? tr().seed : 0);
         if (compiled != nullptr) {
             BitVec b(n_states);
             fill_guard_bits(compiled->cspace(), init, b);
@@ -449,6 +499,13 @@ void TransitionSystem::explore(const FaultClass* faults,
                 static_cast<std::size_t>(expected));
         }
     }
+    // Tier selection is a function of the seed cardinality and the space
+    // size only, so this instant — like every instant below — fires the
+    // same number of times for every thread count (pinned by trace_test).
+    if (tracing)
+        obs::trace_instant(tr().tier,
+                           identity_nodes_ ? 0 : direct_mapped_ ? 1 : 2);
+    if (progress_on) obs::progress_explore_begin(n_states);
 
     // Reserve node/edge storage. Identity explorations have a known exact
     // node count; otherwise size to the space (capped) — explicit-state
@@ -549,6 +606,9 @@ void TransitionSystem::explore(const FaultClass* faults,
             if (stop_at(states_[i])) {
                 bad_node_ = static_cast<NodeId>(i);
                 complete_ = false;
+                if (tracing)
+                    obs::trace_instant(tr().early_exit,
+                                       static_cast<std::uint64_t>(i));
                 return true;
             }
         }
@@ -575,6 +635,43 @@ void TransitionSystem::explore(const FaultClass* faults,
     const std::uint64_t work_min = parallel_work_min();
 
     bool stopped = scan_new_nodes(0);  // a bad root ends it before level 1
+
+    // Per-level timeline rows (embedded in run reports, see
+    // obs/trace.hpp) and heartbeat updates. One row per BFS level; the
+    // merge-phase ns breakdown is filled only on the parallel path.
+    std::vector<obs::LevelStat> tl_levels;
+    std::uint64_t tl_prev_prog = 0, tl_prev_fault = 0;
+    auto finish_level = [&](std::uint64_t level_index, std::size_t lvl_begin,
+                            std::size_t lvl_end, std::uint64_t lvl_t0,
+                            bool parallel_merge,
+                            const std::array<std::uint64_t, 4>& phase_ns) {
+        const std::uint64_t new_nodes = states_.size() - lvl_end;
+        if (timeline) {
+            obs::LevelStat ls;
+            ls.level = level_index;
+            ls.frontier = lvl_end - lvl_begin;
+            ls.new_nodes = new_nodes;
+            ls.program_edges = prog_edges_.size() - tl_prev_prog;
+            ls.fault_edges = fault_edges_.size() - tl_prev_fault;
+            ls.level_ns = obs::now_ns() - lvl_t0;
+            ls.expand_claim_ns = phase_ns[0];
+            ls.claim_filter_ns = phase_ns[1];
+            ls.publish_ns = phase_ns[2];
+            ls.edge_write_ns = phase_ns[3];
+            ls.rss_bytes = obs::current_rss_bytes().value_or(0);
+            ls.spill_bytes = spill ? spill_bytes() : 0;
+            ls.spill_released_bytes = spill ? spill_released_bytes() : 0;
+            ls.parallel = parallel_merge;
+            tl_levels.push_back(ls);
+            tl_prev_prog = prog_edges_.size();
+            tl_prev_fault = fault_edges_.size();
+        }
+        if (tracing) obs::trace_instant(tr().level_done, level_index);
+        if (progress_on)
+            obs::progress_explore_level(
+                level_index, new_nodes, states_.size(),
+                spill ? spill_released_bytes() : 0);
+    };
 
     // Level-synchronous BFS. Workers expand disjoint contiguous slices of
     // the current level into chunk-private buffers; a deterministic
@@ -610,6 +707,11 @@ void TransitionSystem::explore(const FaultClass* faults,
         const obs::ScopedSpan level_span("verify/explore/level");
         const std::size_t level_end = states_.size();
         const std::uint64_t level_size = level_end - level_begin;
+        const std::uint64_t level_index = n_levels;
+        const std::uint64_t lvl_t0 = timeline ? obs::now_ns() : 0;
+        const obs::TraceSpan level_tspan(tracing ? tr().level : 0,
+                                         level_index);
+        std::array<std::uint64_t, 4> phase_ns{0, 0, 0, 0};
         ++n_levels;
         frontier_max = std::max(frontier_max, level_size);
         // Levels with too little work stay serial regardless of the worker
@@ -634,6 +736,7 @@ void TransitionSystem::explore(const FaultClass* faults,
         if (batch != nullptr && identity_nodes_ && level_begin == 0 &&
             level_end == n_states) {
             const obs::ScopedSpan sweep_span("verify/explore/sweep");
+            const obs::TraceSpan sweep_tspan(tracing ? tr().sweep : 0);
             sweep_states = n_states;
             const auto [prog_total, fault_total] =
                 batch->count_edges(0, n_states);
@@ -691,6 +794,8 @@ void TransitionSystem::explore(const FaultClass* faults,
                     parallel_chunks(
                         seg_words, n_threads, /*align=*/1,
                         [&](unsigned c, std::uint64_t wb, std::uint64_t we) {
+                            const obs::TraceSpan cspan(
+                                tracing ? tr().sweep_chunk : 0, c);
                             const StateIndex b = seg + (wb << 6);
                             const StateIndex e = std::min<StateIndex>(
                                 seg_end, seg + (we << 6));
@@ -710,6 +815,8 @@ void TransitionSystem::explore(const FaultClass* faults,
                 }
             }
             stopped = scan_new_nodes(level_end);
+            finish_level(level_index, level_begin, level_end, lvl_t0,
+                         chunks > 1, phase_ns);
             level_begin = level_end;
             continue;
         }
@@ -772,6 +879,8 @@ void TransitionSystem::explore(const FaultClass* faults,
                 fault_offsets_.release_prefix(level_end);
             }
             stopped = scan_new_nodes(level_end);
+            finish_level(level_index, level_begin, level_end, lvl_t0,
+                         /*parallel_merge=*/false, phase_ns);
             level_begin = level_end;
             continue;
         }
@@ -787,10 +896,14 @@ void TransitionSystem::explore(const FaultClass* faults,
 
         // Phase A: parallel expand + claim.
         {
+            const std::uint64_t pt0 = timeline ? obs::now_ns() : 0;
             const obs::ScopedSpan pspan("verify/explore/expand_claim");
+            const obs::TraceSpan ptspan(tracing ? tr().expand : 0);
             parallel_chunks(
                 level_size, n_threads, /*align=*/1,
                 [&](unsigned c, std::uint64_t begin, std::uint64_t end) {
+                    const obs::TraceSpan cspan(
+                        tracing ? tr().expand_chunk : 0, c);
                     ChunkBuf& buf = bufs[c];
                     buf.recs.clear();
                     buf.counts.clear();
@@ -878,15 +991,20 @@ void TransitionSystem::explore(const FaultClass* faults,
                         buf.fault_total += n_fault;
                     }
                 });
+            if (timeline) phase_ns[0] = obs::now_ns() - pt0;
         }
 
         // Phase A2: drop claims lost to a smaller chunk. What survives,
         // in order, is the chunk's canonical new-node subsequence.
         {
+            const std::uint64_t pt0 = timeline ? obs::now_ns() : 0;
             const obs::ScopedSpan pspan("verify/explore/claim_filter");
+            const obs::TraceSpan ptspan(tracing ? tr().filter : 0);
             parallel_chunks(
                 chunks, n_threads, /*align=*/1,
-                [&](unsigned, std::uint64_t cb, std::uint64_t ce) {
+                [&](unsigned w, std::uint64_t cb, std::uint64_t ce) {
+                    const obs::TraceSpan cspan(
+                        tracing ? tr().filter_chunk : 0, w);
                     for (std::uint64_t c = cb; c < ce; ++c) {
                         auto& cl = bufs[c].claims;
                         const NodeId mark =
@@ -897,6 +1015,7 @@ void TransitionSystem::explore(const FaultClass* faults,
                         cl.resize(kept);
                     }
                 });
+            if (timeline) phase_ns[1] = obs::now_ns() - pt0;
         }
 
         // Serial prefix sums in canonical chunk order; pre-size the level.
@@ -923,10 +1042,14 @@ void TransitionSystem::explore(const FaultClass* faults,
         // one writer (its owner chunk), so this is race-free without
         // locks; the join below orders it before phase B's reads.
         {
+            const std::uint64_t pt0 = timeline ? obs::now_ns() : 0;
             const obs::ScopedSpan pspan("verify/explore/publish");
+            const obs::TraceSpan ptspan(tracing ? tr().publish : 0);
             parallel_chunks(
                 chunks, n_threads, /*align=*/1,
-                [&](unsigned, std::uint64_t cb, std::uint64_t ce) {
+                [&](unsigned w, std::uint64_t cb, std::uint64_t ce) {
+                    const obs::TraceSpan cspan(
+                        tracing ? tr().publish_chunk : 0, w);
                     for (std::uint64_t c = cb; c < ce; ++c) {
                         const auto& cl = bufs[c].claims;
                         for (std::size_t j = 0; j < cl.size(); ++j) {
@@ -942,15 +1065,20 @@ void TransitionSystem::explore(const FaultClass* faults,
                         }
                     }
                 });
+            if (timeline) phase_ns[2] = obs::now_ns() - pt0;
         }
 
         // Phase B: resolve every record to its final id and write edges +
         // per-node offsets into the pre-sized slices.
         {
+            const std::uint64_t pt0 = timeline ? obs::now_ns() : 0;
             const obs::ScopedSpan pspan("verify/explore/edge_write");
+            const obs::TraceSpan ptspan(tracing ? tr().edge_write : 0);
             parallel_chunks(
                 chunks, n_threads, /*align=*/1,
-                [&](unsigned, std::uint64_t cb, std::uint64_t ce) {
+                [&](unsigned w, std::uint64_t cb, std::uint64_t ce) {
+                    const obs::TraceSpan cspan(
+                        tracing ? tr().edge_write_chunk : 0, w);
                     for (std::uint64_t c = cb; c < ce; ++c) {
                         const ChunkBuf& buf = bufs[c];
                         std::uint64_t pc = base_prog[c];
@@ -975,6 +1103,7 @@ void TransitionSystem::explore(const FaultClass* faults,
                         }
                     }
                 });
+            if (timeline) phase_ns[3] = obs::now_ns() - pt0;
         }
 
         if (spill) {
@@ -986,9 +1115,21 @@ void TransitionSystem::explore(const FaultClass* faults,
             fault_offsets_.release_prefix(level_end);
         }
         stopped = scan_new_nodes(level_end);
+        finish_level(level_index, level_begin, level_end, lvl_t0,
+                     /*parallel_merge=*/true, phase_ns);
         level_begin = level_end;
     }
     if (stopped) pad_offsets();
+
+    if (timeline) {
+        obs::ExplorationTimeline tl;
+        tl.space_states = n_states;
+        tl.total_ns = obs::now_ns() - explore_t0;
+        tl.complete = complete_;
+        tl.spilled = spill;
+        tl.levels = std::move(tl_levels);
+        obs::timeline_publish(std::move(tl));
+    }
 
     // Telemetry flush: one registry access per exploration, never per
     // state. Everything under verify/explore/ is a function of the

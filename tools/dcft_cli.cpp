@@ -2,21 +2,35 @@
 //
 //   dcft list
 //       Show the available systems and their program variants.
-//   dcft verify <system> [size] [--report FILE]
+//   dcft verify <system> [size] [--report FILE] [--trace FILE]
+//                                [--progress[=SECS]]
 //       Run the fail-safe / nonmasking / masking checks for every variant
 //       of the system and print the verdict grid. With --report, enable
 //       telemetry and write a run report (schema dcft.report, see
 //       obs/run_report.hpp) with per-query verdicts, witness traces, the
-//       phase tree, and all counters.
+//       per-level exploration timeline, the phase tree, and all counters.
+//       With --trace, record begin/end/instant events and export Chrome
+//       trace-event JSON (chrome://tracing, Perfetto). With --progress,
+//       print a live heartbeat to stderr while exploring.
 //   dcft simulate <system> [size] [--variant NAME] [--runs N]
 //                 [--fault-p P] [--max-faults K] [--steps N] [--seed S]
+//                 [--trace FILE] [--progress[=SECS]]
 //       Batch-simulate a variant under fault injection and print
 //       aggregate statistics.
+//
+// Observability flags accept `--flag value` and `--flag=value`;
+// --progress may also appear bare (1s interval). Each has an environment
+// twin (DCFT_TRACE=FILE, DCFT_PROGRESS=SECS, DCFT_TELEMETRY=1) so the
+// same knobs work on binaries launched by scripts or ctest. Contradictory
+// requests fail fast instead of silently doing nothing: --report/--trace
+// with DCFT_TELEMETRY explicitly falsy, or --progress=0, are errors.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "apps/alternating_bit.hpp"
 #include "apps/barrier.hpp"
@@ -28,8 +42,11 @@
 #include "apps/termination_detection.hpp"
 #include "apps/tmr.hpp"
 #include "apps/token_ring.hpp"
+#include "common/env.hpp"
+#include "obs/progress.hpp"
 #include "obs/run_report.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "runtime/experiment.hpp"
 #include "verify/batch_kernel.hpp"
 #include "verify/invariant.hpp"
@@ -230,13 +247,171 @@ obs::ReportQuery make_query(const std::string& system,
     return q;
 }
 
-int cmd_verify(const std::string& name, int size,
-               const std::map<std::string, std::string>& flags) {
+// ---------------------------------------------------------------------------
+// Flag parsing
+
+/// Normalized flags: `--flag`, `--flag=value`, and `--flag value` all land
+/// here; value-less flags map to "".
+using FlagMap = std::map<std::string, std::string>;
+
+struct FlagSpec {
+    const char* name;
+    bool value_required;  ///< must carry a value (= form or next argv)
+};
+
+const std::vector<FlagSpec> kVerifyFlags = {
+    {"report", true}, {"trace", true}, {"progress", false}};
+
+// --report is accepted here only to produce a targeted error in
+// cmd_simulate; run reports are a verify concept.
+const std::vector<FlagSpec> kSimulateFlags = {
+    {"variant", true},    {"runs", true},  {"steps", true},
+    {"seed", true},       {"fault-p", true}, {"max-faults", true},
+    {"report", true},     {"trace", true}, {"progress", false}};
+
+bool parse_flags(int argc, char** argv, int arg,
+                 const std::vector<FlagSpec>& specs, FlagMap& out,
+                 std::string* error) {
+    for (; arg < argc; ++arg) {
+        std::string token = argv[arg];
+        if (token.rfind("--", 0) != 0) {
+            *error = "unexpected argument '" + token + "'";
+            return false;
+        }
+        std::string key = token.substr(2);
+        std::optional<std::string> value;
+        if (const std::size_t eq = key.find('='); eq != std::string::npos) {
+            value = key.substr(eq + 1);
+            key = key.substr(0, eq);
+        }
+        const FlagSpec* spec = nullptr;
+        for (const FlagSpec& s : specs)
+            if (key == s.name) {
+                spec = &s;
+                break;
+            }
+        if (spec == nullptr) {
+            *error = "unknown flag --" + key;
+            return false;
+        }
+        if (!value.has_value() && spec->value_required) {
+            if (arg + 1 >= argc) {
+                *error = "--" + key + " requires a value (--" + key +
+                         "=VALUE or --" + key + " VALUE)";
+                return false;
+            }
+            value = argv[++arg];
+        }
+        out[key] = value.value_or("");
+    }
+    return true;
+}
+
+void print_usage(std::FILE* out) {
+    std::fputs(
+        "usage: dcft <command> [args]\n"
+        "\n"
+        "commands:\n"
+        "  list\n"
+        "      Show the built-in systems and their program variants.\n"
+        "  verify <system> [size] [--report FILE] [--trace FILE]\n"
+        "         [--progress[=SECS]]\n"
+        "      Run the fail-safe / nonmasking / masking checks for every\n"
+        "      variant and print the verdict grid.\n"
+        "  simulate <system> [size] [--variant NAME] [--runs N] [--steps N]\n"
+        "           [--seed S] [--fault-p P] [--max-faults K]\n"
+        "           [--trace FILE] [--progress[=SECS]]\n"
+        "      Batch-simulate a variant under fault injection.\n"
+        "\n"
+        "observability flags (each has an environment twin):\n"
+        "  --report FILE      write a dcft.report run report: per-query\n"
+        "                     verdicts, witnesses, the per-level exploration\n"
+        "                     timeline, and telemetry. Implies telemetry.\n"
+        "                     env twin: DCFT_TELEMETRY=1 (telemetry only)\n"
+        "  --trace FILE       record begin/end/instant events and write\n"
+        "                     Chrome trace-event JSON (chrome://tracing or\n"
+        "                     Perfetto). Implies telemetry.\n"
+        "                     env twin: DCFT_TRACE=FILE\n"
+        "  --progress[=SECS]  print a live heartbeat to stderr every SECS\n"
+        "                     seconds (default 1).\n"
+        "                     env twin: DCFT_PROGRESS=SECS\n"
+        "\n"
+        "Contradictions fail fast instead of silently doing nothing:\n"
+        "--report/--trace with DCFT_TELEMETRY explicitly falsy, and\n"
+        "--progress=0, are errors.\n",
+        out);
+}
+
+// ---------------------------------------------------------------------------
+// Observability setup
+
+/// Resolves --trace/--progress against their environment twins and arms
+/// the subsystems. Returns the trace output path ("" when tracing is
+/// off). Throws ContractError on combinations that would otherwise
+/// silently do nothing.
+std::string setup_observability(const FlagMap& flags, bool wants_report) {
+    std::string trace_path;
+    if (const auto it = flags.find("trace"); it != flags.end()) {
+        if (it->second.empty())
+            throw ContractError("--trace requires a non-empty output path");
+        trace_path = it->second;
+    } else if (const char* env = std::getenv("DCFT_TRACE");
+               env != nullptr && env_value_truthy(env)) {
+        trace_path = env;  // env twin carries the output path
+    }
+
+    // --report and --trace imply telemetry (the report embeds the counter
+    // snapshot and timeline; the trace export publishes obs/trace/dropped).
+    // When the user *explicitly* exported a falsy DCFT_TELEMETRY the two
+    // requests contradict each other — refuse rather than silently
+    // override one of them.
+    const std::optional<bool> telemetry = env_flag_state("DCFT_TELEMETRY");
+    if (telemetry.has_value() && !*telemetry) {
+        if (wants_report)
+            throw ContractError(
+                "--report needs telemetry, but DCFT_TELEMETRY is explicitly "
+                "falsy; unset DCFT_TELEMETRY or drop --report");
+        if (!trace_path.empty())
+            throw ContractError(
+                "--trace (or DCFT_TRACE) needs telemetry, but "
+                "DCFT_TELEMETRY is explicitly falsy; unset DCFT_TELEMETRY "
+                "or drop the trace request");
+    }
+    if (wants_report || !trace_path.empty()) obs::set_enabled(true);
+    if (!trace_path.empty()) obs::set_trace_enabled(true);
+
+    if (const auto it = flags.find("progress"); it != flags.end()) {
+        double secs = 1.0;
+        if (!it->second.empty()) {
+            char* end = nullptr;
+            secs = std::strtod(it->second.c_str(), &end);
+            if (end == it->second.c_str() || *end != '\0' || secs <= 0.0)
+                throw ContractError(
+                    "--progress interval must be a positive number of "
+                    "seconds (got '" + it->second + "')");
+        }
+        obs::set_progress_interval(secs);
+    }
+    return trace_path;
+}
+
+/// Writes the Chrome-trace JSON collected during the run; no-op when
+/// `trace_path` is empty. Returns the process exit code contribution.
+int finish_trace(const std::string& trace_path) {
+    if (trace_path.empty()) return 0;
+    std::string error;
+    if (!obs::write_chrome_trace(trace_path, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("trace written to %s\n", trace_path.c_str());
+    return 0;
+}
+
+int cmd_verify(const std::string& name, int size, const FlagMap& flags) {
     const auto report_it = flags.find("report");
     const bool reporting = report_it != flags.end();
-    // --report implies telemetry: the report embeds the phase tree and
-    // counter snapshot of exactly this invocation.
-    if (reporting) obs::set_enabled(true);
+    const std::string trace_path = setup_observability(flags, reporting);
     obs::RunReport report(
         "dcft", "verify " + name + (size > 0 ? " " + std::to_string(size)
                                              : std::string()));
@@ -289,6 +464,7 @@ int cmd_verify(const std::string& name, int size,
             report.add_program(std::move(rp));
         }
     }
+    obs::progress_stop();
     if (reporting) {
         std::string error;
         if (!report.write(report_it->second, &error)) {
@@ -298,11 +474,17 @@ int cmd_verify(const std::string& name, int size,
         std::printf("run report written to %s (%zu queries)\n",
                     report_it->second.c_str(), report.queries().size());
     }
-    return 0;
+    return finish_trace(trace_path);
 }
 
-int cmd_simulate(const std::string& name, int size,
-                 const std::map<std::string, std::string>& flags) {
+int cmd_simulate(const std::string& name, int size, const FlagMap& flags) {
+    if (flags.count("report")) {
+        std::fprintf(stderr,
+                     "error: --report is only supported by 'dcft verify'\n");
+        return 2;
+    }
+    const std::string trace_path =
+        setup_observability(flags, /*wants_report=*/false);
     const SystemInstance sys = load(name, size);
     auto flag = [&flags](const char* key, double fallback) {
         auto it = flags.find(key);
@@ -349,7 +531,8 @@ int cmd_simulate(const std::string& name, int size,
         std::printf("  recovery latency   : mean %.1f, p99 %.1f\n",
                     result.correction_latency.mean(),
                     result.correction_latency.percentile(0.99));
-    return 0;
+    obs::progress_stop();
+    return finish_trace(trace_path);
 }
 
 }  // namespace
@@ -357,15 +540,23 @@ int cmd_simulate(const std::string& name, int size,
 int main(int argc, char** argv) {
     try {
         if (argc < 2) {
-            std::fprintf(stderr,
-                         "usage: dcft list | verify <system> [size] "
-                         "[--report FILE] | "
-                         "simulate <system> [size] [--key value ...]\n");
+            print_usage(stderr);
             return 2;
         }
         const std::string command = argv[1];
+        if (command == "help" || command == "--help" || command == "-h") {
+            print_usage(stdout);
+            return 0;
+        }
         if (command == "list") return cmd_list();
 
+        const bool is_verify = command == "verify";
+        const bool is_simulate = command == "simulate";
+        if (!is_verify && !is_simulate) {
+            std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
+            print_usage(stderr);
+            return 2;
+        }
         if (argc < 3) {
             std::fprintf(stderr, "%s requires a system name\n",
                          command.c_str());
@@ -375,17 +566,18 @@ int main(int argc, char** argv) {
         int size = 0;
         int arg = 3;
         if (arg < argc && argv[arg][0] != '-') size = std::atoi(argv[arg++]);
-        std::map<std::string, std::string> flags;
-        for (; arg + 1 < argc; arg += 2) {
-            std::string key = argv[arg];
-            if (key.rfind("--", 0) == 0) key = key.substr(2);
-            flags[key] = argv[arg + 1];
+        FlagMap flags;
+        std::string error;
+        if (!parse_flags(argc, argv, arg,
+                         is_verify ? kVerifyFlags : kSimulateFlags, flags,
+                         &error)) {
+            std::fprintf(stderr, "error: %s\n\n", error.c_str());
+            print_usage(stderr);
+            return 2;
         }
 
-        if (command == "verify") return cmd_verify(system, size, flags);
-        if (command == "simulate") return cmd_simulate(system, size, flags);
-        std::fprintf(stderr, "unknown command: %s\n", command.c_str());
-        return 2;
+        return is_verify ? cmd_verify(system, size, flags)
+                         : cmd_simulate(system, size, flags);
     } catch (const std::exception& error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;

@@ -1,18 +1,27 @@
-// report_check — end-to-end validator for dcft run reports.
+// report_check — end-to-end validator for dcft run reports and traces.
 //
-//   report_check <path-to-dcft-cli> <system>[:size]...
+//   report_check [--trace] <path-to-dcft-cli> <system>[:size]...
 //
 // For each system it runs `dcft verify <system> [size] --report FILE`,
 // parses the emitted JSON with the same reader the tests use
 // (obs/json.hpp), and validates the schema: envelope keys, per-query
 // verdict fields, witness traces with action provenance, non-negative
-// counters, and a properly nested span tree. Exits non-zero on the first
-// malformed report. Registered as the ctest target `report_check` over the
-// token-ring and Byzantine examples, so the --report pipeline cannot rot
-// silently.
+// counters, the per-level exploration timeline (levels consecutive from
+// 0, non-empty frontiers), and a properly nested span tree. With --trace
+// it additionally passes `--trace FILE --progress=0.2` to each verify
+// run and validates the Chrome trace-event JSON: every event name is a
+// '/'-separated lower_snake path, timestamps are monotone within each
+// lane (tid), begin/end events balance like a stack per lane, and the
+// trace carries at least one `verify/explore/level` span per timeline
+// level row in the report. Exits non-zero on the first malformed
+// artifact. Registered as the ctest targets `report_check` (token-ring,
+// Byzantine) and `trace_smoke` (--trace on token-ring), so neither the
+// --report nor the --trace pipeline can rot silently.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -109,10 +118,112 @@ void check_query(const JsonValue& q, bool* ok_out, bool* has_witness_out) {
     *has_witness_out = !trace.empty();
 }
 
+/// The 'timeline' member: one entry per exploration, each with per-level
+/// rows whose level numbers run consecutively from 0. Returns the total
+/// number of level rows (cross-checked against the event trace).
+std::size_t check_timeline(const JsonValue& doc) {
+    std::size_t level_rows = 0;
+    const auto& timelines =
+        member(doc, "timeline", JsonValue::Kind::Array).as_array();
+    require(!timelines.empty(), "report with no exploration timelines");
+    for (const JsonValue& tl : timelines) {
+        check_nonneg_number(tl, "id");
+        check_nonneg_number(tl, "space_states");
+        check_nonneg_number(tl, "total_ns");
+        member(tl, "complete", JsonValue::Kind::Bool);
+        member(tl, "spilled", JsonValue::Kind::Bool);
+        const auto& levels =
+            member(tl, "levels", JsonValue::Kind::Array).as_array();
+        require(!levels.empty(), "timeline entry with no levels");
+        for (std::size_t i = 0; i < levels.size(); ++i) {
+            const JsonValue& row = levels[i];
+            for (const char* key :
+                 {"frontier", "new_nodes", "program_edges", "fault_edges",
+                  "level_ns", "expand_claim_ns", "claim_filter_ns",
+                  "publish_ns", "edge_write_ns", "rss_bytes", "spill_bytes",
+                  "spill_released_bytes"})
+                check_nonneg_number(row, key);
+            member(row, "parallel", JsonValue::Kind::Bool);
+            require(member(row, "level", JsonValue::Kind::Number)
+                            .as_number() == static_cast<double>(i),
+                    "timeline levels not consecutive from 0");
+            require(member(row, "frontier", JsonValue::Kind::Number)
+                            .as_number() > 0.0,
+                    "timeline level with empty frontier");
+        }
+        level_rows += levels.size();
+    }
+    return level_rows;
+}
+
+/// Trace event names follow the telemetry path convention: '/'-separated
+/// non-empty lower_snake segments.
+void check_event_name(const std::string& name) {
+    require(!name.empty(), "trace event with empty name");
+    bool segment_empty = true;
+    for (const char c : name) {
+        if (c == '/') {
+            require(!segment_empty,
+                    "trace event name '" + name + "' has an empty segment");
+            segment_empty = true;
+            continue;
+        }
+        require((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_',
+                "trace event name '" + name + "' is not lower_snake");
+        segment_empty = false;
+    }
+    require(!segment_empty, "trace event name '" + name +
+                                "' has an empty segment");
+}
+
+/// Chrome trace-event JSON: monotone timestamps and balanced begin/end
+/// per lane, valid names everywhere. Returns the number of
+/// verify/explore/level spans.
+std::size_t check_trace(const JsonValue& doc) {
+    const auto& events =
+        member(doc, "traceEvents", JsonValue::Kind::Array).as_array();
+    require(!events.empty(), "trace with no events");
+    std::map<double, std::vector<std::string>> open;  // per-tid span stack
+    std::map<double, double> last_ts;
+    std::size_t level_spans = 0;
+    for (const JsonValue& e : events) {
+        const std::string name =
+            member(e, "name", JsonValue::Kind::String).as_string();
+        check_event_name(name);
+        const std::string ph =
+            member(e, "ph", JsonValue::Kind::String).as_string();
+        require(ph == "B" || ph == "E" || ph == "i",
+                "unexpected event phase '" + ph + "'");
+        const double ts = member(e, "ts", JsonValue::Kind::Number).as_number();
+        require(ts >= 0.0, "negative trace timestamp");
+        const double tid =
+            member(e, "tid", JsonValue::Kind::Number).as_number();
+        if (const auto it = last_ts.find(tid); it != last_ts.end())
+            require(ts >= it->second,
+                    "timestamps not monotone within lane");
+        last_ts[tid] = ts;
+        std::vector<std::string>& stack = open[tid];
+        if (ph == "B") {
+            stack.push_back(name);
+            if (name == "verify/explore/level") ++level_spans;
+        } else if (ph == "E") {
+            require(!stack.empty() && stack.back() == name,
+                    "unbalanced begin/end for '" + name + "'");
+            stack.pop_back();
+        }
+    }
+    for (const auto& [tid, stack] : open)
+        require(stack.empty(), "lane ends with open spans");
+    check_nonneg_number(member(doc, "otherData", JsonValue::Kind::Object),
+                        "dropped");
+    return level_spans;
+}
+
 struct ReportSummary {
     std::size_t queries = 0;
     std::size_t passing_with_witness = 0;
     std::size_t failing_with_witness = 0;
+    std::size_t timeline_levels = 0;
 };
 
 ReportSummary check_report(const JsonValue& doc) {
@@ -170,6 +281,8 @@ ReportSummary check_report(const JsonValue& doc) {
                     "batchable program with uncovered actions");
     }
 
+    summary.timeline_levels = check_timeline(doc);
+
     const JsonValue& telemetry =
         member(doc, "telemetry", JsonValue::Kind::Object);
     require(member(telemetry, "enabled", JsonValue::Kind::Bool).as_bool(),
@@ -188,8 +301,27 @@ ReportSummary check_report(const JsonValue& doc) {
     return summary;
 }
 
+/// Reads and parses one JSON artifact; nullopt (with a message printed)
+/// on a missing file or a parse error.
+std::optional<JsonValue> load_json(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "report_check: no artifact written at %s\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    auto doc = dcft::obs::parse_json(buffer.str(), &error);
+    if (!doc)
+        std::fprintf(stderr, "report_check: %s is not valid JSON: %s\n",
+                     path.c_str(), error.c_str());
+    return doc;
+}
+
 int run_system(const std::string& cli, const std::string& spec,
-               ReportSummary* total) {
+               bool with_trace, ReportSummary* total) {
     std::string system = spec;
     std::string size;
     if (const auto colon = spec.find(':'); colon != std::string::npos) {
@@ -197,9 +329,12 @@ int run_system(const std::string& cli, const std::string& spec,
         size = spec.substr(colon + 1);
     }
     const std::string report_path = "report_check_" + system + ".json";
+    const std::string trace_path =
+        "report_check_" + system + "_trace.json";
     std::string command = "\"" + cli + "\" verify " + system;
     if (!size.empty()) command += " " + size;
     command += " --report " + report_path;
+    if (with_trace) command += " --trace " + trace_path + " --progress=0.2";
     std::printf("report_check: %s\n", command.c_str());
     if (std::system(command.c_str()) != 0) {
         std::fprintf(stderr, "report_check: command failed: %s\n",
@@ -207,35 +342,42 @@ int run_system(const std::string& cli, const std::string& spec,
         return 1;
     }
 
-    std::ifstream in(report_path, std::ios::binary);
-    if (!in) {
-        std::fprintf(stderr, "report_check: no report written at %s\n",
-                     report_path.c_str());
-        return 1;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-
-    std::string error;
-    const auto doc = dcft::obs::parse_json(buffer.str(), &error);
-    if (!doc) {
-        std::fprintf(stderr, "report_check: %s is not valid JSON: %s\n",
-                     report_path.c_str(), error.c_str());
-        return 1;
-    }
+    const std::optional<JsonValue> doc = load_json(report_path);
+    if (!doc) return 1;
+    ReportSummary summary;
     try {
-        const ReportSummary summary = check_report(*doc);
+        summary = check_report(*doc);
         total->queries += summary.queries;
         total->passing_with_witness += summary.passing_with_witness;
         total->failing_with_witness += summary.failing_with_witness;
         std::printf(
             "report_check: %s ok (%zu queries, %zu passing / %zu failing "
-            "with witnesses)\n",
+            "with witnesses, %zu timeline levels)\n",
             report_path.c_str(), summary.queries,
-            summary.passing_with_witness, summary.failing_with_witness);
+            summary.passing_with_witness, summary.failing_with_witness,
+            summary.timeline_levels);
     } catch (const Failure& failure) {
         std::fprintf(stderr, "report_check: %s invalid: %s\n",
                      report_path.c_str(), failure.message.c_str());
+        return 1;
+    }
+    if (!with_trace) return 0;
+
+    const std::optional<JsonValue> trace = load_json(trace_path);
+    if (!trace) return 1;
+    try {
+        const std::size_t level_spans = check_trace(*trace);
+        // Timeline rows and level spans come from the same explorations
+        // (both record when tracing is on), so the trace must cover every
+        // level the report saw.
+        require(level_spans >= summary.timeline_levels,
+                "trace has fewer verify/explore/level spans than the "
+                "report has timeline levels");
+        std::printf("report_check: %s ok (%zu level spans)\n",
+                    trace_path.c_str(), level_spans);
+    } catch (const Failure& failure) {
+        std::fprintf(stderr, "report_check: %s invalid: %s\n",
+                     trace_path.c_str(), failure.message.c_str());
         return 1;
     }
     return 0;
@@ -244,15 +386,23 @@ int run_system(const std::string& cli, const std::string& spec,
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc < 3) {
-        std::fprintf(stderr,
-                     "usage: report_check <dcft-cli> <system>[:size]...\n");
+    int argi = 1;
+    bool with_trace = false;
+    if (argi < argc && std::string(argv[argi]) == "--trace") {
+        with_trace = true;
+        ++argi;
+    }
+    if (argc - argi < 2) {
+        std::fprintf(
+            stderr,
+            "usage: report_check [--trace] <dcft-cli> <system>[:size]...\n");
         return 2;
     }
-    const std::string cli = argv[1];
+    const std::string cli = argv[argi++];
     ReportSummary total;
-    for (int i = 2; i < argc; ++i)
-        if (const int rc = run_system(cli, argv[i], &total); rc != 0)
+    for (int i = argi; i < argc; ++i)
+        if (const int rc = run_system(cli, argv[i], with_trace, &total);
+            rc != 0)
             return rc;
     // Across the validated systems there must be at least one passing and
     // one failing query whose witness traces are replayable.
