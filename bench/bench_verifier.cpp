@@ -20,7 +20,9 @@
 //                                       large-instance tier (token ring
 //                                       n=8: 16.7M states; Byzantine n=5;
 //                                       forced-sparse interner; early-exit
-//                                       vs full fail-safe query), single
+//                                       vs full fail-safe query; persistent
+//                                       graph store cold-explore vs
+//                                       warm-mmap on the n=8 ring), single
 //                                       rep, with states/sec and peak-RSS
 //                                       columns
 //   bench_verifier --json --huge        additionally runs the out-of-core
@@ -47,12 +49,16 @@
 // Thread sweeps work by setting DCFT_VERIFIER_THREADS between
 // measurements; default_verifier_threads() re-reads the environment on
 // every call for exactly this purpose.
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -246,6 +252,9 @@ struct Workload {
     std::uint64_t spill_bytes = 0;           ///< huge tier: spill volume
     std::uint64_t spill_released_bytes = 0;  ///< huge tier: RSS released
     int differential_identical = -1;  ///< "spill_differential": 1 ok, 0 not
+    double store_cold_ms = 0.0;  ///< kind "graph_store": explore + publish
+    double store_warm_ms = 0.0;  ///< kind "graph_store": mmap adoption hit
+    std::uint64_t store_file_bytes = 0;  ///< kind "graph_store": snapshot size
     std::vector<std::pair<unsigned, double>> ms_by_threads;
 
     double best_ms() const {
@@ -546,6 +555,60 @@ Workload bench_huge_differential(const std::vector<unsigned>& threads) {
     return w;
 }
 
+/// Persistent graph store: the same exploration served cold (full BFS
+/// plus snapshot publish into an empty DCFT_GRAPH_STORE directory) and
+/// warm (exploration cache dropped, the graph mmap-adopted back from the
+/// store — what a process restart or a second process pays). The
+/// acceptance bar is a >=10x cold/warm gap on the n=8 ring; both numbers
+/// land in the JSON as store_cold_ms / store_warm_ms.
+Workload bench_large_store(const std::vector<unsigned>& threads) {
+    auto sys = apps::make_token_ring(8, 8);
+    Workload w;
+    w.name = "large/store/token_ring_n8";
+    w.kind = "graph_store";
+    w.system =
+        "token ring (n=8, K=8), program only, init=true: cold explore + "
+        "dcft.graph publish vs warm mmap adoption (DCFT_GRAPH_STORE)";
+    w.states = sys.space->num_states();
+
+    char dir_template[] = "/tmp/dcft-bench-store-XXXXXX";
+    if (::mkdtemp(dir_template) == nullptr) {
+        std::fprintf(stderr, "graph_store bench: mkdtemp failed\n");
+        w.ms_by_threads.emplace_back(1u, 0.0);
+        return w;
+    }
+    const std::string dir = dir_template;
+    setenv("DCFT_GRAPH_STORE", dir.c_str(), 1);
+    const unsigned t = threads.empty() ? 1 : threads.front();
+    ExplorationCache& cache = ExplorationCache::global();
+    cache.clear();
+    reset_peak_rss();
+    w.store_cold_ms = time_once_ms([&] {
+        const auto ts =
+            cache.get_or_build(sys.ring, nullptr, Predicate::top(), t);
+        benchmark::DoNotOptimize(ts->num_nodes());
+        w.nodes = ts->num_nodes();
+        w.program_edges = ts->num_program_edges();
+    });
+    for (const auto& entry : std::filesystem::directory_iterator(dir))
+        if (entry.path().extension() == ".dcftg")
+            w.store_file_bytes += entry.file_size();
+    // A restart: the in-memory cache is gone, only the store survives.
+    cache.clear();
+    w.store_warm_ms = time_once_ms([&] {
+        const auto ts =
+            cache.get_or_build(sys.ring, nullptr, Predicate::top(), t);
+        benchmark::DoNotOptimize(ts->num_nodes());
+    });
+    cache.clear();
+    unsetenv("DCFT_GRAPH_STORE");
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    w.peak_rss_mb = peak_rss_mb();
+    w.ms_by_threads.emplace_back(t, w.store_warm_ms);
+    return w;
+}
+
 void write_json(const std::string& path, const std::vector<Workload>& ws,
                 const std::vector<unsigned>& threads, bool truncated,
                 bool overridden, bool smoke, bool large, bool huge) {
@@ -580,7 +643,8 @@ void write_json(const std::string& path, const std::vector<Workload>& ws,
         w.kv("kind", wl.kind);
         w.kv("system", wl.system);
         w.kv("states", wl.states);
-        if (wl.kind == "ts_build" || wl.kind == "spill_differential") {
+        if (wl.kind == "ts_build" || wl.kind == "spill_differential" ||
+            wl.kind == "graph_store") {
             w.kv("nodes", wl.nodes);
             w.kv("program_edges", wl.program_edges);
         }
@@ -617,6 +681,14 @@ void write_json(const std::string& path, const std::vector<Workload>& ws,
             w.kv("early_exit_ms", wl.early_exit_ms);
             w.kv("speedup_early_exit",
                  wl.early_exit_ms > 0 ? wl.full_ms / wl.early_exit_ms : 0.0);
+        }
+        if (wl.kind == "graph_store") {
+            w.kv("store_cold_ms", wl.store_cold_ms);
+            w.kv("store_warm_ms", wl.store_warm_ms);
+            w.kv("store_file_bytes", wl.store_file_bytes);
+            w.kv("speedup_store_warm",
+                 wl.store_warm_ms > 0 ? wl.store_cold_ms / wl.store_warm_ms
+                                      : 0.0);
         }
         if (wl.peak_rss_mb >= 0) w.kv("peak_rss_mb", wl.peak_rss_mb);
         if (wl.reference_ms > 0)
@@ -736,6 +808,8 @@ int emit_json(const std::string& path, bool smoke, bool large, bool huge,
         }
         std::printf("large: early-exit vs full fail-safe n=8 ...\n");
         ws.push_back(bench_large_early_exit(threads));
+        std::printf("large: graph store cold vs warm n=8 ...\n");
+        ws.push_back(bench_large_store(threads));
     }
 
     // Out-of-core tier: one instance past the direct-map ceiling built

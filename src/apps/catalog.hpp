@@ -1,0 +1,49 @@
+// Catalog of the built-in example systems: one registry mapping a system
+// name (+ size) to everything needed to verify and simulate it.
+//
+// The catalog used to live inside the dcft CLI; it is a library concern
+// now because two frontends share it — `dcft verify/simulate/list` and
+// the dcftd query daemon (src/service/) — and they must agree exactly on
+// what "token-ring 8" means for persistent graph-store keys to be shared
+// between them.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gc/program.hpp"
+#include "obs/run_report.hpp"
+#include "spec/problem_spec.hpp"
+#include "verify/tolerance_checker.hpp"
+
+namespace dcft::apps {
+
+/// One loaded system: program variants plus everything needed to verify
+/// and simulate them.
+struct SystemInstance {
+    std::shared_ptr<const StateSpace> space;
+    std::map<std::string, Program> variants;
+    std::unique_ptr<FaultClass> faults;
+    ProblemSpec spec;
+    Predicate invariant;
+    StateIndex initial = 0;
+};
+
+/// Builds the named system at `size` (0 = the system's default size).
+/// Throws ContractError for a name outside catalog_names().
+SystemInstance load_system(const std::string& name, int size);
+
+/// The catalog entries, in presentation order.
+const std::vector<std::string>& catalog_names();
+
+/// One ReportQuery from a tolerance verdict. Failing queries export the
+/// counterexample of the first failing obligation; passing queries export
+/// the exploration witness (BFS path to the deepest fault-span state).
+obs::ReportQuery tolerance_query(const std::string& system,
+                                 const std::string& variant,
+                                 const std::string& grade,
+                                 const ToleranceReport& report);
+
+}  // namespace dcft::apps

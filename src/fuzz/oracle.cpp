@@ -1,7 +1,10 @@
 #include "fuzz/oracle.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <utility>
 
@@ -11,6 +14,7 @@
 #include "runtime/trace_checker.hpp"
 #include "verify/closure.hpp"
 #include "verify/exploration_cache.hpp"
+#include "verify/graph_store.hpp"
 #include "verify/reachability.hpp"
 #include "verify/refinement.hpp"
 #include "verify/state_set.hpp"
@@ -347,6 +351,51 @@ std::vector<Divergence> run_oracles(const ProgramSpec& spec,
         if (auto d = first_ts_difference(ts1, *first))
             out.push_back({"cache/cached-vs-fresh", *d});
         cache.clear();
+    }
+
+    // -- store round-trip oracles ------------------------------------------
+    {
+        // Persistent graph store, both layers. Direct: save the canonical
+        // graph and mmap-adopt it back — first_ts_difference requires
+        // bit-identity over nodes, edge lists, initial sets, and witness
+        // parents. Integrated: with DCFT_GRAPH_STORE set and the
+        // exploration cache cleared, get_or_build must serve the adopted
+        // snapshot and that graph must also equal the fresh build.
+        char dir_template[] = "/tmp/dcft-fuzz-store-XXXXXX";
+        if (::mkdtemp(dir_template) != nullptr) {
+            const std::string dir = dir_template;
+            {
+                GraphStore store(dir, 0);
+                const BitVec init_bits = eval_bits(*sys.space, sys.init);
+                const GraphKey key =
+                    graph_key(sys.program, faults, init_bits);
+                std::string error;
+                if (!store.save(key, ts1, &error)) {
+                    out.push_back(
+                        {"store/roundtrip", "save failed: " + error});
+                } else {
+                    const auto loaded =
+                        store.load(key, sys.program, faults, &error);
+                    if (loaded == nullptr)
+                        out.push_back(
+                            {"store/roundtrip", "load failed: " + error});
+                    else if (auto d = first_ts_difference(ts1, *loaded))
+                        out.push_back({"store/roundtrip", *d});
+                }
+            }
+            if (!exploration_cache_disabled()) {
+                const EnvGuard store_env("DCFT_GRAPH_STORE", dir.c_str());
+                ExplorationCache& cache = ExplorationCache::global();
+                cache.clear();
+                const auto adopted = cache.get_or_build(
+                    sys.program, faults, sys.init, options.threads);
+                if (auto d = first_ts_difference(ts1, *adopted))
+                    out.push_back({"store/cached-vs-fresh", *d});
+                cache.clear();
+            }
+            std::error_code ec;
+            std::filesystem::remove_all(dir, ec);
+        }
     }
 
     // -- interner oracle ---------------------------------------------------

@@ -18,6 +18,14 @@
 //                               for the same key return the same object.
 //   cache/cached-vs-fresh       the cached graph equals a cache-bypassing
 //                               fresh exploration.
+//   store/roundtrip             a dcft.graph snapshot of the canonical
+//                               graph (GraphStore::save into a per-spec
+//                               temp directory), mmap-adopted back, is
+//                               bit-identical to the in-core build.
+//   store/cached-vs-fresh       with DCFT_GRAPH_STORE pointed at that
+//                               directory and the exploration cache
+//                               cleared, get_or_build serves the adopted
+//                               snapshot and it equals the fresh build.
 //   interner/sparse-vs-direct   exploration under DCFT_DIRECT_MAP_MAX=64
 //                               (sparse sharded interner forced at every
 //                               size, serial and chunked) vs the default

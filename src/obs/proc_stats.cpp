@@ -2,10 +2,16 @@
 
 #if defined(__linux__)
 #include <malloc.h>
+#include <sys/sysinfo.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
+#endif
+
+#if !defined(_WIN32)
+#include <sys/utsname.h>
+#include <unistd.h>
 #endif
 
 namespace dcft::obs {
@@ -57,6 +63,25 @@ std::optional<std::uint64_t> peak_rss_bytes() { return std::nullopt; }
 void reset_peak_rss() {}
 
 #endif
+
+HostInfo host_info() {
+    HostInfo info;
+    info.kernel = "unknown";
+#if !defined(_WIN32)
+    if (const long cores = sysconf(_SC_NPROCESSORS_ONLN); cores > 0)
+        info.cores = static_cast<std::uint64_t>(cores);
+    if (const long page = sysconf(_SC_PAGESIZE); page > 0)
+        info.page_size_bytes = static_cast<std::uint64_t>(page);
+    if (struct utsname un; uname(&un) == 0)
+        info.kernel = std::string(un.sysname) + " " + un.release;
+#endif
+#if defined(__linux__)
+    if (struct sysinfo si; sysinfo(&si) == 0)
+        info.total_ram_bytes = static_cast<std::uint64_t>(si.totalram) *
+                               static_cast<std::uint64_t>(si.mem_unit);
+#endif
+    return info;
+}
 
 std::optional<double> peak_rss_mb() {
     const auto bytes = peak_rss_bytes();

@@ -15,8 +15,24 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 namespace dcft::obs {
+
+/// Static facts about the machine a run executed on, embedded in every
+/// dcft.report envelope (the "host" block) so perf numbers — bench series,
+/// exploration timelines, store cold/warm deltas — are interpretable after
+/// the fact. Values that cannot be determined are 0 / "unknown" rather
+/// than errors; the envelope always carries the block.
+struct HostInfo {
+    std::uint64_t cores = 0;            ///< online logical CPUs
+    std::uint64_t page_size_bytes = 0;  ///< system page size
+    std::string kernel;                 ///< "<sysname> <release>" (uname)
+    std::uint64_t total_ram_bytes = 0;  ///< physical RAM (sysinfo)
+};
+
+/// Queries the host facts above. Cheap enough to call per report.
+HostInfo host_info();
 
 /// Current resident set size in bytes (/proc/self/statm, second field,
 /// times the page size). nullopt when the file is unavailable.

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/proc_stats.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
@@ -76,6 +77,16 @@ void begin_envelope(JsonWriter& w, std::string_view kind,
     w.kv("kind", kind);
     w.kv("tool", tool);
     w.kv("command", command);
+    // Host facts make the perf-bearing payloads (timelines, bench series,
+    // store cold/warm deltas) interpretable after the fact.
+    const HostInfo host = host_info();
+    w.key("host");
+    w.begin_object();
+    w.kv("cores", host.cores);
+    w.kv("page_size_bytes", host.page_size_bytes);
+    w.kv("kernel", host.kernel);
+    w.kv("total_ram_bytes", host.total_ram_bytes);
+    w.end_object();
 }
 
 void write_telemetry(JsonWriter& w) {
@@ -142,6 +153,25 @@ void write_witness(JsonWriter& w, const std::vector<WitnessStep>& trace) {
     w.end_array();
 }
 
+void write_query(JsonWriter& w, const ReportQuery& q) {
+    w.begin_object();
+    w.kv("name", q.name);
+    w.kv("system", q.system);
+    w.kv("variant", q.variant);
+    w.kv("grade", q.grade);
+    w.kv("ok", q.ok);
+    w.kv("reason", q.reason);
+    w.kv("invariant_size", q.invariant_size);
+    w.kv("span_size", q.span_size);
+    w.key("witness");
+    w.begin_object();
+    w.kv("kind", q.witness_kind);
+    w.key("trace");
+    write_witness(w, q.witness);
+    w.end_object();
+    w.end_object();
+}
+
 RunReport::RunReport(std::string tool, std::string command)
     : tool_(std::move(tool)), command_(std::move(command)) {}
 
@@ -154,24 +184,7 @@ std::string RunReport::to_json() const {
     begin_envelope(w, "run_report", tool_, command_);
     w.key("queries");
     w.begin_array();
-    for (const ReportQuery& q : queries_) {
-        w.begin_object();
-        w.kv("name", q.name);
-        w.kv("system", q.system);
-        w.kv("variant", q.variant);
-        w.kv("grade", q.grade);
-        w.kv("ok", q.ok);
-        w.kv("reason", q.reason);
-        w.kv("invariant_size", q.invariant_size);
-        w.kv("span_size", q.span_size);
-        w.key("witness");
-        w.begin_object();
-        w.kv("kind", q.witness_kind);
-        w.key("trace");
-        write_witness(w, q.witness);
-        w.end_object();
-        w.end_object();
-    }
+    for (const ReportQuery& q : queries_) write_query(w, q);
     w.end_array();
     // Kernel-compilation coverage per program variant: which programs run
     // fully compiled / batch-swept and which pay interpreter fallbacks.

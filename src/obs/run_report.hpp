@@ -9,6 +9,7 @@
 //     "kind": "run_report" | "bench",
 //     "tool": "<binary name>",
 //     "command": "<reconstructed command line>",
+//     "host": { "cores", "page_size_bytes", "kernel", "total_ram_bytes" },
 //     ...kind-specific payload...,
 //     "timeline": [ { "id", "space_states", "total_ns", "complete",
 //                     "spilled",               // run_report kind only:
@@ -121,6 +122,11 @@ void write_telemetry(JsonWriter& w);
 /// Writes a witness trace as an array of step objects
 /// {"state","state_repr","action","fault"}.
 void write_witness(JsonWriter& w, const std::vector<WitnessStep>& trace);
+
+/// Writes one query object exactly as run reports emit it (verdict,
+/// sizes, witness). Shared with the dcftd verify responses so both
+/// frontends stay schema-identical.
+void write_query(JsonWriter& w, const ReportQuery& q);
 
 /// Writes the "timeline" member: every per-level exploration timeline
 /// published so far (obs/trace.hpp), one object per exploration.

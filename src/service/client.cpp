@@ -1,0 +1,86 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace dcft::service {
+
+std::string default_socket_path() {
+    if (const char* env = std::getenv("DCFT_SOCKET");
+        env != nullptr && env[0] != '\0')
+        return env;
+    return "/tmp/dcftd.sock";
+}
+
+std::optional<std::string> roundtrip(const std::string& socket_path,
+                                     const std::string& request_line,
+                                     std::string* error) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+        if (error != nullptr)
+            *error = "socket path empty or too long: '" + socket_path + "'";
+        return std::nullopt;
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        if (error != nullptr)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return std::nullopt;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error != nullptr)
+            *error = "connect to '" + socket_path +
+                     "': " + std::strerror(errno) +
+                     " (is dcftd running?)";
+        ::close(fd);
+        return std::nullopt;
+    }
+
+    std::string request = request_line;
+    if (request.empty() || request.back() != '\n') request.push_back('\n');
+    std::size_t off = 0;
+    while (off < request.size()) {
+        const ssize_t n = ::send(fd, request.data() + off,
+                                 request.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            if (error != nullptr)
+                *error = std::string("send: ") + std::strerror(errno);
+            ::close(fd);
+            return std::nullopt;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+
+    std::string response;
+    char chunk[4096];
+    for (;;) {
+        if (const std::size_t nl = response.find('\n');
+            nl != std::string::npos) {
+            ::close(fd);
+            return response.substr(0, nl);
+        }
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+            if (error != nullptr)
+                *error = n == 0 ? "connection closed before a response line"
+                                : std::string("recv: ") +
+                                      std::strerror(errno);
+            ::close(fd);
+            return std::nullopt;
+        }
+        response.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+}  // namespace dcft::service

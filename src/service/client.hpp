@@ -1,0 +1,23 @@
+// Client side of the dcftd wire protocol: connect to the daemon's unix
+// socket, send one newline-delimited JSON request, read one response
+// line. Used by the `dcft client` subcommand and the service smoke test.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace dcft::service {
+
+/// The daemon socket path a client should use: DCFT_SOCKET when set,
+/// otherwise "/tmp/dcftd.sock" (the dcftd default).
+std::string default_socket_path();
+
+/// Sends `request_line` (newline appended if missing) over a fresh
+/// connection to `socket_path` and returns the first response line
+/// (without the newline). nullopt with *error on connect/IO failure or a
+/// connection closed before a full line arrived.
+std::optional<std::string> roundtrip(const std::string& socket_path,
+                                     const std::string& request_line,
+                                     std::string* error = nullptr);
+
+}  // namespace dcft::service

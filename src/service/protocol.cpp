@@ -1,0 +1,96 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+
+#include "obs/run_report.hpp"
+
+namespace dcft::service {
+
+std::optional<Request> parse_request(const std::string& line,
+                                     std::string* error) {
+    std::string parse_error;
+    const auto doc = obs::parse_json(line, &parse_error);
+    if (!doc.has_value()) {
+        if (error != nullptr) *error = "invalid JSON: " + parse_error;
+        return std::nullopt;
+    }
+    if (!doc->is_object()) {
+        if (error != nullptr) *error = "request must be a JSON object";
+        return std::nullopt;
+    }
+    Request req;
+    if (const auto* id = doc->find("id", obs::JsonValue::Kind::String))
+        req.id = id->as_string();
+    const auto* op = doc->find("op", obs::JsonValue::Kind::String);
+    if (op == nullptr) {
+        if (error != nullptr) *error = "request without string member 'op'";
+        return std::nullopt;
+    }
+    req.op = op->as_string();
+    if (req.op == "verify") {
+        const auto* system =
+            doc->find("system", obs::JsonValue::Kind::String);
+        if (system == nullptr || system->as_string().empty()) {
+            if (error != nullptr)
+                *error = "verify request without string member 'system'";
+            return std::nullopt;
+        }
+        req.system = system->as_string();
+        if (const auto* size =
+                doc->find("size", obs::JsonValue::Kind::Number)) {
+            const double v = size->as_number();
+            if (v < 0.0 || v != std::floor(v) || v > 1e9) {
+                if (error != nullptr)
+                    *error = "'size' must be a non-negative integer";
+                return std::nullopt;
+            }
+            req.size = static_cast<int>(v);
+        }
+    } else if (req.op != "ping" && req.op != "list" && req.op != "stats" &&
+               req.op != "shutdown") {
+        if (error != nullptr) *error = "unknown op '" + req.op + "'";
+        return std::nullopt;
+    }
+    return req;
+}
+
+void begin_response(obs::JsonWriter& w, const Request& request, bool ok) {
+    std::string command = request.op;
+    if (!request.system.empty()) {
+        command += " " + request.system;
+        if (request.size > 0) command += " " + std::to_string(request.size);
+    }
+    obs::begin_envelope(w, "service", "dcftd", command);
+    w.kv("op", request.op.empty() ? "?" : request.op);
+    w.kv("id", request.id);
+    w.kv("ok", ok);
+}
+
+std::string finish_response_line(const obs::JsonWriter& w) {
+    // The writer's newlines are formatting only (string values escape
+    // theirs), so dropping each '\n' and its following indentation yields
+    // an equivalent single-line document.
+    const std::string& pretty = w.str();
+    std::string line;
+    line.reserve(pretty.size() + 1);
+    for (std::size_t i = 0; i < pretty.size(); ++i) {
+        if (pretty[i] == '\n') {
+            while (i + 1 < pretty.size() && pretty[i + 1] == ' ') ++i;
+            continue;
+        }
+        line.push_back(pretty[i]);
+    }
+    line.push_back('\n');
+    return line;
+}
+
+std::string error_response(const Request& request,
+                           const std::string& reason) {
+    obs::JsonWriter w;
+    begin_response(w, request, /*ok=*/false);
+    w.kv("error", reason);
+    w.end_object();
+    return finish_response_line(w);
+}
+
+}  // namespace dcft::service

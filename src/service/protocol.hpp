@@ -1,0 +1,67 @@
+// Wire protocol of the dcftd query daemon (src/service/, DESIGN.md §10).
+//
+// Transport: a unix-domain stream socket carrying newline-delimited JSON —
+// one request object per line from the client, one response object per
+// line back. Both directions reuse the repo's JSON layer (obs/json.hpp),
+// and every response is a `dcft.report` envelope (schema/schema_version/
+// kind/tool/command/host) with kind "service", so the same reader that
+// parses run reports and bench series parses daemon responses.
+//
+// Requests:
+//   {"op":"ping"}
+//   {"op":"list"}
+//   {"op":"verify","system":"token-ring","size":8}
+//   {"op":"stats"}
+//   {"op":"shutdown"}
+// Optional members: "id" (opaque client tag, echoed back verbatim) and,
+// for verify, "size" (0 = the system's default). Unknown ops and malformed
+// lines produce an error response ("ok": false, "error": reason) — the
+// connection stays open; the daemon never disconnects on bad input.
+//
+// Responses always carry "op", "id", and "ok". Payloads:
+//   ping      -> {}
+//   list      -> "systems": [ {"name","states","variants":[...]}, ... ]
+//   verify    -> "system", "size", "queries": [ run-report query objects ],
+//                "coalesced": bool (this response shared another caller's
+//                execution)
+//   stats     -> "scheduler": {"admitted","executed","coalesced"},
+//                "telemetry": { ... } (the run-report telemetry section)
+//   shutdown  -> {} (the daemon stops accepting and exits its run loop)
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace dcft::service {
+
+/// One parsed request line.
+struct Request {
+    std::string op;      ///< "ping" | "list" | "verify" | "stats" | "shutdown"
+    std::string id;      ///< opaque client tag, echoed back ("" if absent)
+    std::string system;  ///< verify only
+    int size = 0;        ///< verify only; 0 = system default
+};
+
+/// Parses one request line. On failure returns nullopt with a reason in
+/// *error (when non-null); the caller answers with error_response.
+std::optional<Request> parse_request(const std::string& line,
+                                     std::string* error = nullptr);
+
+/// Opens a single-line response envelope: the dcft.report members with
+/// kind "service", plus "op"/"id"/"ok". The caller appends payload
+/// members, calls end_object(), then finish_response_line.
+void begin_response(obs::JsonWriter& w, const Request& request, bool ok);
+
+/// Flattens a finished JsonWriter document to one newline-terminated line
+/// (the writer pretty-prints; the protocol is line-delimited). Safe
+/// because JSON string escaping keeps literal newlines out of the
+/// document body.
+std::string finish_response_line(const obs::JsonWriter& w);
+
+/// Complete error response line for `request` (parse failures pass a
+/// default-constructed Request carrying just the id, if one was salvaged).
+std::string error_response(const Request& request, const std::string& reason);
+
+}  // namespace dcft::service

@@ -7,6 +7,7 @@
 #include "common/env.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "verify/graph_store.hpp"
 
 namespace dcft {
 
@@ -87,6 +88,46 @@ std::size_t ExplorationCache::capacity() {
     return 8;
 }
 
+std::uint64_t ExplorationCache::byte_budget() {
+    return env_positive_u64("DCFT_EXPLORE_CACHE_BYTES").value_or(0);
+}
+
+std::uint64_t ExplorationCache::resident_bytes() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const Entry& e : entries_) total += e.bytes;
+    return total;
+}
+
+void ExplorationCache::note_ready_bytes(std::uint64_t token,
+                                        std::uint64_t bytes) {
+    const std::uint64_t budget = byte_budget();
+    // Evicted entries are destroyed outside the lock: an entry's future
+    // may hold the last reference to a large TransitionSystem.
+    std::list<Entry> doomed;
+    std::uint64_t total = 0;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (Entry& e : entries_) {
+            if (e.token == token) e.bytes = bytes;
+            total += e.bytes;
+        }
+        if (budget != 0) {
+            auto it = entries_.end();
+            while (total > budget && it != entries_.begin()) {
+                --it;
+                if (it == entries_.begin()) break;  // retain the MRU entry
+                if (it->bytes == 0) continue;       // in-flight: keep
+                total -= it->bytes;
+                obs::count("verify/explore_cache/byte_evictions");
+                auto victim = it++;
+                doomed.splice(doomed.end(), entries_, victim);
+            }
+        }
+    }
+    obs::record("verify/explore_cache/resident_bytes", total);
+}
+
 std::shared_ptr<const TransitionSystem> ExplorationCache::get_or_build(
     const Program& program, const FaultClass* faults, const Predicate& init,
     unsigned n_threads) {
@@ -153,18 +194,32 @@ std::shared_ptr<const TransitionSystem> ExplorationCache::get_or_build(
     if (resident.valid()) return resident.get();
 
     // Build outside the lock: one large exploration never blocks hits or
-    // unrelated builds.
+    // unrelated builds. With a persistent store configured, try to
+    // mmap-adopt a snapshot before paying the BFS; a fresh build is
+    // published back for the next process.
     try {
+        GraphStore* const store = GraphStore::global();
+        GraphKey gkey;
+        std::shared_ptr<const TransitionSystem> ts;
+        if (store != nullptr) {
+            gkey = graph_key(program, faults, init_bits);
+            ts = store->load(gkey, program, faults);
+        }
+        const bool from_store = ts != nullptr;
         auto bits = std::make_shared<const BitVec>(std::move(init_bits));
-        const Predicate seeded = Predicate::from_bits(init.name(), bits);
-        auto ts = std::make_shared<const TransitionSystem>(program, faults,
-                                                           seeded, n_threads);
+        if (!from_store) {
+            const Predicate seeded = Predicate::from_bits(init.name(), bits);
+            ts = std::make_shared<const TransitionSystem>(program, faults,
+                                                          seeded, n_threads);
+        }
         builder.set_value(ts);
+        note_ready_bytes(token, ts->resident_bytes());
         if (obs::trace_enabled()) {
             static const std::uint32_t id =
                 obs::trace_name("verify/explore_cache/publish");
             obs::trace_instant(id, ts->num_nodes());
         }
+        if (store != nullptr && !from_store) store->save(gkey, *ts);
         return ts;
     } catch (...) {
         builder.set_exception(std::current_exception());
@@ -229,6 +284,20 @@ ExplorationCache::get_or_build_early_exit(const Program& program,
         obs::trace_instant(id);
     }
 
+    // A stored snapshot is always a *complete* graph, so it serves the
+    // early-exit query the same way a resident full graph does: adopt it,
+    // publish it in memory, and let the caller scan via first_bad_node.
+    GraphStore* const store = GraphStore::global();
+    GraphKey gkey;
+    if (store != nullptr) {
+        gkey = graph_key(program, faults, init_bits);
+        if (auto loaded = store->load(gkey, program, faults)) {
+            std::shared_ptr<const TransitionSystem> ts = std::move(loaded);
+            publish_if_absent(space, program, faults, h, init_bits, ts);
+            return ts;
+        }
+    }
+
     // Build outside the lock, seeded from the materialized bits exactly as
     // get_or_build would, so a run-to-exhaustion result IS the graph the
     // full path builds (and can be published in its place).
@@ -241,43 +310,51 @@ ExplorationCache::get_or_build_early_exit(const Program& program,
                                                        seeded, opts);
     if (!ts->complete()) {
         // Early-exit fragment: NEVER cached (a later get_or_build for this
-        // key must not be served an incomplete graph).
+        // key must not be served an incomplete graph) and never stored —
+        // the store holds complete graphs only.
         obs::count("verify/explore_cache/early_exit_fragments");
         return ts;
     }
 
     // The stop predicate never fired: this is the full graph. Publish it
-    // (unless a racing build of the same key got there first).
+    // (unless a racing build of the same key got there first), and to the
+    // persistent store.
+    if (publish_if_absent(space, program, faults, h, *bits, ts))
+        obs::count("verify/explore_cache/early_exit_published");
+    if (store != nullptr) store->save(gkey, *ts);
+    return ts;
+}
+
+bool ExplorationCache::publish_if_absent(
+    const StateSpace& space, const Program& program, const FaultClass* faults,
+    std::uint64_t init_hash, const BitVec& init_bits,
+    const std::shared_ptr<const TransitionSystem>& ts) {
     std::promise<std::shared_ptr<const TransitionSystem>> ready;
     ready.set_value(ts);
+    std::uint64_t token = 0;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
-        bool present = false;
-        for (const auto& e : entries_) {
-            if (matches(e.key, space, program, faults, h, *bits)) {
-                present = true;
-                break;
-            }
+        for (const auto& e : entries_)
+            if (matches(e.key, space, program, faults, init_hash, init_bits))
+                return false;
+        if (obs::trace_enabled()) {
+            static const std::uint32_t id =
+                obs::trace_name("verify/explore_cache/publish");
+            obs::trace_instant(id, ts->num_nodes());
         }
-        if (!present) {
-            obs::count("verify/explore_cache/early_exit_published");
-            if (obs::trace_enabled()) {
-                static const std::uint32_t id =
-                    obs::trace_name("verify/explore_cache/publish");
-                obs::trace_instant(id, ts->num_nodes());
-            }
-            entries_.push_front(Entry{make_key(space, program, faults, h,
-                                               *bits),
-                                      ++next_token_,
-                                      ready.get_future().share()});
-            const std::size_t cap = capacity();
-            while (entries_.size() > cap) {
-                obs::count("verify/explore_cache/evictions");
-                entries_.pop_back();
-            }
+        token = ++next_token_;
+        entries_.push_front(Entry{make_key(space, program, faults, init_hash,
+                                           init_bits),
+                                  token,
+                                  ready.get_future().share()});
+        const std::size_t cap = capacity();
+        while (entries_.size() > cap) {
+            obs::count("verify/explore_cache/evictions");
+            entries_.pop_back();
         }
     }
-    return ts;
+    note_ready_bytes(token, ts->resident_bytes());
+    return true;
 }
 
 void ExplorationCache::remove_entry(std::uint64_t token) {

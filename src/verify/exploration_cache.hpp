@@ -40,7 +40,23 @@
 // concurrency regression test pins this). A build that throws removes its
 // entry and propagates the exception to every waiter.
 //
-// Entries are LRU-evicted beyond DCFT_EXPLORE_CACHE_CAP (default 8).
+// Eviction is both entry- and byte-aware. Entries are LRU-evicted beyond
+// DCFT_EXPLORE_CACHE_CAP (default 8); additionally, every completed entry
+// records the resident footprint of its TransitionSystem
+// (TransitionSystem::resident_bytes — nodes + CSR + interner) and, when
+// DCFT_EXPLORE_CACHE_BYTES is set, ready entries are LRU-evicted from the
+// tail until the cache fits the byte budget (the most recent entry is
+// always retained so a single over-budget graph still serves its own
+// verdict pipeline). In-flight builds are never byte-evicted — their
+// footprint is unknown and evicting them would break same-key dedup.
+// Counters: verify/explore_cache/evictions (entry cap),
+// verify/explore_cache/byte_evictions, and the resident_bytes gauge.
+//
+// Persistent store integration: when DCFT_GRAPH_STORE names a directory
+// (see verify/graph_store.hpp), a miss first tries to mmap-adopt a stored
+// snapshot — including on the early-exit path, where a stored *complete*
+// graph is answered via first_bad_node exactly like an in-memory hit —
+// and a completed fresh build is published back to the store.
 // DCFT_NO_EXPLORE_CACHE=1 bypasses the cache entirely (every call
 // builds); benches clear() inside timed loops so repeated queries measure
 // real exploration work.
@@ -107,6 +123,13 @@ public:
     /// default 8, re-read per insertion).
     static std::size_t capacity();
 
+    /// Byte budget over the resident footprints of completed entries
+    /// (DCFT_EXPLORE_CACHE_BYTES; 0 = unlimited, the default).
+    static std::uint64_t byte_budget();
+
+    /// Sum of the recorded resident bytes of completed entries.
+    std::uint64_t resident_bytes() const;
+
 private:
     struct Key {
         std::uint64_t space_uid = 0;
@@ -125,11 +148,27 @@ private:
         Key key;
         std::uint64_t token;  ///< identifies this entry for error removal
         std::shared_future<std::shared_ptr<const TransitionSystem>> ts;
+        /// TransitionSystem::resident_bytes once the build completed;
+        /// 0 while in flight (such entries are never byte-evicted).
+        std::uint64_t bytes = 0;
     };
 
     /// Removes the entry carrying `token` if it is still present (used
     /// when a build fails; waiters get the exception via the future).
     void remove_entry(std::uint64_t token);
+
+    /// Records the completed entry's footprint and enforces the byte
+    /// budget (LRU from the tail, ready entries only, front retained).
+    void note_ready_bytes(std::uint64_t token, std::uint64_t bytes);
+
+    /// Inserts a ready entry for (program [, faults], init) unless one is
+    /// already present; returns true when inserted. Shared by the
+    /// early-exit publish and the store-load paths.
+    bool publish_if_absent(
+        const StateSpace& space, const Program& program,
+        const FaultClass* faults, std::uint64_t init_hash,
+        const BitVec& init_bits,
+        const std::shared_ptr<const TransitionSystem>& ts);
 
     /// Whether `k` identifies (program [, faults], init_bits) — the one
     /// key comparison, shared by the full and early-exit lookups.

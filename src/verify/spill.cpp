@@ -81,8 +81,37 @@ std::unique_ptr<SpillFile> SpillFile::acquire_ram(std::size_t bytes_hint) {
     return f;
 }
 
+std::unique_ptr<SpillFile> SpillFile::create_named(const std::string& path) {
+    auto f = std::make_unique<SpillFile>(true);
+    f->fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+    if (f->fd_ < 0)
+        throw std::runtime_error("SpillFile: cannot create " + path + ": " +
+                                 std::strerror(errno));
+    return f;
+}
+
+std::unique_ptr<SpillFile> SpillFile::adopt_region(int fd, std::size_t offset,
+                                                   std::size_t bytes) {
+    if ((offset & (kPage - 1)) != 0)
+        throw std::runtime_error("SpillFile: adopt_region offset unaligned");
+    auto f = std::make_unique<SpillFile>(false);
+    f->adopted_ = true;
+    if (bytes == 0) return f;  // empty section: no mapping at all
+    const std::size_t cap = round_up_page(bytes);
+    void* p = ::mmap(nullptr, cap, PROT_READ | PROT_WRITE, MAP_PRIVATE, fd,
+                     static_cast<off_t>(offset));
+    if (p == MAP_FAILED)
+        throw std::runtime_error(std::string("SpillFile: adopt mmap: ") +
+                                 std::strerror(errno));
+    f->base_ = p;
+    f->cap_ = cap;
+    return f;
+}
+
 void SpillFile::recycle(std::unique_ptr<SpillFile> f) {
-    if (f == nullptr || f->file_backed_ || f->base_ == nullptr) return;
+    if (f == nullptr || f->file_backed_ || f->adopted_ ||
+        f->base_ == nullptr)
+        return;
     ArenaPool& pool = arena_pool();
     std::lock_guard<std::mutex> lock(pool.mu);
     if (pool.arenas.size() >= kPoolMaxArenas ||
@@ -100,6 +129,9 @@ SpillFile::~SpillFile() {
 void* SpillFile::grow(std::size_t bytes) {
     const std::size_t new_cap = round_up_page(bytes);
     if (new_cap <= cap_) return base_;
+    if (adopted_)
+        throw std::runtime_error(
+            "SpillFile: adopted store mappings are fixed-capacity");
     if (!file_backed_) {
         // RAM mode: private anonymous arena. Fresh pages are kernel-zeroed
         // on first touch, which is what lets SpillVector::resize skip

@@ -58,6 +58,24 @@ public:
     SpillFile(const SpillFile&) = delete;
     SpillFile& operator=(const SpillFile&) = delete;
 
+    /// Opens (creating/truncating) a *named* file-backed arena at `path`.
+    /// Unlike the anonymous spill mode the file survives the mapping —
+    /// this is how verify/graph_store.cpp materializes `dcft.graph`
+    /// snapshots before atomically renaming them into the store
+    /// directory. Throws std::runtime_error when the file cannot be
+    /// created.
+    static std::unique_ptr<SpillFile> create_named(const std::string& path);
+
+    /// Adopts a page-aligned region [offset, offset+bytes) of an existing
+    /// file as a fixed-capacity arena, mapped MAP_PRIVATE with
+    /// PROT_READ|PROT_WRITE: reads are zero-copy from the page cache and
+    /// any (unexpected) write faults a private copy instead of corrupting
+    /// the store. Adopted arenas can never grow() and are never pooled.
+    /// `offset` must be page-aligned. The caller may close `fd` after the
+    /// call (the mapping keeps the file referenced).
+    static std::unique_ptr<SpillFile> adopt_region(int fd, std::size_t offset,
+                                                   std::size_t bytes);
+
     /// Checks out a RAM arena from the process-wide pool (or a fresh one
     /// when the pool is empty). Pooled arenas keep their pages faulted in
     /// across explorations — first-touch faults cost ~10x a warm store on
@@ -79,6 +97,7 @@ public:
     void* grow(std::size_t bytes);
 
     bool file_backed() const { return file_backed_; }
+    bool adopted() const { return adopted_; }
 
     /// RSS hint (spill mode only): drops the process mapping of
     /// [0, bytes) page-aligned down, after any prior watermark. Data is
@@ -96,6 +115,7 @@ public:
 
 private:
     bool file_backed_ = false;
+    bool adopted_ = false;  ///< fixed-capacity mapping of a store file
     int fd_ = -1;
     void* base_ = nullptr;
     std::size_t cap_ = 0;            ///< mapped/ftruncated bytes
@@ -140,6 +160,21 @@ public:
         file_backed_ = true;
     }
     bool spilled() const { return file_backed_; }
+
+    /// Replaces this vector's storage with an adopted arena
+    /// (SpillFile::adopt_region) holding exactly `n_elems` elements. The
+    /// vector becomes fixed-size: it must never grow past the arena's
+    /// capacity afterwards (graph snapshots are immutable once loaded).
+    void adopt(std::unique_ptr<SpillFile> arena, std::size_t n_elems) {
+        release_arena();
+        file_ = std::move(arena);
+        file_backed_ = false;  // spill accounting tracks build arenas only
+        base_ = static_cast<T*>(file_->base());
+        size_ = n_elems;
+        cap_ = file_->capacity() / sizeof(T);
+        touched_ = cap_;  // arena bytes are meaningful, never kernel-fresh
+    }
+    bool adopted() const { return file_ != nullptr && file_->adopted(); }
 
     std::size_t size() const { return size_; }
     bool empty() const { return size_ == 0; }

@@ -293,6 +293,68 @@ TransitionSystem::TransitionSystem(const Program& program,
             options.stop_on, options.spill || spill_enabled());
 }
 
+TransitionSystem::TransitionSystem(
+    const Program& program, std::vector<std::string> fault_action_names,
+    AdoptedArrays&& arrays)
+    : space_(program.space_ptr()),
+      program_(program),
+      fault_action_names_(std::move(fault_action_names)),
+      states_(std::move(arrays.states)),
+      initial_(std::move(arrays.initial)),
+      parent_(std::move(arrays.parent)),
+      prog_offsets_(std::move(arrays.prog_offsets)),
+      prog_edges_(std::move(arrays.prog_edges)),
+      fault_offsets_(std::move(arrays.fault_offsets)),
+      fault_edges_(std::move(arrays.fault_edges)),
+      identity_nodes_(arrays.identity_nodes) {
+    // The snapshot stores no interner: node_of/has_state rebuild it on
+    // first use. The tier decision matches a fresh exploration's, so the
+    // memory profile of a warm graph equals the cold one's.
+    if (!identity_nodes_) {
+        direct_mapped_ = space_->num_states() <= direct_map_max();
+        interner_lazy_ = true;
+    }
+}
+
+std::shared_ptr<TransitionSystem> TransitionSystem::adopt(
+    const Program& program, std::vector<std::string> fault_action_names,
+    AdoptedArrays&& arrays) {
+    return std::shared_ptr<TransitionSystem>(new TransitionSystem(
+        program, std::move(fault_action_names), std::move(arrays)));
+}
+
+void TransitionSystem::ensure_interner() const {
+    std::call_once(interner_once_, [this] {
+        const obs::ScopedSpan span("verify/graph_store/interner_rebuild");
+        const std::size_t n = states_.size();
+        if (direct_mapped_) {
+            node_map_.assign(
+                static_cast<std::size_t>(space_->num_states()), kNoNode);
+            for (std::size_t i = 0; i < n; ++i)
+                node_map_[static_cast<std::size_t>(states_[i])] =
+                    static_cast<NodeId>(i);
+        } else {
+            auto table = std::make_unique<SparseNodeTable>(n);
+            for (std::size_t i = 0; i < n; ++i)
+                table->find_or_insert(states_[i], static_cast<NodeId>(i));
+            sparse_ = std::move(table);
+        }
+    });
+}
+
+std::uint64_t TransitionSystem::resident_bytes() const {
+    std::uint64_t b = states_.size() * sizeof(StateIndex) +
+                      parent_.size() * sizeof(NodeId) +
+                      prog_offsets_.size() * sizeof(std::uint64_t) +
+                      prog_edges_.size() * sizeof(Edge) +
+                      fault_offsets_.size() * sizeof(std::uint64_t) +
+                      fault_edges_.size() * sizeof(Edge) +
+                      initial_.capacity() * sizeof(NodeId);
+    b += node_map_.capacity() * sizeof(NodeId);
+    if (sparse_ != nullptr) b += sparse_->bytes();
+    return b;
+}
+
 TransitionSystem::~TransitionSystem() = default;
 
 namespace {
@@ -342,6 +404,9 @@ void TransitionSystem::explore(const FaultClass* faults,
     // run reports (telemetry) embed it, traces cross-reference it.
     const bool timeline = telemetry || tracing;
     const bool progress_on = obs::progress_enabled();
+    // One count per BFS actually run: snapshot-adopted graphs never pass
+    // here, which is what the service/store smoke tests assert on.
+    obs::count("verify/explorations");
     const obs::ScopedSpan span("verify/explore");
     const obs::TraceSpan tspan(tracing ? tr().explore : 0);
     const StateIndex n_states = space_->num_states();
@@ -1294,6 +1359,7 @@ void TransitionSystem::build_predecessors(CsrList& out,
 
 bool TransitionSystem::has_state(StateIndex s) const {
     if (identity_nodes_) return s < space_->num_states();
+    if (interner_lazy_) ensure_interner();
     if (direct_mapped_)
         return s < node_map_.size() &&
                node_map_[static_cast<std::size_t>(s)] != kNoNode;
@@ -1306,6 +1372,7 @@ NodeId TransitionSystem::node_of(StateIndex s) const {
                      "TransitionSystem::node_of: state not reachable");
         return static_cast<NodeId>(s);
     }
+    if (interner_lazy_) ensure_interner();
     if (direct_mapped_) {
         DCFT_EXPECTS(s < node_map_.size() &&
                          node_map_[static_cast<std::size_t>(s)] != kNoNode,

@@ -123,6 +123,28 @@ public:
     TransitionSystem(const Program& program, const FaultClass* faults,
                      const Predicate& init, const ExploreOptions& options);
 
+    /// Flat-array bundle for adopting a stored graph (verify/graph_store):
+    /// the exact member arrays of a completed exploration, typically
+    /// backed by SpillFile::adopt_region mappings of a `dcft.graph` file.
+    struct AdoptedArrays {
+        SpillVector<StateIndex> states;
+        std::vector<NodeId> initial;
+        SpillVector<NodeId> parent;
+        SpillVector<std::uint64_t> prog_offsets;
+        SpillVector<Edge> prog_edges;
+        SpillVector<std::uint64_t> fault_offsets;
+        SpillVector<Edge> fault_edges;
+        bool identity_nodes = false;  ///< node id == state index
+    };
+
+    /// Reconstructs a complete system from stored arrays without
+    /// re-exploration. The interner (reverse state -> node map) is NOT
+    /// part of the snapshot; it is rebuilt lazily on the first
+    /// has_state()/node_of() call, so adoption itself is O(mmap).
+    static std::shared_ptr<TransitionSystem> adopt(
+        const Program& program, std::vector<std::string> fault_action_names,
+        AdoptedArrays&& arrays);
+
     ~TransitionSystem();
 
     const StateSpace& space() const { return *space_; }
@@ -184,6 +206,35 @@ public:
     /// Total number of fault edges.
     std::size_t num_fault_edges() const { return fault_edges_.size(); }
 
+    /// Raw CSR arrays, exactly as explored — the byte layout the graph
+    /// store serializes. Stable for the lifetime of the system.
+    std::span<const StateIndex> raw_states() const {
+        return {states_.data(), states_.size()};
+    }
+    std::span<const NodeId> raw_parent() const {
+        return {parent_.data(), parent_.size()};
+    }
+    std::span<const std::uint64_t> raw_prog_offsets() const {
+        return {prog_offsets_.data(), prog_offsets_.size()};
+    }
+    std::span<const Edge> raw_prog_edges() const {
+        return {prog_edges_.data(), prog_edges_.size()};
+    }
+    std::span<const std::uint64_t> raw_fault_offsets() const {
+        return {fault_offsets_.data(), fault_offsets_.size()};
+    }
+    std::span<const Edge> raw_fault_edges() const {
+        return {fault_edges_.data(), fault_edges_.size()};
+    }
+    /// Whether the identity interner tier is active (node id == state
+    /// index; nothing allocated). Recorded in graph snapshots.
+    bool identity_interner() const { return identity_nodes_; }
+
+    /// Approximate bytes of RAM/page-cache this system keeps resident:
+    /// node + CSR arrays, the interner tier, and the initial list. The
+    /// unit of the exploration cache's byte-budget accounting.
+    std::uint64_t resident_bytes() const;
+
     /// Whether this system was built out-of-core (ExploreOptions::spill
     /// or DCFT_SPILL).
     bool spilled() const { return spilled_; }
@@ -227,15 +278,26 @@ public:
     const std::string& fault_action_name(std::uint32_t a) const {
         return fault_action_names_[a];
     }
+    std::size_t num_fault_actions() const {
+        return fault_action_names_.size();
+    }
 
     /// "s0 -> s1 -> ... -> sk" rendering of witness_path(n), capped to the
     /// last few states for long paths.
     std::string format_witness(NodeId n) const;
 
 private:
+    /// Adoption constructor (see adopt()); interner left for lazy rebuild.
+    TransitionSystem(const Program& program,
+                     std::vector<std::string> fault_action_names,
+                     AdoptedArrays&& arrays);
+
     void explore(const FaultClass* faults, const Predicate& init,
                  unsigned n_threads, const Predicate* stop_on, bool spill);
     void build_predecessors(CsrList& out, bool include_faults) const;
+    /// Builds the reverse state -> node map of an adopted system on first
+    /// use (direct map or sparse table, by the usual tier rule).
+    void ensure_interner() const;
 
     std::shared_ptr<const StateSpace> space_;
     Program program_;
@@ -264,8 +326,13 @@ private:
     // entries, kNoNode = absent), or the sharded sparse table.
     bool identity_nodes_ = false;
     bool direct_mapped_ = false;
-    std::vector<NodeId> node_map_;
-    std::unique_ptr<SparseNodeTable> sparse_;
+    /// Adopted systems defer the reverse map to the first has_state()/
+    /// node_of() call (ensure_interner); `mutable` + once_flag keeps the
+    /// const accessors thread-safe, exactly like the predecessor CSRs.
+    bool interner_lazy_ = false;
+    mutable std::once_flag interner_once_;
+    mutable std::vector<NodeId> node_map_;
+    mutable std::unique_ptr<SparseNodeTable> sparse_;
 
     // Early-exit state (see complete() / bad_node()).
     bool complete_ = true;

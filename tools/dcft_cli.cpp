@@ -17,6 +17,11 @@
 //                 [--trace FILE] [--progress[=SECS]]
 //       Batch-simulate a variant under fault injection and print
 //       aggregate statistics.
+//   dcft client <op> [args] [--socket PATH] [--id TAG]
+//       Query a running dcftd daemon (tools/dcftd.cpp) over its unix
+//       socket: ping | list | stats | shutdown | verify <system> [size].
+//       Prints the single-line JSON response; exits 0 iff the daemon
+//       answered ok.
 //
 // Observability flags accept `--flag value` and `--flag=value`;
 // --progress may also appear bare (1s interval). Each has an environment
@@ -32,184 +37,27 @@
 #include <string>
 #include <vector>
 
-#include "apps/alternating_bit.hpp"
-#include "apps/barrier.hpp"
-#include "apps/byzantine.hpp"
-#include "apps/distributed_reset.hpp"
-#include "apps/leader_election.hpp"
-#include "apps/memory_access.hpp"
-#include "apps/spanning_tree.hpp"
-#include "apps/termination_detection.hpp"
-#include "apps/tmr.hpp"
-#include "apps/token_ring.hpp"
+#include "apps/catalog.hpp"
 #include "common/env.hpp"
 #include "obs/progress.hpp"
 #include "obs/run_report.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "runtime/experiment.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
 #include "verify/batch_kernel.hpp"
-#include "verify/invariant.hpp"
 #include "verify/tolerance_checker.hpp"
 
 using namespace dcft;
 
 namespace {
 
-/// One loaded system: program variants plus everything needed to verify
-/// and simulate them.
-struct SystemInstance {
-    std::shared_ptr<const StateSpace> space;
-    std::map<std::string, Program> variants;
-    std::unique_ptr<FaultClass> faults;
-    ProblemSpec spec;
-    Predicate invariant;
-    StateIndex initial = 0;
-};
-
-SystemInstance load(const std::string& name, int size) {
-    SystemInstance out;
-    if (name == "memory") {
-        auto sys = apps::make_memory_access(size > 0 ? size : 3, 1);
-        out.space = sys.space;
-        out.variants.emplace("intolerant", sys.intolerant);
-        out.variants.emplace("failsafe", sys.failsafe);
-        out.variants.emplace("nonmasking", sys.nonmasking);
-        out.variants.emplace("masking", sys.masking);
-        out.faults = std::make_unique<FaultClass>(sys.page_fault);
-        out.spec = sys.spec;
-        out.invariant = sys.S;
-        out.initial = sys.initial_state();
-    } else if (name == "tmr") {
-        auto sys = apps::make_tmr(size > 0 ? size : 2);
-        out.space = sys.space;
-        out.variants.emplace("intolerant", sys.intolerant);
-        out.variants.emplace("failsafe", sys.failsafe);
-        out.variants.emplace("masking", sys.masking);
-        out.faults = std::make_unique<FaultClass>(sys.corrupt_one_input);
-        out.spec = sys.spec;
-        out.invariant = sys.invariant;
-        out.initial = sys.initial_state(0);
-    } else if (name == "byzantine") {
-        auto sys = apps::make_byzantine(size > 0 ? size : 4, 1);
-        out.space = sys.space;
-        out.variants.emplace("intolerant", sys.intolerant);
-        out.variants.emplace("failsafe", sys.failsafe);
-        out.variants.emplace("masking", sys.masking);
-        out.faults = std::make_unique<FaultClass>(sys.byzantine_fault);
-        out.spec = sys.spec;
-        out.initial = sys.initial_state(1);
-        out.invariant = reachable_invariant(
-            out.variants.at("masking"),
-            Predicate("init",
-                      [init = out.initial](const StateSpace&, StateIndex s) {
-                          return s == init;
-                      }));
-    } else if (name == "token-ring") {
-        const int n = size > 0 ? size : 4;
-        auto sys = apps::make_token_ring(n, n);
-        out.space = sys.space;
-        out.variants.emplace("ring", sys.ring);
-        out.faults = std::make_unique<FaultClass>(sys.corrupt_any);
-        out.spec = sys.spec;
-        out.invariant = sys.legitimate;
-        out.initial = sys.initial_state();
-    } else if (name == "spanning-tree") {
-        auto sys =
-            apps::make_spanning_tree(apps::path_graph(size > 0 ? size : 4));
-        out.space = sys.space;
-        out.variants.emplace("tree", sys.program);
-        out.faults = std::make_unique<FaultClass>(sys.corrupt_any);
-        out.spec = sys.spec;
-        out.invariant = sys.legitimate;
-        out.initial = sys.legitimate_state();
-    } else if (name == "election") {
-        const int n = size > 0 ? size : 4;
-        std::vector<int> parent(static_cast<std::size_t>(n), 0);
-        for (int i = 1; i < n; ++i)
-            parent[static_cast<std::size_t>(i)] = (i - 1) / 2;
-        auto sys = apps::make_leader_election(parent);
-        out.space = sys.space;
-        out.variants.emplace("election", sys.program);
-        out.faults = std::make_unique<FaultClass>(sys.corrupt_any);
-        out.spec = sys.spec;
-        out.invariant = sys.legitimate;
-        out.initial = sys.legitimate_state();
-    } else if (name == "termination") {
-        auto sys = apps::make_termination_detection(size > 0 ? size : 3);
-        out.space = sys.space;
-        out.variants.emplace("probe", sys.system);
-        out.faults = std::make_unique<FaultClass>(sys.spurious_activation);
-        // Spec: the detector claim as a problem specification.
-        LivenessSpec live;
-        live.add(LeadsTo{sys.all_passive, sys.done});
-        out.spec = ProblemSpec(
-            "SPEC_termination",
-            SafetySpec::never((sys.done && !sys.all_passive)
-                                  .renamed("lying-done")),
-            std::move(live));
-        out.invariant = reachable_invariant(sys.system, sys.initial);
-        out.initial = sys.initial_state(
-            std::vector<bool>(static_cast<std::size_t>(sys.n), true));
-    } else if (name == "barrier") {
-        auto sys = apps::make_barrier(size > 0 ? size : 4);
-        out.space = sys.space;
-        out.variants.emplace("trusting", sys.trusting);
-        out.variants.emplace("rechecking", sys.rechecking);
-        out.faults = std::make_unique<FaultClass>(sys.corrupt_witness);
-        out.spec = sys.spec;
-        out.initial = sys.initial_state();
-        out.invariant = reachable_invariant(
-            out.variants.at("rechecking"),
-            Predicate("init",
-                      [init = out.initial](const StateSpace&, StateIndex s) {
-                          return s == init;
-                      }));
-    } else if (name == "abp") {
-        auto sys = apps::make_alternating_bit(size > 0 ? size : 2, 4);
-        out.space = sys.space;
-        out.variants.emplace("protocol", sys.protocol);
-        out.faults = std::make_unique<FaultClass>(sys.loss);
-        out.spec = sys.spec;
-        out.initial = sys.initial_state();
-        out.invariant = reachable_invariant(
-            out.variants.at("protocol"),
-            Predicate("init",
-                      [init = out.initial](const StateSpace&, StateIndex s) {
-                          return s == init;
-                      }));
-    } else if (name == "reset") {
-        const int n = size > 0 ? size : 4;
-        std::vector<int> parent(static_cast<std::size_t>(n), 0);
-        for (int i = 1; i < n; ++i)
-            parent[static_cast<std::size_t>(i)] = (i - 1) / 2;
-        auto sys = apps::make_distributed_reset(parent);
-        out.space = sys.space;
-        out.variants.emplace("reset", sys.system);
-        out.faults = std::make_unique<FaultClass>(sys.corrupt_sessions);
-        out.spec = sys.spec;
-        out.initial = sys.initial_state();
-        out.invariant = reachable_invariant(
-            out.variants.at("reset"),
-            Predicate("init",
-                      [init = out.initial](const StateSpace&, StateIndex s) {
-                          return s == init;
-                      }));
-    } else {
-        throw ContractError("unknown system: " + name);
-    }
-    return out;
-}
-
-const char* kSystems[] = {"memory",   "tmr",      "byzantine",
-                          "token-ring", "spanning-tree", "election",
-                          "termination", "barrier", "reset", "abp"};
-
 int cmd_list() {
     std::printf("built-in systems (dcft verify <system> [size]):\n");
-    for (const char* name : kSystems) {
-        const SystemInstance sys = load(name, 0);
-        std::printf("  %-14s states=%-10llu variants:", name,
+    for (const std::string& name : apps::catalog_names()) {
+        const apps::SystemInstance sys = apps::load_system(name, 0);
+        std::printf("  %-14s states=%-10llu variants:", name.c_str(),
                     static_cast<unsigned long long>(
                         sys.space->num_states()));
         for (const auto& [variant, program] : sys.variants) {
@@ -219,32 +67,6 @@ int cmd_list() {
         std::printf("\n");
     }
     return 0;
-}
-
-/// One ReportQuery from a tolerance verdict. Failing queries export the
-/// counterexample of the first failing obligation; passing queries export
-/// the exploration witness (BFS path to the deepest fault-span state).
-obs::ReportQuery make_query(const std::string& system,
-                            const std::string& variant,
-                            const std::string& grade,
-                            const ToleranceReport& report) {
-    obs::ReportQuery q;
-    q.name = system + "/" + variant + "/" + grade;
-    q.system = system;
-    q.variant = variant;
-    q.grade = grade;
-    q.ok = report.ok();
-    q.reason = report.reason();
-    q.invariant_size = report.invariant_size;
-    q.span_size = report.span_size;
-    if (!report.ok() && !report.counterexample().empty()) {
-        q.witness_kind = "counterexample";
-        q.witness = report.counterexample();
-    } else if (report.ok() && !report.deepest_trace.empty()) {
-        q.witness_kind = "exploration";
-        q.witness = report.deepest_trace;
-    }
-    return q;
 }
 
 // ---------------------------------------------------------------------------
@@ -322,6 +144,11 @@ void print_usage(std::FILE* out) {
         "           [--seed S] [--fault-p P] [--max-faults K]\n"
         "           [--trace FILE] [--progress[=SECS]]\n"
         "      Batch-simulate a variant under fault injection.\n"
+        "  client <op> [args] [--socket PATH] [--id TAG]\n"
+        "      Query a running dcftd daemon. Ops: ping, list, stats,\n"
+        "      shutdown, verify <system> [size]. Prints the one-line JSON\n"
+        "      response; exits 0 iff the daemon answered ok. Socket\n"
+        "      default: $DCFT_SOCKET or /tmp/dcftd.sock.\n"
         "\n"
         "observability flags (each has an environment twin):\n"
         "  --report FILE      write a dcft.report run report: per-query\n"
@@ -416,7 +243,7 @@ int cmd_verify(const std::string& name, int size, const FlagMap& flags) {
         "dcft", "verify " + name + (size > 0 ? " " + std::to_string(size)
                                              : std::string()));
 
-    const SystemInstance sys = load(name, size);
+    const apps::SystemInstance sys = apps::load_system(name, size);
     std::printf("%s: |space|=%llu, spec=%s, faults=%s\n", name.c_str(),
                 static_cast<unsigned long long>(sys.space->num_states()),
                 sys.spec.name().c_str(), sys.faults->name().c_str());
@@ -448,9 +275,12 @@ int cmd_verify(const std::string& name, int size, const FlagMap& flags) {
             cov.kcall_ops == 1 ? "" : "s",
             cov.batchable ? "batch sweep eligible" : "scalar path");
         if (reporting) {
-            report.add_query(make_query(name, variant, "failsafe", fs));
-            report.add_query(make_query(name, variant, "nonmasking", nm));
-            report.add_query(make_query(name, variant, "masking", mk));
+            report.add_query(
+                apps::tolerance_query(name, variant, "failsafe", fs));
+            report.add_query(
+                apps::tolerance_query(name, variant, "nonmasking", nm));
+            report.add_query(
+                apps::tolerance_query(name, variant, "masking", mk));
             obs::ReportProgram rp;
             rp.name = name + "/" + variant;
             rp.system = name;
@@ -485,7 +315,7 @@ int cmd_simulate(const std::string& name, int size, const FlagMap& flags) {
     }
     const std::string trace_path =
         setup_observability(flags, /*wants_report=*/false);
-    const SystemInstance sys = load(name, size);
+    const apps::SystemInstance sys = apps::load_system(name, size);
     auto flag = [&flags](const char* key, double fallback) {
         auto it = flags.find(key);
         return it == flags.end() ? fallback : std::stod(it->second);
@@ -535,6 +365,70 @@ int cmd_simulate(const std::string& name, int size, const FlagMap& flags) {
     return finish_trace(trace_path);
 }
 
+const std::vector<FlagSpec> kClientFlags = {{"socket", true}, {"id", true}};
+
+int cmd_client(int argc, char** argv) {
+    // argv[2] is the op; verify additionally takes <system> [size].
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "client requires an op: ping | list | stats | "
+                     "shutdown | verify <system> [size]\n");
+        return 2;
+    }
+    const std::string op = argv[2];
+    std::string system;
+    int size = 0;
+    int arg = 3;
+    if (op == "verify") {
+        if (arg >= argc || argv[arg][0] == '-') {
+            std::fprintf(stderr, "client verify requires a system name\n");
+            return 2;
+        }
+        system = argv[arg++];
+        if (arg < argc && argv[arg][0] != '-')
+            size = std::atoi(argv[arg++]);
+    } else if (op != "ping" && op != "list" && op != "stats" &&
+               op != "shutdown") {
+        std::fprintf(stderr, "unknown client op '%s'\n", op.c_str());
+        return 2;
+    }
+    FlagMap flags;
+    std::string error;
+    if (!parse_flags(argc, argv, arg, kClientFlags, flags, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
+    const std::string socket_path = flags.count("socket")
+                                        ? flags.at("socket")
+                                        : service::default_socket_path();
+
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("op", op);
+    if (flags.count("id")) w.kv("id", flags.at("id"));
+    if (!system.empty()) {
+        w.kv("system", system);
+        if (size > 0) w.kv("size", size);
+    }
+    w.end_object();
+
+    const auto response = service::roundtrip(
+        socket_path, service::finish_response_line(w), &error);
+    if (!response.has_value()) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("%s\n", response->c_str());
+    const auto doc = obs::parse_json(*response, &error);
+    if (!doc.has_value()) {
+        std::fprintf(stderr, "error: response is not valid JSON: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    const auto* ok = doc->find("ok", obs::JsonValue::Kind::Bool);
+    return ok != nullptr && ok->as_bool() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -549,6 +443,7 @@ int main(int argc, char** argv) {
             return 0;
         }
         if (command == "list") return cmd_list();
+        if (command == "client") return cmd_client(argc, argv);
 
         const bool is_verify = command == "verify";
         const bool is_simulate = command == "simulate";

@@ -1,0 +1,134 @@
+// graph_store_smoke — the verify suite twice against one persistent
+// graph store (ctest). Pass 1 runs the full tolerance grid (failsafe /
+// nonmasking / masking over every variant) for several catalog systems
+// with DCFT_GRAPH_STORE pointing at a fresh directory, populating it.
+// The exploration cache is then dropped — as a process restart would —
+// and the identical suite runs again. The second pass must be served
+// entirely from the store: zero new explorations, store hits for every
+// graph the suite needs, no new misses or saves, and verdicts identical
+// to the first pass (the mmap-adopted graphs are bit-identical).
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apps/catalog.hpp"
+#include "obs/telemetry.hpp"
+#include "verify/exploration_cache.hpp"
+#include "verify/tolerance_checker.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+    std::printf("%s: %s\n", ok ? "ok" : "FAIL", what.c_str());
+    if (!ok) ++g_failures;
+}
+
+std::uint64_t counter(const char* name) {
+    return dcft::obs::Registry::global().counter(name).value();
+}
+
+/// One suite row: (system, variant, grade, verdict, reason).
+using Row = std::tuple<std::string, std::string, std::string, bool,
+                       std::string>;
+
+std::vector<Row> run_suite() {
+    const std::vector<std::pair<std::string, int>> workloads = {
+        {"token-ring", 6}, {"tmr", 2}, {"memory", 3}};
+    std::vector<Row> rows;
+    for (const auto& [name, size] : workloads) {
+        const dcft::apps::SystemInstance sys =
+            dcft::apps::load_system(name, size);
+        for (const auto& [variant, program] : sys.variants) {
+            const auto push = [&](const char* grade,
+                                  const dcft::ToleranceReport& report) {
+                rows.emplace_back(name, variant, grade, report.ok(),
+                                  report.reason());
+            };
+            push("failsafe",
+                 dcft::check_failsafe(program, *sys.faults, sys.spec,
+                                      sys.invariant));
+            push("nonmasking",
+                 dcft::check_nonmasking(program, *sys.faults, sys.spec,
+                                        sys.invariant));
+            push("masking",
+                 dcft::check_masking(program, *sys.faults, sys.spec,
+                                     sys.invariant));
+        }
+    }
+    return rows;
+}
+
+}  // namespace
+
+int main() {
+    dcft::obs::set_enabled(true);
+
+    char dir_template[] = "/tmp/dcft-graph-store-smoke-XXXXXX";
+    if (::mkdtemp(dir_template) == nullptr) {
+        std::fprintf(stderr, "FAIL: mkdtemp failed\n");
+        return 1;
+    }
+    const std::string store_dir = dir_template;
+    ::setenv("DCFT_GRAPH_STORE", store_dir.c_str(), 1);
+
+    // -- Pass 1: cold — explores, and publishes every graph -------------
+    const std::vector<Row> cold = run_suite();
+    const std::uint64_t explored = counter("verify/explorations");
+    const std::uint64_t misses = counter("verify/graph_store/misses");
+    const std::uint64_t saves = counter("verify/graph_store/saves");
+    check(!cold.empty(), "suite produced verdicts");
+    check(explored > 0, "cold pass explored");
+    check(saves > 0, "cold pass published graphs to the store");
+
+    std::size_t stored_files = 0;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(store_dir))
+        if (entry.path().extension() == ".dcftg") ++stored_files;
+    check(stored_files == saves,
+          "one .dcftg snapshot per save (" +
+              std::to_string(stored_files) + " files, " +
+              std::to_string(saves) + " saves)");
+
+    // Simulate a process restart: the in-memory cache is gone, only the
+    // store directory survives.
+    dcft::ExplorationCache::global().clear();
+
+    // -- Pass 2: warm — every graph must come from the store ------------
+    const std::vector<Row> warm = run_suite();
+    const std::uint64_t hits = counter("verify/graph_store/hits");
+    check(counter("verify/explorations") == explored,
+          "warm pass ran zero new explorations");
+    check(hits >= saves,
+          "warm pass hit the store for every published graph (" +
+              std::to_string(hits) + " hits, " + std::to_string(saves) +
+              " saved)");
+    check(counter("verify/graph_store/misses") == misses,
+          "warm pass had no store misses");
+    check(counter("verify/graph_store/saves") == saves,
+          "warm pass re-published nothing");
+    check(counter("verify/graph_store/load_errors") == 0,
+          "no snapshot failed to load");
+
+    check(warm.size() == cold.size(), "both passes ran the same grid");
+    bool verdicts_match = warm.size() == cold.size();
+    for (std::size_t i = 0; verdicts_match && i < cold.size(); ++i)
+        verdicts_match = cold[i] == warm[i];
+    check(verdicts_match,
+          "mmap-served verdicts identical to freshly explored ones");
+
+    std::error_code ec;
+    std::filesystem::remove_all(store_dir, ec);
+
+    if (g_failures == 0) {
+        std::printf("graph_store_smoke: all checks passed\n");
+        return 0;
+    }
+    std::fprintf(stderr, "graph_store_smoke: %d check(s) failed\n",
+                 g_failures);
+    return 1;
+}

@@ -239,6 +239,20 @@ ReportSummary check_report(const JsonValue& doc) {
     member(doc, "tool", JsonValue::Kind::String);
     member(doc, "command", JsonValue::Kind::String);
 
+    // Host block: present in every envelope; cores/page size must be real
+    // (positive) on the platforms CI runs on, the rest is best-effort.
+    const JsonValue& host = member(doc, "host", JsonValue::Kind::Object);
+    require(member(host, "cores", JsonValue::Kind::Number).as_number() > 0.0,
+            "host.cores must be positive");
+    require(member(host, "page_size_bytes", JsonValue::Kind::Number)
+                    .as_number() > 0.0,
+            "host.page_size_bytes must be positive");
+    require(!member(host, "kernel", JsonValue::Kind::String)
+                 .as_string()
+                 .empty(),
+            "host.kernel must be non-empty");
+    check_nonneg_number(host, "total_ram_bytes");
+
     ReportSummary summary;
     const auto& queries =
         member(doc, "queries", JsonValue::Kind::Array).as_array();
