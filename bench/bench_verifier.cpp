@@ -63,11 +63,14 @@
 #include <vector>
 
 #include "apps/byzantine.hpp"
+#include "apps/catalog.hpp"
 #include "apps/token_ring.hpp"
 #include "bench_util.hpp"
 #include "obs/proc_stats.hpp"
 #include "obs/trace.hpp"
+#include "runtime/estimate.hpp"
 #include "verify/exploration_cache.hpp"
+#include "verify/masking_distance.hpp"
 #include "verify/reachability.hpp"
 #include "verify/reference.hpp"
 #include "verify/refinement.hpp"
@@ -255,6 +258,9 @@ struct Workload {
     double store_cold_ms = 0.0;  ///< kind "graph_store": explore + publish
     double store_warm_ms = 0.0;  ///< kind "graph_store": mmap adoption hit
     std::uint64_t store_file_bytes = 0;  ///< kind "graph_store": snapshot size
+    double game_ms = 0.0;            ///< kind "graded": cold game solve
+    std::int64_t distance = -1;      ///< kind "graded": -1 = masking (inf)
+    double violation_rate = -1.0;    ///< kind "graded": MC violation rate
     std::vector<std::pair<unsigned, double>> ms_by_threads;
 
     double best_ms() const {
@@ -395,6 +401,47 @@ Workload bench_verdict(const std::string& name, const std::string& system,
         w.ms_by_threads.emplace_back(t, ms);
     }
     unsetenv("DCFT_VERIFIER_THREADS");
+    return w;
+}
+
+/// Graded verdict: the masking-distance game (cold exploration every rep)
+/// plus the catalog-standard 200-run fixed-seed Monte Carlo estimate,
+/// swept over Monte Carlo thread counts (the estimate is bit-identical
+/// across the sweep; the columns measure pure scheduling overhead/gain).
+Workload bench_graded(const std::string& name, const std::string& system,
+                      const apps::SystemInstance& sys, const Program& p,
+                      const std::vector<unsigned>& threads, bool smoke) {
+    Workload w;
+    w.name = name;
+    w.kind = "graded";
+    w.system = system;
+    w.states = p.space().num_states();
+    w.game_ms = time_ms(
+        [&] {
+            ExplorationCache::global().clear();
+            const MaskingDistanceResult r =
+                masking_distance(p, *sys.faults, sys.spec, sys.invariant);
+            benchmark::DoNotOptimize(r.game_nodes);
+            w.distance =
+                r.masking ? -1 : static_cast<std::int64_t>(r.distance);
+            w.nodes = r.game_nodes;
+        },
+        smoke);
+    ToleranceEstimateOptions options;  // catalog-standard: 200 runs, seed 1
+    for (const unsigned t : threads) {
+        options.threads = t;
+        const double ms = time_ms(
+            [&] {
+                const ToleranceEstimate e = estimate_tolerance(
+                    p, *sys.faults, sys.spec, sys.invariant, sys.initial,
+                    options);
+                benchmark::DoNotOptimize(e.batch.runs);
+                w.violation_rate = e.violation_rate();
+            },
+            smoke);
+        w.ms_by_threads.emplace_back(t, ms);
+    }
+    ExplorationCache::global().clear();
     return w;
 }
 
@@ -690,6 +737,14 @@ void write_json(const std::string& path, const std::vector<Workload>& ws,
                  wl.store_warm_ms > 0 ? wl.store_cold_ms / wl.store_warm_ms
                                       : 0.0);
         }
+        if (wl.kind == "graded") {
+            w.kv("game_ms", wl.game_ms);
+            w.kv("game_nodes", wl.nodes);
+            w.kv("masking", wl.distance < 0);
+            if (wl.distance >= 0)
+                w.kv("distance", static_cast<std::uint64_t>(wl.distance));
+            w.kv("violation_rate", wl.violation_rate);
+        }
         if (wl.peak_rss_mb >= 0) w.kv("peak_rss_mb", wl.peak_rss_mb);
         if (wl.reference_ms > 0)
             w.kv("speedup_vs_reference",
@@ -763,6 +818,32 @@ int emit_json(const std::string& path, bool smoke, bool large, bool huge,
             "Byzantine agreement (n=" + std::to_string(n) + ", f=1)",
             sys.masking, sys.byzantine_fault, sys.spec, inv,
             Tolerance::Masking, threads, smoke));
+    }
+
+    // Graded verdicts: the masking-distance game + the catalog-standard
+    // Monte Carlo estimate (the `dcft verify --graded` cost profile). The
+    // smoke sizes are members of the full series so bench_compare can
+    // diff them against the committed baseline.
+    for (const int n : smoke ? std::vector<int>{4} : std::vector<int>{4, 5}) {
+        std::printf("graded: token ring n=%d ...\n", n);
+        const auto sys = apps::load_system("token-ring", n);
+        ws.push_back(bench_graded(
+            "graded/token_ring_n" + std::to_string(n),
+            "token ring (n=" + std::to_string(n) + ", K=" +
+                std::to_string(n) +
+                "), corrupt-any faults: masking-distance game + 200-run "
+                "Monte Carlo (thread sweep = MC threads)",
+            sys, sys.variants.begin()->second, threads, smoke));
+    }
+    {
+        std::printf("graded: byzantine n=3 masking ...\n");
+        const auto sys = apps::load_system("byzantine", 3);
+        ws.push_back(bench_graded(
+            "graded/byzantine_n3_masking",
+            "Byzantine agreement (n=3, f=1), masking variant: "
+            "masking-distance game + 200-run Monte Carlo (thread sweep = "
+            "MC threads)",
+            sys, sys.variants.at("masking"), threads, smoke));
     }
 
     // Large-instance tier: only on request — these run seconds to tens of

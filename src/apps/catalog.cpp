@@ -11,6 +11,7 @@
 #include "apps/tmr.hpp"
 #include "apps/token_ring.hpp"
 #include "verify/invariant.hpp"
+#include "verify/masking_distance.hpp"
 
 namespace dcft::apps {
 
@@ -175,6 +176,49 @@ obs::ReportQuery tolerance_query(const std::string& system,
         q.witness = report.deepest_trace;
     }
     return q;
+}
+
+namespace {
+
+obs::QueryStatsBlock stats_block(const SummaryStats& stats) {
+    obs::QueryStatsBlock block;
+    block.count = stats.count();
+    block.mean = stats.mean();  // NaN (→ null) when empty
+    block.p50 = stats.p50();
+    block.p90 = stats.p90();
+    block.p99 = stats.p99();
+    return block;
+}
+
+}  // namespace
+
+GradedBlocks graded_blocks(const SystemInstance& sys, const Program& variant,
+                           const ToleranceEstimateOptions& mc_options) {
+    GradedBlocks out;
+
+    const MaskingDistanceResult game =
+        masking_distance(variant, *sys.faults, sys.spec, sys.invariant);
+    out.masking_distance.masking = game.masking;
+    out.masking_distance.distance = game.distance;
+    out.masking_distance.game_nodes = game.game_nodes;
+    out.masking_distance.game_layers = game.game_layers;
+    out.masking_distance.witness_faults = game.witness_faults();
+    out.game_reason = game.reason;
+
+    const ToleranceEstimate est =
+        estimate_tolerance(variant, *sys.faults, sys.spec, sys.invariant,
+                           sys.initial, mc_options);
+    out.monte_carlo.runs = est.batch.runs;
+    out.monte_carlo.violated_runs = est.batch.violated_runs;
+    out.monte_carlo.base_seed = est.options.base_seed;
+    out.monte_carlo.fault_probability = est.options.fault_probability;
+    out.monte_carlo.max_steps = est.options.max_steps;
+    out.monte_carlo.max_faults = est.options.max_faults;
+    out.monte_carlo.violation_rate = est.violation_rate();
+    out.monte_carlo.time_to_violation = stats_block(est.time_to_violation());
+    out.monte_carlo.time_to_recovery = stats_block(est.time_to_recovery());
+    out.monte_carlo.faults_absorbed = stats_block(est.faults_absorbed());
+    return out;
 }
 
 }  // namespace dcft::apps

@@ -15,6 +15,7 @@
 
 #include "gc/program.hpp"
 #include "obs/run_report.hpp"
+#include "runtime/estimate.hpp"
 #include "spec/problem_spec.hpp"
 #include "verify/tolerance_checker.hpp"
 
@@ -45,5 +46,23 @@ obs::ReportQuery tolerance_query(const std::string& system,
                                  const std::string& variant,
                                  const std::string& grade,
                                  const ToleranceReport& report);
+
+/// The graded verdict for one variant of a loaded system: the
+/// masking-distance game result plus a fixed-seed Monte Carlo estimate,
+/// already shaped as report blocks. Deterministic for a given (system,
+/// variant, options) — including across exploration and Monte Carlo thread
+/// counts — so both frontends (dcft verify --graded, dcftd graded verify)
+/// emit byte-identical blocks.
+struct GradedBlocks {
+    obs::QueryMaskingDistance masking_distance;
+    obs::QueryMonteCarlo monte_carlo;
+    std::string game_reason;  ///< human-readable game verdict line
+};
+
+/// Computes the graded blocks for `variant` of `sys`. The defaulted
+/// options are the catalog-standard estimate: 200 runs, base_seed 1,
+/// per-step fault probability 0.1, 500-step budget.
+GradedBlocks graded_blocks(const SystemInstance& sys, const Program& variant,
+                           const ToleranceEstimateOptions& mc_options = {});
 
 }  // namespace dcft::apps

@@ -15,6 +15,7 @@
 #include "verify/closure.hpp"
 #include "verify/exploration_cache.hpp"
 #include "verify/graph_store.hpp"
+#include "verify/masking_distance.hpp"
 #include "verify/reachability.hpp"
 #include "verify/refinement.hpp"
 #include "verify/state_set.hpp"
@@ -600,6 +601,40 @@ std::vector<Divergence> run_oracles(const ProgramSpec& spec,
                                ", size " + std::to_string(fast.span_size) +
                                " vs " + std::to_string(failsafe.span_size) +
                                ")"});
+        }
+        if (!exploration_cache_disabled()) ExplorationCache::global().clear();
+    }
+
+    // -- graded oracle -----------------------------------------------------
+    {
+        // Masking-distance game vs the explicit checker: the game quantifies
+        // the same safety property over the same fault span, so d == inf
+        // exactly when the fail-safe in-presence obligation holds. On a
+        // finite distance the min-fault witness must replay over the raw
+        // kernel and carry exactly `distance` fault steps.
+        const MaskingDistanceResult game = masking_distance(
+            sys.program, sys.faults, sys.problem, sys.invariant);
+        if (game.masking != failsafe.in_presence.ok) {
+            std::ostringstream os;
+            os << "game says "
+               << (game.masking ? "masking (distance inf)"
+                                : "distance " + std::to_string(game.distance))
+               << " but check_failsafe in-presence ok="
+               << (failsafe.in_presence.ok ? "true" : "false") << " ("
+               << failsafe.in_presence.reason << ")";
+            out.push_back({"graded/game-vs-explicit", os.str()});
+        } else if (!game.masking) {
+            if (game.witness_faults() != game.distance)
+                out.push_back({"graded/game-vs-explicit",
+                               "witness carries " +
+                                   std::to_string(game.witness_faults()) +
+                                   " fault steps but the distance is " +
+                                   std::to_string(game.distance)});
+            if (game.witness.empty())
+                out.push_back({"graded/game-vs-explicit",
+                               "finite distance without a witness trace"});
+            validate_witness(sys, game.witness, "graded/game-vs-explicit",
+                             out);
         }
         if (!exploration_cache_disabled()) ExplorationCache::global().clear();
     }

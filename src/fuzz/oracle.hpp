@@ -43,6 +43,12 @@
 //                               failure the identical in-presence
 //                               reason/witness and a strictly partial
 //                               span; on success the full span.
+//   graded/game-vs-explicit    masking_distance (layered product game on
+//                               the recorded CSR edges) vs check_failsafe:
+//                               distance inf iff the in-presence safety
+//                               obligation holds; a finite distance comes
+//                               with a replayable witness carrying exactly
+//                               `distance` fault steps.
 //   verdict/closed|reachable|converges|refines|refines-with-faults|
 //   verdict/tolerance           the optimized verdict pipeline vs the
 //                               ref_* reference pipeline (ok flags, state

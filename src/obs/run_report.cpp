@@ -153,6 +153,23 @@ void write_witness(JsonWriter& w, const std::vector<WitnessStep>& trace) {
     w.end_array();
 }
 
+namespace {
+
+void write_stats_block(JsonWriter& w, std::string_view name,
+                       const QueryStatsBlock& s) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", s.count);
+    // NaN (empty distribution) prints as null per JsonWriter's contract.
+    w.kv("mean", s.mean);
+    w.kv("p50", s.p50);
+    w.kv("p90", s.p90);
+    w.kv("p99", s.p99);
+    w.end_object();
+}
+
+}  // namespace
+
 void write_query(JsonWriter& w, const ReportQuery& q) {
     w.begin_object();
     w.kv("name", q.name);
@@ -163,6 +180,37 @@ void write_query(JsonWriter& w, const ReportQuery& q) {
     w.kv("reason", q.reason);
     w.kv("invariant_size", q.invariant_size);
     w.kv("span_size", q.span_size);
+    if (q.masking_distance) {
+        const QueryMaskingDistance& md = *q.masking_distance;
+        w.key("masking_distance");
+        w.begin_object();
+        w.kv("masking", md.masking);
+        w.key("distance");
+        if (md.masking)
+            w.null();
+        else
+            w.value(md.distance);
+        w.kv("game_nodes", md.game_nodes);
+        w.kv("game_layers", md.game_layers);
+        w.kv("witness_faults", md.witness_faults);
+        w.end_object();
+    }
+    if (q.monte_carlo) {
+        const QueryMonteCarlo& mc = *q.monte_carlo;
+        w.key("monte_carlo");
+        w.begin_object();
+        w.kv("runs", mc.runs);
+        w.kv("violated_runs", mc.violated_runs);
+        w.kv("base_seed", mc.base_seed);
+        w.kv("fault_probability", mc.fault_probability);
+        w.kv("max_steps", mc.max_steps);
+        w.kv("max_faults", mc.max_faults);
+        w.kv("violation_rate", mc.violation_rate);
+        write_stats_block(w, "time_to_violation", mc.time_to_violation);
+        write_stats_block(w, "time_to_recovery", mc.time_to_recovery);
+        write_stats_block(w, "faults_absorbed", mc.faults_absorbed);
+        w.end_object();
+    }
     w.key("witness");
     w.begin_object();
     w.kv("kind", q.witness_kind);

@@ -31,7 +31,12 @@
 // the verdict, invariant/span sizes, and a replayable witness trace:
 // failing queries carry the counterexample of the first failing obligation;
 // passing queries carry the exploration witness (BFS path to the deepest
-// fault-span state). A "programs" array follows with per-variant kernel
+// fault-span state). Graded runs (--graded) attach two extra members per
+// query: "masking_distance" { masking, distance (null when masking),
+// game_nodes, game_layers, witness_faults } and "monte_carlo" { runs,
+// violated_runs, base_seed, fault_probability, max_steps, max_faults,
+// violation_rate, and time_to_violation / time_to_recovery /
+// faults_absorbed as { count, mean, p50, p90, p99 } (null when count 0) }. A "programs" array follows with per-variant kernel
 // coverage (fully compiled vs interpreter-fallback actions, batch
 // eligibility). bench_util.hpp reuses begin_envelope/write_telemetry
 // for "kind": "bench", so BENCH_*.json and run reports parse with the same
@@ -39,6 +44,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,6 +52,43 @@
 #include "verify/check_result.hpp"
 
 namespace dcft::obs {
+
+/// Graded game verdict attached to a query: the masking distance of the
+/// queried variant (verify/masking_distance.hpp). "masking" means the
+/// distance is infinite; `distance` is emitted as null in that case.
+struct QueryMaskingDistance {
+    bool masking = false;
+    std::uint64_t distance = 0;       ///< meaningful when !masking
+    std::uint64_t game_nodes = 0;
+    std::uint64_t game_layers = 0;
+    std::uint64_t witness_faults = 0; ///< fault steps on the min witness
+};
+
+/// One serialized SummaryStats distribution (runtime/metrics.hpp). The
+/// doubles may be NaN when count == 0; JsonWriter prints NaN as null.
+struct QueryStatsBlock {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+};
+
+/// Monte Carlo estimate attached to a query (runtime/estimate.hpp): the
+/// full configuration (reproducible from the block alone) plus the three
+/// graded distributions.
+struct QueryMonteCarlo {
+    std::uint64_t runs = 0;
+    std::uint64_t violated_runs = 0;
+    std::uint64_t base_seed = 0;
+    double fault_probability = 0.0;
+    std::uint64_t max_steps = 0;
+    std::uint64_t max_faults = 0;  ///< 0 = unbounded
+    double violation_rate = 0.0;
+    QueryStatsBlock time_to_violation;
+    QueryStatsBlock time_to_recovery;
+    QueryStatsBlock faults_absorbed;
+};
 
 /// One tolerance query in a run report.
 struct ReportQuery {
@@ -61,6 +104,10 @@ struct ReportQuery {
     /// a deepest-trace witness), or "" (no witness available).
     std::string witness_kind;
     std::vector<WitnessStep> witness;
+    /// Graded blocks (--graded / graded requests only); both present or
+    /// both absent.
+    std::optional<QueryMaskingDistance> masking_distance;
+    std::optional<QueryMonteCarlo> monte_carlo;
 };
 
 /// Per-program kernel-compilation coverage in a run report: how much of

@@ -1,0 +1,73 @@
+// Monte Carlo tolerance estimation: the statistical companion to the
+// masking-distance game (src/verify/masking_distance.hpp).
+//
+// The game answers "how many faults can an adversary spend to break
+// safety?"; estimate_tolerance answers "how long does the system actually
+// survive under a random fault process?". It drives run_experiment over
+// p with F injected per-step, monitors the safety part of SPEC and the
+// invariant as a corrector predicate, and reports three distributions:
+//
+//   time_to_violation  — steps until safety first broke (violated runs)
+//   time_to_recovery   — correction-latency episodes of the invariant
+//                        (steps outside the invariant until re-entry)
+//   faults_absorbed    — fault steps survived without breaking safety
+//                        (one sample per run)
+//
+// Determinism contract: run i is seeded base_seed + i and run_experiment
+// merges per-slice accumulators in slice order, so the estimate — every
+// sample, in order — is bit-identical for every `threads` value (pinned by
+// the experiment regression test and graded_smoke).
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/experiment.hpp"
+#include "spec/problem_spec.hpp"
+
+namespace dcft {
+
+/// Knobs for one Monte Carlo estimate.
+struct ToleranceEstimateOptions {
+    std::size_t runs = 200;
+    unsigned threads = 1;  ///< 0 = hardware concurrency
+    std::uint64_t base_seed = 1;
+    std::size_t max_steps = 500;       ///< per-run step budget
+    double fault_probability = 0.1;    ///< per-step injection probability
+    std::size_t max_faults = 0;        ///< 0 = unbounded (Assumption 2 off)
+};
+
+/// One Monte Carlo estimate: the batch aggregates plus the configuration
+/// that produced them (so reports are reproducible from the block alone).
+struct ToleranceEstimate {
+    ToleranceEstimateOptions options;
+    BatchResult batch;
+
+    /// Fraction of runs where safety broke at least once.
+    double violation_rate() const {
+        return batch.runs == 0
+                   ? 0.0
+                   : static_cast<double>(batch.violated_runs) /
+                         static_cast<double>(batch.runs);
+    }
+    const SummaryStats& time_to_violation() const {
+        return batch.time_to_violation;
+    }
+    const SummaryStats& time_to_recovery() const {
+        return batch.correction_latency;
+    }
+    const SummaryStats& faults_absorbed() const {
+        return batch.faults_absorbed;
+    }
+};
+
+/// Estimates the graded tolerance of p under f against SPEC's safety part
+/// by seeded simulation from `initial` (a state inside the invariant).
+/// The invariant doubles as the corrector predicate, so time_to_recovery
+/// measures how long runs stay outside it after a disruption.
+ToleranceEstimate estimate_tolerance(const Program& p, const FaultClass& f,
+                                     const ProblemSpec& spec,
+                                     const Predicate& invariant,
+                                     StateIndex initial,
+                                     const ToleranceEstimateOptions& options);
+
+}  // namespace dcft

@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "common/check.hpp"
@@ -11,11 +10,12 @@
 namespace dcft {
 namespace {
 
-/// Runs the slice [begin, end) of the experiment's runs and merges into
-/// `total` under `mutex`.
-void run_slice(const Experiment& ex, std::size_t begin, std::size_t end,
-               BatchResult& total, std::mutex& mutex,
-               std::atomic<std::size_t>& done) {
+/// Runs the slice [begin, end) of the experiment's runs into a local
+/// accumulator. No shared mutable state beyond the progress counter: the
+/// caller merges the returned slices in slice-index order so pooled sample
+/// order never depends on thread completion order.
+BatchResult run_slice(const Experiment& ex, std::size_t begin,
+                      std::size_t end, std::atomic<std::size_t>& done) {
     std::unique_ptr<Scheduler> scheduler =
         ex.make_scheduler ? ex.make_scheduler()
                           : std::make_unique<RandomScheduler>();
@@ -55,7 +55,15 @@ void run_slice(const Experiment& ex, std::size_t begin, std::size_t end,
         if (run.stopped_early) ++local.stopped_early;
         local.steps.add(static_cast<double>(run.steps));
         local.fault_steps.add(static_cast<double>(run.fault_steps));
-        if (safety) local.safety_violations += safety->program_violations();
+        if (safety) {
+            local.safety_violations += safety->program_violations();
+            if (const auto first = safety->first_violation_step()) {
+                ++local.violated_runs;
+                local.time_to_violation.add(static_cast<double>(*first));
+            }
+            local.faults_absorbed.add(
+                static_cast<double>(safety->faults_absorbed()));
+        }
         if (detector) {
             for (double sample : detector->detection_latency().samples())
                 local.detection_latency.add(sample);
@@ -67,20 +75,28 @@ void run_slice(const Experiment& ex, std::size_t begin, std::size_t end,
             local.availability.add(corrector->availability());
         }
     }
+    return local;
+}
 
-    const std::lock_guard<std::mutex> lock(mutex);
-    total.runs += local.runs;
-    total.deadlocked += local.deadlocked;
-    total.stopped_early += local.stopped_early;
-    total.safety_violations += local.safety_violations;
-    for (double x : local.steps.samples()) total.steps.add(x);
-    for (double x : local.fault_steps.samples()) total.fault_steps.add(x);
-    for (double x : local.detection_latency.samples())
+/// Appends `slice` onto `total`, preserving sample order.
+void merge_slice(BatchResult& total, const BatchResult& slice) {
+    total.runs += slice.runs;
+    total.deadlocked += slice.deadlocked;
+    total.stopped_early += slice.stopped_early;
+    total.safety_violations += slice.safety_violations;
+    total.violated_runs += slice.violated_runs;
+    for (double x : slice.steps.samples()) total.steps.add(x);
+    for (double x : slice.fault_steps.samples()) total.fault_steps.add(x);
+    for (double x : slice.detection_latency.samples())
         total.detection_latency.add(x);
-    for (double x : local.correction_latency.samples())
+    for (double x : slice.correction_latency.samples())
         total.correction_latency.add(x);
-    for (double x : local.availability.samples())
+    for (double x : slice.availability.samples())
         total.availability.add(x);
+    for (double x : slice.time_to_violation.samples())
+        total.time_to_violation.add(x);
+    for (double x : slice.faults_absorbed.samples())
+        total.faults_absorbed.add(x);
 }
 
 }  // namespace
@@ -95,25 +111,32 @@ BatchResult run_experiment(const Experiment& ex) {
     threads = std::min<unsigned>(
         threads, static_cast<unsigned>(ex.runs));
 
-    BatchResult total;
-    std::mutex mutex;
     std::atomic<std::size_t> done{0};
-    if (threads <= 1) {
-        run_slice(ex, 0, ex.runs, total, mutex, done);
-        return total;
-    }
+    if (threads <= 1) return run_slice(ex, 0, ex.runs, done);
 
-    std::vector<std::thread> pool;
+    // Contiguous ascending slices, one accumulator per slice. Merging in
+    // slice-index order after the join reproduces run order 0..runs-1
+    // exactly, so the pooled stats are bit-identical to a 1-thread run.
     const std::size_t chunk = (ex.runs + threads - 1) / threads;
+    std::vector<BatchResult> slices;
+    std::vector<std::thread> pool;
     for (unsigned t = 0; t < threads; ++t) {
         const std::size_t begin = t * chunk;
         const std::size_t end = std::min(ex.runs, begin + chunk);
         if (begin >= end) break;
-        pool.emplace_back([&ex, begin, end, &total, &mutex, &done] {
-            run_slice(ex, begin, end, total, mutex, done);
+        slices.emplace_back();
+    }
+    for (std::size_t t = 0; t < slices.size(); ++t) {
+        const std::size_t begin = t * chunk;
+        const std::size_t end = std::min(ex.runs, begin + chunk);
+        pool.emplace_back([&ex, begin, end, &slices, t, &done] {
+            slices[t] = run_slice(ex, begin, end, done);
         });
     }
     for (auto& worker : pool) worker.join();
+
+    BatchResult total;
+    for (const BatchResult& slice : slices) merge_slice(total, slice);
     return total;
 }
 

@@ -28,6 +28,15 @@ struct BatchResult {
     SummaryStats detection_latency;        ///< pooled across runs
     SummaryStats correction_latency;       ///< pooled across runs
     SummaryStats availability;             ///< one sample per run
+
+    // Graded-tolerance aggregates (require the safety monitor):
+    std::size_t violated_runs = 0;  ///< runs where safety broke at least once
+    /// Steps until safety first broke; one sample per violated run.
+    SummaryStats time_to_violation;
+    /// Fault steps absorbed without breaking safety (all injected faults on
+    /// clean runs, faults before the first violation otherwise); one sample
+    /// per run.
+    SummaryStats faults_absorbed;
 };
 
 /// Configuration for a batch of simulation runs.
@@ -54,7 +63,10 @@ struct Experiment {
     std::function<std::unique_ptr<Scheduler>()> make_scheduler;
 };
 
-/// Runs the experiment and aggregates the results.
+/// Runs the experiment and aggregates the results. Bit-identical for every
+/// `threads` value: run i is always seeded base_seed + i, and per-slice
+/// accumulators are merged in slice-index order after all workers join, so
+/// pooled samples appear in run order regardless of completion order.
 BatchResult run_experiment(const Experiment& experiment);
 
 }  // namespace dcft

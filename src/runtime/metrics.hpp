@@ -13,10 +13,14 @@ public:
 
     std::size_t count() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
+    /// mean/min/max of empty stats yield a quiet NaN (reports print it as
+    /// null), matching percentile's empty-stats contract.
     double mean() const;
     double min() const;
     double max() const;
-    /// q in [0,1]; nearest-rank percentile. Empty stats yield a quiet NaN
+    /// q in [0,1] (non-finite q, including NaN, is a contract violation);
+    /// nearest-rank percentile: rank ceil(q*n), so q=0 and q=1 select the
+    /// min and max even for a single sample. Empty stats yield a quiet NaN
     /// (reports print it as null) instead of indexing out of range.
     double percentile(double q) const;
     /// Common percentiles for run reports and experiment tables.

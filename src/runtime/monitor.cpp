@@ -10,11 +10,14 @@ void Monitor::on_finish(const StateSpace&, StateIndex, std::size_t) {}
 SafetyMonitor::SafetyMonitor(SafetySpec spec) : spec_(std::move(spec)) {}
 
 void SafetyMonitor::on_start(const StateSpace& space, StateIndex initial) {
-    if (!spec_.state_allowed(space, initial)) ++bad_states_;
+    if (!spec_.state_allowed(space, initial)) {
+        ++bad_states_;
+        if (!first_violation_) first_violation_ = 0;
+    }
 }
 
 void SafetyMonitor::on_step(const StateSpace& space, StateIndex from,
-                            StateIndex to, bool fault, std::size_t) {
+                            StateIndex to, bool fault, std::size_t step) {
     const bool bad_transition = !spec_.transition_allowed(space, from, to);
     const bool bad_state = !spec_.state_allowed(space, to);
     if (bad_state) ++bad_states_;
@@ -23,7 +26,18 @@ void SafetyMonitor::on_step(const StateSpace& space, StateIndex from,
             ++fault_violations_;
         else
             ++program_violations_;
+        if (!first_violation_) {
+            // `step` is the 0-based index of this step; the violation
+            // happened after step + 1 executed steps.
+            first_violation_ = step + 1;
+            faults_before_violation_ = faults_seen_;
+        }
     }
+    if (fault) ++faults_seen_;
+}
+
+std::size_t SafetyMonitor::faults_absorbed() const {
+    return first_violation_ ? faults_before_violation_ : faults_seen_;
 }
 
 DetectorMonitor::DetectorMonitor(Predicate witness, Predicate detection)

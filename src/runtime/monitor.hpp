@@ -42,11 +42,24 @@ public:
     std::size_t fault_violations() const { return fault_violations_; }
     std::size_t bad_states() const { return bad_states_; }
 
+    /// Steps executed up to and including the first violating step (0 when
+    /// the initial state is already bad); empty if the run never violated.
+    std::optional<std::size_t> first_violation_step() const {
+        return first_violation_;
+    }
+    /// Fault steps absorbed strictly before the first violation (the
+    /// violating step itself, fault or not, is not "absorbed"). Counts all
+    /// faults seen when the run never violated.
+    std::size_t faults_absorbed() const;
+
 private:
     SafetySpec spec_;
     std::size_t program_violations_ = 0;
     std::size_t fault_violations_ = 0;
     std::size_t bad_states_ = 0;
+    std::optional<std::size_t> first_violation_;
+    std::size_t faults_seen_ = 0;
+    std::size_t faults_before_violation_ = 0;
 };
 
 /// Measures a detector 'Z detects X': detection latency (steps from X

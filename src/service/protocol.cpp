@@ -46,6 +46,13 @@ std::optional<Request> parse_request(const std::string& line,
             }
             req.size = static_cast<int>(v);
         }
+        if (const auto* graded = doc->find("graded")) {
+            if (!graded->is_bool()) {
+                if (error != nullptr) *error = "'graded' must be a boolean";
+                return std::nullopt;
+            }
+            req.graded = graded->as_bool();
+        }
     } else if (req.op != "ping" && req.op != "list" && req.op != "stats" &&
                req.op != "shutdown") {
         if (error != nullptr) *error = "unknown op '" + req.op + "'";
@@ -59,6 +66,7 @@ void begin_response(obs::JsonWriter& w, const Request& request, bool ok) {
     if (!request.system.empty()) {
         command += " " + request.system;
         if (request.size > 0) command += " " + std::to_string(request.size);
+        if (request.graded) command += " --graded";
     }
     obs::begin_envelope(w, "service", "dcftd", command);
     w.kv("op", request.op.empty() ? "?" : request.op);

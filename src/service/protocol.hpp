@@ -11,19 +11,23 @@
 //   {"op":"ping"}
 //   {"op":"list"}
 //   {"op":"verify","system":"token-ring","size":8}
+//   {"op":"verify","system":"token-ring","size":8,"graded":true}
 //   {"op":"stats"}
 //   {"op":"shutdown"}
 // Optional members: "id" (opaque client tag, echoed back verbatim) and,
-// for verify, "size" (0 = the system's default). Unknown ops and malformed
-// lines produce an error response ("ok": false, "error": reason) — the
-// connection stays open; the daemon never disconnects on bad input.
+// for verify, "size" (0 = the system's default) and "graded" (attach the
+// masking-distance + monte_carlo blocks to every query; defaults false).
+// Unknown ops and malformed lines produce an error response ("ok": false,
+// "error": reason) — the connection stays open; the daemon never
+// disconnects on bad input.
 //
 // Responses always carry "op", "id", and "ok". Payloads:
 //   ping      -> {}
 //   list      -> "systems": [ {"name","states","variants":[...]}, ... ]
-//   verify    -> "system", "size", "queries": [ run-report query objects ],
-//                "coalesced": bool (this response shared another caller's
-//                execution)
+//   verify    -> "system", "size", "graded", "queries": [ run-report query
+//                objects, with masking_distance/monte_carlo blocks when
+//                graded ], "coalesced": bool (this response shared another
+//                caller's execution)
 //   stats     -> "scheduler": {"admitted","executed","coalesced"},
 //                "telemetry": { ... } (the run-report telemetry section)
 //   shutdown  -> {} (the daemon stops accepting and exits its run loop)
@@ -42,6 +46,7 @@ struct Request {
     std::string id;      ///< opaque client tag, echoed back ("" if absent)
     std::string system;  ///< verify only
     int size = 0;        ///< verify only; 0 = system default
+    bool graded = false; ///< verify only; attach graded blocks
 };
 
 /// Parses one request line. On failure returns nullopt with a reason in

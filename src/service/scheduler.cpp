@@ -39,8 +39,9 @@ QueryScheduler::~QueryScheduler() {
 }
 
 QueryScheduler::Admission QueryScheduler::verify(const std::string& system,
-                                                 int size) {
-    const std::string key = system + ":" + std::to_string(size);
+                                                 int size, bool graded) {
+    const std::string key = system + ":" + std::to_string(size) +
+                            (graded ? ":graded" : "");
     admitted_.fetch_add(1, std::memory_order_relaxed);
     obs::count("service/scheduler/admitted");
 
@@ -54,6 +55,9 @@ QueryScheduler::Admission QueryScheduler::verify(const std::string& system,
         } else {
             job = std::make_shared<Job>();
             job->key = key;
+            job->system = system;
+            job->size = size;
+            job->graded = graded;
             job->future = job->promise.get_future().share();
             job->ready_at = std::chrono::steady_clock::now() + batch_window();
             inflight_.emplace(key, job);
@@ -97,9 +101,7 @@ void QueryScheduler::worker_loop() {
         obs::count("service/scheduler/executed");
         std::shared_ptr<const VerifyResult> result;
         try {
-            const auto colon = job->key.rfind(':');
-            result = execute(job->key.substr(0, colon),
-                             std::stoi(job->key.substr(colon + 1)));
+            result = execute(job->system, job->size, job->graded);
         } catch (const std::exception& error) {
             auto failed = std::make_shared<VerifyResult>();
             failed->error = error.what();
@@ -131,10 +133,11 @@ std::shared_ptr<const apps::SystemInstance> QueryScheduler::system_for(
 }
 
 std::shared_ptr<const VerifyResult> QueryScheduler::execute(
-    const std::string& system, int size) {
+    const std::string& system, int size, bool graded) {
     auto result = std::make_shared<VerifyResult>();
     result->system = system;
     result->size = size;
+    result->graded = graded;
     std::shared_ptr<const apps::SystemInstance> sys;
     try {
         sys = system_for(system, size);
@@ -144,18 +147,33 @@ std::shared_ptr<const VerifyResult> QueryScheduler::execute(
     }
     result->space_states = sys->space->num_states();
     for (const auto& [variant, program] : sys->variants) {
-        result->queries.push_back(apps::tolerance_query(
+        std::vector<obs::ReportQuery> queries;
+        queries.push_back(apps::tolerance_query(
             system, variant, "failsafe",
             check_failsafe(program, *sys->faults, sys->spec,
                            sys->invariant)));
-        result->queries.push_back(apps::tolerance_query(
+        queries.push_back(apps::tolerance_query(
             system, variant, "nonmasking",
             check_nonmasking(program, *sys->faults, sys->spec,
                              sys->invariant)));
-        result->queries.push_back(apps::tolerance_query(
+        queries.push_back(apps::tolerance_query(
             system, variant, "masking",
             check_masking(program, *sys->faults, sys->spec,
                           sys->invariant)));
+        if (graded) {
+            // One game + one estimate per variant; the blocks are shared
+            // by the variant's three grade queries (they grade the same
+            // program). The p [] F graph is already in the exploration
+            // cache from the grid above, so the game adds no exploration.
+            const apps::GradedBlocks blocks =
+                apps::graded_blocks(*sys, program);
+            for (obs::ReportQuery& q : queries) {
+                q.masking_distance = blocks.masking_distance;
+                q.monte_carlo = blocks.monte_carlo;
+            }
+        }
+        for (obs::ReportQuery& q : queries)
+            result->queries.push_back(std::move(q));
     }
     result->ok = true;
     return result;

@@ -57,6 +57,7 @@ namespace dcft::service {
 struct VerifyResult {
     std::string system;
     int size = 0;
+    bool graded = false;  ///< queries carry masking_distance/monte_carlo
     /// Whether the system loaded and the checks ran ("no" verdicts still
     /// count as ok — per-query verdicts live in `queries`).
     bool ok = false;
@@ -84,8 +85,13 @@ public:
     };
 
     /// Blocks until the verdict grid of (system, size) is available.
-    /// Concurrent callers with the same key share one execution.
-    Admission verify(const std::string& system, int size);
+    /// Concurrent callers with the same key share one execution. Graded
+    /// and plain queries of the same system coalesce separately (the key
+    /// includes the graded bit) — a graded result is a strict superset,
+    /// but handing it to a plain caller would change that caller's
+    /// response schema.
+    Admission verify(const std::string& system, int size,
+                     bool graded = false);
 
     Stats stats() const;
 
@@ -95,7 +101,10 @@ public:
 
 private:
     struct Job {
-        std::string key;
+        std::string key;     ///< coalescing identity (system:size[:graded])
+        std::string system;  ///< parsed request fields, carried directly so
+        int size = 0;        ///< workers never re-parse the key string
+        bool graded = false;
         std::shared_future<std::shared_ptr<const VerifyResult>> future;
         std::promise<std::shared_ptr<const VerifyResult>> promise;
         std::chrono::steady_clock::time_point ready_at;
@@ -103,7 +112,7 @@ private:
 
     void worker_loop();
     std::shared_ptr<const VerifyResult> execute(const std::string& system,
-                                                int size);
+                                                int size, bool graded);
     /// The cached instance of (system, size), loaded on first use. Keeps
     /// the StateSpace identity stable across executions so repeat queries
     /// hit the exploration cache instead of re-exploring.

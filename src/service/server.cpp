@@ -60,11 +60,36 @@ bool Server::start(std::string* error) {
             *error = std::string("socket: ") + std::strerror(errno);
         return false;
     }
-    // A previous daemon instance may have left its socket file behind;
-    // bind would fail on it, so replace it. (A *live* daemon would keep
-    // serving its open fd — last binder wins the path, as with any pid/
-    // lock-file scheme.)
-    ::unlink(options_.socket_path.c_str());
+    // A previous daemon instance may have left its socket file behind
+    // (crash, SIGKILL); bind would fail on it. Probe-connect to tell a
+    // stale file from a live daemon: connection refused / no listener
+    // means the file is dead and safe to unlink; a successful connect
+    // means another daemon is serving this path, and we must refuse
+    // instead of silently stealing it from under its clients.
+    if (::access(options_.socket_path.c_str(), F_OK) == 0) {
+        const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (probe < 0) {
+            if (error != nullptr)
+                *error = std::string("socket: ") + std::strerror(errno);
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+            return false;
+        }
+        const bool alive =
+            ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) == 0;
+        ::close(probe);
+        if (alive) {
+            if (error != nullptr)
+                *error = "a daemon is already serving '" +
+                         options_.socket_path +
+                         "'; shut it down first or use another socket path";
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+            return false;
+        }
+        ::unlink(options_.socket_path.c_str());
+    }
     if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
                sizeof(addr)) != 0 ||
         ::listen(listen_fd_, 64) != 0) {
@@ -158,8 +183,8 @@ bool Server::dispatch(int fd, const std::string& line) {
         return send_all(fd, finish_response_line(w));
     }
     if (request->op == "verify") {
-        const QueryScheduler::Admission admission =
-            scheduler_->verify(request->system, request->size);
+        const QueryScheduler::Admission admission = scheduler_->verify(
+            request->system, request->size, request->graded);
         const VerifyResult& result = *admission.result;
         if (!result.ok)
             return send_all(fd, error_response(*request, result.error));
@@ -167,6 +192,7 @@ bool Server::dispatch(int fd, const std::string& line) {
         begin_response(w, *request, /*ok=*/true);
         w.kv("system", result.system);
         w.kv("size", result.size);
+        w.kv("graded", result.graded);
         w.kv("space_states", result.space_states);
         w.kv("coalesced", admission.coalesced);
         w.key("queries");

@@ -110,6 +110,73 @@ TEST(ExperimentTest, MultithreadedMatchesSingleThreaded) {
     EXPECT_DOUBLE_EQ(single.availability.mean(), multi.availability.mean());
 }
 
+TEST(ExperimentTest, BitIdenticalAcrossThreadCounts) {
+    // Stronger than matching means: the pooled sample *vectors* must be
+    // byte-for-byte identical for threads 1/2/8. Slices are merged in
+    // slice-index order after the join, so pooled samples always appear in
+    // run order — the regression this pins is the old completion-order
+    // merge, where thread interleaving shuffled the pooled samples (and
+    // float summation order, hence mean bits) between runs of the same
+    // experiment.
+    auto sys = apps::make_memory_access();
+    Experiment ex;
+    ex.program = &sys.nonmasking;
+    ex.initial = sys.initial_state();
+    ex.runs = 65;  // deliberately not a multiple of the thread counts
+    ex.base_seed = 42;
+    ex.options.max_steps = 50;
+    ex.faults = &sys.page_fault;
+    ex.fault_probability = 0.25;
+    ex.max_faults = 3;
+    ex.safety = sys.spec.safety();
+    ex.detector = std::make_pair(sys.Z1, sys.X1);
+    ex.corrector = sys.X1;
+
+    ex.threads = 1;
+    const BatchResult base = run_experiment(ex);
+    for (const unsigned threads : {2u, 8u}) {
+        ex.threads = threads;
+        const BatchResult r = run_experiment(ex);
+        EXPECT_EQ(base.runs, r.runs);
+        EXPECT_EQ(base.deadlocked, r.deadlocked);
+        EXPECT_EQ(base.stopped_early, r.stopped_early);
+        EXPECT_EQ(base.safety_violations, r.safety_violations);
+        EXPECT_EQ(base.violated_runs, r.violated_runs);
+        // Vector equality compares every sample and its position.
+        EXPECT_EQ(base.steps.samples(), r.steps.samples());
+        EXPECT_EQ(base.fault_steps.samples(), r.fault_steps.samples());
+        EXPECT_EQ(base.detection_latency.samples(),
+                  r.detection_latency.samples());
+        EXPECT_EQ(base.correction_latency.samples(),
+                  r.correction_latency.samples());
+        EXPECT_EQ(base.availability.samples(), r.availability.samples());
+        EXPECT_EQ(base.time_to_violation.samples(),
+                  r.time_to_violation.samples());
+        EXPECT_EQ(base.faults_absorbed.samples(),
+                  r.faults_absorbed.samples());
+    }
+}
+
+TEST(ExperimentTest, GradedAggregatesTrackSafety) {
+    // The intolerant memory program breaks safety under faults: violated
+    // runs must be counted, carry a time-to-violation sample each, and
+    // every run contributes a faults-absorbed sample.
+    auto sys = apps::make_memory_access();
+    Experiment ex;
+    ex.program = &sys.intolerant;
+    ex.initial = sys.initial_state();
+    ex.runs = 50;
+    ex.options.max_steps = 60;
+    ex.faults = &sys.page_fault;
+    ex.fault_probability = 0.5;
+    ex.max_faults = 2;
+    ex.safety = sys.spec.safety();
+    const BatchResult r = run_experiment(ex);
+    EXPECT_GT(r.violated_runs, 0u);
+    EXPECT_EQ(r.time_to_violation.count(), r.violated_runs);
+    EXPECT_EQ(r.faults_absorbed.count(), r.runs);
+}
+
 TEST(ExperimentTest, CustomSchedulerFactory) {
     auto sp = counter_space();
     Program p(sp, "two");

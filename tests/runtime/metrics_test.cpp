@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -10,11 +11,15 @@ namespace dcft {
 namespace {
 
 TEST(SummaryStatsTest, EmptyStats) {
+    // Every aggregate of an empty accumulator is a quiet NaN — the same
+    // contract percentile() documents — so report writers can serialize
+    // "no data" (NaN prints as null) without per-field pre-checks.
     SummaryStats stats;
     EXPECT_TRUE(stats.empty());
     EXPECT_EQ(stats.count(), 0u);
-    EXPECT_THROW(stats.mean(), ContractError);
-    EXPECT_THROW(stats.min(), ContractError);
+    EXPECT_TRUE(std::isnan(stats.mean()));
+    EXPECT_TRUE(std::isnan(stats.min()));
+    EXPECT_TRUE(std::isnan(stats.max()));
 }
 
 TEST(SummaryStatsTest, EmptyPercentileIsQuietNaN) {
@@ -62,6 +67,37 @@ TEST(SummaryStatsTest, PercentileOutOfRangeThrows) {
     stats.add(1.0);
     EXPECT_THROW(stats.percentile(1.5), ContractError);
     EXPECT_THROW(stats.percentile(-0.1), ContractError);
+}
+
+TEST(SummaryStatsTest, PercentileNonFiniteQThrows) {
+    // NaN and ±inf fail the q-in-[0,1] contract (NaN compares false) —
+    // they must never reach the rank computation and index out of range.
+    SummaryStats stats;
+    stats.add(1.0);
+    stats.add(2.0);
+    EXPECT_THROW(stats.percentile(std::nan("")), ContractError);
+    EXPECT_THROW(stats.percentile(std::numeric_limits<double>::infinity()),
+                 ContractError);
+    EXPECT_THROW(stats.percentile(-std::numeric_limits<double>::infinity()),
+                 ContractError);
+}
+
+TEST(SummaryStatsTest, PercentileBoundaryRanks) {
+    // Nearest-rank boundaries: q=0 clamps to the first sample (rank 0 has
+    // no predecessor), q=1 is exactly the max, and both are well-defined
+    // on a single sample.
+    SummaryStats one;
+    one.add(7.0);
+    EXPECT_DOUBLE_EQ(one.percentile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(one.percentile(1.0), 7.0);
+    EXPECT_DOUBLE_EQ(one.percentile(0.5), 7.0);
+
+    SummaryStats two;
+    two.add(10.0);
+    two.add(20.0);
+    EXPECT_DOUBLE_EQ(two.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(two.percentile(0.5), 10.0);  // rank ceil(0.5*2) = 1
+    EXPECT_DOUBLE_EQ(two.percentile(1.0), 20.0);
 }
 
 TEST(SummaryStatsTest, AddAfterQueryKeepsConsistency) {

@@ -82,7 +82,8 @@ struct FlagSpec {
 };
 
 const std::vector<FlagSpec> kVerifyFlags = {
-    {"report", true}, {"trace", true}, {"progress", false}};
+    {"report", true}, {"trace", true}, {"progress", false},
+    {"graded", false}};
 
 // --report is accepted here only to produce a targeted error in
 // cmd_simulate; run reports are a verify concept.
@@ -136,19 +137,24 @@ void print_usage(std::FILE* out) {
         "commands:\n"
         "  list\n"
         "      Show the built-in systems and their program variants.\n"
-        "  verify <system> [size] [--report FILE] [--trace FILE]\n"
+        "  verify <system> [size] [--graded] [--report FILE] [--trace FILE]\n"
         "         [--progress[=SECS]]\n"
         "      Run the fail-safe / nonmasking / masking checks for every\n"
-        "      variant and print the verdict grid.\n"
+        "      variant and print the verdict grid. With --graded, also\n"
+        "      solve the masking-distance game (faults absorbed before\n"
+        "      safety breaks; inf = masking) and run a fixed-seed Monte\n"
+        "      Carlo estimate (time-to-violation / time-to-recovery /\n"
+        "      faults-absorbed percentiles); reports gain per-query\n"
+        "      masking_distance + monte_carlo blocks.\n"
         "  simulate <system> [size] [--variant NAME] [--runs N] [--steps N]\n"
         "           [--seed S] [--fault-p P] [--max-faults K]\n"
         "           [--trace FILE] [--progress[=SECS]]\n"
         "      Batch-simulate a variant under fault injection.\n"
         "  client <op> [args] [--socket PATH] [--id TAG]\n"
         "      Query a running dcftd daemon. Ops: ping, list, stats,\n"
-        "      shutdown, verify <system> [size]. Prints the one-line JSON\n"
-        "      response; exits 0 iff the daemon answered ok. Socket\n"
-        "      default: $DCFT_SOCKET or /tmp/dcftd.sock.\n"
+        "      shutdown, verify <system> [size] [--graded]. Prints the\n"
+        "      one-line JSON response; exits 0 iff the daemon answered ok.\n"
+        "      Socket default: $DCFT_SOCKET or /tmp/dcftd.sock.\n"
         "\n"
         "observability flags (each has an environment twin):\n"
         "  --report FILE      write a dcft.report run report: per-query\n"
@@ -238,10 +244,12 @@ int finish_trace(const std::string& trace_path) {
 int cmd_verify(const std::string& name, int size, const FlagMap& flags) {
     const auto report_it = flags.find("report");
     const bool reporting = report_it != flags.end();
+    const bool graded = flags.count("graded") != 0;
     const std::string trace_path = setup_observability(flags, reporting);
     obs::RunReport report(
-        "dcft", "verify " + name + (size > 0 ? " " + std::to_string(size)
-                                             : std::string()));
+        "dcft", "verify " + name +
+                    (size > 0 ? " " + std::to_string(size) : std::string()) +
+                    (graded ? " --graded" : ""));
 
     const apps::SystemInstance sys = apps::load_system(name, size);
     std::printf("%s: |space|=%llu, spec=%s, faults=%s\n", name.c_str(),
@@ -274,12 +282,38 @@ int cmd_verify(const std::string& name, int size, const FlagMap& flags) {
             cov.batchable_actions, cov.actions, cov.kcall_ops,
             cov.kcall_ops == 1 ? "" : "s",
             cov.batchable ? "batch sweep eligible" : "scalar path");
+        std::optional<apps::GradedBlocks> blocks;
+        if (graded) {
+            blocks = apps::graded_blocks(sys, program);
+            const auto& md = blocks->masking_distance;
+            const auto& mc = blocks->monte_carlo;
+            std::printf(
+                "      graded: distance=%s (game: %llu nodes, %llu "
+                "layers)\n",
+                md.masking ? "inf" : std::to_string(md.distance).c_str(),
+                static_cast<unsigned long long>(md.game_nodes),
+                static_cast<unsigned long long>(md.game_layers));
+            std::printf(
+                "      monte-carlo (%llu runs, seed %llu, p=%.2f): "
+                "violation rate %.2f, faults absorbed p50=%.0f p99=%.0f\n",
+                static_cast<unsigned long long>(mc.runs),
+                static_cast<unsigned long long>(mc.base_seed),
+                mc.fault_probability, mc.violation_rate,
+                mc.faults_absorbed.p50, mc.faults_absorbed.p99);
+        }
         if (reporting) {
-            report.add_query(
+            auto add_graded_query = [&](obs::ReportQuery q) {
+                if (blocks) {
+                    q.masking_distance = blocks->masking_distance;
+                    q.monte_carlo = blocks->monte_carlo;
+                }
+                report.add_query(std::move(q));
+            };
+            add_graded_query(
                 apps::tolerance_query(name, variant, "failsafe", fs));
-            report.add_query(
+            add_graded_query(
                 apps::tolerance_query(name, variant, "nonmasking", nm));
-            report.add_query(
+            add_graded_query(
                 apps::tolerance_query(name, variant, "masking", mk));
             obs::ReportProgram rp;
             rp.name = name + "/" + variant;
@@ -365,7 +399,8 @@ int cmd_simulate(const std::string& name, int size, const FlagMap& flags) {
     return finish_trace(trace_path);
 }
 
-const std::vector<FlagSpec> kClientFlags = {{"socket", true}, {"id", true}};
+const std::vector<FlagSpec> kClientFlags = {
+    {"socket", true}, {"id", true}, {"graded", false}};
 
 int cmd_client(int argc, char** argv) {
     // argv[2] is the op; verify additionally takes <system> [size].
@@ -409,6 +444,7 @@ int cmd_client(int argc, char** argv) {
     if (!system.empty()) {
         w.kv("system", system);
         if (size > 0) w.kv("size", size);
+        if (flags.count("graded")) w.kv("graded", true);
     }
     w.end_object();
 

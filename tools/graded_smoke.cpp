@@ -1,0 +1,139 @@
+// graded_smoke — end-to-end check of the graded-tolerance pipeline.
+//
+// Two phases, both deterministic and small enough for every ctest run:
+//
+//  1. Consistency: for every catalog system (small sizes) and every
+//     program variant, the masking-distance game must agree with the
+//     explicit checker — distance inf exactly when check_failsafe's
+//     in-presence safety obligation holds, and a finite distance comes
+//     with a witness carrying exactly `distance` fault steps.
+//
+//  2. Determinism: the catalog-standard graded blocks (game + 200-run
+//     Monte Carlo estimate, fixed base seed) serialized through the
+//     dcft.report query writer must be byte-identical across Monte Carlo
+//     thread counts 1/2/8 — the merge is slice-ordered, so pooled
+//     samples (and float summation order) never depend on scheduling.
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/catalog.hpp"
+#include "obs/json.hpp"
+#include "obs/run_report.hpp"
+#include "runtime/estimate.hpp"
+#include "verify/exploration_cache.hpp"
+#include "verify/masking_distance.hpp"
+#include "verify/tolerance_checker.hpp"
+
+namespace {
+
+int failures = 0;
+
+void expect(bool ok, const std::string& what) {
+    if (ok) return;
+    ++failures;
+    std::fprintf(stderr, "graded_smoke: FAIL: %s\n", what.c_str());
+}
+
+std::string fmt_distance(const dcft::MaskingDistanceResult& r) {
+    return r.masking ? "inf" : std::to_string(r.distance);
+}
+
+/// Phase 1: game vs explicit checker on the whole catalog.
+void check_consistency() {
+    using dcft::apps::SystemInstance;
+    // Small sizes for the systems whose default graphs are larger; 0
+    // keeps the catalog default (already small) everywhere else.
+    const std::vector<std::pair<std::string, int>> sizes = {
+        {"token-ring", 4}, {"byzantine", 3}, {"spanning-tree", 3},
+        {"election", 3},   {"termination", 3}, {"reset", 3}};
+    auto size_of = [&](const std::string& name) {
+        for (const auto& [n, s] : sizes)
+            if (n == name) return s;
+        return 0;
+    };
+    for (const std::string& name : dcft::apps::catalog_names()) {
+        const SystemInstance sys = dcft::apps::load_system(name,
+                                                           size_of(name));
+        for (const auto& [variant, program] : sys.variants) {
+            const dcft::MaskingDistanceResult game = dcft::masking_distance(
+                program, *sys.faults, sys.spec, sys.invariant);
+            const dcft::ToleranceReport fs = dcft::check_failsafe(
+                program, *sys.faults, sys.spec, sys.invariant);
+            const std::string where = name + "/" + variant;
+            expect(game.masking == fs.in_presence.ok,
+                   where + ": game says distance " + fmt_distance(game) +
+                       " but check_failsafe in-presence ok=" +
+                       (fs.in_presence.ok ? "true" : "false") + " (" +
+                       fs.in_presence.reason + ")");
+            if (!game.masking) {
+                expect(game.witness_faults() == game.distance,
+                       where + ": witness carries " +
+                           std::to_string(game.witness_faults()) +
+                           " fault steps for distance " +
+                           std::to_string(game.distance));
+                expect(!game.witness.empty(),
+                       where + ": finite distance without a witness");
+            } else {
+                expect(game.witness.empty(),
+                       where + ": masking verdict with a witness trace");
+            }
+            std::printf("graded_smoke: %-28s distance %s\n", where.c_str(),
+                        fmt_distance(game).c_str());
+        }
+    }
+}
+
+/// Serializes one variant's graded blocks through the dcft.report query
+/// writer (the exact bytes both frontends emit).
+std::string graded_bytes(const dcft::apps::SystemInstance& sys,
+                         const dcft::Program& variant,
+                         const dcft::ToleranceEstimateOptions& options) {
+    const dcft::apps::GradedBlocks blocks =
+        dcft::apps::graded_blocks(sys, variant, options);
+    dcft::obs::ReportQuery q;
+    q.name = "graded_smoke";
+    q.masking_distance = blocks.masking_distance;
+    q.monte_carlo = blocks.monte_carlo;
+    dcft::obs::JsonWriter w;
+    dcft::obs::write_query(w, q);
+    return w.str();
+}
+
+/// Phase 2: 200-run fixed-seed estimate, byte-stable across MC threads.
+void check_determinism() {
+    const dcft::apps::SystemInstance sys =
+        dcft::apps::load_system("memory", 0);
+    dcft::ToleranceEstimateOptions options;
+    options.runs = 200;
+    options.base_seed = 7;
+    for (const auto& [variant, program] : sys.variants) {
+        options.threads = 1;
+        const std::string base = graded_bytes(sys, program, options);
+        for (const unsigned threads : {2u, 8u}) {
+            options.threads = threads;
+            const std::string other = graded_bytes(sys, program, options);
+            expect(other == base,
+                   "memory/" + variant + ": graded blocks differ between "
+                   "1 and " + std::to_string(threads) + " MC threads");
+        }
+        std::printf("graded_smoke: memory/%-10s byte-stable across "
+                    "MC threads 1/2/8 (%zu bytes)\n",
+                    variant.c_str(), base.size());
+    }
+}
+
+}  // namespace
+
+int main() {
+    check_consistency();
+    check_determinism();
+    dcft::ExplorationCache::global().clear();
+    if (failures != 0) {
+        std::fprintf(stderr, "graded_smoke: %d failure(s)\n", failures);
+        return 1;
+    }
+    std::printf("graded_smoke: all checks passed\n");
+    return 0;
+}

@@ -1,6 +1,6 @@
 // report_check — end-to-end validator for dcft run reports and traces.
 //
-//   report_check [--trace] <path-to-dcft-cli> <system>[:size]...
+//   report_check [--trace] [--graded] <path-to-dcft-cli> <system>[:size]...
 //
 // For each system it runs `dcft verify <system> [size] --report FILE`,
 // parses the emitted JSON with the same reader the tests use
@@ -13,10 +13,16 @@
 // '/'-separated lower_snake path, timestamps are monotone within each
 // lane (tid), begin/end events balance like a stack per lane, and the
 // trace carries at least one `verify/explore/level` span per timeline
-// level row in the report. Exits non-zero on the first malformed
-// artifact. Registered as the ctest targets `report_check` (token-ring,
-// Byzantine) and `trace_smoke` (--trace on token-ring), so neither the
-// --report nor the --trace pipeline can rot silently.
+// level row in the report. With --graded it passes `--graded` to each
+// verify run and requires every query to carry the graded blocks:
+// `masking_distance` (distance null exactly when masking, consistent
+// witness_faults) and `monte_carlo` (run accounting, violation rate in
+// [0,1], stats blocks whose aggregates are numbers or null with a
+// consistent count). Exits non-zero on the first malformed artifact.
+// Registered as the ctest targets `report_check` (token-ring,
+// Byzantine), `trace_smoke` (--trace on token-ring), and
+// `report_check_graded` (--graded on token-ring), so neither the
+// --report, --trace, nor --graded pipeline can rot silently.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -79,14 +85,87 @@ void check_witness_step(const JsonValue& step) {
     member(step, "fault", JsonValue::Kind::Bool);
 }
 
+/// A monte_carlo stats block: count plus aggregates that are numbers or
+/// null (NaN serializes as null), and an empty distribution has every
+/// aggregate null.
+void check_stats_block(const JsonValue& mc, const std::string& key) {
+    const JsonValue& block = member(mc, key, JsonValue::Kind::Object);
+    check_nonneg_number(block, "count");
+    const bool empty =
+        member(block, "count", JsonValue::Kind::Number).as_number() == 0.0;
+    for (const char* agg : {"mean", "p50", "p90", "p99"}) {
+        const JsonValue* v = block.find(agg);
+        require(v != nullptr, "stats block '" + key + "' missing '" + agg +
+                                  "'");
+        require(v->is_number() || v->is_null(),
+                "stats block '" + key + "' member '" + agg +
+                    "' is neither number nor null");
+        if (empty)
+            require(v->is_null(), "empty stats block '" + key +
+                                      "' with a non-null '" + agg + "'");
+        else
+            require(v->is_number(), "non-empty stats block '" + key +
+                                        "' with a null '" + agg + "'");
+    }
+}
+
+/// The graded blocks attached by `verify --graded`: the game result and
+/// the Monte Carlo estimate, internally consistent.
+void check_graded_blocks(const JsonValue& q) {
+    const JsonValue& md =
+        member(q, "masking_distance", JsonValue::Kind::Object);
+    const bool masking =
+        member(md, "masking", JsonValue::Kind::Bool).as_bool();
+    const JsonValue* distance = md.find("distance");
+    require(distance != nullptr, "masking_distance without 'distance'");
+    if (masking)
+        require(distance->is_null(),
+                "masking query with a finite distance member");
+    else
+        require(distance->is_number() && distance->as_number() >= 0.0,
+                "non-masking query without a numeric distance");
+    check_nonneg_number(md, "game_nodes");
+    check_nonneg_number(md, "game_layers");
+    check_nonneg_number(md, "witness_faults");
+    if (!masking)
+        require(member(md, "witness_faults", JsonValue::Kind::Number)
+                        .as_number() == distance->as_number(),
+                "witness_faults disagrees with the masking distance");
+
+    const JsonValue& mc = member(q, "monte_carlo", JsonValue::Kind::Object);
+    for (const char* key : {"runs", "violated_runs", "base_seed",
+                            "fault_probability", "max_steps", "max_faults"})
+        check_nonneg_number(mc, key);
+    const double runs =
+        member(mc, "runs", JsonValue::Kind::Number).as_number();
+    const double violated =
+        member(mc, "violated_runs", JsonValue::Kind::Number).as_number();
+    require(runs > 0.0, "monte_carlo block with zero runs");
+    require(violated <= runs, "more violated runs than runs");
+    const double rate =
+        member(mc, "violation_rate", JsonValue::Kind::Number).as_number();
+    require(rate >= 0.0 && rate <= 1.0, "violation_rate outside [0,1]");
+    check_stats_block(mc, "time_to_violation");
+    check_stats_block(mc, "time_to_recovery");
+    check_stats_block(mc, "faults_absorbed");
+    // Each violated run contributes exactly one time-to-violation sample.
+    const JsonValue& ttv =
+        member(mc, "time_to_violation", JsonValue::Kind::Object);
+    require(member(ttv, "count", JsonValue::Kind::Number).as_number() ==
+                violated,
+            "time_to_violation count disagrees with violated_runs");
+}
+
 /// Validates one query; reports back whether it carried a non-trivial
 /// witness and whether it passed.
-void check_query(const JsonValue& q, bool* ok_out, bool* has_witness_out) {
+void check_query(const JsonValue& q, bool graded, bool* ok_out,
+                 bool* has_witness_out) {
     for (const char* key : {"name", "system", "variant", "grade", "reason"})
         member(q, key, JsonValue::Kind::String);
     const bool ok = member(q, "ok", JsonValue::Kind::Bool).as_bool();
     check_nonneg_number(q, "invariant_size");
     check_nonneg_number(q, "span_size");
+    if (graded) check_graded_blocks(q);
     const JsonValue& witness =
         member(q, "witness", JsonValue::Kind::Object);
     const std::string kind =
@@ -226,7 +305,7 @@ struct ReportSummary {
     std::size_t timeline_levels = 0;
 };
 
-ReportSummary check_report(const JsonValue& doc) {
+ReportSummary check_report(const JsonValue& doc, bool graded) {
     require(member(doc, "schema", JsonValue::Kind::String).as_string() ==
                 "dcft.report",
             "wrong schema tag");
@@ -260,7 +339,7 @@ ReportSummary check_report(const JsonValue& doc) {
     summary.queries = queries.size();
     for (const JsonValue& q : queries) {
         bool ok = false, has_witness = false;
-        check_query(q, &ok, &has_witness);
+        check_query(q, graded, &ok, &has_witness);
         if (has_witness) {
             if (ok)
                 ++summary.passing_with_witness;
@@ -335,19 +414,23 @@ std::optional<JsonValue> load_json(const std::string& path) {
 }
 
 int run_system(const std::string& cli, const std::string& spec,
-               bool with_trace, ReportSummary* total) {
+               bool with_trace, bool graded, ReportSummary* total) {
     std::string system = spec;
     std::string size;
     if (const auto colon = spec.find(':'); colon != std::string::npos) {
         system = spec.substr(0, colon);
         size = spec.substr(colon + 1);
     }
-    const std::string report_path = "report_check_" + system + ".json";
+    // Distinct artifact per mode so parallel ctest invocations (plain,
+    // --trace, --graded) on the same system never race on one file.
+    const std::string report_path = "report_check_" + system +
+                                    (graded ? "_graded" : "") + ".json";
     const std::string trace_path =
         "report_check_" + system + "_trace.json";
     std::string command = "\"" + cli + "\" verify " + system;
     if (!size.empty()) command += " " + size;
     command += " --report " + report_path;
+    if (graded) command += " --graded";
     if (with_trace) command += " --trace " + trace_path + " --progress=0.2";
     std::printf("report_check: %s\n", command.c_str());
     if (std::system(command.c_str()) != 0) {
@@ -360,7 +443,7 @@ int run_system(const std::string& cli, const std::string& spec,
     if (!doc) return 1;
     ReportSummary summary;
     try {
-        summary = check_report(*doc);
+        summary = check_report(*doc, graded);
         total->queries += summary.queries;
         total->passing_with_witness += summary.passing_with_witness;
         total->failing_with_witness += summary.failing_with_witness;
@@ -402,20 +485,28 @@ int run_system(const std::string& cli, const std::string& spec,
 int main(int argc, char** argv) {
     int argi = 1;
     bool with_trace = false;
-    if (argi < argc && std::string(argv[argi]) == "--trace") {
-        with_trace = true;
+    bool graded = false;
+    while (argi < argc) {
+        const std::string arg = argv[argi];
+        if (arg == "--trace")
+            with_trace = true;
+        else if (arg == "--graded")
+            graded = true;
+        else
+            break;
         ++argi;
     }
     if (argc - argi < 2) {
-        std::fprintf(
-            stderr,
-            "usage: report_check [--trace] <dcft-cli> <system>[:size]...\n");
+        std::fprintf(stderr,
+                     "usage: report_check [--trace] [--graded] <dcft-cli> "
+                     "<system>[:size]...\n");
         return 2;
     }
     const std::string cli = argv[argi++];
     ReportSummary total;
     for (int i = argi; i < argc; ++i)
-        if (const int rc = run_system(cli, argv[i], with_trace, &total);
+        if (const int rc =
+                run_system(cli, argv[i], with_trace, graded, &total);
             rc != 0)
             return rc;
     // Across the validated systems there must be at least one passing and

@@ -13,12 +13,22 @@
 //  * Protocol: ping/list/stats answer ok with well-formed envelopes;
 //    malformed input gets an error response without dropping the
 //    connection's server.
+//  * Sockets: a stale socket file left by a crashed daemon does not
+//    block startup (probe-connect finds it dead, unlinks, binds); a
+//    second daemon on a LIVE socket refuses to start and leaves the
+//    original serving.
+//  * Graded verify: {"op":"verify",...,"graded":true} flags the
+//    response and attaches masking_distance + monte_carlo blocks to
+//    every query.
 //  * Clean shutdown: the shutdown op is acknowledged, wait() returns,
 //    every thread joins (the process exits), and the socket file is gone.
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -85,12 +95,45 @@ int main() {
     const std::string verify_b =
         R"({"op":"verify","system":"token-ring","size":4})";
 
+    // -- Phase 0: a stale socket file must not block startup --------------
+    // Simulate a crashed daemon: bind a unix socket at the path and close
+    // it without unlinking. Nothing listens, but the file exists — the
+    // server's probe-connect must find it dead, unlink it, and bind.
+    {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        check(fd >= 0, "stale-socket fixture created");
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                      socket_path.c_str());
+        check(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)) == 0,
+              "stale-socket fixture bound");
+        ::close(fd);
+        check(::access(socket_path.c_str(), F_OK) == 0,
+              "stale socket file left behind");
+    }
+
     dcft::service::Server server({socket_path, /*workers=*/2});
     std::string error;
     if (!server.start(&error)) {
-        std::fprintf(stderr, "FAIL: start: %s\n", error.c_str());
+        std::fprintf(stderr, "FAIL: start over stale socket: %s\n",
+                     error.c_str());
         return 1;
     }
+    check(true, "server started over the stale socket file");
+
+    // -- Phase 0b: a live socket refuses a second daemon ------------------
+    {
+        dcft::service::Server duplicate({socket_path, /*workers=*/1});
+        std::string dup_error;
+        check(!duplicate.start(&dup_error),
+              "second daemon on a live socket refuses to start");
+        check(dup_error.find("already serving") != std::string::npos,
+              "refusal names the live daemon (got '" + dup_error + "')");
+    }
+    check(response_ok(ask(socket_path, R"({"op":"ping","id":"probe"})")),
+          "original daemon still answers after the duplicate probe");
 
     // -- Phase A: concurrent identical queries coalesce ------------------
     server.scheduler().set_paused(true);
@@ -171,6 +214,42 @@ int main() {
         check(schema != nullptr && schema->as_string() == "dcft.report",
               "response carries the dcft.report envelope");
     }
+
+    // -- Phase D2: graded verify through the daemon ----------------------
+    const JsonValue graded = ask(
+        socket_path,
+        R"({"op":"verify","system":"memory","size":3,"graded":true})");
+    check(response_ok(graded), "graded verify answered ok");
+    const auto* graded_flag = graded.find("graded", JsonValue::Kind::Bool);
+    check(graded_flag != nullptr && graded_flag->as_bool(),
+          "graded response carries graded=true");
+    const auto* graded_queries =
+        graded.find("queries", JsonValue::Kind::Array);
+    bool blocks_ok =
+        graded_queries != nullptr && !graded_queries->as_array().empty();
+    if (blocks_ok)
+        for (const JsonValue& q : graded_queries->as_array())
+            if (q.find("masking_distance", JsonValue::Kind::Object) ==
+                    nullptr ||
+                q.find("monte_carlo", JsonValue::Kind::Object) == nullptr)
+                blocks_ok = false;
+    check(blocks_ok,
+          "every graded query carries masking_distance and monte_carlo "
+          "blocks");
+    const JsonValue plain = ask(
+        socket_path, R"({"op":"verify","system":"memory","size":3})");
+    const auto* plain_queries =
+        plain.find("queries", JsonValue::Kind::Array);
+    bool plain_clean =
+        plain_queries != nullptr && !plain_queries->as_array().empty();
+    if (plain_clean)
+        for (const JsonValue& q : plain_queries->as_array())
+            if (q.find("masking_distance") != nullptr ||
+                q.find("monte_carlo") != nullptr)
+                plain_clean = false;
+    check(plain_clean,
+          "plain verify of the same system omits the graded blocks "
+          "(coalescing keys keep graded and plain apart)");
 
     // -- Phase E: clean shutdown -----------------------------------------
     check(response_ok(ask(socket_path, R"({"op":"shutdown"})")),
